@@ -1,0 +1,39 @@
+//! Benchmarks for the ablation studies (the paper's stated future work:
+//! varying S_min/S_max and the number of speed levels; plus overhead and
+//! processor-count sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pas_bench::bench_config;
+use pas_experiments::figures::{
+    ablation_levels, ablation_overhead, ablation_procs, ablation_smin,
+    energy_breakdown, oracle_gap_vs_load,
+};
+use pas_experiments::Platform;
+
+fn ablation_benches(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("ablation_smin", |b| {
+        b.iter(|| assert_eq!(ablation_smin(&cfg).total_misses, 0))
+    });
+    g.bench_function("ablation_levels", |b| {
+        b.iter(|| assert_eq!(ablation_levels(&cfg).total_misses, 0))
+    });
+    g.bench_function("ablation_overhead", |b| {
+        b.iter(|| assert_eq!(ablation_overhead(Platform::XScale, &cfg).total_misses, 0))
+    });
+    g.bench_function("ablation_procs", |b| {
+        b.iter(|| assert_eq!(ablation_procs(Platform::Transmeta, &cfg).total_misses, 0))
+    });
+    g.bench_function("oracle_gap", |b| {
+        b.iter(|| oracle_gap_vs_load(Platform::XScale, 2, &cfg))
+    });
+    g.bench_function("energy_breakdown", |b| {
+        b.iter(|| energy_breakdown(Platform::Transmeta, 2, 0.5, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmarks that regenerate (reduced-replication versions of) the
+//! paper's Figures 4, 5 and 6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pas_bench::bench_config;
+use pas_experiments::figures::{fig_energy_vs_alpha, fig_energy_vs_load};
+use pas_experiments::Platform;
+
+fn fig4_energy_vs_load(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("fig4_energy_vs_load");
+    g.sample_size(10);
+    for platform in [Platform::Transmeta, Platform::XScale] {
+        g.bench_function(platform.name(), |b| {
+            b.iter(|| {
+                let out = fig_energy_vs_load(platform, 2, &cfg);
+                assert_eq!(out.total_misses, 0);
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig5_six_procs(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("fig5_six_procs");
+    g.sample_size(10);
+    for platform in [Platform::Transmeta, Platform::XScale] {
+        g.bench_function(platform.name(), |b| {
+            b.iter(|| {
+                let out = fig_energy_vs_load(platform, 6, &cfg);
+                assert_eq!(out.total_misses, 0);
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig6_energy_vs_alpha(c: &mut Criterion) {
+    let cfg = bench_config();
+    let mut g = c.benchmark_group("fig6_energy_vs_alpha");
+    g.sample_size(10);
+    for platform in [Platform::Transmeta, Platform::XScale] {
+        g.bench_function(platform.name(), |b| {
+            b.iter(|| {
+                let out = fig_energy_vs_alpha(platform, &cfg);
+                assert_eq!(out.total_misses, 0);
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig4_energy_vs_load, fig5_six_procs, fig6_energy_vs_alpha);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the scheduler machinery: the off-line phase, one
+//! on-line run per scheme, and realization sampling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use andor_graph::SectionGraph;
+use mp_sim::ExecTimeModel;
+use pas_bench::synthetic_setup;
+use pas_core::{OfflinePlan, Scheme};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn offline_phase(c: &mut Criterion) {
+    let g = workloads::synthetic_app().lower().unwrap();
+    let sg = SectionGraph::build(&g).unwrap();
+    c.bench_function("offline_plan_build", |b| {
+        b.iter(|| OfflinePlan::build(&g, &sg, 2, 100.0).unwrap())
+    });
+}
+
+fn online_run(c: &mut Criterion) {
+    let setup = synthetic_setup();
+    let mut g = c.benchmark_group("online_run");
+    for scheme in Scheme::ALL {
+        g.bench_function(scheme.name(), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter_batched(
+                || setup.sample(&ExecTimeModel::paper_defaults(), &mut rng),
+                |real| setup.run(scheme, &real),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn sampling(c: &mut Criterion) {
+    let setup = synthetic_setup();
+    c.bench_function("realization_sample", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| setup.sample(&ExecTimeModel::paper_defaults(), &mut rng))
+    });
+}
+
+fn large_instance(c: &mut Criterion) {
+    // The big ATR configuration from tests/scale.rs: ~400 tasks.
+    let params = workloads::AtrParams {
+        max_rois: 8,
+        roi_probs: vec![0.20, 0.20, 0.15, 0.13, 0.12, 0.10, 0.06, 0.04],
+        num_templates: 8,
+        frames: 2,
+        ..workloads::AtrParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = params.build_jittered(&mut rng).unwrap().lower().unwrap();
+    let sg = SectionGraph::build(&g).unwrap();
+    let mut group = c.benchmark_group("large_instance");
+    group.bench_function("offline_plan_400_tasks", |b| {
+        b.iter(|| OfflinePlan::build(&g, &sg, 4, 10_000.0).unwrap())
+    });
+    let setup = pas_core::Setup::for_load(
+        g.clone(),
+        dvfs_power::ProcessorModel::xscale(),
+        4,
+        0.7,
+    )
+    .unwrap();
+    group.bench_function("gss_run_400_tasks", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter_batched(
+            || setup.sample(&ExecTimeModel::paper_defaults(), &mut rng),
+            |real| setup.run(Scheme::Gss, &real),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, offline_phase, online_run, sampling, large_instance);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Benchmarks for the paper's Tables 1 & 2: speed/voltage level lookup
+//! (`quantize_up` is on the per-dispatch hot path of every policy).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dvfs_power::ProcessorModel;
+
+fn table_lookup(c: &mut Criterion) {
+    let tm = ProcessorModel::transmeta5400();
+    let xs = ProcessorModel::xscale();
+    let mut g = c.benchmark_group("table_lookup");
+    g.bench_function("table1_transmeta_quantize", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += tm.quantize_up(black_box(i as f64 / 100.0)).power;
+            }
+            acc
+        })
+    });
+    g.bench_function("table2_xscale_quantize", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += xs.quantize_up(black_box(i as f64 / 100.0)).power;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, table_lookup);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Each paper table/figure has a named bench target (see `benches/`):
+//!
+//! | paper artifact | bench |
+//! |----------------|-------|
+//! | Table 1, Table 2 | `tables::table_lookup` |
+//! | Figure 4 | `figures::fig4_energy_vs_load` |
+//! | Figure 5 | `figures::fig5_six_procs` |
+//! | Figure 6 | `figures::fig6_energy_vs_alpha` |
+//! | Ablation A1 (S_min) | `ablations::ablation_smin` |
+//! | Ablation A2 (levels) | `ablations::ablation_levels` |
+//! | Ablation A3 (overhead) | `ablations::ablation_overhead` |
+//! | Ablation A4 (processors) | `ablations::ablation_procs` |
+//!
+//! Benchmarks run reduced replication counts (the statistical quality of
+//! the full figures is the experiment binaries' job; the benches measure
+//! the cost of the machinery).
+
+use pas_core::Setup;
+use pas_experiments::runner::ExperimentConfig;
+
+/// A reduced experiment configuration for benching.
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig::quick(5)
+}
+
+/// The standard synthetic-app setup used by micro benches.
+pub fn synthetic_setup() -> Setup {
+    Setup::for_load(
+        workloads::synthetic_app().lower().expect("valid"),
+        dvfs_power::ProcessorModel::transmeta5400(),
+        2,
+        0.5,
+    )
+    .expect("feasible")
+}

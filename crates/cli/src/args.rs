@@ -1,0 +1,219 @@
+//! Argument parsing for the `pas` binary.
+
+/// The selected sub-command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Graph and scenario statistics.
+    Inspect,
+    /// Off-line phase report.
+    Plan,
+    /// Simulate one realization.
+    Run,
+    /// Monte-Carlo comparison of all schemes plus the clairvoyant bound.
+    Compare,
+    /// Graphviz DOT export to stdout.
+    Dot,
+    /// Exhaustive discrete optimum on a tiny instance (levels^tasks).
+    Optimal,
+    /// Save a workload's graph as JSON.
+    Export,
+}
+
+/// Which scheme `pas run` simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeArg {
+    /// One of the paper's six schemes.
+    Scheme(pas_core::Scheme),
+    /// The clairvoyant single-speed reference.
+    Oracle,
+}
+
+/// Fully parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Sub-command.
+    pub command: Command,
+    /// Workload: `atr`, `synthetic`, or a JSON path.
+    pub app: String,
+    /// Platform spec: `transmeta`, `xscale`, `continuous:<smin>`.
+    pub model: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Target load (mutually exclusive with `deadline`).
+    pub load: Option<f64>,
+    /// Explicit deadline in ms.
+    pub deadline: Option<f64>,
+    /// Scheme for `run`.
+    pub scheme: SchemeArg,
+    /// RNG seed.
+    pub seed: u64,
+    /// Replications for `compare`.
+    pub reps: usize,
+    /// Override the workload's α (ACET/WCET ratio).
+    pub alpha: Option<f64>,
+    /// Render an ASCII Gantt chart after `run`.
+    pub gantt: bool,
+    /// Output path for `export`.
+    pub out: Option<String>,
+}
+
+impl Args {
+    /// Parses an argv slice (without the program name).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut it = args.iter();
+        let command = match it.next().map(String::as_str) {
+            Some("inspect") => Command::Inspect,
+            Some("plan") => Command::Plan,
+            Some("run") => Command::Run,
+            Some("compare") => Command::Compare,
+            Some("dot") => Command::Dot,
+            Some("optimal") => Command::Optimal,
+            Some("export") => Command::Export,
+            Some(other) => return Err(format!("unknown command '{other}'")),
+            None => return Err("missing command".into()),
+        };
+        let mut parsed = Args {
+            command,
+            app: "synthetic".into(),
+            model: "transmeta".into(),
+            procs: 2,
+            load: None,
+            deadline: None,
+            scheme: SchemeArg::Scheme(pas_core::Scheme::Gss),
+            seed: 42,
+            reps: 100,
+            alpha: None,
+            gantt: false,
+            out: None,
+        };
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("{name} needs a value"))
+            };
+            match flag.as_str() {
+                "--app" => parsed.app = value("--app")?.clone(),
+                "--model" => parsed.model = value("--model")?.clone(),
+                "--procs" => {
+                    parsed.procs = parse_num(value("--procs")?, "--procs")?;
+                    if parsed.procs == 0 {
+                        return Err("--procs must be positive".into());
+                    }
+                }
+                "--load" => {
+                    let l: f64 = parse_num(value("--load")?, "--load")?;
+                    if !(l > 0.0 && l <= 1.0) {
+                        return Err("--load must be in (0, 1]".into());
+                    }
+                    parsed.load = Some(l);
+                }
+                "--deadline" => {
+                    parsed.deadline = Some(parse_num(value("--deadline")?, "--deadline")?)
+                }
+                "--scheme" => parsed.scheme = parse_scheme(value("--scheme")?)?,
+                "--seed" => parsed.seed = parse_num(value("--seed")?, "--seed")?,
+                "--reps" => {
+                    parsed.reps = parse_num(value("--reps")?, "--reps")?;
+                    if parsed.reps == 0 {
+                        return Err("--reps must be positive".into());
+                    }
+                }
+                "--alpha" => {
+                    let a: f64 = parse_num(value("--alpha")?, "--alpha")?;
+                    if !(a > 0.0 && a <= 1.0) {
+                        return Err("--alpha must be in (0, 1]".into());
+                    }
+                    parsed.alpha = Some(a);
+                }
+                "--gantt" => parsed.gantt = true,
+                "--out" => parsed.out = Some(value("--out")?.clone()),
+                other => return Err(format!("unknown flag '{other}'")),
+            }
+        }
+        if parsed.load.is_some() && parsed.deadline.is_some() {
+            return Err("--load and --deadline are mutually exclusive".into());
+        }
+        Ok(parsed)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad value for {flag}: {s}"))
+}
+
+fn parse_scheme(s: &str) -> Result<SchemeArg, String> {
+    use pas_core::Scheme::*;
+    Ok(match s.to_ascii_lowercase().as_str() {
+        "npm" => SchemeArg::Scheme(Npm),
+        "spm" => SchemeArg::Scheme(Spm),
+        "gss" => SchemeArg::Scheme(Gss),
+        "ss1" | "ss(1)" => SchemeArg::Scheme(Ss1),
+        "ss2" | "ss(2)" => SchemeArg::Scheme(Ss2),
+        "as" => SchemeArg::Scheme(As),
+        "oracle" => SchemeArg::Oracle,
+        other => return Err(format!("unknown scheme '{other}'")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(argv: &[&str]) -> Result<Args, String> {
+        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        Args::parse(&v)
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&["run"]).unwrap();
+        assert_eq!(a.command, Command::Run);
+        assert_eq!(a.app, "synthetic");
+        assert_eq!(a.procs, 2);
+        assert_eq!(a.seed, 42);
+        assert!(!a.gantt);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let a = parse(&[
+            "compare", "--app", "atr", "--model", "xscale", "--procs", "4",
+            "--load", "0.7", "--scheme", "ss2", "--seed", "9", "--reps", "50",
+            "--alpha", "0.8", "--gantt", "--out", "x.json",
+        ])
+        .unwrap();
+        assert_eq!(a.command, Command::Compare);
+        assert_eq!(a.procs, 4);
+        assert_eq!(a.load, Some(0.7));
+        assert_eq!(a.scheme, SchemeArg::Scheme(pas_core::Scheme::Ss2));
+        assert_eq!(a.reps, 50);
+        assert_eq!(a.alpha, Some(0.8));
+        assert!(a.gantt);
+        assert_eq!(a.out.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    fn load_and_deadline_conflict() {
+        assert!(parse(&["plan", "--load", "0.5", "--deadline", "60"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse(&["run", "--procs", "0"]).is_err());
+        assert!(parse(&["run", "--load", "1.5"]).is_err());
+        assert!(parse(&["run", "--alpha", "0"]).is_err());
+        assert!(parse(&["run", "--reps", "x"]).is_err());
+        assert!(parse(&["run", "--seed"]).is_err());
+    }
+
+    #[test]
+    fn scheme_aliases() {
+        assert_eq!(
+            parse(&["run", "--scheme", "SS(1)"]).unwrap().scheme,
+            SchemeArg::Scheme(pas_core::Scheme::Ss1)
+        );
+        assert_eq!(
+            parse(&["run", "--scheme", "oracle"]).unwrap().scheme,
+            SchemeArg::Oracle
+        );
+    }
+}

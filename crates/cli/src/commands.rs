@@ -1,0 +1,402 @@
+//! Command implementations. Every command returns the text to print, so
+//! the whole tool is unit-testable without spawning processes.
+
+use crate::args::{Args, Command, SchemeArg};
+use crate::source::{load_app, load_model};
+use andor_graph::{app_profile, to_dot, SectionGraph};
+use mp_sim::trace::{lane_stats, power_profile, render_gantt, GanttOptions};
+use mp_sim::ExecTimeModel;
+use pas_core::{Scheme, Setup, SetupError};
+use pas_stats::{Histogram, Summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Dispatches a parsed command line.
+pub fn execute(args: &Args) -> Result<String, String> {
+    match args.command {
+        Command::Inspect => inspect(args),
+        Command::Plan => plan(args),
+        Command::Run => run_one(args),
+        Command::Compare => compare(args),
+        Command::Dot => dot(args),
+        Command::Optimal => optimal(args),
+        Command::Export => export(args),
+    }
+}
+
+fn build_setup(args: &Args) -> Result<Setup, String> {
+    let graph = load_app(args)?;
+    let model = load_model(&args.model)?;
+    let result = match (args.deadline, args.load) {
+        (Some(d), None) => Setup::new(graph, model, args.procs, d),
+        (None, Some(l)) => Setup::for_load(graph, model, args.procs, l),
+        (None, None) => Setup::for_load(graph, model, args.procs, 0.5),
+        (Some(_), Some(_)) => unreachable!("rejected at parse time"),
+    };
+    result.map_err(|e| match e {
+        SetupError::Offline(pas_core::OfflineError::Infeasible {
+            worst_finish,
+            deadline,
+        }) => format!(
+            "infeasible: the worst case needs {worst_finish:.2} ms but the \
+             deadline is {deadline:.2} ms"
+        ),
+        other => other.to_string(),
+    })
+}
+
+fn inspect(args: &Args) -> Result<String, String> {
+    let graph = load_app(args)?;
+    let sections =
+        SectionGraph::build(&graph).map_err(|e| format!("section structure: {e}"))?;
+    let profile = app_profile(&graph, &sections);
+    let mut out = String::new();
+    let _ = writeln!(out, "application: {}", args.app);
+    let _ = writeln!(
+        out,
+        "  nodes: {} ({} tasks, {} OR, {} AND/sync)",
+        graph.len(),
+        graph.num_tasks(),
+        graph.num_or_nodes(),
+        graph.len() - graph.num_tasks() - graph.num_or_nodes()
+    );
+    let _ = writeln!(out, "  sections: {}", sections.len());
+    let _ = writeln!(out, "  scenarios: {}", profile.scenarios);
+    let _ = writeln!(
+        out,
+        "  work (WCET): expected {:.1} ms, range {:.1}..{:.1} ms",
+        profile.expected_wcet, profile.wcet_range.0, profile.wcet_range.1
+    );
+    let _ = writeln!(out, "  work (ACET): expected {:.1} ms", profile.expected_acet);
+    let _ = writeln!(
+        out,
+        "  worst critical path: {:.1} ms (mean parallelism {:.2})",
+        profile.worst_critical_path, profile.mean_parallelism
+    );
+    let _ = writeln!(out, "\nsections (chain order):");
+    for (i, section) in sections.sections().iter().enumerate() {
+        let names: Vec<&str> = section
+            .nodes
+            .iter()
+            .map(|&n| graph.node(n).name.as_str())
+            .take(8)
+            .collect();
+        let ellipsis = if section.nodes.len() > 8 { ", …" } else { "" };
+        let exit = section
+            .exit_or
+            .map(|o| graph.node(o).name.clone())
+            .unwrap_or_else(|| "end".into());
+        let _ = writeln!(
+            out,
+            "  s{i} depth {}: {} node(s) [{}{}] -> {}",
+            section.depth,
+            section.nodes.len(),
+            names.join(", "),
+            ellipsis,
+            exit
+        );
+    }
+    Ok(out)
+}
+
+fn plan(args: &Args) -> Result<String, String> {
+    let setup = build_setup(args)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "off-line phase — {} processors, deadline {:.2} ms, model {}",
+        setup.plan.num_procs,
+        setup.plan.deadline,
+        setup.model.name()
+    );
+    let _ = writeln!(
+        out,
+        "  Tw (worst finish) = {:.2} ms   Ta (average finish) = {:.2} ms",
+        setup.plan.worst_total, setup.plan.avg_total
+    );
+    let _ = writeln!(
+        out,
+        "  load = {:.3}   static slack = {:.2} ms",
+        setup.plan.load(),
+        setup.plan.static_slack()
+    );
+    let mut pmps: Vec<_> = setup.plan.branch_worst.iter().collect();
+    pmps.sort_by_key(|((or, k), _)| (*or, *k));
+    let _ = writeln!(out, "\nPMP statistics (per OR branch):");
+    for ((or, k), tw) in pmps {
+        let ta = setup.plan.branch_avg[&(*or, *k)];
+        let _ = writeln!(
+            out,
+            "  {} branch {k}: Tw_k = {tw:.2} ms, Ta_k = {ta:.2} ms",
+            setup.graph.node(*or).name
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ncanonical schedule (per section, worst case at full speed):"
+    );
+    for (sid, order) in setup.plan.dispatch.per_section.iter().enumerate() {
+        if order.is_empty() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  section s{sid} (length {:.2} ms):",
+            setup.plan.section_worst_len[sid]
+        );
+        for (&node, &start) in order.iter().zip(&setup.plan.canonical_start_rel[sid]) {
+            let n = setup.graph.node(node);
+            if !n.kind.is_computation() {
+                continue;
+            }
+            let lst = setup.plan.lst[node.index()].expect("computation node");
+            let _ = writeln!(
+                out,
+                "    {:<22} canonical [{:>7.2}, {:>7.2}]   latest start {:>8.2} ms",
+                n.name,
+                start,
+                start + n.kind.wcet(),
+                lst
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn run_one(args: &Args) -> Result<String, String> {
+    let setup = build_setup(args)?;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+    let res = match args.scheme {
+        SchemeArg::Scheme(scheme) => {
+            let mut policy = setup.policy(scheme);
+            setup.simulator(true).run(policy.as_mut(), &real)
+        }
+        SchemeArg::Oracle => {
+            let mut oracle = setup.oracle(&real);
+            setup.simulator(true).run(&mut oracle, &real)
+        }
+    };
+    let scheme_name = match args.scheme {
+        SchemeArg::Scheme(s) => s.name().to_string(),
+        SchemeArg::Oracle => "Oracle".into(),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {} ({} processors, seed {})",
+        scheme_name,
+        setup.model.name(),
+        setup.plan.num_procs,
+        args.seed
+    );
+    let _ = writeln!(
+        out,
+        "finished at {:.2} ms of {:.2} ms — deadline {}",
+        res.finish_time,
+        res.deadline,
+        if res.missed_deadline { "MISSED" } else { "met" }
+    );
+    let _ = writeln!(
+        out,
+        "energy {:.3} (busy {:.3}, idle {:.3}, transitions {:.3}), {} speed changes",
+        res.total_energy(),
+        res.energy.busy_energy(),
+        res.energy.idle_energy(),
+        res.energy.transition_energy(),
+        res.energy.speed_changes()
+    );
+    let trace = res.trace.as_ref().expect("tracing enabled");
+    for lane in lane_stats(trace, setup.plan.num_procs, res.deadline.max(res.finish_time)) {
+        let _ = writeln!(
+            out,
+            "  p{}: {} tasks, busy {:.1} ms, utilization {:.0}%, mean speed {:.2}",
+            lane.proc,
+            lane.tasks,
+            lane.busy,
+            lane.utilization * 100.0,
+            lane.mean_speed
+        );
+    }
+    if args.gantt {
+        let _ = writeln!(out);
+        let opts = GanttOptions {
+            width: 72,
+            deadline: Some(res.deadline),
+        };
+        out.push_str(&render_gantt(
+            trace,
+            &setup.graph,
+            setup.plan.num_procs,
+            &opts,
+        ));
+        // Dynamic-power timeline under the Gantt: mean normalized power
+        // per window, rendered as deciles of the theoretical maximum
+        // (num_procs · P_max).
+        let horizon = res.deadline.max(res.finish_time);
+        let powers: Vec<f64> = trace
+            .iter()
+            .map(|e| setup.model.quantize_up(e.speed).power)
+            .collect();
+        let profile = power_profile(trace, &powers, 72, horizon);
+        let row: String = profile
+            .iter()
+            .map(|p| {
+                let decile = (p / setup.plan.num_procs as f64 * 10.0)
+                    .round()
+                    .clamp(0.0, 9.0) as u8;
+                (b'0' + decile) as char
+            })
+            .collect();
+        let _ = writeln!(out, "pw {row}");
+    }
+    Ok(out)
+}
+
+fn compare(args: &Args) -> Result<String, String> {
+    let setup = build_setup(args)?;
+    let etm = ExecTimeModel::paper_defaults();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let n = Scheme::ALL.len() + 1;
+    let mut energies: Vec<Summary> = vec![Summary::new(); n];
+    let mut changes: Vec<Summary> = vec![Summary::new(); n];
+    let mut misses = vec![0u64; n];
+    // Upper bound for the energy histograms: NPM busy+idle over the whole
+    // horizon on every processor.
+    let e_max = setup.plan.num_procs as f64 * setup.plan.deadline * 1.05;
+    let mut hists: Vec<Histogram> = (0..n)
+        .map(|_| Histogram::new(0.0, e_max, 200).expect("valid range"))
+        .collect();
+    for _ in 0..args.reps {
+        let real = setup.sample(&etm, &mut rng);
+        for (i, scheme) in Scheme::ALL.iter().enumerate() {
+            let res = setup.run(*scheme, &real);
+            energies[i].add(res.total_energy());
+            hists[i].add(res.total_energy());
+            changes[i].add(res.energy.speed_changes() as f64);
+            misses[i] += res.missed_deadline as u64;
+        }
+        let res = setup.run_oracle(&real);
+        let last = Scheme::ALL.len();
+        energies[last].add(res.total_energy());
+        hists[last].add(res.total_energy());
+        changes[last].add(res.energy.speed_changes() as f64);
+        misses[last] += res.missed_deadline as u64;
+    }
+    let npm = energies[0].mean();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} replications on {} ({} processors, load {:.2})",
+        args.reps,
+        setup.model.name(),
+        setup.plan.num_procs,
+        setup.plan.load()
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>10} {:>10} {:>14} {:>8}",
+        "scheme", "norm.energy", "±95% CI", "p95", "changes/run", "misses"
+    );
+    let names: Vec<String> = Scheme::ALL
+        .iter()
+        .map(|s| s.name().to_string())
+        .chain(std::iter::once("Oracle".to_string()))
+        .collect();
+    for (i, name) in names.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12.4} {:>10.4} {:>10.4} {:>14.2} {:>8}",
+            name,
+            energies[i].mean() / npm,
+            energies[i].ci95() / npm,
+            hists[i].quantile(0.95).unwrap_or(f64::NAN) / npm,
+            changes[i].mean(),
+            misses[i]
+        );
+    }
+    Ok(out)
+}
+
+fn optimal(args: &Args) -> Result<String, String> {
+    use pas_core::optimal_assignment;
+    let setup = build_setup(args)?;
+    let n_tasks = setup.graph.num_tasks();
+    let opt = optimal_assignment(
+        &setup.graph,
+        &setup.sections,
+        &setup.plan.dispatch,
+        &setup.model,
+        &setup.sim_config(false),
+        20_000_000,
+    )
+    .ok_or_else(|| {
+        format!(
+            "search space too large ({n_tasks} tasks × {} levels — exhaustive              search is for tiny instances) or model has no discrete levels",
+            setup.model.num_levels().map_or(0, |n| n)
+        )
+    })?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "exhaustive optimum over per-task level assignments          ({} assignments evaluated):",
+        opt.evaluated
+    );
+    let mut named: Vec<(String, f64)> = opt
+        .points
+        .iter()
+        .map(|(id, p)| (setup.graph.node(*id).name.clone(), p.speed))
+        .collect();
+    named.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, speed) in named {
+        let _ = writeln!(out, "  {:<22} speed {:.2}", name, speed);
+    }
+    let _ = writeln!(
+        out,
+        "worst-case energy {:.3} (deadline {:.1} ms)",
+        opt.worst_case_energy, setup.plan.deadline
+    );
+    // Compare the on-line schemes' worst-case energy on the same instance.
+    let _ = writeln!(out, "\nworst-case energy over the optimum:");
+    for scheme in Scheme::ALL {
+        let worst = setup
+            .sections
+            .enumerate_scenarios(&setup.graph)
+            .map(|(s, _)| {
+                let real =
+                    mp_sim::Realization::worst_case(&setup.graph, s);
+                setup.run(scheme, &real).total_energy()
+            })
+            .fold(0.0_f64, f64::max);
+        let _ = writeln!(
+            out,
+            "  {:<7} {:.3}x",
+            scheme.name(),
+            worst / opt.worst_case_energy
+        );
+    }
+    Ok(out)
+}
+
+fn dot(args: &Args) -> Result<String, String> {
+    let graph = load_app(args)?;
+    Ok(to_dot(&graph, &args.app))
+}
+
+fn export(args: &Args) -> Result<String, String> {
+    let graph = load_app(args)?;
+    let path = args
+        .out
+        .as_deref()
+        .ok_or("export needs --out FILE")?;
+    let json =
+        serde_json::to_string_pretty(&graph).map_err(|e| format!("serializing: {e}"))?;
+    std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+    Ok(format!(
+        "wrote {} ({} nodes, {} tasks)\n",
+        path,
+        graph.len(),
+        graph.num_tasks()
+    ))
+}

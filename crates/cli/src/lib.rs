@@ -1,0 +1,223 @@
+#![warn(missing_docs)]
+
+//! `pas` — a command-line tool over the power-aware AND/OR scheduling
+//! stack.
+//!
+//! ```text
+//! pas inspect  --app synthetic                       graph & scenario statistics
+//! pas plan     --app atr --procs 2 --load 0.5        off-line phase report
+//! pas run      --app synthetic --procs 2 --load 0.5 \
+//!              --scheme gss --seed 42 --gantt        simulate one realization
+//! pas compare  --app atr --procs 2 --load 0.5 \
+//!              --reps 200                            Monte-Carlo scheme comparison
+//! pas dot      --app synthetic                       Graphviz DOT to stdout
+//! pas export   --app atr --out atr.json              save a workload as JSON
+//! ```
+//!
+//! `--app` accepts the built-in workloads `atr`, `synthetic` and `video`,
+//! or a path
+//! to a JSON file produced by `pas export` (the serde form of
+//! [`andor_graph::AndOrGraph`]). `--model` selects `transmeta` (default),
+//! `xscale`, or `continuous:<smin>`.
+
+mod args;
+mod commands;
+mod source;
+
+pub use args::{Args, Command};
+
+/// One-line usage summary printed on argument errors.
+pub const USAGE: &str = "usage: pas <inspect|plan|run|compare|dot|optimal|export> \
+[--app atr|synthetic|video|FILE.json] [--model transmeta|xscale|continuous:S] \
+[--procs N] [--load L | --deadline D] [--scheme npm|spm|gss|ss1|ss2|as|oracle] \
+[--seed S] [--reps N] [--alpha A] [--gantt] [--out FILE]";
+
+/// Parses `args` and executes the selected command, returning the text to
+/// print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let parsed = Args::parse(args)?;
+    commands::execute(&parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(argv: &[&str]) -> Result<String, String> {
+        let v: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        run(&v)
+    }
+
+    #[test]
+    fn no_args_is_an_error() {
+        assert!(call(&[]).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = call(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn inspect_synthetic() {
+        let out = call(&["inspect", "--app", "synthetic"]).unwrap();
+        assert!(out.contains("tasks"), "{out}");
+        assert!(out.contains("scenarios"), "{out}");
+        assert!(out.contains("sections"), "{out}");
+    }
+
+    #[test]
+    fn inspect_atr_with_alpha() {
+        let out = call(&["inspect", "--app", "atr", "--alpha", "0.5"]).unwrap();
+        assert!(out.contains("scenarios: 4"), "{out}");
+    }
+
+    #[test]
+    fn plan_reports_offline_quantities() {
+        let out = call(&[
+            "plan", "--app", "synthetic", "--procs", "2", "--load", "0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("Tw"), "{out}");
+        assert!(out.contains("Ta"), "{out}");
+        assert!(out.contains("PMP"), "{out}");
+        assert!(out.contains("canonical schedule"), "{out}");
+        assert!(out.contains("latest start"), "{out}");
+    }
+
+    #[test]
+    fn plan_rejects_infeasible_deadline() {
+        let err = call(&[
+            "plan", "--app", "synthetic", "--procs", "1", "--deadline", "1.0",
+        ])
+        .unwrap_err();
+        assert!(err.contains("infeasible"), "{err}");
+    }
+
+    #[test]
+    fn run_gss_with_gantt() {
+        let out = call(&[
+            "run", "--app", "synthetic", "--procs", "2", "--load", "0.5",
+            "--scheme", "gss", "--seed", "7", "--gantt",
+        ])
+        .unwrap();
+        assert!(out.contains("finished at"), "{out}");
+        assert!(out.contains("deadline met"), "{out}");
+        assert!(out.contains("p0 "), "gantt lane expected: {out}");
+        assert!(out.contains("pw "), "power timeline expected: {out}");
+        assert!(out.contains("speed changes"), "{out}");
+    }
+
+    #[test]
+    fn run_oracle_scheme() {
+        let out = call(&[
+            "run", "--app", "synthetic", "--procs", "2", "--load", "0.5",
+            "--scheme", "oracle", "--seed", "7",
+        ])
+        .unwrap();
+        assert!(out.contains("deadline met"), "{out}");
+    }
+
+    #[test]
+    fn compare_prints_all_schemes() {
+        let out = call(&[
+            "compare", "--app", "synthetic", "--procs", "2", "--load", "0.5",
+            "--reps", "20", "--seed", "3",
+        ])
+        .unwrap();
+        for name in ["NPM", "SPM", "GSS", "SS(1)", "SS(2)", "AS", "Oracle"] {
+            assert!(out.contains(name), "missing {name}: {out}");
+        }
+        assert!(out.contains("p95"), "p95 column expected: {out}");
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let out = call(&["dot", "--app", "synthetic"]).unwrap();
+        assert!(out.starts_with("digraph"));
+        assert!(out.contains("doublecircle"));
+    }
+
+    #[test]
+    fn export_and_reimport_round_trip() {
+        let dir = std::env::temp_dir().join("pas_cli_test_export");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("app.json");
+        let path_s = path.to_str().unwrap();
+        let out = call(&["export", "--app", "synthetic", "--out", path_s]).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        // Re-load through --app FILE.json.
+        let out = call(&["inspect", "--app", path_s]).unwrap();
+        assert!(out.contains("scenarios: 10"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn video_workload_runs() {
+        let out = call(&[
+            "run", "--app", "video", "--procs", "2", "--load", "0.6",
+            "--scheme", "as", "--seed", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("deadline met"), "{out}");
+    }
+
+    #[test]
+    fn model_selection() {
+        let out = call(&[
+            "run", "--app", "synthetic", "--procs", "2", "--load", "0.5",
+            "--scheme", "gss", "--model", "xscale",
+        ])
+        .unwrap();
+        assert!(out.contains("Intel XScale"), "{out}");
+        let out = call(&[
+            "run", "--app", "synthetic", "--procs", "2", "--load", "0.5",
+            "--scheme", "gss", "--model", "continuous:0.2",
+        ])
+        .unwrap();
+        assert!(out.contains("Continuous"), "{out}");
+        assert!(call(&["run", "--app", "synthetic", "--model", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn optimal_on_tiny_custom_instance() {
+        // The built-in apps are too big for exhaustive search; build a tiny
+        // one, export it, and run `optimal` on the file.
+        let dir = std::env::temp_dir().join("pas_cli_test_optimal");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("tiny.json");
+        let app = andor_graph::Segment::seq([
+            andor_graph::Segment::task("A", 4.0, 2.0),
+            andor_graph::Segment::task("B", 3.0, 1.5),
+        ])
+        .lower()
+        .unwrap();
+        std::fs::write(&path, serde_json::to_string(&app).unwrap()).unwrap();
+        let path_s = path.to_str().unwrap();
+        let out = call(&[
+            "optimal", "--app", path_s, "--procs", "1", "--load", "0.5",
+            "--model", "xscale",
+        ])
+        .unwrap();
+        assert!(out.contains("exhaustive optimum"), "{out}");
+        assert!(out.contains("worst-case energy"), "{out}");
+        assert!(out.contains("GSS"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn optimal_rejects_big_instances() {
+        let err = call(&["optimal", "--app", "atr", "--load", "0.5"]).unwrap_err();
+        assert!(err.contains("too large"), "{err}");
+    }
+
+    #[test]
+    fn bad_scheme_is_an_error() {
+        let err = call(&[
+            "run", "--app", "synthetic", "--scheme", "warp-speed",
+        ])
+        .unwrap_err();
+        assert!(err.contains("unknown scheme"), "{err}");
+    }
+}

@@ -1,0 +1,15 @@
+//! `pas` — the command-line front end. All logic lives in the library so
+//! it can be unit-tested; this binary only wires stdin/stdout.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pas_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", pas_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Exact optimal per-task level assignment, by exhaustive search.
+//!
+//! On *tiny* instances it is feasible to enumerate every assignment of a
+//! discrete level to every task and keep the cheapest one whose worst-case
+//! schedule still meets the deadline. Unlike the single-speed clairvoyant
+//! ([`crate::oracle`]), this is the true static optimum over per-task
+//! speeds — it can mix levels — so it measures each scheme's *absolute*
+//! optimality gap on discrete platforms.
+//!
+//! Complexity is `levels^tasks`; [`optimal_assignment`] refuses instances
+//! where that exceeds a caller-provided budget. Intended for tests and
+//! small calibration experiments only.
+
+use andor_graph::{AndOrGraph, NodeId, SectionGraph};
+use dvfs_power::{OperatingPoint, ProcessorModel};
+use mp_sim::{DispatchCtx, DispatchOrder, Policy, Realization, SimConfig, Simulator};
+use std::collections::HashMap;
+
+/// A fixed per-task operating-point assignment, executable as a policy.
+pub struct AssignmentPolicy {
+    points: HashMap<NodeId, OperatingPoint>,
+    max: OperatingPoint,
+}
+
+impl AssignmentPolicy {
+    /// Creates a policy from an explicit assignment; unassigned tasks run
+    /// at full speed.
+    pub fn new(points: HashMap<NodeId, OperatingPoint>) -> Self {
+        Self {
+            points,
+            max: OperatingPoint {
+                speed: 1.0,
+                power: 1.0,
+            },
+        }
+    }
+
+    /// The assignment.
+    pub fn points(&self) -> &HashMap<NodeId, OperatingPoint> {
+        &self.points
+    }
+}
+
+impl Policy for AssignmentPolicy {
+    fn name(&self) -> &str {
+        "assignment"
+    }
+
+    fn speed_for(&mut self, task: NodeId, _ctx: &DispatchCtx) -> mp_sim::SpeedDecision {
+        mp_sim::SpeedDecision {
+            point: *self.points.get(&task).unwrap_or(&self.max),
+            // Static assignment: no run-time PMP computation.
+            ran_pmp: false,
+        }
+    }
+}
+
+/// The exhaustive-search result.
+#[derive(Debug, Clone)]
+pub struct OptimalAssignment {
+    /// Best per-task operating points found.
+    pub points: HashMap<NodeId, OperatingPoint>,
+    /// Its worst-case energy (the optimization objective).
+    pub worst_case_energy: f64,
+    /// Number of assignments evaluated.
+    pub evaluated: u64,
+}
+
+/// Searches every per-task level assignment for the minimum *worst-case*
+/// energy that meets the deadline in every scenario at WCET.
+///
+/// Returns `None` if the search space exceeds `budget` assignments
+/// (`levels^tasks · scenarios` simulator runs), or if even full speed is
+/// infeasible.
+pub fn optimal_assignment(
+    g: &AndOrGraph,
+    sections: &SectionGraph,
+    order: &DispatchOrder,
+    model: &ProcessorModel,
+    cfg: &SimConfig,
+    budget: u64,
+) -> Option<OptimalAssignment> {
+    let levels = model.levels()?;
+    let tasks: Vec<NodeId> = g
+        .iter()
+        .filter(|(_, n)| n.kind.is_computation())
+        .map(|(id, _)| id)
+        .collect();
+    let combos = (levels.len() as u64).checked_pow(tasks.len() as u32)?;
+    let scenarios: Vec<Realization> = sections
+        .enumerate_scenarios(g)
+        .map(|(s, _)| Realization::worst_case(g, s))
+        .collect();
+    if combos.checked_mul(scenarios.len() as u64)? > budget {
+        return None;
+    }
+    let points: Vec<OperatingPoint> = levels
+        .iter()
+        .map(|l| OperatingPoint {
+            speed: l.freq_mhz / model.max_freq_mhz(),
+            power: model.level_power(l),
+        })
+        .collect();
+
+    let sim = Simulator::new(g, sections, order, model, *cfg);
+    let mut best: Option<OptimalAssignment> = None;
+    let mut evaluated = 0u64;
+    let mut indices = vec![0usize; tasks.len()];
+    loop {
+        let assignment: HashMap<NodeId, OperatingPoint> = tasks
+            .iter()
+            .zip(&indices)
+            .map(|(&t, &i)| (t, points[i]))
+            .collect();
+        let mut policy = AssignmentPolicy::new(assignment);
+        let mut feasible = true;
+        let mut worst_energy = 0.0_f64;
+        for real in &scenarios {
+            let res = sim.run(&mut policy, real);
+            evaluated += 1;
+            if res.missed_deadline {
+                feasible = false;
+                break;
+            }
+            worst_energy = worst_energy.max(res.total_energy());
+        }
+        if feasible
+            && best
+                .as_ref()
+                .map(|b| worst_energy < b.worst_case_energy)
+                .unwrap_or(true)
+        {
+            best = Some(OptimalAssignment {
+                points: policy.points().clone(),
+                worst_case_energy: worst_energy,
+                evaluated,
+            });
+        }
+        // Next combination (odometer increment).
+        let mut k = 0;
+        loop {
+            if k == indices.len() {
+                let mut out = best?;
+                out.evaluated = evaluated;
+                return Some(out);
+            }
+            indices[k] += 1;
+            if indices[k] < points.len() {
+                break;
+            }
+            indices[k] = 0;
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Setup;
+    use crate::policies::Scheme;
+    use andor_graph::Segment;
+    use dvfs_power::Overheads;
+
+    fn tiny_setup() -> Setup {
+        let app = Segment::seq([
+            Segment::task("A", 4.0, 2.0),
+            Segment::branch([
+                (0.5, Segment::task("B", 6.0, 3.0)),
+                (0.5, Segment::task("C", 2.0, 1.0)),
+            ]),
+        ]);
+        Setup::for_load_with_overheads(
+            app.lower().unwrap(),
+            ProcessorModel::xscale(),
+            1,
+            0.5,
+            Overheads::none(),
+        )
+        .unwrap()
+    }
+
+    fn optimum(setup: &Setup) -> OptimalAssignment {
+        optimal_assignment(
+            &setup.graph,
+            &setup.sections,
+            &setup.plan.dispatch,
+            &setup.model,
+            &setup.sim_config(false),
+            10_000_000,
+        )
+        .expect("tiny instance within budget")
+    }
+
+    #[test]
+    fn optimum_meets_deadline_and_beats_full_speed() {
+        let setup = tiny_setup();
+        let opt = optimum(&setup);
+        // Full speed is feasible, so an optimum exists and is cheaper than
+        // NPM's worst case.
+        let npm_worst = setup
+            .sections
+            .enumerate_scenarios(&setup.graph)
+            .map(|(s, _)| {
+                setup
+                    .run(Scheme::Npm, &Realization::worst_case(&setup.graph, s))
+                    .total_energy()
+            })
+            .fold(0.0_f64, f64::max);
+        assert!(opt.worst_case_energy < npm_worst);
+        assert!(opt.evaluated > 0);
+    }
+
+    #[test]
+    fn no_online_scheme_beats_the_true_optimum() {
+        let setup = tiny_setup();
+        let opt = optimum(&setup);
+        for scheme in Scheme::ALL {
+            let scheme_worst = setup
+                .sections
+                .enumerate_scenarios(&setup.graph)
+                .map(|(s, _)| {
+                    setup
+                        .run(scheme, &Realization::worst_case(&setup.graph, s))
+                        .total_energy()
+                })
+                .fold(0.0_f64, f64::max);
+            assert!(
+                opt.worst_case_energy <= scheme_worst + 1e-9,
+                "{} beat the exhaustive optimum: {} vs {}",
+                scheme.name(),
+                scheme_worst,
+                opt.worst_case_energy
+            );
+        }
+    }
+
+    #[test]
+    fn optimum_can_mix_levels_unlike_single_speed() {
+        // The single-speed oracle rounds up to one level; the exhaustive
+        // optimum may assign different levels per task. Verify it is at
+        // least as good as the best single-level assignment.
+        let setup = tiny_setup();
+        let opt = optimum(&setup);
+        let mut best_single = f64::INFINITY;
+        for l in setup.model.levels().unwrap() {
+            let point = OperatingPoint {
+                speed: l.freq_mhz / setup.model.max_freq_mhz(),
+                power: setup.model.level_power(l),
+            };
+            let points: HashMap<NodeId, OperatingPoint> = setup
+                .graph
+                .iter()
+                .filter(|(_, n)| n.kind.is_computation())
+                .map(|(id, _)| (id, point))
+                .collect();
+            let mut policy = AssignmentPolicy::new(points);
+            let sim = setup.simulator(false);
+            let mut worst = 0.0_f64;
+            let mut ok = true;
+            for (s, _) in setup.sections.enumerate_scenarios(&setup.graph) {
+                let res = sim.run(&mut policy, &Realization::worst_case(&setup.graph, s));
+                if res.missed_deadline {
+                    ok = false;
+                    break;
+                }
+                worst = worst.max(res.total_energy());
+            }
+            if ok {
+                best_single = best_single.min(worst);
+            }
+        }
+        assert!(opt.worst_case_energy <= best_single + 1e-9);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let setup = tiny_setup();
+        assert!(optimal_assignment(
+            &setup.graph,
+            &setup.sections,
+            &setup.plan.dispatch,
+            &setup.model,
+            &setup.sim_config(false),
+            10, // far too small
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn continuous_model_is_rejected() {
+        let app = Segment::task("A", 2.0, 1.0);
+        let setup = Setup::for_load(
+            app.lower().unwrap(),
+            ProcessorModel::continuous(0.1).unwrap(),
+            1,
+            0.5,
+        )
+        .unwrap();
+        assert!(optimal_assignment(
+            &setup.graph,
+            &setup.sections,
+            &setup.plan.dispatch,
+            &setup.model,
+            &setup.sim_config(false),
+            1_000_000,
+        )
+        .is_none());
+    }
+}

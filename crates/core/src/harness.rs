@@ -1,0 +1,389 @@
+//! One-stop experiment configuration: application + platform + plan.
+
+use crate::offline::{OfflineError, OfflinePlan};
+use crate::policies::Scheme;
+use andor_graph::{AndOrGraph, GraphError, SectionGraph};
+use dvfs_power::{Overheads, ProcessorModel, DEFAULT_IDLE_FRACTION};
+use mp_sim::{ExecTimeModel, Policy, Realization, RunResult, SimConfig, Simulator};
+use rand::Rng;
+
+/// Errors building a [`Setup`].
+#[derive(Debug)]
+pub enum SetupError {
+    /// The application graph failed validation.
+    Graph(GraphError),
+    /// The off-line phase failed (infeasible deadline, bad parameters).
+    Offline(OfflineError),
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetupError::Graph(e) => write!(f, "graph error: {e}"),
+            SetupError::Offline(e) => write!(f, "offline phase error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SetupError {}
+
+impl From<GraphError> for SetupError {
+    fn from(e: GraphError) -> Self {
+        SetupError::Graph(e)
+    }
+}
+
+impl From<OfflineError> for SetupError {
+    fn from(e: OfflineError) -> Self {
+        SetupError::Offline(e)
+    }
+}
+
+/// A fully prepared experiment configuration: validated application,
+/// section decomposition, off-line plan, processor model and overheads.
+///
+/// # Examples
+///
+/// ```
+/// use andor_graph::Segment;
+/// use dvfs_power::ProcessorModel;
+/// use pas_core::{Scheme, Setup};
+/// use mp_sim::ExecTimeModel;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let app = Segment::seq([
+///     Segment::task("A", 8.0, 5.0),
+///     Segment::branch([
+///         (0.3, Segment::task("B", 5.0, 3.0)),
+///         (0.7, Segment::task("C", 4.0, 2.0)),
+///     ]),
+/// ]);
+/// let setup = Setup::new(
+///     app.lower().unwrap(),
+///     ProcessorModel::transmeta5400(),
+///     2,      // processors
+///     26.0,   // deadline (ms)
+/// )
+/// .unwrap();
+///
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+/// let gss = setup.run(Scheme::Gss, &real);
+/// let npm = setup.run(Scheme::Npm, &real);
+/// assert!(!gss.missed_deadline);
+/// assert!(gss.total_energy() < npm.total_energy());
+/// ```
+#[derive(Debug)]
+pub struct Setup {
+    /// The validated application.
+    pub graph: AndOrGraph,
+    /// Its program-section decomposition.
+    pub sections: SectionGraph,
+    /// The off-line phase output.
+    pub plan: OfflinePlan,
+    /// The processor's DVS capability.
+    pub model: ProcessorModel,
+    /// Speed-management overheads charged by the engine and reserved by the
+    /// policies.
+    pub overheads: Overheads,
+    /// Idle power as a fraction of maximum.
+    pub idle_fraction: f64,
+    /// Static (leakage) power while active, as a fraction of maximum
+    /// power (`0.0` = the paper's pure-dynamic model).
+    pub static_fraction: f64,
+}
+
+/// Per-task overhead reservation folded into the canonical schedules: the
+/// PMP computation at the lowest speed the processor might sit at, plus
+/// one voltage/speed transition. The transition term covers the
+/// speed-*up* case — a task dispatched with (nearly) zero slack on a
+/// processor an earlier task left at a low level must be able to return
+/// to full speed without borrowing time it does not have.
+fn pmp_reserve(model: &ProcessorModel, overheads: Overheads) -> f64 {
+    overheads.compute_time_ms(model.min_speed(), model.max_freq_mhz())
+        + overheads.transition_time_ms
+}
+
+impl Setup {
+    /// Builds a setup for an explicit deadline, with the paper's default
+    /// overheads and idle fraction.
+    pub fn new(
+        graph: AndOrGraph,
+        model: ProcessorModel,
+        num_procs: usize,
+        deadline: f64,
+    ) -> Result<Self, SetupError> {
+        Self::with_deadline_and_overheads(
+            graph,
+            model,
+            num_procs,
+            deadline,
+            Overheads::paper_defaults(),
+        )
+    }
+
+    /// Builds a setup for an explicit deadline and overhead configuration.
+    pub fn with_deadline_and_overheads(
+        graph: AndOrGraph,
+        model: ProcessorModel,
+        num_procs: usize,
+        deadline: f64,
+        overheads: Overheads,
+    ) -> Result<Self, SetupError> {
+        let sections = SectionGraph::build(&graph)?;
+        let plan = OfflinePlan::build_with_pmp_reserve(
+            &graph,
+            &sections,
+            num_procs,
+            deadline,
+            pmp_reserve(&model, overheads),
+        )?;
+        Ok(Self {
+            graph,
+            sections,
+            plan,
+            model,
+            overheads,
+            idle_fraction: DEFAULT_IDLE_FRACTION,
+            static_fraction: 0.0,
+        })
+    }
+
+    /// Builds a setup whose deadline realizes a target *load* (the paper's
+    /// x-axis): `load = Tw / D`, so `D = Tw / load`, with the paper's
+    /// default overheads.
+    pub fn for_load(
+        graph: AndOrGraph,
+        model: ProcessorModel,
+        num_procs: usize,
+        load: f64,
+    ) -> Result<Self, SetupError> {
+        Self::for_load_with_overheads(
+            graph,
+            model,
+            num_procs,
+            load,
+            Overheads::paper_defaults(),
+        )
+    }
+
+    /// Builds a setup for a target load under an explicit overhead
+    /// configuration. The deadline is derived from the overhead-inflated
+    /// canonical worst case, so the load axis keeps its meaning across
+    /// overhead sweeps.
+    pub fn for_load_with_overheads(
+        graph: AndOrGraph,
+        model: ProcessorModel,
+        num_procs: usize,
+        load: f64,
+        overheads: Overheads,
+    ) -> Result<Self, SetupError> {
+        assert!(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+        let reserve = pmp_reserve(&model, overheads);
+        let sections = SectionGraph::build(&graph)?;
+        // Probe with a certainly-feasible deadline to learn Tw.
+        let probe_deadline =
+            (graph.total_wcet().max(1.0) + graph.num_tasks() as f64 * reserve + 1.0) * 10.0;
+        let probe = OfflinePlan::build_with_pmp_reserve(
+            &graph,
+            &sections,
+            num_procs,
+            probe_deadline,
+            reserve,
+        )?;
+        let deadline = probe.worst_total / load;
+        let plan = OfflinePlan::build_with_pmp_reserve(
+            &graph,
+            &sections,
+            num_procs,
+            deadline,
+            reserve,
+        )?;
+        Ok(Self {
+            graph,
+            sections,
+            plan,
+            model,
+            overheads,
+            idle_fraction: DEFAULT_IDLE_FRACTION,
+            static_fraction: 0.0,
+        })
+    }
+
+    /// Replaces the overhead configuration and rebuilds the off-line plan
+    /// so its per-task reservation matches. Fails if the inflated worst
+    /// case no longer fits the (unchanged) deadline — use
+    /// [`Setup::for_load_with_overheads`] to rescale the deadline instead.
+    pub fn with_overheads(mut self, overheads: Overheads) -> Result<Self, SetupError> {
+        self.overheads = overheads;
+        self.plan = OfflinePlan::build_with_pmp_reserve(
+            &self.graph,
+            &self.sections,
+            self.plan.num_procs,
+            self.plan.deadline,
+            pmp_reserve(&self.model, overheads),
+        )?;
+        Ok(self)
+    }
+
+    /// Replaces the idle-power fraction.
+    pub fn with_idle_fraction(mut self, idle_fraction: f64) -> Self {
+        self.idle_fraction = idle_fraction;
+        self
+    }
+
+    /// Enables the static-power extension: `fraction` of maximum power is
+    /// drawn whenever a processor is active (see `dvfs_power::leakage`).
+    pub fn with_static_power(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.static_fraction = fraction;
+        self
+    }
+
+    /// The energy-efficient speed floor of this setup's platform under its
+    /// static-power fraction.
+    pub fn efficient_floor(&self) -> f64 {
+        dvfs_power::efficient_floor(&self.model, self.static_fraction)
+    }
+
+    /// The engine configuration this setup implies.
+    pub fn sim_config(&self, record_trace: bool) -> SimConfig {
+        SimConfig {
+            num_procs: self.plan.num_procs,
+            deadline: self.plan.deadline,
+            idle_fraction: self.idle_fraction,
+            static_fraction: self.static_fraction,
+            overheads: self.overheads,
+            record_trace,
+        }
+    }
+
+    /// An engine over this setup.
+    pub fn simulator(&self, record_trace: bool) -> Simulator<'_> {
+        Simulator::new(
+            &self.graph,
+            &self.sections,
+            &self.plan.dispatch,
+            &self.model,
+            self.sim_config(record_trace),
+        )
+    }
+
+    /// Instantiates a scheme's policy against this setup.
+    pub fn policy(&self, scheme: Scheme) -> Box<dyn Policy + '_> {
+        scheme.build(&self.plan, &self.model, self.overheads)
+    }
+
+    /// Draws a realization (OR choices + actual execution times).
+    pub fn sample<R: Rng + ?Sized>(&self, etm: &ExecTimeModel, rng: &mut R) -> Realization {
+        Realization::sample(&self.graph, &self.sections, etm, rng)
+    }
+
+    /// Runs one scheme on one realization (no trace).
+    pub fn run(&self, scheme: Scheme, real: &Realization) -> RunResult {
+        let mut policy = self.policy(scheme);
+        self.simulator(false).run(policy.as_mut(), real)
+    }
+
+    /// Builds the clairvoyant single-speed bound for one realization
+    /// (see [`crate::oracle`]).
+    pub fn oracle(&self, real: &Realization) -> crate::oracle::OraclePolicy {
+        crate::oracle::OraclePolicy::for_realization(
+            &self.graph,
+            &self.sections,
+            &self.plan.dispatch,
+            &self.model,
+            self.plan.num_procs,
+            self.plan.deadline,
+            self.overheads,
+            real,
+        )
+    }
+
+    /// Runs the clairvoyant bound on one realization.
+    pub fn run_oracle(&self, real: &Realization) -> RunResult {
+        let mut oracle = self.oracle(real);
+        self.simulator(false).run(&mut oracle, real)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andor_graph::Segment;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn app() -> AndOrGraph {
+        Segment::seq([
+            Segment::task("A", 8.0, 5.0),
+            Segment::branch([
+                (0.3, Segment::task("B", 5.0, 3.0)),
+                (0.7, Segment::task("C", 4.0, 2.0)),
+            ]),
+        ])
+        .lower()
+        .unwrap()
+    }
+
+    #[test]
+    fn for_load_hits_requested_load() {
+        for load in [0.2, 0.5, 0.9, 1.0] {
+            let s = Setup::for_load(app(), ProcessorModel::xscale(), 2, load).unwrap();
+            assert!((s.plan.load() - load).abs() < 1e-9, "load {load}");
+        }
+    }
+
+    #[test]
+    fn infeasible_deadline_surfaces_as_offline_error() {
+        let err = Setup::new(app(), ProcessorModel::xscale(), 1, 1.0).unwrap_err();
+        assert!(matches!(err, SetupError::Offline(_)), "{err}");
+    }
+
+    #[test]
+    fn run_all_schemes_on_sampled_realizations() {
+        let s = Setup::for_load(app(), ProcessorModel::transmeta5400(), 2, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        for i in 0..20 {
+            let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+            for scheme in Scheme::ALL {
+                let res = s.run(scheme, &real);
+                assert!(
+                    !res.missed_deadline,
+                    "iteration {i}: {} missed ({} > {})",
+                    scheme.name(),
+                    res.finish_time,
+                    res.deadline
+                );
+                assert!(res.total_energy() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn managed_schemes_save_energy_at_low_load() {
+        let s = Setup::for_load(app(), ProcessorModel::transmeta5400(), 2, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        let npm = s.run(Scheme::Npm, &real).total_energy();
+        for scheme in Scheme::MANAGED {
+            let e = s.run(scheme, &real).total_energy();
+            assert!(
+                e < npm,
+                "{} should beat NPM at low load: {e} vs {npm}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let s = Setup::new(app(), ProcessorModel::xscale(), 2, 40.0)
+            .unwrap()
+            .with_overheads(Overheads::none())
+            .unwrap()
+            .with_idle_fraction(0.1);
+        assert_eq!(s.overheads, Overheads::none());
+        assert_eq!(s.sim_config(false).idle_fraction, 0.1);
+    }
+}

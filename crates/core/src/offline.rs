@@ -1,0 +1,704 @@
+//! The off-line phase: canonical schedules, execution orders, latest start
+//! times, and the per-PMP worst/average remaining-time statistics.
+
+use andor_graph::{AndOrGraph, NodeId, SectionGraph, SectionId};
+use mp_sim::DispatchOrder;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Why the off-line phase rejected a problem instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OfflineError {
+    /// The longest path of the canonical schedule misses the deadline; no
+    /// on-line scheme can save it (paper §3.2: "If Tʷ > D, the algorithm
+    /// fails to guarantee the deadline").
+    Infeasible {
+        /// Worst-case canonical finish time of the longest path.
+        worst_finish: f64,
+        /// The requested deadline.
+        deadline: f64,
+    },
+    /// The deadline must be positive and finite.
+    BadDeadline(f64),
+    /// At least one processor is required.
+    NoProcessors,
+}
+
+impl std::fmt::Display for OfflineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OfflineError::Infeasible {
+                worst_finish,
+                deadline,
+            } => write!(
+                f,
+                "infeasible: worst-case finish {worst_finish} exceeds deadline {deadline}"
+            ),
+            OfflineError::BadDeadline(d) => write!(f, "bad deadline {d}"),
+            OfflineError::NoProcessors => write!(f, "at least one processor required"),
+        }
+    }
+}
+
+impl std::error::Error for OfflineError {}
+
+/// Everything the on-line phase needs, computed once per
+/// (application, processor count, deadline) triple.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfflinePlan {
+    /// Deadline the plan was built for (ms).
+    pub deadline: f64,
+    /// Number of processors the canonical schedules assume.
+    pub num_procs: usize,
+    /// Canonical dispatch order (LTF list scheduling) per section.
+    pub dispatch: DispatchOrder,
+    /// Latest start time per node (indexed by `NodeId::index`); `None`
+    /// for OR nodes, which carry no execution of their own.
+    pub lst: Vec<Option<f64>>,
+    /// `Tw` — worst-case canonical finish time along the longest path.
+    pub worst_total: f64,
+    /// `Ta` — average-case finish time, weighted over OR branch
+    /// probabilities.
+    pub avg_total: f64,
+    /// `Tw_k` per `(or, branch)`: worst remaining time from the PMP after
+    /// the OR selects branch `k` to the end of the application.
+    #[serde(with = "branch_map_serde")]
+    pub branch_worst: HashMap<(NodeId, usize), f64>,
+    /// `Ta_k` per `(or, branch)`: average remaining time analogously.
+    #[serde(with = "branch_map_serde")]
+    pub branch_avg: HashMap<(NodeId, usize), f64>,
+    /// Canonical start time of each node *relative to its section start*
+    /// in the worst-case canonical schedule, parallel to
+    /// `dispatch.per_section` (for tooling: canonical Gantt rendering,
+    /// schedule inspection).
+    pub canonical_start_rel: Vec<Vec<f64>>,
+    /// Canonical section length at WCET (indexed by `SectionId::index`).
+    pub section_worst_len: Vec<f64>,
+    /// Canonical section length replayed with ACETs.
+    pub section_avg_len: Vec<f64>,
+    /// Worst remaining time *after* each section completes (over its exit
+    /// OR's alternatives; 0 when the application ends with the section).
+    pub worst_after: Vec<f64>,
+}
+
+impl OfflinePlan {
+    /// Runs the full off-line phase with no per-task PMP reservation
+    /// (appropriate when overheads are disabled).
+    pub fn build(
+        g: &AndOrGraph,
+        sections: &SectionGraph,
+        num_procs: usize,
+        deadline: f64,
+    ) -> Result<Self, OfflineError> {
+        Self::build_with_pmp_reserve(g, sections, num_procs, deadline, 0.0)
+    }
+
+    /// Runs the full off-line phase, inflating every computation node's
+    /// canonical duration by `pmp_reserve_ms` — an upper bound on the
+    /// power-management-point computation time (the PMP code runs before
+    /// *every* task in the dynamic schemes, even when it decides to stay
+    /// at full speed, so the canonical worst case must include it for the
+    /// deadline guarantee to survive overheads; cf. the paper's §5 and
+    /// the overhead treatment in the authors' companion paper).
+    pub fn build_with_pmp_reserve(
+        g: &AndOrGraph,
+        sections: &SectionGraph,
+        num_procs: usize,
+        deadline: f64,
+        pmp_reserve_ms: f64,
+    ) -> Result<Self, OfflineError> {
+        if num_procs == 0 {
+            return Err(OfflineError::NoProcessors);
+        }
+        if !(deadline.is_finite() && deadline > 0.0) {
+            return Err(OfflineError::BadDeadline(deadline));
+        }
+
+        // Round 1: canonical LTF schedule per section (WCET, full speed)
+        // plus an average-case replay of the same order.
+        let n_sections = sections.len();
+        let mut per_section_order = Vec::with_capacity(n_sections);
+        let mut canon: Vec<SectionSchedule> = Vec::with_capacity(n_sections);
+        for sid in 0..n_sections {
+            let nodes = &sections.section(SectionId(sid as u32)).nodes;
+            let order = ltf_order(g, nodes, num_procs);
+            let worst = replay(g, &order, num_procs, DurationKind::Wcet, pmp_reserve_ms);
+            let avg = replay(g, &order, num_procs, DurationKind::Acet, pmp_reserve_ms);
+            per_section_order.push(order);
+            canon.push(SectionSchedule { worst, avg });
+        }
+
+        // Remaining-time recursion over the section chain. Sections are
+        // created in topological order of the chain (entry OR processed
+        // before its branch sections), so a reverse scan sees every
+        // continuation before the sections that lead to it.
+        let mut worst_after = vec![0.0_f64; n_sections];
+        let mut avg_after = vec![0.0_f64; n_sections];
+        let mut branch_worst = HashMap::new();
+        let mut branch_avg = HashMap::new();
+        for sid in (0..n_sections).rev() {
+            let section = sections.section(SectionId(sid as u32));
+            let Some(or) = section.exit_or else {
+                continue; // application ends here: zero remaining
+            };
+            let branches = g.or_branches(or);
+            let mut w = 0.0_f64;
+            let mut a = 0.0_f64;
+            for (k, (_, p)) in branches.iter().enumerate() {
+                let b = sections
+                    .branch_section(or, k)
+                    .expect("every branch has a section")
+                    .index();
+                let bw = canon[b].worst.makespan + worst_after[b];
+                let ba = canon[b].avg.makespan + avg_after[b];
+                branch_worst.insert((or, k), bw);
+                branch_avg.insert((or, k), ba);
+                w = w.max(bw);
+                a += p * ba;
+            }
+            worst_after[sid] = w;
+            avg_after[sid] = a;
+        }
+
+        let root = sections.root().index();
+        let worst_total = canon[root].worst.makespan + worst_after[root];
+        let avg_total = canon[root].avg.makespan + avg_after[root];
+        if worst_total > deadline * (1.0 + 1e-12) {
+            return Err(OfflineError::Infeasible {
+                worst_finish: worst_total,
+                deadline,
+            });
+        }
+
+        // Round 2: shift — latest start times. For task i in section s:
+        // LST_i = D − [(Lʷ(s) − start_rel_i) + worst_after(s)].
+        let mut lst = vec![None; g.len()];
+        for sid in 0..n_sections {
+            let lw = canon[sid].worst.makespan;
+            for (&node, &start_rel) in per_section_order[sid]
+                .iter()
+                .zip(canon[sid].worst.start_rel.iter())
+            {
+                lst[node.index()] =
+                    Some(deadline - ((lw - start_rel) + worst_after[sid]));
+            }
+        }
+
+        Ok(OfflinePlan {
+            deadline,
+            num_procs,
+            dispatch: DispatchOrder {
+                per_section: per_section_order,
+            },
+            lst,
+            worst_total,
+            avg_total,
+            branch_worst,
+            branch_avg,
+            canonical_start_rel: canon.iter().map(|c| c.worst.start_rel.clone()).collect(),
+            section_worst_len: canon.iter().map(|c| c.worst.makespan).collect(),
+            section_avg_len: canon.iter().map(|c| c.avg.makespan).collect(),
+            worst_after,
+        })
+    }
+
+    /// Static slack available before the application starts: `D − Tw`.
+    pub fn static_slack(&self) -> f64 {
+        self.deadline - self.worst_total
+    }
+
+    /// Load of this plan in the paper's sense: canonical longest-path
+    /// length over the deadline.
+    pub fn load(&self) -> f64 {
+        self.worst_total / self.deadline
+    }
+}
+
+/// JSON-friendly encoding of the `(or, branch) → time` maps: tuple keys are
+/// not representable as JSON object keys, so (de)serialize as entry lists.
+mod branch_map_serde {
+    use andor_graph::NodeId;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::collections::HashMap;
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<(NodeId, usize), f64>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(NodeId, usize, f64)> =
+            map.iter().map(|(&(n, k), &v)| (n, k, v)).collect();
+        entries.sort_by_key(|&(n, k, _)| (n, k));
+        entries.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<HashMap<(NodeId, usize), f64>, D::Error> {
+        let entries = Vec::<(NodeId, usize, f64)>::deserialize(d)?;
+        Ok(entries.into_iter().map(|(n, k, v)| ((n, k), v)).collect())
+    }
+}
+
+struct SectionSchedule {
+    worst: ReplayOut,
+    avg: ReplayOut,
+}
+
+enum DurationKind {
+    Wcet,
+    Acet,
+}
+
+impl DurationKind {
+    /// Node duration plus the PMP reservation (computation nodes only —
+    /// dummy synchronization nodes run no power-management code).
+    fn of(&self, g: &AndOrGraph, n: NodeId, pmp_reserve_ms: f64) -> f64 {
+        let kind = &g.node(n).kind;
+        let base = match self {
+            DurationKind::Wcet => kind.wcet(),
+            DurationKind::Acet => kind.acet(),
+        };
+        if kind.is_computation() {
+            base + pmp_reserve_ms
+        } else {
+            base
+        }
+    }
+}
+
+/// Longest-task-first list scheduling of one section's nodes on
+/// `num_procs` processors: returns the dispatch order.
+///
+/// Classic event-driven list scheduling: whenever a processor is free the
+/// longest *ready* task (by WCET, ties by node id for determinism) is
+/// dispatched. Synchronization (AND) nodes have zero length and flow
+/// through the same queue, exactly as the paper treats dummy tasks.
+fn ltf_order(g: &AndOrGraph, nodes: &[NodeId], num_procs: usize) -> Vec<NodeId> {
+    let in_section: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+    let mut indeg: HashMap<NodeId, usize> = nodes
+        .iter()
+        .map(|&n| {
+            let d = g
+                .node(n)
+                .preds
+                .iter()
+                .filter(|p| in_section.contains(p))
+                .count();
+            (n, d)
+        })
+        .collect();
+    // Ready pool: (wcet, id) — popped longest-first.
+    let mut ready: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|n| indeg[n] == 0)
+        .collect();
+    sort_ltf(g, &mut ready);
+
+    let mut avail = vec![0.0_f64; num_procs];
+    let mut finish: HashMap<NodeId, f64> = HashMap::new();
+    let mut ready_at: HashMap<NodeId, f64> = nodes.iter().map(|&n| (n, 0.0)).collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    // Tasks whose ready time is in the future, keyed by that time.
+    let mut pending: Vec<NodeId> = Vec::new();
+
+    let mut now = 0.0_f64;
+    while order.len() < nodes.len() {
+        // Promote pending tasks that became ready by `now`.
+        let mut promoted = false;
+        pending.retain(|&n| {
+            if ready_at[&n] <= now + 1e-12 {
+                ready.push(n);
+                promoted = true;
+                false
+            } else {
+                true
+            }
+        });
+        if promoted {
+            sort_ltf(g, &mut ready);
+        }
+
+        if let Some(&n) = ready.first() {
+            // Dispatch the longest ready task on the earliest-free
+            // processor at `now` if one is free; otherwise advance time.
+            let (p, &p_avail) = avail
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("num_procs > 0");
+            if p_avail <= now + 1e-12 {
+                ready.remove(0);
+                let start = now.max(ready_at[&n]);
+                let end = start + g.node(n).kind.wcet();
+                avail[p] = end;
+                finish.insert(n, end);
+                order.push(n);
+                for &s in &g.node(n).succs {
+                    if !in_section.contains(&s) {
+                        continue;
+                    }
+                    let e = indeg.get_mut(&s).expect("in section");
+                    *e -= 1;
+                    let r = ready_at.get_mut(&s).expect("in section");
+                    *r = r.max(end);
+                    if *e == 0 {
+                        if end <= now + 1e-12 {
+                            ready.push(s);
+                            sort_ltf(g, &mut ready);
+                        } else {
+                            pending.push(s);
+                        }
+                    }
+                }
+                continue;
+            }
+        }
+        // Advance to the next event: earliest processor completion or
+        // earliest pending readiness.
+        let next_proc = avail
+            .iter()
+            .copied()
+            .filter(|&t| t > now + 1e-12)
+            .fold(f64::INFINITY, f64::min);
+        let next_ready = pending
+            .iter()
+            .map(|n| ready_at[n])
+            .filter(|&t| t > now + 1e-12)
+            .fold(f64::INFINITY, f64::min);
+        let next = next_proc.min(next_ready);
+        debug_assert!(next.is_finite(), "list scheduler stalled");
+        now = next;
+    }
+    order
+}
+
+fn sort_ltf(g: &AndOrGraph, ready: &mut [NodeId]) {
+    ready.sort_by(|&a, &b| {
+        g.node(b)
+            .kind
+            .wcet()
+            .partial_cmp(&g.node(a).kind.wcet())
+            .expect("finite wcet")
+            .then(a.cmp(&b))
+    });
+}
+
+struct ReplayOut {
+    /// Start time of each node relative to the section start, parallel to
+    /// the dispatch order.
+    start_rel: Vec<f64>,
+    /// Section completion time.
+    makespan: f64,
+}
+
+/// Replays a dispatch order with the engine's exact semantics (dispatch
+/// serialization + earliest-available processor) and the chosen duration
+/// kind. The worst-case replay *is* the canonical schedule: the on-line
+/// engine at full speed with WCETs reproduces it step for step, which is
+/// what makes the latest start times safe.
+fn replay(
+    g: &AndOrGraph,
+    order: &[NodeId],
+    num_procs: usize,
+    kind: DurationKind,
+    pmp_reserve_ms: f64,
+) -> ReplayOut {
+    let in_section: std::collections::HashSet<NodeId> = order.iter().copied().collect();
+    let mut finish: HashMap<NodeId, f64> = HashMap::new();
+    let mut avail = vec![0.0_f64; num_procs];
+    let mut last_dispatch = 0.0_f64;
+    let mut start_rel = Vec::with_capacity(order.len());
+    let mut makespan = 0.0_f64;
+    for &node in order {
+        let ready = g
+            .node(node)
+            .preds
+            .iter()
+            .filter(|p| in_section.contains(p))
+            .map(|p| finish[p])
+            .fold(0.0_f64, f64::max);
+        let dur = kind.of(g, node, pmp_reserve_ms);
+        let start = if g.node(node).kind.is_computation() {
+            let (p, &p_avail) = avail
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .expect("num_procs > 0");
+            let s = ready.max(last_dispatch).max(p_avail);
+            avail[p] = s + dur;
+            s
+        } else {
+            ready.max(last_dispatch)
+        };
+        last_dispatch = start;
+        let end = start + dur;
+        finish.insert(node, end);
+        makespan = makespan.max(end);
+        start_rel.push(start);
+    }
+    ReplayOut {
+        start_rel,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andor_graph::{GraphBuilder, Segment};
+
+    fn plan_of(app: &Segment, m: usize, d: f64) -> (AndOrGraph, SectionGraph, OfflinePlan) {
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let plan = OfflinePlan::build(&g, &sg, m, d).unwrap();
+        (g, sg, plan)
+    }
+
+    #[test]
+    fn single_chain_tw_is_sum() {
+        let app = Segment::seq([
+            Segment::task("A", 3.0, 1.0),
+            Segment::task("B", 4.0, 2.0),
+            Segment::task("C", 5.0, 2.5),
+        ]);
+        let (_, _, plan) = plan_of(&app, 1, 20.0);
+        assert!((plan.worst_total - 12.0).abs() < 1e-12);
+        assert!((plan.avg_total - 5.5).abs() < 1e-12);
+        assert!((plan.static_slack() - 8.0).abs() < 1e-12);
+        assert!((plan.load() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_tasks_two_procs_makespan_is_max() {
+        let app = Segment::par([
+            Segment::task("X", 6.0, 3.0),
+            Segment::task("Y", 4.0, 2.0),
+        ]);
+        let (_, _, plan) = plan_of(&app, 2, 10.0);
+        assert!((plan.worst_total - 6.0).abs() < 1e-12);
+        assert!((plan.avg_total - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ltf_prefers_longest_first() {
+        // Three tasks on two processors: LTF dispatches 6 then 5 then 2 →
+        // makespan 7 (2 rides behind 5). Shortest-first would give 8.
+        let app = Segment::par([
+            Segment::task("S", 2.0, 1.0),
+            Segment::task("M", 5.0, 2.0),
+            Segment::task("L", 6.0, 3.0),
+        ]);
+        let (g, _, plan) = plan_of(&app, 2, 20.0);
+        assert!((plan.worst_total - 7.0).abs() < 1e-12);
+        // Dispatch order within the root section: fork, L, M, S, join.
+        let order = &plan.dispatch.per_section[0];
+        let names: Vec<&str> = order.iter().map(|&n| g.node(n).name.as_str()).collect();
+        let l = names.iter().position(|n| *n == "L").unwrap();
+        let m = names.iter().position(|n| *n == "M").unwrap();
+        let s = names.iter().position(|n| *n == "S").unwrap();
+        assert!(l < m && m < s);
+    }
+
+    #[test]
+    fn or_branches_worst_takes_max_avg_takes_weighted() {
+        let app = Segment::seq([
+            Segment::task("A", 2.0, 1.0),
+            Segment::branch([
+                (0.25, Segment::task("B", 8.0, 4.0)),
+                (0.75, Segment::task("C", 4.0, 2.0)),
+            ]),
+        ]);
+        let (_, _, plan) = plan_of(&app, 1, 20.0);
+        assert!((plan.worst_total - 10.0).abs() < 1e-12, "2 + max(8,4)");
+        assert!(
+            (plan.avg_total - (1.0 + 0.25 * 4.0 + 0.75 * 2.0)).abs() < 1e-12,
+            "1 + weighted branch avg, got {}",
+            plan.avg_total
+        );
+    }
+
+    #[test]
+    fn branch_pmp_stats_recorded() {
+        let app = Segment::seq([
+            Segment::task("A", 2.0, 1.0),
+            Segment::branch([
+                (0.5, Segment::task("B", 8.0, 4.0)),
+                (0.5, Segment::task("C", 4.0, 2.0)),
+            ]),
+            Segment::task("D", 3.0, 1.5),
+        ]);
+        let (g, _, plan) = plan_of(&app, 1, 30.0);
+        let or = g
+            .iter()
+            .find(|(_, n)| n.kind.is_or() && n.succs.len() == 2)
+            .unwrap()
+            .0;
+        // Branch 0 (B): 8 + 3 (D) remaining worst; branch 1 (C): 4 + 3.
+        assert!((plan.branch_worst[&(or, 0)] - 11.0).abs() < 1e-12);
+        assert!((plan.branch_worst[&(or, 1)] - 7.0).abs() < 1e-12);
+        assert!((plan.branch_avg[&(or, 0)] - 5.5).abs() < 1e-12);
+        assert!((plan.branch_avg[&(or, 1)] - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lst_shifts_schedule_to_deadline() {
+        // One chain, D = 20, Tw = 12: whole schedule shifts right by 8.
+        let app = Segment::seq([
+            Segment::task("A", 3.0, 1.0),
+            Segment::task("B", 4.0, 2.0),
+            Segment::task("C", 5.0, 2.5),
+        ]);
+        let (g, _, plan) = plan_of(&app, 1, 20.0);
+        let by_name = |name: &str| {
+            g.iter()
+                .find(|(_, n)| n.name == name)
+                .and_then(|(id, _)| plan.lst[id.index()])
+                .unwrap()
+        };
+        assert!((by_name("A") - 8.0).abs() < 1e-12);
+        assert!((by_name("B") - 11.0).abs() < 1e-12);
+        assert!((by_name("C") - 15.0).abs() < 1e-12);
+        // Last task's LST + wcet = deadline exactly.
+        assert!((by_name("C") + 5.0 - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lst_accounts_for_worst_continuation() {
+        // A, then branch (B:8 | C:4). A's LST must assume the 8-branch.
+        let app = Segment::seq([
+            Segment::task("A", 2.0, 1.0),
+            Segment::branch([
+                (0.5, Segment::task("B", 8.0, 4.0)),
+                (0.5, Segment::task("C", 4.0, 2.0)),
+            ]),
+        ]);
+        let (g, _, plan) = plan_of(&app, 1, 20.0);
+        let a = g.iter().find(|(_, n)| n.name == "A").unwrap().0;
+        // Remaining worst at A's start: 2 + 8 = 10 → LST = 10.
+        assert!((plan.lst[a.index()].unwrap() - 10.0).abs() < 1e-12);
+        let c = g.iter().find(|(_, n)| n.name == "C").unwrap().0;
+        // C's own path: remaining worst at C's start is just C (4) →
+        // LST = 16, even though the B path would have left only 12.
+        assert!((plan.lst[c.index()].unwrap() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infeasible_deadline_rejected() {
+        let app = Segment::task("A", 10.0, 5.0);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let err = OfflinePlan::build(&g, &sg, 1, 9.0).unwrap_err();
+        assert!(matches!(err, OfflineError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let app = Segment::task("A", 1.0, 0.5);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        assert_eq!(
+            OfflinePlan::build(&g, &sg, 0, 10.0).unwrap_err(),
+            OfflineError::NoProcessors
+        );
+        assert!(matches!(
+            OfflinePlan::build(&g, &sg, 1, f64::NAN).unwrap_err(),
+            OfflineError::BadDeadline(_)
+        ));
+        assert!(matches!(
+            OfflinePlan::build(&g, &sg, 1, -1.0).unwrap_err(),
+            OfflineError::BadDeadline(_)
+        ));
+    }
+
+    #[test]
+    fn exact_deadline_is_feasible() {
+        let app = Segment::task("A", 10.0, 5.0);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let plan = OfflinePlan::build(&g, &sg, 1, 10.0).unwrap();
+        assert!((plan.static_slack()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependent_tasks_respect_precedence_in_order() {
+        // Diamond of tasks: A -> (B, C) -> D via AND nodes. B,C parallel.
+        let mut b = GraphBuilder::new();
+        let a = b.task("A", 2.0, 1.0);
+        let x = b.task("B", 3.0, 1.5);
+        let y = b.task("C", 5.0, 2.5);
+        let d = b.task("D", 1.0, 0.5);
+        b.edge(a, x).unwrap();
+        b.edge(a, y).unwrap();
+        b.edge(x, d).unwrap();
+        b.edge(y, d).unwrap();
+        let g = b.build().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let plan = OfflinePlan::build(&g, &sg, 2, 10.0).unwrap();
+        // 2 + 5 + 1 = 8 on two processors.
+        assert!((plan.worst_total - 8.0).abs() < 1e-12);
+        let order = &plan.dispatch.per_section[0];
+        let pos = |id: NodeId| order.iter().position(|&n| n == id).unwrap();
+        assert!(pos(a) < pos(x) && pos(a) < pos(y) && pos(y) < pos(d));
+        // LTF dispatches C (5) before B (3) once both are ready.
+        assert!(pos(y) < pos(x));
+    }
+
+    #[test]
+    fn nested_or_remaining_times_recursive() {
+        // A -> O1 -> { B -> O2 -> {C(6)|D(2)} | E(3) }
+        let app = Segment::seq([
+            Segment::task("A", 1.0, 1.0),
+            Segment::branch([
+                (
+                    0.5,
+                    Segment::seq([
+                        Segment::task("B", 1.0, 1.0),
+                        Segment::branch([
+                            (0.5, Segment::task("C", 6.0, 6.0)),
+                            (0.5, Segment::task("D", 2.0, 2.0)),
+                        ]),
+                    ]),
+                ),
+                (0.5, Segment::task("E", 3.0, 3.0)),
+            ]),
+        ]);
+        let (_, _, plan) = plan_of(&app, 1, 20.0);
+        // Worst: 1 + max(1+max(6,2), 3) = 8.
+        assert!((plan.worst_total - 8.0).abs() < 1e-12);
+        // Avg: 1 + 0.5·(1 + 0.5·6 + 0.5·2) + 0.5·3 = 1 + 2.5 + 1.5 = 5.
+        assert!((plan.avg_total - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonical_starts_follow_dispatch_order() {
+        let app = Segment::par([
+            Segment::task("L", 6.0, 3.0),
+            Segment::task("M", 5.0, 2.0),
+            Segment::task("S", 2.0, 1.0),
+        ]);
+        let (_, _, plan) = plan_of(&app, 2, 20.0);
+        let starts = &plan.canonical_start_rel[0];
+        // Starts are non-decreasing along the dispatch order, and the
+        // section makespan bounds every start.
+        for w in starts.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        for s in starts {
+            assert!(*s <= plan.section_worst_len[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn plan_serde_round_trip() {
+        let app = Segment::seq([
+            Segment::task("A", 2.0, 1.0),
+            Segment::task("B", 3.0, 2.0),
+        ]);
+        let (_, _, plan) = plan_of(&app, 1, 10.0);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: OfflinePlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_procs, 1);
+        assert!((back.worst_total - plan.worst_total).abs() < 1e-12);
+    }
+}

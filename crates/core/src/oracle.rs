@@ -1,0 +1,235 @@
+//! The clairvoyant single-speed bound.
+//!
+//! Paper §3.3: "a clairvoyant algorithm can achieve minimal energy
+//! consumption for uniprocessor systems by running all tasks at a single
+//! speed setting if the actual running time of every task is known" — this
+//! intuition motivates the speculative schemes.
+//!
+//! [`OraclePolicy`] realizes that algorithm: given the *realization* (which
+//! no on-line scheme may peek at), it computes the application's actual
+//! makespan at full speed and runs everything at the single slowest speed
+//! that still meets the deadline. Because the engine's schedule scales
+//! exactly with a uniform slowdown (every dispatch-time expression is a
+//! max/plus over scaled durations), the stretched schedule finishes at
+//! `makespan / s ≤ D`.
+//!
+//! Two caveats make this a *reference point* rather than a provable
+//! optimum:
+//!
+//! * on multiprocessors, per-processor idle intervals could in principle
+//!   be exploited further;
+//! * on **discrete** level tables the single speed is rounded *up* a whole
+//!   level, while an on-line scheme may mix adjacent levels across tasks —
+//!   a convex combination the single-speed clairvoyant cannot express, so
+//!   on coarse tables (e.g. XScale) GSS can genuinely *beat* this bound.
+//!   On the continuous model the bound is tight and no scheme beats it.
+//!
+//! Experiments report each scheme's *gap* to this reference.
+
+use andor_graph::{AndOrGraph, NodeId, SectionGraph};
+use dvfs_power::{OperatingPoint, Overheads, ProcessorModel};
+use mp_sim::{
+    DispatchCtx, DispatchOrder, MaxSpeed, Policy, Realization, SimConfig, Simulator,
+    SpeedDecision,
+};
+
+/// A clairvoyant single-speed policy for one specific realization.
+pub struct OraclePolicy {
+    point: OperatingPoint,
+    makespan_full_speed: f64,
+}
+
+impl OraclePolicy {
+    /// Builds the oracle for `real`: measures the realization's makespan at
+    /// full speed (overhead-free — the clairvoyant computes off-line) and
+    /// picks the slowest level finishing by `deadline`, reserving one
+    /// voltage transition for entering the chosen speed.
+    #[allow(clippy::too_many_arguments)] // mirrors the engine's parameter set
+    pub fn for_realization(
+        g: &AndOrGraph,
+        sections: &SectionGraph,
+        dispatch: &DispatchOrder,
+        model: &ProcessorModel,
+        num_procs: usize,
+        deadline: f64,
+        overheads: Overheads,
+        real: &Realization,
+    ) -> Self {
+        let probe_cfg = SimConfig {
+            num_procs,
+            deadline,
+            idle_fraction: 0.0,
+            static_fraction: 0.0,
+            overheads: Overheads::none(),
+            record_trace: false,
+        };
+        let probe = Simulator::new(g, sections, dispatch, model, probe_cfg);
+        let makespan = probe.run(&mut MaxSpeed, real).finish_time;
+        let budget = (deadline - overheads.transition_time_ms).max(f64::MIN_POSITIVE);
+        let desired = if makespan <= 0.0 {
+            model.min_speed()
+        } else {
+            makespan / budget
+        };
+        Self {
+            point: model.quantize_up(desired),
+            makespan_full_speed: makespan,
+        }
+    }
+
+    /// The single operating point chosen.
+    pub fn point(&self) -> OperatingPoint {
+        self.point
+    }
+
+    /// The realization's makespan at full speed (ms).
+    pub fn makespan_full_speed(&self) -> f64 {
+        self.makespan_full_speed
+    }
+}
+
+impl Policy for OraclePolicy {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+
+    fn speed_for(&mut self, _task: NodeId, _ctx: &DispatchCtx) -> SpeedDecision {
+        SpeedDecision {
+            point: self.point,
+            // Clairvoyant decisions are made off-line: no PMP cost.
+            ran_pmp: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Setup;
+    use crate::policies::Scheme;
+    use andor_graph::Segment;
+    use mp_sim::ExecTimeModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> Setup {
+        let app = Segment::seq([
+            Segment::task("A", 6.0, 3.0),
+            Segment::par([
+                Segment::task("B", 5.0, 2.0),
+                Segment::task("C", 7.0, 3.0),
+            ]),
+            Segment::branch([
+                (0.4, Segment::task("D", 9.0, 4.0)),
+                (0.6, Segment::task("E", 3.0, 2.0)),
+            ]),
+        ])
+        .lower()
+        .unwrap();
+        Setup::for_load(app, ProcessorModel::transmeta5400(), 2, 0.6).unwrap()
+    }
+
+    fn oracle_for(s: &Setup, real: &Realization) -> OraclePolicy {
+        OraclePolicy::for_realization(
+            &s.graph,
+            &s.sections,
+            &s.plan.dispatch,
+            &s.model,
+            s.plan.num_procs,
+            s.plan.deadline,
+            s.overheads,
+            real,
+        )
+    }
+
+    #[test]
+    fn oracle_meets_deadline_on_every_draw() {
+        let s = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+            let mut oracle = oracle_for(&s, &real);
+            let res = s.simulator(false).run(&mut oracle, &real);
+            assert!(
+                !res.missed_deadline,
+                "oracle missed: {} > {}",
+                res.finish_time, res.deadline
+            );
+        }
+    }
+
+    /// On the continuous model (no rounding) the clairvoyant single speed
+    /// is a true lower bound.
+    #[test]
+    fn oracle_lower_bounds_online_schemes_on_average() {
+        let app = Segment::seq([
+            Segment::task("A", 6.0, 3.0),
+            Segment::par([
+                Segment::task("B", 5.0, 2.0),
+                Segment::task("C", 7.0, 3.0),
+            ]),
+            Segment::branch([
+                (0.4, Segment::task("D", 9.0, 4.0)),
+                (0.6, Segment::task("E", 3.0, 2.0)),
+            ]),
+        ])
+        .lower()
+        .unwrap();
+        let s = Setup::for_load(app, ProcessorModel::continuous(0.05).unwrap(), 2, 0.6)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut e_oracle = 0.0;
+        let mut e_schemes = vec![0.0_f64; Scheme::ALL.len()];
+        for _ in 0..300 {
+            let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+            let mut oracle = oracle_for(&s, &real);
+            e_oracle += s.simulator(false).run(&mut oracle, &real).total_energy();
+            for (i, scheme) in Scheme::ALL.iter().enumerate() {
+                e_schemes[i] += s.run(*scheme, &real).total_energy();
+            }
+        }
+        for (i, scheme) in Scheme::ALL.iter().enumerate() {
+            assert!(
+                e_oracle <= e_schemes[i] * 1.001,
+                "{} beat the clairvoyant bound: {} vs {}",
+                scheme.name(),
+                e_schemes[i],
+                e_oracle
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_uses_single_speed_and_no_pmps() {
+        let s = setup();
+        let mut rng = StdRng::seed_from_u64(14);
+        let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        let mut oracle = oracle_for(&s, &real);
+        let res = s.simulator(true).run(&mut oracle, &real);
+        let speeds: std::collections::BTreeSet<u64> = res
+            .trace
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|e| (e.speed * 1e9) as u64)
+            .collect();
+        assert_eq!(speeds.len(), 1, "one speed for the whole run");
+        // At most one transition per processor (entering the speed).
+        assert!(res.energy.speed_changes() <= s.plan.num_procs as u64);
+    }
+
+    #[test]
+    fn oracle_stretches_to_fill_deadline() {
+        let s = setup();
+        let mut rng = StdRng::seed_from_u64(21);
+        let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        let oracle = oracle_for(&s, &real);
+        // The chosen speed is the quantization of makespan/deadline.
+        let ideal = oracle.makespan_full_speed()
+            / (s.plan.deadline - s.overheads.transition_time_ms);
+        assert!(oracle.point().speed >= ideal - 1e-12);
+        // ...and no more than one level above it.
+        let above = s.model.quantize_up(ideal).speed;
+        assert_eq!(oracle.point().speed, above);
+    }
+}

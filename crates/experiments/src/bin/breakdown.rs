@@ -1,0 +1,20 @@
+//! Extension E2: busy/idle/transition energy decomposition per scheme.
+
+use pas_experiments::cli::Options;
+use pas_experiments::figures::energy_breakdown;
+use pas_experiments::Platform;
+
+fn main() {
+    let opts = Options::from_env();
+    for platform in [Platform::Transmeta, Platform::XScale] {
+        for load in [0.3, 0.7] {
+            let t = energy_breakdown(platform, 2, load, &opts.cfg);
+            if opts.markdown {
+                print!("{}", t.to_markdown());
+            } else {
+                print!("{}", t.to_text());
+            }
+            println!();
+        }
+    }
+}

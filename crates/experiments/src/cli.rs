@@ -1,0 +1,157 @@
+//! Minimal argument parsing shared by the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--reps N` — Monte-Carlo replications per point (default 1000, the
+//!   paper's setting);
+//! * `--seed S` — base seed (default the paper-config seed);
+//! * `--csv PATH` — additionally write the energy table as CSV;
+//! * `--markdown` — print GitHub-flavored markdown instead of aligned text.
+
+use crate::figures::SweepOutput;
+use crate::runner::ExperimentConfig;
+
+/// Parsed common options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Experiment configuration (replications, seed, schemes).
+    pub cfg: ExperimentConfig,
+    /// CSV output path, if requested.
+    pub csv: Option<String>,
+    /// SVG output path, if requested.
+    pub svg: Option<String>,
+    /// Render markdown instead of plain text.
+    pub markdown: bool,
+}
+
+impl Options {
+    /// Parses `std::env::args`-style arguments (the first element is the
+    /// program name and is skipped). Unknown flags abort with a message.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut cfg = ExperimentConfig::paper_defaults();
+        let mut csv = None;
+        let mut svg = None;
+        let mut markdown = false;
+        let mut it = args.into_iter().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--reps" => {
+                    let v = it.next().ok_or("--reps needs a value")?;
+                    cfg.replications =
+                        v.parse().map_err(|_| format!("bad --reps value: {v}"))?;
+                }
+                "--seed" => {
+                    let v = it.next().ok_or("--seed needs a value")?;
+                    cfg.base_seed =
+                        v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+                }
+                "--csv" => {
+                    csv = Some(it.next().ok_or("--csv needs a path")?);
+                }
+                "--svg" => {
+                    svg = Some(it.next().ok_or("--svg needs a path")?);
+                }
+                "--markdown" => markdown = true,
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: <bin> [--reps N] [--seed S] [--csv PATH] [--svg PATH] [--markdown]"
+                            .into(),
+                    )
+                }
+                other => return Err(format!("unknown argument: {other}")),
+            }
+        }
+        if cfg.replications == 0 {
+            return Err("--reps must be positive".into());
+        }
+        Ok(Self {
+            cfg,
+            csv,
+            svg,
+            markdown,
+        })
+    }
+
+    /// Parses the real process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args()) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Renders a sweep to stdout (and CSV when requested). Reports deadline
+    /// misses loudly — a correct configuration never produces any.
+    pub fn emit(&self, out: &SweepOutput) {
+        if self.markdown {
+            print!("{}", out.energy.to_markdown());
+            print!("{}", out.speed_changes.to_markdown());
+        } else {
+            print!("{}", out.energy.to_text());
+            println!();
+            print!("{}", out.speed_changes.to_text());
+        }
+        if out.total_misses > 0 {
+            eprintln!("WARNING: {} deadline misses!", out.total_misses);
+        }
+        if let Some(path) = &self.csv {
+            if let Err(e) = std::fs::write(path, out.energy.to_csv()) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &self.svg {
+            let svg = pas_stats::to_svg(&out.energy, 720, 440);
+            if let Err(e) = std::fs::write(path, svg) {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        std::iter::once("prog".to_string())
+            .chain(s.iter().map(|s| s.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let o = Options::parse(args(&[])).unwrap();
+        assert_eq!(o.cfg.replications, 1000);
+        assert!(o.csv.is_none());
+        assert!(!o.markdown);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = Options::parse(args(&[
+            "--reps", "50", "--seed", "7", "--csv", "/tmp/x.csv",
+            "--svg", "/tmp/x.svg", "--markdown",
+        ]))
+        .unwrap();
+        assert_eq!(o.cfg.replications, 50);
+        assert_eq!(o.cfg.base_seed, 7);
+        assert_eq!(o.csv.as_deref(), Some("/tmp/x.csv"));
+        assert_eq!(o.svg.as_deref(), Some("/tmp/x.svg"));
+        assert!(o.markdown);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Options::parse(args(&["--reps"])).is_err());
+        assert!(Options::parse(args(&["--reps", "zero"])).is_err());
+        assert!(Options::parse(args(&["--reps", "0"])).is_err());
+        assert!(Options::parse(args(&["--bogus"])).is_err());
+    }
+}

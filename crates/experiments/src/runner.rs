@@ -1,0 +1,257 @@
+//! The Monte-Carlo experiment harness.
+
+use pas_core::{Scheme, Setup};
+use pas_stats::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+/// How an experiment point is evaluated.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Monte-Carlo replications per point (the paper uses 1000).
+    pub replications: usize,
+    /// Base seed; replication `r` uses a seed derived from it, so results
+    /// are exactly reproducible.
+    pub base_seed: u64,
+    /// Schemes to evaluate. Must include [`Scheme::Npm`] if normalized
+    /// energies are wanted.
+    pub schemes: Vec<Scheme>,
+    /// Actual-execution-time model.
+    pub etm: mp_sim::ExecTimeModel,
+    /// Also evaluate the clairvoyant single-speed bound on every
+    /// realization (see [`pas_core::oracle`]).
+    pub include_oracle: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper's defaults: 1000 replications of all six schemes.
+    pub fn paper_defaults() -> Self {
+        Self {
+            replications: 1000,
+            base_seed: 0x1CC_2002,
+            schemes: Scheme::ALL.to_vec(),
+            etm: mp_sim::ExecTimeModel::paper_defaults(),
+            include_oracle: false,
+        }
+    }
+
+    /// A light configuration for smoke tests and benchmarks.
+    pub fn quick(replications: usize) -> Self {
+        Self {
+            replications,
+            ..Self::paper_defaults()
+        }
+    }
+}
+
+/// Aggregated results for one scheme at one experiment point.
+#[derive(Debug, Clone)]
+pub struct SchemeStats {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Per-run total energy (normalized power units × ms).
+    pub energy: Summary,
+    /// Per-run busy (execution) energy.
+    pub busy_energy: Summary,
+    /// Per-run idle energy.
+    pub idle_energy: Summary,
+    /// Per-run voltage-transition energy.
+    pub transition_energy: Summary,
+    /// Per-run voltage/speed change counts.
+    pub speed_changes: Summary,
+    /// Number of runs that missed the deadline (must stay 0; reported so
+    /// experiments surface violations instead of hiding them).
+    pub deadline_misses: u64,
+}
+
+/// All schemes' statistics at one experiment point.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// One entry per configured scheme, in configuration order.
+    pub stats: Vec<SchemeStats>,
+    /// Clairvoyant-bound energy, when requested via
+    /// [`ExperimentConfig::include_oracle`].
+    pub oracle_energy: Option<Summary>,
+}
+
+impl EvalResult {
+    /// Statistics for one scheme.
+    pub fn of(&self, scheme: Scheme) -> Option<&SchemeStats> {
+        self.stats.iter().find(|s| s.scheme == scheme)
+    }
+
+    /// Mean energy of `scheme` divided by mean energy of NPM.
+    pub fn normalized_energy(&self, scheme: Scheme) -> Option<f64> {
+        let npm = self.of(Scheme::Npm)?.energy.mean();
+        let e = self.of(scheme)?.energy.mean();
+        (npm > 0.0).then(|| e / npm)
+    }
+
+    /// Mean energy of `scheme` divided by the clairvoyant bound's mean
+    /// energy (≥ 1 in expectation). `None` unless the oracle was included.
+    pub fn oracle_gap(&self, scheme: Scheme) -> Option<f64> {
+        let oracle = self.oracle_energy.as_ref()?.mean();
+        let e = self.of(scheme)?.energy.mean();
+        (oracle > 0.0).then(|| e / oracle)
+    }
+
+    /// Total deadline misses across all schemes.
+    pub fn total_misses(&self) -> u64 {
+        self.stats.iter().map(|s| s.deadline_misses).sum()
+    }
+}
+
+/// Evaluates every configured scheme on `cfg.replications` shared
+/// realizations of `setup`. Replications run in parallel; the result is
+/// independent of thread count because each replication derives its RNG
+/// from `base_seed` and the replication index alone.
+pub fn evaluate(setup: &Setup, cfg: &ExperimentConfig) -> EvalResult {
+    struct RepSample {
+        energy: f64,
+        busy: f64,
+        idle: f64,
+        transition: f64,
+        changes: u64,
+        missed: bool,
+    }
+    let per_rep: Vec<(Vec<RepSample>, Option<f64>)> = (0..cfg.replications)
+        .into_par_iter()
+        .map(|r| {
+            // SplitMix-style seed derivation keeps streams independent.
+            let seed = cfg
+                .base_seed
+                .wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let real = setup.sample(&cfg.etm, &mut rng);
+            let samples = cfg
+                .schemes
+                .iter()
+                .map(|&scheme| {
+                    let res = setup.run(scheme, &real);
+                    RepSample {
+                        energy: res.total_energy(),
+                        busy: res.energy.busy_energy(),
+                        idle: res.energy.idle_energy(),
+                        transition: res.energy.transition_energy(),
+                        changes: res.energy.speed_changes(),
+                        missed: res.missed_deadline,
+                    }
+                })
+                .collect();
+            let oracle = cfg
+                .include_oracle
+                .then(|| setup.run_oracle(&real).total_energy());
+            (samples, oracle)
+        })
+        .collect();
+
+    let stats = cfg
+        .schemes
+        .iter()
+        .enumerate()
+        .map(|(i, &scheme)| {
+            let mut energy = Summary::new();
+            let mut busy_energy = Summary::new();
+            let mut idle_energy = Summary::new();
+            let mut transition_energy = Summary::new();
+            let mut speed_changes = Summary::new();
+            let mut deadline_misses = 0u64;
+            for (rep, _) in &per_rep {
+                let s = &rep[i];
+                energy.add(s.energy);
+                busy_energy.add(s.busy);
+                idle_energy.add(s.idle);
+                transition_energy.add(s.transition);
+                speed_changes.add(s.changes as f64);
+                deadline_misses += s.missed as u64;
+            }
+            SchemeStats {
+                scheme,
+                energy,
+                busy_energy,
+                idle_energy,
+                transition_energy,
+                speed_changes,
+                deadline_misses,
+            }
+        })
+        .collect();
+    let oracle_energy = cfg.include_oracle.then(|| {
+        per_rep
+            .iter()
+            .filter_map(|(_, o)| *o)
+            .collect::<Summary>()
+    });
+    EvalResult {
+        stats,
+        oracle_energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dvfs_power::ProcessorModel;
+    use workloads::synthetic_app;
+
+    fn setup() -> Setup {
+        Setup::for_load(
+            synthetic_app().lower().unwrap(),
+            ProcessorModel::transmeta5400(),
+            2,
+            0.5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluate_produces_stats_for_every_scheme() {
+        let res = evaluate(&setup(), &ExperimentConfig::quick(32));
+        assert_eq!(res.stats.len(), 6);
+        for s in &res.stats {
+            assert_eq!(s.energy.count(), 32);
+            assert_eq!(s.deadline_misses, 0, "{} missed deadlines", s.scheme);
+        }
+    }
+
+    #[test]
+    fn npm_normalization_is_one() {
+        let res = evaluate(&setup(), &ExperimentConfig::quick(16));
+        assert!((res.normalized_energy(Scheme::Npm).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn managed_schemes_beat_npm_at_half_load() {
+        let res = evaluate(&setup(), &ExperimentConfig::quick(64));
+        for scheme in Scheme::MANAGED {
+            let norm = res.normalized_energy(scheme).unwrap();
+            assert!(norm < 1.0, "{scheme}: {norm}");
+        }
+    }
+
+    #[test]
+    fn results_reproducible_and_seed_sensitive() {
+        let s = setup();
+        let a = evaluate(&s, &ExperimentConfig::quick(16));
+        let b = evaluate(&s, &ExperimentConfig::quick(16));
+        assert_eq!(
+            a.of(Scheme::Gss).unwrap().energy.mean(),
+            b.of(Scheme::Gss).unwrap().energy.mean()
+        );
+        let mut cfg = ExperimentConfig::quick(16);
+        cfg.base_seed = 999;
+        let c = evaluate(&s, &cfg);
+        assert_ne!(
+            a.of(Scheme::Gss).unwrap().energy.mean(),
+            c.of(Scheme::Gss).unwrap().energy.mean()
+        );
+    }
+
+    #[test]
+    fn npm_never_changes_speed_gss_does() {
+        let res = evaluate(&setup(), &ExperimentConfig::quick(16));
+        assert_eq!(res.of(Scheme::Npm).unwrap().speed_changes.mean(), 0.0);
+        assert!(res.of(Scheme::Gss).unwrap().speed_changes.mean() > 0.0);
+    }
+}

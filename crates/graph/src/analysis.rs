@@ -1,0 +1,185 @@
+//! Structural analyses over AND/OR graphs: critical paths, work totals per
+//! scenario, and parallelism profiles.
+//!
+//! These are *platform-independent* quantities (they assume unbounded
+//! processors at full speed); the processor-count-aware canonical lengths
+//! live in `pas-core`'s offline phase. Used by the CLI's `inspect` command
+//! and by workload-design sanity checks.
+
+use crate::graph::AndOrGraph;
+use crate::node::NodeId;
+use crate::scenario::Scenario;
+use crate::sections::SectionGraph;
+
+/// Summary of one scenario's computational shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioProfile {
+    /// Total WCET over active computation nodes (work at full speed).
+    pub total_wcet: f64,
+    /// Total ACET over active computation nodes.
+    pub total_acet: f64,
+    /// Critical-path length through the active subgraph at WCET
+    /// (the minimum possible makespan on unboundedly many processors).
+    pub critical_path: f64,
+    /// `total_wcet / critical_path` — the average parallelism available.
+    pub parallelism: f64,
+    /// Number of active computation nodes.
+    pub tasks: usize,
+}
+
+/// Profiles one scenario of the application.
+pub fn scenario_profile(
+    g: &AndOrGraph,
+    sections: &SectionGraph,
+    scenario: &Scenario,
+) -> ScenarioProfile {
+    let active = sections.active_nodes(g, scenario);
+    let active_set: std::collections::HashSet<NodeId> = active.iter().copied().collect();
+    let mut total_wcet = 0.0;
+    let mut total_acet = 0.0;
+    let mut tasks = 0;
+    // Longest path at WCET: dynamic programming over the active nodes
+    // (returned in a valid execution order by `active_nodes`).
+    let mut dist: std::collections::HashMap<NodeId, f64> = std::collections::HashMap::new();
+    let mut critical: f64 = 0.0;
+    for &id in &active {
+        let node = g.node(id);
+        let wcet = node.kind.wcet();
+        if node.kind.is_computation() {
+            total_wcet += wcet;
+            total_acet += node.kind.acet();
+            tasks += 1;
+        }
+        let ready = node
+            .preds
+            .iter()
+            .filter(|p| active_set.contains(p))
+            .filter_map(|p| dist.get(p).copied())
+            .fold(0.0_f64, f64::max);
+        let d = ready + wcet;
+        critical = critical.max(d);
+        dist.insert(id, d);
+    }
+    ScenarioProfile {
+        total_wcet,
+        total_acet,
+        critical_path: critical,
+        parallelism: if critical > 0.0 {
+            total_wcet / critical
+        } else {
+            1.0
+        },
+        tasks,
+    }
+}
+
+/// Application-level aggregation over every scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Number of scenarios (distinct OR resolutions).
+    pub scenarios: usize,
+    /// Probability-weighted expected total work (WCET).
+    pub expected_wcet: f64,
+    /// Probability-weighted expected total work (ACET).
+    pub expected_acet: f64,
+    /// Longest critical path over all scenarios.
+    pub worst_critical_path: f64,
+    /// Smallest / largest per-scenario work (WCET).
+    pub wcet_range: (f64, f64),
+    /// Probability-weighted mean parallelism.
+    pub mean_parallelism: f64,
+}
+
+/// Profiles the whole application by enumerating its scenarios.
+pub fn app_profile(g: &AndOrGraph, sections: &SectionGraph) -> AppProfile {
+    let mut scenarios = 0usize;
+    let mut expected_wcet = 0.0;
+    let mut expected_acet = 0.0;
+    let mut worst_cp: f64 = 0.0;
+    let mut wcet_min = f64::INFINITY;
+    let mut wcet_max: f64 = 0.0;
+    let mut mean_par = 0.0;
+    for (scenario, p) in sections.enumerate_scenarios(g) {
+        let prof = scenario_profile(g, sections, &scenario);
+        scenarios += 1;
+        expected_wcet += p * prof.total_wcet;
+        expected_acet += p * prof.total_acet;
+        worst_cp = worst_cp.max(prof.critical_path);
+        wcet_min = wcet_min.min(prof.total_wcet);
+        wcet_max = wcet_max.max(prof.total_wcet);
+        mean_par += p * prof.parallelism;
+    }
+    AppProfile {
+        scenarios,
+        expected_wcet,
+        expected_acet,
+        worst_critical_path: worst_cp,
+        wcet_range: (wcet_min, wcet_max),
+        mean_parallelism: mean_par,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::Segment;
+
+    fn app() -> (AndOrGraph, SectionGraph) {
+        let g = Segment::seq([
+            Segment::task("A", 4.0, 2.0),
+            Segment::par([
+                Segment::task("B", 6.0, 3.0),
+                Segment::task("C", 2.0, 1.0),
+            ]),
+            Segment::branch([
+                (0.25, Segment::task("D", 8.0, 4.0)),
+                (0.75, Segment::task("E", 2.0, 1.0)),
+            ]),
+        ])
+        .lower()
+        .unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        (g, sg)
+    }
+
+    #[test]
+    fn scenario_profile_measures_work_and_critical_path() {
+        let (g, sg) = app();
+        let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+        let (heavy, _) = scenarios
+            .iter()
+            .find(|(_, p)| (*p - 0.25).abs() < 1e-12)
+            .unwrap();
+        let prof = scenario_profile(&g, &sg, heavy);
+        // A + B + C + D.
+        assert!((prof.total_wcet - 20.0).abs() < 1e-12);
+        assert!((prof.total_acet - 10.0).abs() < 1e-12);
+        // Critical path: A(4) + B(6) + D(8).
+        assert!((prof.critical_path - 18.0).abs() < 1e-12);
+        assert!((prof.parallelism - 20.0 / 18.0).abs() < 1e-12);
+        assert_eq!(prof.tasks, 4);
+    }
+
+    #[test]
+    fn app_profile_weights_by_probability() {
+        let (g, sg) = app();
+        let prof = app_profile(&g, &sg);
+        assert_eq!(prof.scenarios, 2);
+        // E[wcet] = 12 + 0.25·8 + 0.75·2 = 15.5.
+        assert!((prof.expected_wcet - 15.5).abs() < 1e-12);
+        assert!((prof.worst_critical_path - 18.0).abs() < 1e-12);
+        assert_eq!(prof.wcet_range, (14.0, 20.0));
+        assert!(prof.mean_parallelism > 1.0);
+    }
+
+    #[test]
+    fn single_task_profile_is_trivial() {
+        let g = Segment::task("only", 5.0, 3.0).lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let prof = app_profile(&g, &sg);
+        assert_eq!(prof.scenarios, 1);
+        assert!((prof.expected_wcet - 5.0).abs() < 1e-12);
+        assert!((prof.worst_critical_path - 5.0).abs() < 1e-12);
+        assert!((prof.mean_parallelism - 1.0).abs() < 1e-12);
+    }
+}

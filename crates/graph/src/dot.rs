@@ -1,0 +1,135 @@
+//! Graphviz DOT export.
+//!
+//! Renders an AND/OR graph in the paper's visual vocabulary: computation
+//! nodes as circles labelled `name (wcet/acet)`, AND synchronization nodes
+//! as diamonds, OR synchronization nodes as double circles with branch
+//! probabilities on their outgoing edges (Figure 1 of the paper).
+
+use crate::graph::AndOrGraph;
+use crate::node::NodeKind;
+use std::fmt::Write as _;
+
+/// Renders the graph as a DOT digraph named `name`.
+///
+/// The output is deterministic (nodes and edges in id order), so it is
+/// safe to snapshot in tests.
+pub fn to_dot(g: &AndOrGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for (id, node) in g.iter() {
+        match &node.kind {
+            NodeKind::Computation { wcet, acet } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=ellipse label=\"{}\\n({:.1}/{:.1})\"];",
+                    id.0,
+                    escape(&node.name),
+                    wcet,
+                    acet
+                );
+            }
+            NodeKind::And => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=diamond label=\"{}\"];",
+                    id.0,
+                    escape(&node.name)
+                );
+            }
+            NodeKind::Or { .. } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [shape=doublecircle label=\"{}\"];",
+                    id.0,
+                    escape(&node.name)
+                );
+            }
+        }
+    }
+    for (id, node) in g.iter() {
+        match &node.kind {
+            NodeKind::Or { probs } => {
+                for (succ, p) in node.succs.iter().zip(probs) {
+                    let _ = writeln!(
+                        out,
+                        "  n{} -> n{} [label=\"{:.0}%\"];",
+                        id.0,
+                        succ.0,
+                        p * 100.0
+                    );
+                }
+            }
+            _ => {
+                for succ in &node.succs {
+                    let _ = writeln!(out, "  n{} -> n{};", id.0, succ.0);
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structure::Segment;
+
+    fn sample() -> AndOrGraph {
+        Segment::seq([
+            Segment::task("A", 8.0, 5.0),
+            Segment::par([
+                Segment::task("B", 5.0, 3.0),
+                Segment::task("C", 4.0, 2.0),
+            ]),
+            Segment::branch([
+                (0.3, Segment::task("D", 6.0, 4.0)),
+                (0.7, Segment::empty()),
+            ]),
+        ])
+        .lower()
+        .unwrap()
+    }
+
+    #[test]
+    fn renders_all_node_kinds() {
+        let dot = to_dot(&sample(), "demo");
+        assert!(dot.starts_with("digraph \"demo\" {"));
+        assert!(dot.ends_with("}\n"));
+        assert!(dot.contains("shape=ellipse label=\"A\\n(8.0/5.0)\""));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("shape=doublecircle"));
+    }
+
+    #[test]
+    fn or_edges_carry_probabilities() {
+        let dot = to_dot(&sample(), "demo");
+        assert!(dot.contains("label=\"30%\""));
+        assert!(dot.contains("label=\"70%\""));
+    }
+
+    #[test]
+    fn edge_count_matches_graph() {
+        let g = sample();
+        let dot = to_dot(&g, "demo");
+        let edges = dot.matches(" -> ").count();
+        let expect: usize = g.nodes().iter().map(|n| n.succs.len()).sum();
+        assert_eq!(edges, expect);
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut b = crate::graph::GraphBuilder::new();
+        b.task("we\"ird\\name", 1.0, 0.5);
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, "x\"y");
+        assert!(dot.contains("digraph \"x\\\"y\""));
+        assert!(dot.contains("we\\\"ird\\\\name"));
+    }
+}

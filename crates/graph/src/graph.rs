@@ -1,0 +1,539 @@
+//! Flat AND/OR graph representation, construction, and validation.
+
+use crate::node::{Node, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+
+/// Errors detected while building or validating an AND/OR graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// An edge endpoint does not exist.
+    UnknownNode(NodeId),
+    /// A computation node violates `0 < acet <= wcet` (or is non-finite).
+    BadExecutionTimes {
+        /// Offending node.
+        node: NodeId,
+    },
+    /// An OR node's branch probabilities do not match its successors, are
+    /// out of `(0, 1]`, or do not sum to 1.
+    BadOrProbabilities {
+        /// Offending OR node.
+        node: NodeId,
+    },
+    /// The graph contains a cycle (the AND/OR model has no back edges;
+    /// loops must be expanded, §2.1).
+    Cycle,
+    /// A duplicate edge was added.
+    DuplicateEdge(NodeId, NodeId),
+    /// A self-loop was added.
+    SelfLoop(NodeId),
+    /// The graph violates the paper's OR-seriality restriction: a program
+    /// section flows into more than one OR node, mixes application sinks
+    /// with an OR exit, or a node has predecessors on sibling OR branches.
+    SectionStructure {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::BadExecutionTimes { node } => {
+                write!(f, "node {node}: execution times must satisfy 0 < acet <= wcet")
+            }
+            GraphError::BadOrProbabilities { node } => {
+                write!(f, "OR node {node}: invalid branch probabilities")
+            }
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::SelfLoop(n) => write!(f, "self loop on {n}"),
+            GraphError::SectionStructure { detail } => {
+                write!(f, "OR-seriality violation: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A validated AND/OR task graph.
+///
+/// Construct via [`GraphBuilder`] (flat edges) or
+/// [`crate::structure::Segment::lower`] (hierarchical). Instances are
+/// immutable after construction, so every analysis can cache against them
+/// safely.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AndOrGraph {
+    nodes: Vec<Node>,
+}
+
+impl AndOrGraph {
+    /// All nodes, indexable by [`NodeId::index`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes (never true for validated graphs).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow one node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterator over `(NodeId, &Node)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Nodes with no predecessors (the application's root tasks).
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| n.preds.is_empty())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Nodes with no successors.
+    pub fn sinks(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| n.succs.is_empty())
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// A topological order of all nodes (Kahn). The graph is a DAG by
+    /// construction, so this always succeeds.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        topo_order(&self.nodes).expect("validated graph is acyclic")
+    }
+
+    /// The OR branch list of `or`: `(successor, probability)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `or` is not an OR node.
+    pub fn or_branches(&self, or: NodeId) -> Vec<(NodeId, f64)> {
+        let node = self.node(or);
+        match &node.kind {
+            NodeKind::Or { probs } => node
+                .succs
+                .iter()
+                .copied()
+                .zip(probs.iter().copied())
+                .collect(),
+            _ => panic!("{or} is not an OR node"),
+        }
+    }
+
+    /// Sum of WCETs over all computation nodes (an upper bound on total
+    /// work in any scenario).
+    pub fn total_wcet(&self) -> f64 {
+        self.nodes.iter().map(|n| n.kind.wcet()).sum()
+    }
+
+    /// Number of computation nodes.
+    pub fn num_tasks(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_computation()).count()
+    }
+
+    /// Number of OR nodes.
+    pub fn num_or_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_or()).count()
+    }
+
+    /// Re-runs full validation (used after deserialization, since serde
+    /// bypasses the builder).
+    pub fn validate(&self) -> Result<(), GraphError> {
+        validate(&self.nodes)?;
+        // Section structure is validated by attempting the decomposition.
+        crate::sections::SectionGraph::build(self).map(|_| ())
+    }
+
+}
+
+/// Incremental constructor for [`AndOrGraph`].
+///
+/// # Examples
+///
+/// Figure 1a of the paper (an AND structure):
+///
+/// ```
+/// use andor_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.task("A", 8.0, 5.0);
+/// let fork = b.and("A1");
+/// let b_ = b.task("B", 5.0, 3.0);
+/// let c = b.task("C", 4.0, 2.0);
+/// let join = b.and("A2");
+/// b.edge(a, fork).unwrap();
+/// b.edge(fork, b_).unwrap();
+/// b.edge(fork, c).unwrap();
+/// b.edge(b_, join).unwrap();
+/// b.edge(c, join).unwrap();
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_tasks(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    nodes: Vec<Node>,
+    or_probs: Vec<Vec<f64>>, // parallel to nodes; only meaningful for OR
+}
+
+impl GraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, name: String, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            name,
+            kind,
+            preds: Vec::new(),
+            succs: Vec::new(),
+        });
+        self.or_probs.push(Vec::new());
+        id
+    }
+
+    /// Adds a computation node.
+    pub fn task(&mut self, name: impl Into<String>, wcet: f64, acet: f64) -> NodeId {
+        self.push(name.into(), NodeKind::Computation { wcet, acet })
+    }
+
+    /// Adds an AND synchronization node.
+    pub fn and(&mut self, name: impl Into<String>) -> NodeId {
+        self.push(name.into(), NodeKind::And)
+    }
+
+    /// Adds an OR synchronization node. Branches are attached with
+    /// [`GraphBuilder::or_branch`]; plain [`GraphBuilder::edge`] calls *into*
+    /// the OR node define its predecessors.
+    pub fn or(&mut self, name: impl Into<String>) -> NodeId {
+        self.push(name.into(), NodeKind::Or { probs: Vec::new() })
+    }
+
+    /// Adds a dependence edge `from -> to`. For OR `from`, use
+    /// [`GraphBuilder::or_branch`] instead so a probability is recorded.
+    pub fn edge(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+        self.check_ids(from, to)?;
+        if self.nodes[from.index()].kind.is_or() {
+            // An OR successor needs a probability; route through or_branch.
+            return Err(GraphError::BadOrProbabilities { node: from });
+        }
+        self.raw_edge(from, to)
+    }
+
+    /// Adds an OR branch `or -> to` taken with probability `prob`.
+    pub fn or_branch(&mut self, or: NodeId, to: NodeId, prob: f64) -> Result<(), GraphError> {
+        self.check_ids(or, to)?;
+        if !self.nodes[or.index()].kind.is_or() {
+            return Err(GraphError::BadOrProbabilities { node: or });
+        }
+        if !(prob > 0.0 && prob <= 1.0 && prob.is_finite()) {
+            return Err(GraphError::BadOrProbabilities { node: or });
+        }
+        self.raw_edge(or, to)?;
+        self.or_probs[or.index()].push(prob);
+        Ok(())
+    }
+
+    fn check_ids(&self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        for id in [a, b] {
+            if id.index() >= self.nodes.len() {
+                return Err(GraphError::UnknownNode(id));
+            }
+        }
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        Ok(())
+    }
+
+    fn raw_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+        if self.nodes[from.index()].succs.contains(&to) {
+            return Err(GraphError::DuplicateEdge(from, to));
+        }
+        self.nodes[from.index()].succs.push(to);
+        self.nodes[to.index()].preds.push(from);
+        Ok(())
+    }
+
+    /// True if `id` names an OR node — used by the structural lowering to
+    /// route edges out of OR merge nodes through [`GraphBuilder::or_branch`].
+    pub fn kind_is_or(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len() && self.nodes[id.index()].kind.is_or()
+    }
+
+    /// Finalizes and fully validates the graph (node invariants, acyclicity,
+    /// and the OR-seriality section structure).
+    pub fn build(mut self) -> Result<AndOrGraph, GraphError> {
+        // Install collected OR probabilities.
+        for (i, probs) in self.or_probs.iter().enumerate() {
+            if let NodeKind::Or { probs: p } = &mut self.nodes[i].kind {
+                *p = probs.clone();
+            }
+        }
+        validate(&self.nodes)?;
+        let g = AndOrGraph { nodes: self.nodes };
+        crate::sections::SectionGraph::build(&g)?;
+        Ok(g)
+    }
+}
+
+/// Node-local invariants plus acyclicity.
+fn validate(nodes: &[Node]) -> Result<(), GraphError> {
+    if nodes.is_empty() {
+        return Err(GraphError::Empty);
+    }
+    for (i, n) in nodes.iter().enumerate() {
+        let id = NodeId(i as u32);
+        match &n.kind {
+            NodeKind::Computation { wcet, acet } => {
+                if !(acet.is_finite()
+                    && wcet.is_finite()
+                    && *acet > 0.0
+                    && *acet <= *wcet)
+                {
+                    return Err(GraphError::BadExecutionTimes { node: id });
+                }
+            }
+            NodeKind::Or { probs } => {
+                if probs.len() != n.succs.len() {
+                    return Err(GraphError::BadOrProbabilities { node: id });
+                }
+                if !n.succs.is_empty() {
+                    let sum: f64 = probs.iter().sum();
+                    if (sum - 1.0).abs() > 1e-6
+                        || probs.iter().any(|p| !(*p > 0.0 && *p <= 1.0))
+                    {
+                        return Err(GraphError::BadOrProbabilities { node: id });
+                    }
+                }
+            }
+            NodeKind::And => {}
+        }
+        // Adjacency consistency (defensive; cheap).
+        for &s in &n.succs {
+            if s.index() >= nodes.len() {
+                return Err(GraphError::UnknownNode(s));
+            }
+        }
+    }
+    topo_order(nodes).map(|_| ())
+}
+
+/// Kahn's algorithm; `Err(Cycle)` if not a DAG.
+fn topo_order(nodes: &[Node]) -> Result<Vec<NodeId>, GraphError> {
+    let mut indeg: Vec<usize> = nodes.iter().map(|n| n.preds.len()).collect();
+    let mut queue: Vec<NodeId> = indeg
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| **d == 0)
+        .map(|(i, _)| NodeId(i as u32))
+        .collect();
+    let mut order = Vec::with_capacity(nodes.len());
+    while let Some(id) = queue.pop() {
+        order.push(id);
+        for &s in &nodes[id.index()].succs {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if order.len() == nodes.len() {
+        Ok(order)
+    } else {
+        Err(GraphError::Cycle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A -> O1 -> {B (30%) | C (70%)}, both -> O2 -> D  (Figure 1b shape).
+    pub(crate) fn or_diamond() -> AndOrGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.task("A", 8.0, 5.0);
+        let o1 = b.or("O1");
+        let t_b = b.task("B", 5.0, 3.0);
+        let t_c = b.task("C", 4.0, 2.0);
+        let o2 = b.or("O2");
+        let d = b.task("D", 6.0, 4.0);
+        b.edge(a, o1).unwrap();
+        b.or_branch(o1, t_b, 0.3).unwrap();
+        b.or_branch(o1, t_c, 0.7).unwrap();
+        b.edge(t_b, o2).unwrap();
+        b.edge(t_c, o2).unwrap();
+        b.or_branch(o2, d, 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_or_diamond() {
+        let g = or_diamond();
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.num_tasks(), 4);
+        assert_eq!(g.num_or_nodes(), 2);
+        assert_eq!(g.sources(), vec![NodeId(0)]);
+        assert_eq!(g.sinks(), vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn or_branches_pairs_probs() {
+        let g = or_diamond();
+        let br = g.or_branches(NodeId(1));
+        assert_eq!(br.len(), 2);
+        assert_eq!(br[0], (NodeId(2), 0.3));
+        assert_eq!(br[1], (NodeId(3), 0.7));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an OR node")]
+    fn or_branches_panics_on_task() {
+        or_diamond().or_branches(NodeId(0));
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = or_diamond();
+        let order = g.topo_order();
+        let pos: Vec<usize> = (0..g.len())
+            .map(|i| order.iter().position(|n| n.index() == i).unwrap())
+            .collect();
+        for (id, n) in g.iter() {
+            for &s in &n.succs {
+                assert!(pos[id.index()] < pos[s.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(GraphBuilder::new().build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut b = GraphBuilder::new();
+        let x = b.task("x", 1.0, 1.0);
+        let y = b.task("y", 1.0, 1.0);
+        b.edge(x, y).unwrap();
+        b.edge(y, x).unwrap();
+        assert_eq!(b.build().unwrap_err(), GraphError::Cycle);
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicate_edges() {
+        let mut b = GraphBuilder::new();
+        let x = b.task("x", 1.0, 1.0);
+        let y = b.task("y", 1.0, 1.0);
+        assert_eq!(b.edge(x, x).unwrap_err(), GraphError::SelfLoop(x));
+        b.edge(x, y).unwrap();
+        assert_eq!(b.edge(x, y).unwrap_err(), GraphError::DuplicateEdge(x, y));
+    }
+
+    #[test]
+    fn rejects_bad_execution_times() {
+        for (w, a) in [(1.0, 2.0), (1.0, 0.0), (f64::NAN, 1.0), (1.0, -3.0)] {
+            let mut b = GraphBuilder::new();
+            b.task("x", w, a);
+            assert!(matches!(
+                b.build().unwrap_err(),
+                GraphError::BadExecutionTimes { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_or_prob_sum_mismatch() {
+        let mut b = GraphBuilder::new();
+        let a = b.task("a", 1.0, 1.0);
+        let o = b.or("o");
+        let x = b.task("x", 1.0, 1.0);
+        let y = b.task("y", 1.0, 1.0);
+        b.edge(a, o).unwrap();
+        b.or_branch(o, x, 0.5).unwrap();
+        b.or_branch(o, y, 0.3).unwrap(); // sums to 0.8
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::BadOrProbabilities { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_plain_edge_out_of_or() {
+        let mut b = GraphBuilder::new();
+        let o = b.or("o");
+        let x = b.task("x", 1.0, 1.0);
+        assert!(matches!(
+            b.edge(o, x).unwrap_err(),
+            GraphError::BadOrProbabilities { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_or_branch_from_task() {
+        let mut b = GraphBuilder::new();
+        let x = b.task("x", 1.0, 1.0);
+        let y = b.task("y", 1.0, 1.0);
+        assert!(matches!(
+            b.or_branch(x, y, 1.0).unwrap_err(),
+            GraphError::BadOrProbabilities { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_probability_values() {
+        let mut b = GraphBuilder::new();
+        let o = b.or("o");
+        let x = b.task("x", 1.0, 1.0);
+        assert!(b.or_branch(o, x, 0.0).is_err());
+        assert!(b.or_branch(o, x, 1.5).is_err());
+        assert!(b.or_branch(o, x, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn total_wcet_sums_tasks_only() {
+        let g = or_diamond();
+        assert!((g.total_wcet() - (8.0 + 5.0 + 4.0 + 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_round_trip_revalidates() {
+        let g = or_diamond();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: AndOrGraph = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+        assert_eq!(back.len(), g.len());
+    }
+
+    #[test]
+    fn unknown_node_in_edge() {
+        let mut b = GraphBuilder::new();
+        let x = b.task("x", 1.0, 1.0);
+        assert_eq!(
+            b.edge(x, NodeId(99)).unwrap_err(),
+            GraphError::UnknownNode(NodeId(99))
+        );
+    }
+}

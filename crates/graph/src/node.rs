@@ -1,0 +1,132 @@
+//! Graph vertices: computation tasks and AND/OR synchronization nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within its [`crate::AndOrGraph`].
+///
+/// `u32` keeps the per-node footprint small; graphs in this domain have at
+/// most a few thousand nodes even after loop expansion.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index as a usize, for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a vertex is.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A real task with worst-case and average-case execution times (ms at
+    /// maximum speed). Invariant (checked at build): `0 < acet <= wcet`.
+    Computation {
+        /// Worst-case execution time at maximum speed.
+        wcet: f64,
+        /// Average-case execution time at maximum speed.
+        acet: f64,
+    },
+    /// AND synchronization node: ready when *all* predecessors finish;
+    /// releases *all* successors. Dummy task, zero execution time.
+    And,
+    /// OR synchronization node: ready when *one* predecessor finishes;
+    /// releases exactly *one* successor, chosen with `probs[k]` for the k-th
+    /// successor. Dummy task, zero execution time.
+    ///
+    /// Invariant (checked at build): `probs.len() == succs.len()`, each
+    /// probability is in `(0, 1]` and they sum to 1.
+    Or {
+        /// Branch probabilities, parallel to the node's successor list.
+        probs: Vec<f64>,
+    },
+}
+
+impl NodeKind {
+    /// True for computation nodes.
+    pub fn is_computation(&self) -> bool {
+        matches!(self, NodeKind::Computation { .. })
+    }
+
+    /// True for OR synchronization nodes.
+    pub fn is_or(&self) -> bool {
+        matches!(self, NodeKind::Or { .. })
+    }
+
+    /// True for AND synchronization nodes.
+    pub fn is_and(&self) -> bool {
+        matches!(self, NodeKind::And)
+    }
+
+    /// WCET of the node — zero for synchronization (dummy) nodes.
+    pub fn wcet(&self) -> f64 {
+        match self {
+            NodeKind::Computation { wcet, .. } => *wcet,
+            _ => 0.0,
+        }
+    }
+
+    /// ACET of the node — zero for synchronization (dummy) nodes.
+    pub fn acet(&self) -> f64 {
+        match self {
+            NodeKind::Computation { acet, .. } => *acet,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A vertex plus its adjacency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// Human-readable name (unique within a graph by construction when using
+    /// [`crate::GraphBuilder::task`] defaults, but uniqueness is not
+    /// required).
+    pub name: String,
+    /// The vertex kind.
+    pub kind: NodeKind,
+    /// Direct predecessors.
+    pub preds: Vec<NodeId>,
+    /// Direct successors. For OR nodes, index `k` here pairs with
+    /// `probs[k]`.
+    pub succs: Vec<NodeId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let c = NodeKind::Computation {
+            wcet: 8.0,
+            acet: 5.0,
+        };
+        assert!(c.is_computation() && !c.is_or() && !c.is_and());
+        assert_eq!(c.wcet(), 8.0);
+        assert_eq!(c.acet(), 5.0);
+
+        let a = NodeKind::And;
+        assert!(a.is_and());
+        assert_eq!(a.wcet(), 0.0);
+
+        let o = NodeKind::Or { probs: vec![1.0] };
+        assert!(o.is_or());
+        assert_eq!(o.acet(), 0.0);
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        let id = NodeId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "n7");
+    }
+}

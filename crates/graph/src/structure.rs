@@ -1,0 +1,578 @@
+//! Hierarchical application construction.
+//!
+//! Writing flat AND/OR graphs by hand is error-prone; real applications are
+//! described structurally — sequences, parallel regions, probabilistic
+//! branches, and loops with a known iteration-count distribution (§2.1 of
+//! the paper treats loops exactly this way: "expand the loop as several
+//! tasks if we know the maximal number of iterations and the corresponding
+//! probabilities").
+//!
+//! [`Segment`] is that structural description. [`Segment::lower`] compiles a
+//! segment to a flat, validated [`AndOrGraph`]:
+//!
+//! * every segment lowers to a single-entry/single-exit region;
+//! * [`Segment::Par`] becomes an AND fork/join pair;
+//! * [`Segment::Branch`] becomes an OR branch node and an OR merge node;
+//! * [`Segment::Loop`] is unrolled into nested continue/stop branches whose
+//!   conditional probabilities reproduce the requested iteration-count
+//!   distribution.
+//!
+//! Graphs produced by lowering satisfy the OR-seriality restriction by
+//! construction. A `Branch` nested inside a `Par` arm is *serialized*: since
+//! all processors synchronize at OR nodes, the branch decision is deferred
+//! until the whole enclosing section (including sibling `Par` arms) drains.
+//! Two `Branch`es in sibling `Par` arms would require two concurrent
+//! synchronization points and are rejected by validation.
+
+use crate::graph::{AndOrGraph, GraphBuilder, GraphError};
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A structural description of an AND/OR application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Segment {
+    /// A computation task (name, WCET, ACET — ms at maximum speed).
+    Task {
+        /// Task name.
+        name: String,
+        /// Worst-case execution time.
+        wcet: f64,
+        /// Average-case execution time.
+        acet: f64,
+    },
+    /// Sub-segments executed one after another.
+    Seq(Vec<Segment>),
+    /// Sub-segments executed in parallel between an AND fork and an AND
+    /// join.
+    Par(Vec<Segment>),
+    /// Exactly one sub-segment executes, chosen with the paired
+    /// probability; control re-converges at an OR merge node.
+    Branch(Vec<(f64, Segment)>),
+    /// The body repeats `n` times with probability `p` for each
+    /// `(n, p)` entry. Lowered by unrolling to nested continue/stop
+    /// branches.
+    Loop {
+        /// Loop body.
+        body: Box<Segment>,
+        /// Iteration-count distribution: distinct counts with probabilities
+        /// summing to 1.
+        counts: Vec<(usize, f64)>,
+    },
+}
+
+impl Segment {
+    /// A computation task.
+    pub fn task(name: impl Into<String>, wcet: f64, acet: f64) -> Self {
+        Segment::Task {
+            name: name.into(),
+            wcet,
+            acet,
+        }
+    }
+
+    /// Sequential composition.
+    pub fn seq(parts: impl IntoIterator<Item = Segment>) -> Self {
+        Segment::Seq(parts.into_iter().collect())
+    }
+
+    /// Parallel (AND) composition.
+    pub fn par(parts: impl IntoIterator<Item = Segment>) -> Self {
+        Segment::Par(parts.into_iter().collect())
+    }
+
+    /// Probabilistic (OR) branch.
+    pub fn branch(arms: impl IntoIterator<Item = (f64, Segment)>) -> Self {
+        Segment::Branch(arms.into_iter().collect())
+    }
+
+    /// A loop with an iteration-count distribution.
+    pub fn loop_(body: Segment, counts: impl IntoIterator<Item = (usize, f64)>) -> Self {
+        Segment::Loop {
+            body: Box::new(body),
+            counts: counts.into_iter().collect(),
+        }
+    }
+
+    /// An empty segment (lowers to a zero-time AND node). Useful as the
+    /// "skip" arm of a branch.
+    pub fn empty() -> Self {
+        Segment::Seq(Vec::new())
+    }
+
+    /// Compiles to a flat validated AND/OR graph.
+    pub fn lower(&self) -> Result<AndOrGraph, GraphError> {
+        let mut ctx = Lowering {
+            b: GraphBuilder::new(),
+            sync_counter: 0,
+        };
+        let expanded = self.expand_loops()?;
+        ctx.lower_segment(&expanded)?;
+        ctx.b.build()
+    }
+
+    /// Recursively replaces every [`Segment::Loop`] with its
+    /// branch-unrolled equivalent.
+    fn expand_loops(&self) -> Result<Segment, GraphError> {
+        Ok(match self {
+            Segment::Task { .. } => self.clone(),
+            Segment::Seq(parts) => Segment::Seq(
+                parts
+                    .iter()
+                    .map(|p| p.expand_loops())
+                    .collect::<Result<_, _>>()?,
+            ),
+            Segment::Par(parts) => Segment::Par(
+                parts
+                    .iter()
+                    .map(|p| p.expand_loops())
+                    .collect::<Result<_, _>>()?,
+            ),
+            Segment::Branch(arms) => Segment::Branch(
+                arms.iter()
+                    .map(|(p, s)| Ok((*p, s.expand_loops()?)))
+                    .collect::<Result<_, GraphError>>()?,
+            ),
+            Segment::Loop { body, counts } => {
+                let body = body.expand_loops()?;
+                expand_loop(&body, counts)?
+            }
+        })
+    }
+
+    /// Renames every task by appending `suffix` — used when unrolling loops
+    /// so each iteration's tasks stay distinguishable in traces.
+    fn with_suffix(&self, suffix: &str) -> Segment {
+        match self {
+            Segment::Task { name, wcet, acet } => Segment::Task {
+                name: format!("{name}{suffix}"),
+                wcet: *wcet,
+                acet: *acet,
+            },
+            Segment::Seq(v) => {
+                Segment::Seq(v.iter().map(|s| s.with_suffix(suffix)).collect())
+            }
+            Segment::Par(v) => {
+                Segment::Par(v.iter().map(|s| s.with_suffix(suffix)).collect())
+            }
+            Segment::Branch(arms) => Segment::Branch(
+                arms.iter()
+                    .map(|(p, s)| (*p, s.with_suffix(suffix)))
+                    .collect(),
+            ),
+            Segment::Loop { body, counts } => Segment::Loop {
+                body: Box::new(body.with_suffix(suffix)),
+                counts: counts.clone(),
+            },
+        }
+    }
+}
+
+/// Unrolls a loop body with an iteration-count distribution into nested
+/// continue/stop branches with the correct conditional probabilities.
+///
+/// For counts `(n₁ < n₂ < ... < n_m)` with probabilities `p_i`:
+/// run the body `n₁` times, then branch — stop with `p₁ / Σ_{j≥1} p_j`,
+/// continue (and recurse on the remaining counts, offset by `n₁`)
+/// otherwise.
+fn expand_loop(body: &Segment, counts: &[(usize, f64)]) -> Result<Segment, GraphError> {
+    if counts.is_empty() {
+        return Err(GraphError::SectionStructure {
+            detail: "loop has an empty iteration-count distribution".into(),
+        });
+    }
+    let mut sorted: Vec<(usize, f64)> = counts.to_vec();
+    sorted.sort_by_key(|(n, _)| *n);
+    for w in sorted.windows(2) {
+        if w[0].0 == w[1].0 {
+            return Err(GraphError::SectionStructure {
+                detail: format!("duplicate loop iteration count {}", w[0].0),
+            });
+        }
+    }
+    let total: f64 = sorted.iter().map(|(_, p)| p).sum();
+    if (total - 1.0).abs() > 1e-6 || sorted.iter().any(|(_, p)| !(*p > 0.0 && *p <= 1.0)) {
+        return Err(GraphError::SectionStructure {
+            detail: "loop iteration probabilities must lie in (0,1] and sum to 1".into(),
+        });
+    }
+    Ok(unroll(body, &sorted, 0))
+}
+
+fn unroll(body: &Segment, remaining: &[(usize, f64)], done: usize) -> Segment {
+    let (n_min, p_min) = remaining[0];
+    let reps: Vec<Segment> = (done..n_min)
+        .map(|i| body.with_suffix(&format!("#{}", i + 1)))
+        .collect();
+    if remaining.len() == 1 {
+        return Segment::Seq(reps);
+    }
+    let mass: f64 = remaining.iter().map(|(_, p)| p).sum();
+    let p_stop = p_min / mass;
+    let tail = unroll(body, &remaining[1..], n_min);
+    let mut parts = reps;
+    parts.push(Segment::branch([
+        (p_stop, Segment::empty()),
+        ((1.0 - p_stop).max(f64::MIN_POSITIVE), tail),
+    ]));
+    Segment::Seq(parts)
+}
+
+struct Lowering {
+    b: GraphBuilder,
+    sync_counter: usize,
+}
+
+impl Lowering {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.sync_counter += 1;
+        format!("{prefix}{}", self.sync_counter)
+    }
+
+    /// Lowers a segment and returns its (entry, exit) node pair.
+    fn lower_segment(&mut self, s: &Segment) -> Result<(NodeId, NodeId), GraphError> {
+        match s {
+            Segment::Task { name, wcet, acet } => {
+                let id = self.b.task(name.clone(), *wcet, *acet);
+                Ok((id, id))
+            }
+            Segment::Seq(parts) => {
+                if parts.is_empty() {
+                    let name = self.fresh("nop");
+                    let noop = self.b.and(name);
+                    return Ok((noop, noop));
+                }
+                let mut regions = Vec::with_capacity(parts.len());
+                for p in parts {
+                    regions.push(self.lower_segment(p)?);
+                }
+                for w in regions.windows(2) {
+                    self.connect(w[0].1, w[1].0)?;
+                }
+                Ok((regions[0].0, regions[regions.len() - 1].1))
+            }
+            Segment::Par(parts) => {
+                if parts.is_empty() {
+                    let name = self.fresh("nop");
+                    let noop = self.b.and(name);
+                    return Ok((noop, noop));
+                }
+                let fork_name = self.fresh("fork");
+                let join_name = self.fresh("join");
+                let fork = self.b.and(fork_name);
+                let join = self.b.and(join_name);
+                for p in parts {
+                    let (entry, exit) = self.lower_segment(p)?;
+                    self.connect(fork, entry)?;
+                    self.connect(exit, join)?;
+                }
+                Ok((fork, join))
+            }
+            Segment::Branch(arms) => {
+                if arms.is_empty() {
+                    return Err(GraphError::SectionStructure {
+                        detail: "branch with no arms".into(),
+                    });
+                }
+                let or_name = self.fresh("or");
+                let merge_name = self.fresh("merge");
+                let or = self.b.or(or_name);
+                let merge = self.b.or(merge_name);
+                for (prob, arm) in arms {
+                    let (entry, exit) = self.lower_segment(arm)?;
+                    self.b.or_branch(or, entry, *prob)?;
+                    self.connect(exit, merge)?;
+                }
+                Ok((or, merge))
+            }
+            Segment::Loop { .. } => unreachable!("loops expanded before lowering"),
+        }
+    }
+
+    /// Wires `from -> to`, routing through `or_branch` when `from` is an OR
+    /// merge node (its single continuation has probability 1).
+    fn connect(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+        if self.is_or(from) {
+            self.b.or_branch(from, to, 1.0)
+        } else {
+            self.b.edge(from, to)
+        }
+    }
+
+    fn is_or(&self, id: NodeId) -> bool {
+        // GraphBuilder does not expose nodes; track via name prefix instead?
+        // No: we record OR-ness in the builder itself.
+        self.b.kind_is_or(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sections::SectionGraph;
+
+    #[test]
+    fn task_lowers_to_single_node() {
+        let g = Segment::task("A", 3.0, 2.0).lower().unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.num_tasks(), 1);
+    }
+
+    #[test]
+    fn seq_chains_tasks() {
+        let g = Segment::seq([
+            Segment::task("A", 1.0, 0.5),
+            Segment::task("B", 2.0, 1.0),
+            Segment::task("C", 3.0, 1.5),
+        ])
+        .lower()
+        .unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+        // Chain: one succ each except the sink.
+        assert_eq!(g.node(g.sources()[0]).succs.len(), 1);
+    }
+
+    #[test]
+    fn par_adds_fork_and_join() {
+        let g = Segment::par([
+            Segment::task("X", 1.0, 0.5),
+            Segment::task("Y", 2.0, 1.0),
+        ])
+        .lower()
+        .unwrap();
+        // fork + join + 2 tasks.
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_tasks(), 2);
+        let fork = g.sources()[0];
+        assert!(g.node(fork).kind.is_and());
+        assert_eq!(g.node(fork).succs.len(), 2);
+    }
+
+    #[test]
+    fn branch_adds_or_and_merge() {
+        let g = Segment::branch([
+            (0.3, Segment::task("B", 5.0, 3.0)),
+            (0.7, Segment::task("C", 4.0, 2.0)),
+        ])
+        .lower()
+        .unwrap();
+        assert_eq!(g.num_or_nodes(), 2);
+        assert_eq!(g.num_tasks(), 2);
+        let sg = SectionGraph::build(&g).unwrap();
+        // Empty root (exits straight into the source OR), two arm sections.
+        // The merge OR is terminal, so no continuation section exists.
+        assert_eq!(sg.len(), 3);
+        assert!(sg.section(sg.root()).is_passthrough());
+    }
+
+    #[test]
+    fn branch_inside_seq_produces_two_scenarios() {
+        let app = Segment::seq([
+            Segment::task("A", 8.0, 5.0),
+            Segment::branch([
+                (0.3, Segment::task("B", 5.0, 3.0)),
+                (0.7, Segment::task("C", 4.0, 2.0)),
+            ]),
+            Segment::task("D", 6.0, 4.0),
+        ]);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+        assert_eq!(scenarios.len(), 2);
+    }
+
+    #[test]
+    fn nested_branches() {
+        let app = Segment::branch([
+            (
+                0.5,
+                Segment::branch([
+                    (0.4, Segment::task("C", 2.0, 1.0)),
+                    (0.6, Segment::task("D", 2.0, 1.0)),
+                ]),
+            ),
+            (0.5, Segment::task("E", 2.0, 1.0)),
+        ]);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+        assert_eq!(scenarios.len(), 3);
+        let total: f64 = scenarios.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_inside_par_is_serialized() {
+        // A single Branch nested in a Par arm is legal: the OR decision is
+        // deferred until the sibling arm (Y) also drains, per the paper's
+        // "all processors synchronize at an OR node" rule.
+        let app = Segment::par([
+            Segment::branch([
+                (0.5, Segment::task("B", 1.0, 0.5)),
+                (0.5, Segment::task("C", 1.0, 0.5)),
+            ]),
+            Segment::task("Y", 2.0, 1.0),
+        ]);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        // Root section holds the fork and Y; the OR exits it.
+        let root = sg.section(sg.root());
+        assert_eq!(root.nodes.len(), 2);
+        assert!(root.exit_or.is_some());
+    }
+
+    #[test]
+    fn two_branches_in_sibling_par_arms_rejected() {
+        // Two concurrent OR decisions cannot both be synchronization
+        // points; validation must refuse.
+        let app = Segment::par([
+            Segment::branch([
+                (0.5, Segment::task("B", 1.0, 0.5)),
+                (0.5, Segment::task("C", 1.0, 0.5)),
+            ]),
+            Segment::branch([
+                (0.5, Segment::task("D", 1.0, 0.5)),
+                (0.5, Segment::task("E", 1.0, 0.5)),
+            ]),
+        ]);
+        assert!(matches!(
+            app.lower().unwrap_err(),
+            GraphError::SectionStructure { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_branch_arm_lowers_to_noop() {
+        let app = Segment::seq([
+            Segment::task("A", 1.0, 0.5),
+            Segment::branch([
+                (0.4, Segment::task("B", 2.0, 1.0)),
+                (0.6, Segment::empty()),
+            ]),
+            Segment::task("Z", 1.0, 0.5),
+        ]);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+        assert_eq!(scenarios.len(), 2);
+    }
+
+    #[test]
+    fn loop_fixed_count_unrolls_to_sequence() {
+        let app = Segment::loop_(Segment::task("body", 2.0, 1.0), [(3, 1.0)]);
+        let g = app.lower().unwrap();
+        assert_eq!(g.num_tasks(), 3);
+        assert_eq!(g.num_or_nodes(), 0);
+        // Unrolled copies keep distinguishable names.
+        let names: Vec<&str> = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.is_computation())
+            .map(|n| n.name.as_str())
+            .collect();
+        assert!(names.contains(&"body#1"));
+        assert!(names.contains(&"body#3"));
+    }
+
+    #[test]
+    fn loop_distribution_scenario_probabilities_match() {
+        // 1 iter 50%, 2 iters 30%, 4 iters 20%.
+        let app = Segment::loop_(
+            Segment::task("w", 2.0, 1.0),
+            [(1, 0.5), (2, 0.3), (4, 0.2)],
+        );
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+        assert_eq!(scenarios.len(), 3);
+        let mut by_tasks: Vec<(usize, f64)> = scenarios
+            .iter()
+            .map(|(s, p)| {
+                let n = sg
+                    .active_nodes(&g, s)
+                    .iter()
+                    .filter(|id| g.node(**id).kind.is_computation())
+                    .count();
+                (n, *p)
+            })
+            .collect();
+        by_tasks.sort_by_key(|(n, _)| *n);
+        assert_eq!(by_tasks[0].0, 1);
+        assert!((by_tasks[0].1 - 0.5).abs() < 1e-9);
+        assert_eq!(by_tasks[1].0, 2);
+        assert!((by_tasks[1].1 - 0.3).abs() < 1e-9);
+        assert_eq!(by_tasks[2].0, 4);
+        assert!((by_tasks[2].1 - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loop_rejects_bad_distributions() {
+        let body = Segment::task("b", 1.0, 0.5);
+        assert!(Segment::loop_(body.clone(), []).lower().is_err());
+        assert!(Segment::loop_(body.clone(), [(1, 0.5), (1, 0.5)])
+            .lower()
+            .is_err());
+        assert!(Segment::loop_(body, [(1, 0.4), (2, 0.4)]).lower().is_err());
+    }
+
+    #[test]
+    fn empty_branch_list_is_rejected() {
+        assert!(matches!(
+            Segment::branch([]).lower().unwrap_err(),
+            GraphError::SectionStructure { .. }
+        ));
+    }
+
+    #[test]
+    fn segment_serde_round_trip() {
+        let app = Segment::seq([
+            Segment::task("A", 8.0, 5.0),
+            Segment::loop_(Segment::task("D", 4.0, 2.0), [(1, 0.5), (2, 0.5)]),
+            Segment::branch([
+                (0.3, Segment::par([Segment::task("B", 5.0, 3.0)])),
+                (0.7, Segment::empty()),
+            ]),
+        ]);
+        let json = serde_json::to_string(&app).unwrap();
+        let back: Segment = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, app);
+        // And it still lowers identically.
+        let g1 = app.lower().unwrap();
+        let g2 = back.lower().unwrap();
+        assert_eq!(g1.len(), g2.len());
+    }
+
+    #[test]
+    fn figure_1a_and_structure() {
+        // Paper Figure 1a: A then AND-fork to B and C.
+        let app = Segment::seq([
+            Segment::task("A", 8.0, 5.0),
+            Segment::par([
+                Segment::task("B", 5.0, 3.0),
+                Segment::task("C", 4.0, 2.0),
+            ]),
+        ]);
+        let g = app.lower().unwrap();
+        assert_eq!(g.num_tasks(), 3);
+        let sg = SectionGraph::build(&g).unwrap();
+        assert_eq!(sg.len(), 1);
+    }
+
+    #[test]
+    fn figure_1b_or_structure() {
+        // Paper Figure 1b: A, then 30% F-path vs 70% G-path, merging at O4.
+        let app = Segment::seq([
+            Segment::task("A", 8.0, 5.0),
+            Segment::branch([
+                (0.3, Segment::seq([Segment::task("B", 5.0, 3.0), Segment::task("F", 8.0, 6.0)])),
+                (0.7, Segment::seq([Segment::task("C", 4.0, 2.0), Segment::task("G", 5.0, 3.0)])),
+            ]),
+        ]);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(g.num_tasks(), 5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based invariants of the AND/OR graph machinery, driven by a
+//! proptest strategy that generates random *structured* applications
+//! (mirroring `workloads::random`, but defined here so the graph crate's
+//! invariants don't depend on a downstream crate).
+
+use andor_graph::{AndOrGraph, NodeKind, Scenario, SectionGraph, Segment};
+use proptest::prelude::*;
+
+/// Strategy: random segments up to a given depth. `Par` arms exclude
+/// `Branch` (two concurrent synchronization points are invalid by design).
+fn arb_segment(depth: u32, allow_branch: bool) -> BoxedStrategy<Segment> {
+    let task = (1u32..1000, 1u32..=100).prop_map(|(w, a_pct)| {
+        let wcet = w as f64 / 10.0;
+        Segment::task("t", wcet, wcet * a_pct as f64 / 100.0)
+    });
+    if depth == 0 {
+        return task.boxed();
+    }
+    let seq = proptest::collection::vec(arb_segment(depth - 1, allow_branch), 1..4)
+        .prop_map(Segment::Seq);
+    let par = proptest::collection::vec(arb_segment(depth - 1, false), 2..4)
+        .prop_map(Segment::Par);
+    if allow_branch {
+        let branch = proptest::collection::vec(
+            (1u32..100, arb_segment(depth - 1, true)),
+            2..4,
+        )
+        .prop_map(|arms| {
+            let total: u32 = arms.iter().map(|(w, _)| w).sum();
+            Segment::Branch(
+                arms.into_iter()
+                    .map(|(w, s)| (w as f64 / total as f64, s))
+                    .collect(),
+            )
+        });
+        prop_oneof![task, seq, par, branch].boxed()
+    } else {
+        prop_oneof![task, seq, par].boxed()
+    }
+}
+
+fn lowered() -> impl Strategy<Value = AndOrGraph> {
+    arb_segment(3, true).prop_filter_map("lowers successfully", |s| s.lower().ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every structurally generated application lowers to a graph that
+    /// passes full validation (including after a serde round trip).
+    #[test]
+    fn lowering_always_validates(g in lowered()) {
+        g.validate().unwrap();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: AndOrGraph = serde_json::from_str(&json).unwrap();
+        back.validate().unwrap();
+    }
+
+    /// Scenario probabilities always sum to 1.
+    #[test]
+    fn scenario_probabilities_sum_to_one(g in lowered()) {
+        let sg = SectionGraph::build(&g).unwrap();
+        let total: f64 = sg.enumerate_scenarios(&g).map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sum={total}");
+    }
+
+    /// Sections partition the non-OR nodes: every computation/AND node
+    /// belongs to exactly one section, OR nodes to none.
+    #[test]
+    fn sections_partition_nodes(g in lowered()) {
+        let sg = SectionGraph::build(&g).unwrap();
+        let mut seen = vec![0usize; g.len()];
+        for section in sg.sections() {
+            for &n in &section.nodes {
+                seen[n.index()] += 1;
+            }
+        }
+        for (id, node) in g.iter() {
+            match node.kind {
+                NodeKind::Or { .. } => prop_assert_eq!(seen[id.index()], 0),
+                _ => prop_assert_eq!(seen[id.index()], 1, "node {}", id),
+            }
+        }
+    }
+
+    /// Each scenario's active node set respects dependence: every active
+    /// node's predecessors that are active appear earlier in the order.
+    #[test]
+    fn active_nodes_are_topologically_ordered(g in lowered()) {
+        let sg = SectionGraph::build(&g).unwrap();
+        for (scenario, _) in sg.enumerate_scenarios(&g) {
+            let active = sg.active_nodes(&g, &scenario);
+            let pos: std::collections::HashMap<_, _> =
+                active.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+            for &n in &active {
+                for p in &g.node(n).preds {
+                    if let Some(&pp) = pos.get(p) {
+                        prop_assert!(pp < pos[&n]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sampling only ever produces scenarios that enumeration knows about.
+    #[test]
+    fn sampled_scenarios_are_enumerable(g in lowered(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let sg = SectionGraph::build(&g).unwrap();
+        let all: Vec<Scenario> =
+            sg.enumerate_scenarios(&g).map(|(s, _)| s).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = sg.sample_scenario(&g, &mut rng);
+        prop_assert!(all.contains(&s));
+    }
+
+    /// The DOT export mentions every node exactly once as a declaration.
+    #[test]
+    fn dot_declares_every_node(g in lowered()) {
+        let dot = andor_graph::to_dot(&g, "p");
+        for (id, _) in g.iter() {
+            let decl = format!("  n{} [", id.0);
+            prop_assert_eq!(dot.matches(&decl).count(), 1);
+        }
+    }
+
+    /// The scenario-weighted expected work equals the analytical profile.
+    #[test]
+    fn profile_expectation_matches_enumeration(g in lowered()) {
+        let sg = SectionGraph::build(&g).unwrap();
+        let profile = andor_graph::app_profile(&g, &sg);
+        let manual: f64 = sg
+            .enumerate_scenarios(&g)
+            .map(|(s, p)| {
+                let w: f64 = sg
+                    .active_nodes(&g, &s)
+                    .iter()
+                    .map(|&n| g.node(n).kind.wcet())
+                    .sum();
+                p * w
+            })
+            .sum();
+        prop_assert!((profile.expected_wcet - manual).abs() < 1e-6);
+    }
+}

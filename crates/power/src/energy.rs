@@ -1,0 +1,151 @@
+//! Energy accounting.
+//!
+//! All energies are in normalized units: power is relative to the maximum
+//! operating point (`P_max = 1`), time is in ms, so `energy = power · time`
+//! integrates to "P_max-milliseconds". Because every scheme in an experiment
+//! is normalized by the NPM baseline measured in the same units, the unit
+//! cancels — exactly as in the paper's figures.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-processor (or aggregated) energy meter.
+///
+/// Tracks the three ways a DVS processor burns energy in this model —
+/// executing at some operating point, idling at the idle fraction, and
+/// sitting through voltage/speed transitions — plus the event counts the
+/// paper reasons about (number of speed changes).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    busy_energy: f64,
+    idle_energy: f64,
+    transition_energy: f64,
+    busy_time: f64,
+    idle_time: f64,
+    transition_time: f64,
+    speed_changes: u64,
+}
+
+impl EnergyMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `dt` ms of execution at normalized power `power`.
+    pub fn add_busy(&mut self, power: f64, dt: f64) {
+        debug_assert!(power >= 0.0 && dt >= 0.0);
+        self.busy_energy += power * dt;
+        self.busy_time += dt;
+    }
+
+    /// Charges `dt` ms of idle time at `idle_fraction` of maximum power.
+    pub fn add_idle(&mut self, idle_fraction: f64, dt: f64) {
+        debug_assert!(idle_fraction >= 0.0 && dt >= 0.0);
+        self.idle_energy += idle_fraction * dt;
+        self.idle_time += dt;
+    }
+
+    /// Charges one voltage/speed transition lasting `dt` ms at normalized
+    /// power `power` (we conservatively charge the higher of the two
+    /// endpoint powers; callers decide).
+    pub fn add_transition(&mut self, power: f64, dt: f64) {
+        debug_assert!(power >= 0.0 && dt >= 0.0);
+        self.transition_energy += power * dt;
+        self.transition_time += dt;
+        self.speed_changes += 1;
+    }
+
+    /// Merges another meter into this one (aggregate across processors).
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        self.busy_energy += other.busy_energy;
+        self.idle_energy += other.idle_energy;
+        self.transition_energy += other.transition_energy;
+        self.busy_time += other.busy_time;
+        self.idle_time += other.idle_time;
+        self.transition_time += other.transition_time;
+        self.speed_changes += other.speed_changes;
+    }
+
+    /// Total energy (busy + idle + transitions).
+    pub fn total_energy(&self) -> f64 {
+        self.busy_energy + self.idle_energy + self.transition_energy
+    }
+
+    /// Energy spent executing tasks.
+    pub fn busy_energy(&self) -> f64 {
+        self.busy_energy
+    }
+
+    /// Energy spent idling/sleeping.
+    pub fn idle_energy(&self) -> f64 {
+        self.idle_energy
+    }
+
+    /// Energy spent during voltage/speed transitions.
+    pub fn transition_energy(&self) -> f64 {
+        self.transition_energy
+    }
+
+    /// Time spent executing tasks, in ms.
+    pub fn busy_time(&self) -> f64 {
+        self.busy_time
+    }
+
+    /// Time spent idle, in ms.
+    pub fn idle_time(&self) -> f64 {
+        self.idle_time
+    }
+
+    /// Time spent in transitions, in ms.
+    pub fn transition_time(&self) -> f64 {
+        self.transition_time
+    }
+
+    /// Number of voltage/speed changes performed.
+    pub fn speed_changes(&self) -> u64 {
+        self.speed_changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_each_bucket() {
+        let mut m = EnergyMeter::new();
+        m.add_busy(0.5, 10.0);
+        m.add_idle(0.05, 4.0);
+        m.add_transition(1.0, 0.005);
+        assert!((m.busy_energy() - 5.0).abs() < 1e-12);
+        assert!((m.idle_energy() - 0.2).abs() < 1e-12);
+        assert!((m.transition_energy() - 0.005).abs() < 1e-12);
+        assert!((m.total_energy() - 5.205).abs() < 1e-12);
+        assert_eq!(m.speed_changes(), 1);
+        assert!((m.busy_time() - 10.0).abs() < 1e-12);
+        assert!((m.idle_time() - 4.0).abs() < 1e-12);
+        assert!((m.transition_time() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = EnergyMeter::new();
+        a.add_busy(1.0, 1.0);
+        a.add_transition(0.5, 0.01);
+        let mut b = EnergyMeter::new();
+        b.add_busy(1.0, 2.0);
+        b.add_idle(0.05, 10.0);
+        b.add_transition(0.5, 0.01);
+        a.merge(&b);
+        assert!((a.busy_energy() - 3.0).abs() < 1e-12);
+        assert!((a.idle_energy() - 0.5).abs() < 1e-12);
+        assert_eq!(a.speed_changes(), 2);
+    }
+
+    #[test]
+    fn fresh_meter_is_zero() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.total_energy(), 0.0);
+        assert_eq!(m.speed_changes(), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Static (leakage) power and the energy-efficient speed floor.
+//!
+//! The paper's model is pure dynamic power — state of the art for 2002.
+//! Later work (including the authors' own follow-ups) showed that once
+//! static/leakage power is non-negligible, slowing down stops paying off
+//! below a *critical speed*: execution time grows linearly while dynamic
+//! power shrinks, but leakage keeps burning the whole time.
+//!
+//! This module adds that extension: with normalized static power `ρ`
+//! (fraction of the maximum dynamic power drawn whenever the processor is
+//! active), the energy to retire one unit of work at operating point
+//! `(s, P)` is
+//!
+//! ```text
+//! E(s) = (P(s) + ρ) / s
+//! ```
+//!
+//! For the idealized cubic model `P(s) = s³` this is `s² + ρ/s`, minimized
+//! at the critical speed `s* = (ρ/2)^(1/3)`. For a discrete table the
+//! floor is simply the level minimizing `E`.
+//!
+//! Policies wrap their desired speed with [`efficient_floor`] so they never
+//! slow below the point where slowing wastes energy (see
+//! `pas-core::policies::EnergyFloorPolicy`).
+
+use crate::model::ProcessorModel;
+
+/// Energy per unit of full-speed work at a given normalized operating
+/// point, with static fraction `rho`.
+pub fn energy_per_work(power: f64, speed: f64, rho: f64) -> f64 {
+    debug_assert!(speed > 0.0);
+    (power + rho) / speed
+}
+
+/// The critical speed of the idealized cubic model: `(ρ/2)^(1/3)`.
+pub fn critical_speed_cubic(rho: f64) -> f64 {
+    debug_assert!(rho >= 0.0);
+    (rho / 2.0).cbrt()
+}
+
+/// The slowest *energy-efficient* speed of a processor model under static
+/// fraction `rho`: running below this speed both takes longer and costs
+/// more energy, so no policy should ever request less.
+///
+/// Returns a speed in `[min_speed, 1]`.
+pub fn efficient_floor(model: &ProcessorModel, rho: f64) -> f64 {
+    match model.levels() {
+        Some(levels) => {
+            let f_max = model.max_freq_mhz();
+            levels
+                .iter()
+                .map(|l| {
+                    let s = l.freq_mhz / f_max;
+                    (s, energy_per_work(model.level_power(l), s, rho))
+                })
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .map(|(s, _)| s)
+                .expect("tables are non-empty")
+        }
+        None => critical_speed_cubic(rho).clamp(model.min_speed(), 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_leakage_floor_is_min_speed() {
+        // Without leakage, slower is always more efficient: the floor is
+        // the lowest level.
+        for m in [ProcessorModel::transmeta5400(), ProcessorModel::xscale()] {
+            assert!((efficient_floor(&m, 0.0) - m.min_speed()).abs() < 1e-12);
+        }
+        let c = ProcessorModel::continuous(0.2).unwrap();
+        assert!((efficient_floor(&c, 0.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cubic_critical_speed_formula() {
+        assert!((critical_speed_cubic(0.0)).abs() < 1e-12);
+        assert!((critical_speed_cubic(2.0) - 1.0).abs() < 1e-12);
+        let s = critical_speed_cubic(0.25);
+        // dE/ds = 2s − ρ/s² = 0 at the critical point.
+        assert!((2.0 * s - 0.25 / (s * s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn floor_rises_with_leakage() {
+        let m = ProcessorModel::transmeta5400();
+        let f0 = efficient_floor(&m, 0.0);
+        let f1 = efficient_floor(&m, 0.1);
+        let f2 = efficient_floor(&m, 0.4);
+        assert!(f0 <= f1 && f1 <= f2);
+        assert!(f2 > f0, "heavy leakage must raise the floor");
+    }
+
+    #[test]
+    fn floor_minimizes_energy_per_work_on_tables() {
+        let m = ProcessorModel::xscale();
+        let rho = 0.2;
+        let floor = efficient_floor(&m, rho);
+        let f_max = m.max_freq_mhz();
+        let e_floor = m
+            .levels()
+            .unwrap()
+            .iter()
+            .find(|l| (l.freq_mhz / f_max - floor).abs() < 1e-12)
+            .map(|l| energy_per_work(m.level_power(l), floor, rho))
+            .unwrap();
+        for l in m.levels().unwrap() {
+            let s = l.freq_mhz / f_max;
+            assert!(e_floor <= energy_per_work(m.level_power(l), s, rho) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn continuous_floor_respects_speed_range() {
+        let m = ProcessorModel::continuous(0.5).unwrap();
+        // Critical speed below min_speed clamps up.
+        assert_eq!(efficient_floor(&m, 0.01), 0.5);
+        // Huge leakage clamps to full speed.
+        assert_eq!(efficient_floor(&m, 10.0), 1.0);
+    }
+}

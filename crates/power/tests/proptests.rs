@@ -1,0 +1,96 @@
+//! Property-based invariants of the power models.
+
+use dvfs_power::{Overheads, ProcessorModel, SpeedLevel};
+use proptest::prelude::*;
+
+fn arb_model() -> impl Strategy<Value = ProcessorModel> {
+    prop_oneof![
+        Just(ProcessorModel::transmeta5400()),
+        Just(ProcessorModel::xscale()),
+        (0.01f64..1.0).prop_map(|s| ProcessorModel::continuous(s).unwrap()),
+        (1usize..24, 0.05f64..0.95, 500f64..2000.0).prop_map(|(n, r, f)| {
+            ProcessorModel::synthetic(f, n, r, 0.7, 1.9).unwrap()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// quantize_up returns a point that is at least as fast as requested
+    /// (clamped to the speed range) and has power in (0, 1].
+    #[test]
+    fn quantize_up_is_sound(model in arb_model(), desired in 0.0f64..2.0) {
+        let op = model.quantize_up(desired);
+        prop_assert!(op.speed >= model.min_speed() - 1e-12);
+        prop_assert!(op.speed <= 1.0 + 1e-12);
+        prop_assert!(op.power > 0.0 && op.power <= 1.0 + 1e-12);
+        if desired <= 1.0 {
+            prop_assert!(op.speed >= desired.min(1.0) - 1e-9,
+                "requested {desired}, got {}", op.speed);
+        }
+    }
+
+    /// Quantization is monotone: asking for more speed never yields less.
+    #[test]
+    fn quantize_up_is_monotone(model in arb_model(), a in 0.0f64..1.5, b in 0.0f64..1.5) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let op_lo = model.quantize_up(lo);
+        let op_hi = model.quantize_up(hi);
+        prop_assert!(op_lo.speed <= op_hi.speed + 1e-12);
+        prop_assert!(op_lo.power <= op_hi.power + 1e-12);
+    }
+
+    /// Quantization is idempotent: re-quantizing a level's speed returns
+    /// the same level.
+    #[test]
+    fn quantize_up_is_idempotent(model in arb_model(), desired in 0.0f64..1.5) {
+        let op = model.quantize_up(desired);
+        let again = model.quantize_up(op.speed);
+        prop_assert!((op.speed - again.speed).abs() < 1e-12);
+        prop_assert!((op.power - again.power).abs() < 1e-12);
+    }
+
+    /// Power is monotone in speed across any level table, and the top
+    /// level always normalizes to exactly 1/1.
+    #[test]
+    fn table_power_monotone_and_normalized(
+        n in 2usize..16, smin in 0.05f64..0.9, vmin in 0.5f64..1.0, vspread in 0.0f64..1.0
+    ) {
+        let model = ProcessorModel::synthetic(1000.0, n, smin, vmin, vmin + vspread).unwrap();
+        let levels: Vec<SpeedLevel> = model.levels().unwrap().to_vec();
+        let powers: Vec<f64> = levels.iter().map(|l| model.level_power(l)).collect();
+        for w in powers.windows(2) {
+            prop_assert!(w[0] < w[1] + 1e-12);
+        }
+        prop_assert!((powers.last().unwrap() - 1.0).abs() < 1e-12);
+        let top = model.quantize_up(1.0);
+        prop_assert!((top.speed - 1.0).abs() < 1e-12);
+    }
+
+    /// Energy of a task slowed uniformly never exceeds full-speed energy
+    /// (convexity of the level tables: slower level ⇒ lower power ⇒
+    /// power·(1/s) ≤ 1 since power ≤ s for our tables... checked directly).
+    #[test]
+    fn slowing_down_saves_energy(model in arb_model(), desired in 0.0f64..1.0) {
+        let op = model.quantize_up(desired);
+        let wcet = 10.0;
+        let slowed = op.power * (wcet / op.speed);
+        let full = 1.0 * wcet;
+        prop_assert!(slowed <= full + 1e-9,
+            "slowed {slowed} vs full {full} at s={}", op.speed);
+    }
+
+    /// Overhead computations are non-negative and scale inversely with
+    /// speed.
+    #[test]
+    fn overhead_times_behave(cycles in 0f64..10_000.0, trans in 0f64..1.0,
+                             s1 in 0.05f64..1.0, s2 in 0.05f64..1.0) {
+        let o = Overheads::new(cycles, trans).unwrap();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let t_lo = o.compute_time_ms(lo, 1000.0);
+        let t_hi = o.compute_time_ms(hi, 1000.0);
+        prop_assert!(t_lo >= t_hi - 1e-15, "slower speed must not compute faster");
+        prop_assert!(o.reservation_ms(lo, 1000.0) >= t_lo + 2.0 * trans - 1e-12);
+    }
+}

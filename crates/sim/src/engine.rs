@@ -1,0 +1,596 @@
+//! The execution engine: dispatches one realization of an AND/OR
+//! application on `m` DVS processors under a speed policy.
+
+use crate::policy::{DispatchCtx, Policy};
+use crate::realization::Realization;
+use andor_graph::{AndOrGraph, NodeId, SectionGraph, SectionId};
+use dvfs_power::{EnergyMeter, OperatingPoint, Overheads, ProcessorModel};
+use serde::{Deserialize, Serialize};
+
+/// The canonical dispatch order: for every program section, its computation
+/// and AND nodes in the order the off-line phase fixed (list scheduling
+/// with a heuristic such as longest-task-first). The on-line phase must
+/// dispatch in exactly this order to preserve the deadline guarantee
+/// (paper §3.2: "we will maintain the same execution order of tasks in the
+/// on-line phase to meet the timing constraints").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DispatchOrder {
+    /// `per_section[s.index()]` lists section `s`'s nodes in execution
+    /// order.
+    pub per_section: Vec<Vec<NodeId>>,
+}
+
+impl DispatchOrder {
+    /// A dependency-respecting default order (deterministic topological
+    /// order within each section). The real schedulers in `pas-core`
+    /// compute an LTF list-scheduling order instead; this helper keeps the
+    /// engine testable standalone and is adequate for the NPM baseline.
+    pub fn topological(_g: &AndOrGraph, sections: &SectionGraph) -> Self {
+        // Sections already store their nodes in deterministic topological
+        // order (see `SectionGraph::build`).
+        Self {
+            per_section: sections
+                .sections()
+                .iter()
+                .map(|s| s.nodes.clone())
+                .collect(),
+        }
+    }
+}
+
+/// Engine configuration for one experiment setting.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of identical processors.
+    pub num_procs: usize,
+    /// Application deadline `D` (ms).
+    pub deadline: f64,
+    /// Idle power as a fraction of maximum power.
+    pub idle_fraction: f64,
+    /// Static (leakage) power drawn *while active* (busy or in a voltage
+    /// transition), as a fraction of maximum power. The paper's model is
+    /// pure dynamic power (`0.0`, the default); see `dvfs_power::leakage`
+    /// for the extension.
+    pub static_fraction: f64,
+    /// Speed-management overheads.
+    pub overheads: Overheads,
+    /// Record a full schedule trace (slower; for tests and debugging).
+    pub record_trace: bool,
+}
+
+impl SimConfig {
+    /// A convenience constructor with the paper's idle fraction and
+    /// overhead defaults.
+    pub fn new(num_procs: usize, deadline: f64) -> Self {
+        Self {
+            num_procs,
+            deadline,
+            idle_fraction: dvfs_power::DEFAULT_IDLE_FRACTION,
+            static_fraction: 0.0,
+            overheads: Overheads::paper_defaults(),
+            record_trace: false,
+        }
+    }
+}
+
+/// One executed task in the schedule trace.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// The task.
+    pub node: NodeId,
+    /// Processor index it ran on.
+    pub proc: usize,
+    /// Dispatch time (ms) — includes subsequent overhead windows.
+    pub start: f64,
+    /// Completion time (ms).
+    pub end: f64,
+    /// Normalized speed it executed at.
+    pub speed: f64,
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Time the application finished (ms).
+    pub finish_time: f64,
+    /// The deadline the run was scheduled against (ms).
+    pub deadline: f64,
+    /// True if the application finished after its deadline.
+    pub missed_deadline: bool,
+    /// Energy aggregated over all processors.
+    pub energy: EnergyMeter,
+    /// Per-processor energy accounting.
+    pub per_proc: Vec<EnergyMeter>,
+    /// Schedule trace, if [`SimConfig::record_trace`] was set.
+    pub trace: Option<Vec<TraceEntry>>,
+    /// The operating point each processor ended the run at — feed into
+    /// [`Simulator::run_with_initial`] to chain back-to-back frame
+    /// instances without resetting DVS state (see [`crate::stream`]).
+    pub final_points: Vec<OperatingPoint>,
+}
+
+impl RunResult {
+    /// Total normalized energy of the run (the figures' y-axis numerator
+    /// before NPM normalization).
+    pub fn total_energy(&self) -> f64 {
+        self.energy.total_energy()
+    }
+}
+
+/// The multi-processor execution engine.
+///
+/// Holds everything invariant across Monte-Carlo iterations; call
+/// [`Simulator::run`] once per `(policy, realization)` pair.
+pub struct Simulator<'a> {
+    g: &'a AndOrGraph,
+    sections: &'a SectionGraph,
+    order: &'a DispatchOrder,
+    model: &'a ProcessorModel,
+    cfg: SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates an engine over one application/platform configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.num_procs == 0` or the dispatch order does not cover
+    /// every section.
+    pub fn new(
+        g: &'a AndOrGraph,
+        sections: &'a SectionGraph,
+        order: &'a DispatchOrder,
+        model: &'a ProcessorModel,
+        cfg: SimConfig,
+    ) -> Self {
+        assert!(cfg.num_procs > 0, "at least one processor required");
+        assert_eq!(
+            order.per_section.len(),
+            sections.len(),
+            "dispatch order must cover every section"
+        );
+        Self {
+            g,
+            sections,
+            order,
+            model,
+            cfg,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Executes one realization under `policy`, with every processor
+    /// starting at the maximum operating point.
+    pub fn run(&self, policy: &mut dyn Policy, real: &Realization) -> RunResult {
+        self.run_with_initial(policy, real, None)
+    }
+
+    /// Executes one realization under `policy`, optionally starting each
+    /// processor at a given operating point (DVS state carried over from a
+    /// previous frame instance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is provided with the wrong length.
+    pub fn run_with_initial(
+        &self,
+        policy: &mut dyn Policy,
+        real: &Realization,
+        initial: Option<&[OperatingPoint]>,
+    ) -> RunResult {
+        let m = self.cfg.num_procs;
+        let mut finish: Vec<Option<f64>> = vec![None; self.g.len()];
+        let mut meters = vec![EnergyMeter::new(); m];
+        let mut avail = vec![0.0_f64; m];
+        let mut point: Vec<OperatingPoint> = match initial {
+            Some(points) => {
+                assert_eq!(points.len(), m, "one initial point per processor");
+                points.to_vec()
+            }
+            None => vec![self.model.max_point(); m],
+        };
+        let mut trace = self.cfg.record_trace.then(Vec::new);
+        let mut last_dispatch = 0.0_f64;
+
+        policy.begin_run();
+
+        let mut cur: SectionId = self.sections.root();
+        loop {
+            for &node in &self.order.per_section[cur.index()] {
+                let ready = self.ready_time(node, &finish);
+                if !self.g.node(node).kind.is_computation() {
+                    // AND synchronization node: dummy, zero time, handled by
+                    // whichever processor is cycling through the scheduler.
+                    let t = ready.max(last_dispatch);
+                    last_dispatch = t;
+                    finish[node.index()] = Some(t);
+                    continue;
+                }
+                // Earliest-available processor takes the next expected task.
+                let (p, &p_avail) = avail
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("times are finite"))
+                    .expect("num_procs > 0");
+                let start = ready.max(last_dispatch).max(p_avail);
+                last_dispatch = start;
+
+                let ctx = DispatchCtx {
+                    now: start,
+                    current_point: point[p],
+                    wcet: self.g.node(node).kind.wcet(),
+                };
+                let decision = policy.speed_for(node, &ctx);
+                let rho = self.cfg.static_fraction;
+                let mut t = start;
+                if decision.ran_pmp {
+                    let dt = self
+                        .cfg
+                        .overheads
+                        .compute_time_ms(point[p].speed, self.model.max_freq_mhz());
+                    meters[p].add_busy(point[p].power + rho, dt);
+                    t += dt;
+                }
+                if (decision.point.speed - point[p].speed).abs() > 1e-12 {
+                    let dt = self.cfg.overheads.transition_time_ms;
+                    meters[p].add_transition(
+                        point[p].power.max(decision.point.power) + rho,
+                        dt,
+                    );
+                    t += dt;
+                    point[p] = decision.point;
+                }
+                let exec = real.actual[node.index()] / point[p].speed;
+                meters[p].add_busy(point[p].power + rho, exec);
+                let end = t + exec;
+                avail[p] = end;
+                finish[node.index()] = Some(end);
+                if let Some(tr) = trace.as_mut() {
+                    tr.push(TraceEntry {
+                        node,
+                        proc: p,
+                        start,
+                        end,
+                        speed: point[p].speed,
+                    });
+                }
+            }
+
+            // Section drained: fire its exit OR (all processors synchronize
+            // here), then continue with the selected branch's section.
+            let Some(or) = self.sections.section(cur).exit_or else {
+                break;
+            };
+            let drain = self.order.per_section[cur.index()]
+                .iter()
+                .filter_map(|n| finish[n.index()])
+                .fold(0.0_f64, f64::max);
+            let preds_done = self
+                .g
+                .node(or)
+                .preds
+                .iter()
+                .filter_map(|p| finish[p.index()])
+                .fold(0.0_f64, f64::max);
+            let fire = drain.max(preds_done);
+            finish[or.index()] = Some(fire);
+
+            if self.g.node(or).succs.is_empty() {
+                break; // terminal OR: application ends at the sync point
+            }
+            let k = real
+                .scenario
+                .choice_for(or)
+                .expect("realization resolves every reachable OR");
+            policy.on_or_fired(or, k, fire);
+            cur = self
+                .sections
+                .branch_section(or, k)
+                .expect("every OR branch has a section");
+        }
+
+        let finish_time = finish
+            .iter()
+            .filter_map(|f| *f)
+            .fold(0.0_f64, f64::max);
+        // Idle energy accrues until the deadline (the system stays powered
+        // for the whole frame), or until the actual finish on an overrun.
+        let horizon = finish_time.max(self.cfg.deadline);
+        let mut energy = EnergyMeter::new();
+        for meter in &mut meters {
+            let idle = horizon - meter.busy_time() - meter.transition_time();
+            meter.add_idle(self.cfg.idle_fraction, idle.max(0.0));
+            energy.merge(meter);
+        }
+        RunResult {
+            finish_time,
+            deadline: self.cfg.deadline,
+            missed_deadline: finish_time > self.cfg.deadline * (1.0 + 1e-9) + 1e-9,
+            energy,
+            per_proc: meters,
+            trace,
+            final_points: point,
+        }
+    }
+
+    fn ready_time(&self, node: NodeId, finish: &[Option<f64>]) -> f64 {
+        let mut t = 0.0_f64;
+        for &p in &self.g.node(node).preds {
+            let f = finish[p.index()].unwrap_or_else(|| {
+                panic!(
+                    "dispatch order violates dependencies: '{}' dispatched before '{}'",
+                    self.g.node(node).name,
+                    self.g.node(p).name
+                )
+            });
+            t = t.max(f);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{MaxSpeed, SpeedDecision};
+    use andor_graph::{GraphBuilder, Scenario, Segment};
+
+    /// Fixed-speed test policy on the continuous model.
+    struct Fixed {
+        speed: f64,
+    }
+
+    impl Policy for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn speed_for(&mut self, _t: NodeId, _c: &DispatchCtx) -> SpeedDecision {
+            SpeedDecision {
+                point: OperatingPoint {
+                    speed: self.speed,
+                    power: self.speed.powi(3),
+                },
+                ran_pmp: true,
+            }
+        }
+    }
+
+    fn single_task() -> (AndOrGraph, SectionGraph) {
+        let mut b = GraphBuilder::new();
+        b.task("T", 10.0, 10.0);
+        let g = b.build().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        (g, sg)
+    }
+
+    fn cfg(m: usize, d: f64) -> SimConfig {
+        SimConfig {
+            num_procs: m,
+            deadline: d,
+            idle_fraction: 0.05,
+            static_fraction: 0.0,
+            overheads: Overheads::none(),
+            record_trace: true,
+        }
+    }
+
+    fn wcet_real(g: &AndOrGraph) -> Realization {
+        Realization::worst_case(g, Scenario { choices: vec![] })
+    }
+
+    #[test]
+    fn single_task_at_full_speed() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
+        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        assert!((res.finish_time - 10.0).abs() < 1e-12);
+        assert!(!res.missed_deadline);
+        // busy 10 at power 1, idle (20-10) at 0.05.
+        assert!((res.energy.busy_energy() - 10.0).abs() < 1e-12);
+        assert!((res.energy.idle_energy() - 0.5).abs() < 1e-12);
+        let tr = res.trace.unwrap();
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr[0].proc, 0);
+    }
+
+    #[test]
+    fn half_speed_quarters_busy_energy() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
+        let res = sim.run(&mut Fixed { speed: 0.5 }, &wcet_real(&g));
+        assert!((res.finish_time - 20.0).abs() < 1e-12);
+        assert!(!res.missed_deadline);
+        // 20 ms at power 0.125 = 2.5 = a quarter of the 10.0 at full speed.
+        assert!((res.energy.busy_energy() - 2.5).abs() < 1e-12);
+        assert_eq!(res.energy.speed_changes(), 1);
+    }
+
+    #[test]
+    fn deadline_miss_detected() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 5.0));
+        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        assert!(res.missed_deadline);
+        assert!((res.finish_time - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_tasks_use_both_processors() {
+        let app = Segment::par([
+            Segment::task("X", 6.0, 6.0),
+            Segment::task("Y", 4.0, 4.0),
+        ]);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(2, 10.0));
+        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        assert!((res.finish_time - 6.0).abs() < 1e-12);
+        let tr = res.trace.unwrap();
+        let procs: std::collections::HashSet<usize> = tr.iter().map(|e| e.proc).collect();
+        assert_eq!(procs.len(), 2, "both processors used");
+    }
+
+    #[test]
+    fn dispatch_order_serializes_starts() {
+        // Three independent tasks, one processor: starts must be ordered.
+        let app = Segment::par([
+            Segment::task("A", 3.0, 3.0),
+            Segment::task("B", 2.0, 2.0),
+            Segment::task("C", 1.0, 1.0),
+        ]);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
+        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        let tr = res.trace.unwrap();
+        for w in tr.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        assert!((res.finish_time - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn or_branch_selection_follows_realization() {
+        let app = Segment::seq([
+            Segment::task("A", 2.0, 2.0),
+            Segment::branch([
+                (0.5, Segment::task("B", 5.0, 5.0)),
+                (0.5, Segment::task("C", 3.0, 3.0)),
+            ]),
+        ]);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
+        let or_node = g
+            .iter()
+            .find(|(_, n)| n.kind.is_or() && n.succs.len() == 2)
+            .unwrap()
+            .0;
+        for (k, expect) in [(0usize, 7.0), (1usize, 5.0)] {
+            let real = Realization::worst_case(
+                &g,
+                Scenario {
+                    choices: vec![(or_node, k)],
+                },
+            );
+            let res = sim.run(&mut MaxSpeed, &real);
+            assert!(
+                (res.finish_time - expect).abs() < 1e-12,
+                "branch {k}: finish={}",
+                res.finish_time
+            );
+        }
+    }
+
+    #[test]
+    fn speed_change_overhead_charged() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let mut config = cfg(1, 40.0);
+        config.overheads = Overheads::new(700.0, 0.5).unwrap();
+        let sim = Simulator::new(&g, &sg, &order, &model, config);
+        let res = sim.run(&mut Fixed { speed: 0.5 }, &wcet_real(&g));
+        // compute overhead at current (full) speed: 700 cycles / 1 GHz =
+        // 0.0007 ms; transition 0.5 ms; execution 20 ms.
+        let expect = 0.0007 + 0.5 + 20.0;
+        assert!(
+            (res.finish_time - expect).abs() < 1e-9,
+            "finish={}",
+            res.finish_time
+        );
+        assert_eq!(res.energy.speed_changes(), 1);
+        assert!((res.energy.transition_time() - 0.5).abs() < 1e-12);
+        // Transition charged at the higher of the two endpoint powers
+        // (leaving full power: 1.0).
+        assert!((res.energy.transition_energy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_transition_when_speed_unchanged() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let mut config = cfg(1, 40.0);
+        config.overheads = Overheads::new(300.0, 0.5).unwrap();
+        let sim = Simulator::new(&g, &sg, &order, &model, config);
+        let res = sim.run(&mut Fixed { speed: 1.0 }, &wcet_real(&g));
+        assert_eq!(res.energy.speed_changes(), 0);
+        assert!((res.energy.transition_time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_horizon_is_deadline_when_early() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(2, 50.0));
+        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        // proc 0: 40 idle; proc 1: 50 idle. Both at 0.05.
+        assert!((res.energy.idle_energy() - 0.05 * (40.0 + 50.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn terminal_or_ends_application() {
+        // A -> OR (terminal, no successors).
+        let mut b = GraphBuilder::new();
+        let a = b.task("A", 3.0, 3.0);
+        let o = b.or("end");
+        b.edge(a, o).unwrap();
+        let g = b.build().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 10.0));
+        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        assert!((res.finish_time - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn and_nodes_cost_nothing() {
+        let app = Segment::seq([
+            Segment::task("A", 2.0, 2.0),
+            Segment::par([
+                Segment::task("X", 3.0, 3.0),
+                Segment::task("Y", 3.0, 3.0),
+            ]),
+            Segment::task("Z", 1.0, 1.0),
+        ]);
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(2, 20.0));
+        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        // 2 (A) + 3 (X||Y) + 1 (Z): AND forks/joins add zero time.
+        assert!((res.finish_time - 6.0).abs() < 1e-12);
+        assert!((res.energy.busy_time() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dispatch order must cover every section")]
+    fn mismatched_order_panics() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder {
+            per_section: vec![],
+        };
+        let model = ProcessorModel::continuous(0.1).unwrap();
+        let _ = Simulator::new(&g, &sg, &order, &model, cfg(1, 10.0));
+    }
+}

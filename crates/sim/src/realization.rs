@@ -1,0 +1,191 @@
+//! Run realizations: the random draws one Monte-Carlo iteration is made of.
+//!
+//! A *realization* fixes everything stochastic about one run of the
+//! application — which branch every OR node takes and how long every task
+//! actually executes (at maximum speed). The engine is then a deterministic
+//! function of `(realization, policy)`, so different schemes can be compared
+//! on identical draws, which is the paired design behind each averaged
+//! point in the paper's figures.
+
+use andor_graph::{AndOrGraph, Scenario, SectionGraph};
+use pas_stats::ClippedNormal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a task's actual execution time is drawn from its `(wcet, acet)`
+/// pair.
+///
+/// The paper (§5): "the actual execution time of a task follows a normal
+/// distribution around" the average case. We use
+/// `N(acet, (sd_over_gap · (wcet − acet))²)` clipped to
+/// `[floor_fraction·wcet, wcet]`: the spread scales with the available
+/// dynamic slack, so `acet == wcet` (α = 1) degenerates to deterministic
+/// worst-case execution, exactly as the paper's α-sweep expects.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecTimeModel {
+    /// Standard deviation as a fraction of `wcet − acet`.
+    pub sd_over_gap: f64,
+    /// Lower clip bound as a fraction of `wcet` (must be positive — tasks
+    /// cannot take zero time).
+    pub floor_fraction: f64,
+}
+
+impl ExecTimeModel {
+    /// The defaults used throughout the evaluation: σ = (wcet−acet)/3,
+    /// floor at 1% of WCET.
+    pub const fn paper_defaults() -> Self {
+        Self {
+            sd_over_gap: 1.0 / 3.0,
+            floor_fraction: 0.01,
+        }
+    }
+
+    /// Deterministic worst-case execution (every task takes its WCET).
+    pub const fn always_wcet() -> Self {
+        Self {
+            sd_over_gap: 0.0,
+            floor_fraction: 1.0,
+        }
+    }
+
+    /// Draws an actual execution time for a task.
+    pub fn sample<R: Rng + ?Sized>(&self, wcet: f64, acet: f64, rng: &mut R) -> f64 {
+        if self.floor_fraction >= 1.0 {
+            return wcet;
+        }
+        let sd = self.sd_over_gap * (wcet - acet).max(0.0);
+        let lo = (self.floor_fraction * wcet).min(acet);
+        let mut dist = ClippedNormal::new(acet, sd, lo, wcet)
+            .expect("wcet >= acet >= 0 validated by the graph");
+        dist.sample(rng)
+    }
+}
+
+impl Default for ExecTimeModel {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// One fully resolved run: OR choices plus per-node actual execution times.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Realization {
+    /// The OR decisions of this run.
+    pub scenario: Scenario,
+    /// Actual execution time (ms at maximum speed) per node, indexed by
+    /// [`NodeId::index`](andor_graph::NodeId::index). Synchronization nodes
+    /// hold `0.0`; inactive nodes hold their sample anyway (unused).
+    pub actual: Vec<f64>,
+}
+
+impl Realization {
+    /// Draws a realization: samples the scenario from the OR branch
+    /// probabilities and an actual execution time for every computation
+    /// node.
+    pub fn sample<R: Rng + ?Sized>(
+        g: &AndOrGraph,
+        sections: &SectionGraph,
+        model: &ExecTimeModel,
+        rng: &mut R,
+    ) -> Self {
+        let scenario = sections.sample_scenario(g, rng);
+        let actual = g
+            .nodes()
+            .iter()
+            .map(|n| {
+                if n.kind.is_computation() {
+                    model.sample(n.kind.wcet(), n.kind.acet(), rng)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        Self { scenario, actual }
+    }
+
+    /// A worst-case realization: a caller-chosen scenario with every task
+    /// at its WCET (used by the deadline-guarantee tests).
+    pub fn worst_case(g: &AndOrGraph, scenario: Scenario) -> Self {
+        let actual = g.nodes().iter().map(|n| n.kind.wcet()).collect();
+        Self { scenario, actual }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andor_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn diamond() -> (AndOrGraph, SectionGraph) {
+        let mut b = GraphBuilder::new();
+        let a = b.task("A", 8.0, 5.0);
+        let o1 = b.or("O1");
+        let t_b = b.task("B", 5.0, 3.0);
+        let t_c = b.task("C", 4.0, 2.0);
+        b.edge(a, o1).unwrap();
+        b.or_branch(o1, t_b, 0.3).unwrap();
+        b.or_branch(o1, t_c, 0.7).unwrap();
+        let g = b.build().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        (g, sg)
+    }
+
+    #[test]
+    fn samples_respect_bounds() {
+        let m = ExecTimeModel::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = m.sample(10.0, 4.0, &mut rng);
+            assert!(x > 0.0 && x <= 10.0, "x={x}");
+        }
+    }
+
+    #[test]
+    fn alpha_one_is_deterministic_wcet() {
+        let m = ExecTimeModel::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(m.sample(10.0, 10.0, &mut rng), 10.0);
+        }
+    }
+
+    #[test]
+    fn always_wcet_model() {
+        let m = ExecTimeModel::always_wcet();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(m.sample(7.0, 2.0, &mut rng), 7.0);
+    }
+
+    #[test]
+    fn sample_mean_tracks_acet() {
+        let m = ExecTimeModel::paper_defaults();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| m.sample(10.0, 6.0, &mut rng)).sum::<f64>() / n as f64;
+        // Clipping skews slightly; stay within a tolerant band.
+        assert!((mean - 6.0).abs() < 0.2, "mean={mean}");
+    }
+
+    #[test]
+    fn realization_covers_all_nodes() {
+        let (g, sg) = diamond();
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = Realization::sample(&g, &sg, &ExecTimeModel::paper_defaults(), &mut rng);
+        assert_eq!(r.actual.len(), g.len());
+        assert_eq!(r.actual[1], 0.0, "OR node draws no execution time");
+        assert!(r.actual[0] > 0.0 && r.actual[0] <= 8.0);
+        assert_eq!(r.scenario.choices.len(), 1);
+    }
+
+    #[test]
+    fn worst_case_uses_wcet_everywhere() {
+        let (g, sg) = diamond();
+        let mut rng = StdRng::seed_from_u64(5);
+        let scen = sg.sample_scenario(&g, &mut rng);
+        let r = Realization::worst_case(&g, scen);
+        assert_eq!(r.actual[0], 8.0);
+        assert_eq!(r.actual[2], 5.0);
+    }
+}

@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Sampling and summary statistics for the power-aware scheduling workspace.
+//!
+//! The ICPP'02 evaluation draws per-task actual execution times from a normal
+//! distribution around the task's average-case execution time and reports each
+//! data point as the mean of 1000 simulation runs. This crate provides the
+//! statistical machinery that requires:
+//!
+//! * [`normal`] — a Box–Muller normal sampler plus the clipped variant used for
+//!   execution times (values are truncated to `(lo, hi]` so a sample can never
+//!   exceed the worst case or be non-positive).
+//! * [`summary`] — streaming mean/variance (Welford) and confidence intervals
+//!   for aggregating Monte-Carlo replications.
+//! * [`table`] — a small result-table builder that renders the series for a
+//!   figure as aligned text, markdown, or CSV.
+//!
+//! Everything is deterministic given a seeded [`rand::Rng`].
+
+pub mod histogram;
+pub mod normal;
+pub mod plot;
+pub mod summary;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use normal::{ClippedNormal, Normal};
+pub use plot::to_svg;
+pub use summary::{ci95_half_width, Summary};
+pub use table::{Series, Table};

@@ -1,0 +1,201 @@
+//! Normal (Gaussian) sampling via the Box–Muller transform.
+//!
+//! We implement the sampler ourselves instead of pulling in `rand_distr`: the
+//! workspace only needs plain and clipped normals, and owning the
+//! implementation keeps the sampled sequences stable across dependency
+//! upgrades (experiment outputs are seed-reproducible).
+
+use rand::Rng;
+
+/// A normal distribution `N(mean, sd²)` sampled with Box–Muller.
+///
+/// The transform produces samples in pairs; the spare value is cached so that
+/// consecutive draws cost one `ln`/`sqrt` pair every other call.
+///
+/// # Examples
+///
+/// ```
+/// use pas_stats::Normal;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut n = Normal::new(10.0, 2.0).unwrap();
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Normal {
+    mean: f64,
+    sd: f64,
+    spare: Option<f64>,
+}
+
+impl Normal {
+    /// Creates a normal distribution. Returns `None` if `sd` is negative or
+    /// either parameter is non-finite.
+    pub fn new(mean: f64, sd: f64) -> Option<Self> {
+        if !mean.is_finite() || !sd.is_finite() || sd < 0.0 {
+            return None;
+        }
+        Some(Self {
+            mean,
+            sd,
+            spare: None,
+        })
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn sd(&self) -> f64 {
+        self.sd
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if self.sd == 0.0 {
+            return self.mean;
+        }
+        if let Some(z) = self.spare.take() {
+            return self.mean + self.sd * z;
+        }
+        // Box–Muller: u1 ∈ (0, 1] avoids ln(0).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        let z0 = r * theta.cos();
+        let z1 = r * theta.sin();
+        self.spare = Some(z1);
+        self.mean + self.sd * z0
+    }
+}
+
+/// A normal distribution whose samples are clipped to a closed interval.
+///
+/// The paper draws each task's actual execution time "from a normal
+/// distribution around the average case"; an execution time must lie in
+/// `(0, wcet]`, so the simulator uses this clipped variant with
+/// `lo` slightly above zero and `hi = wcet`.
+///
+/// Clipping is by truncation-and-clamp (out-of-range samples are clamped to
+/// the nearest bound) rather than rejection; this biases the tails slightly
+/// but never loops, and matches common practice in scheduling simulators.
+#[derive(Debug, Clone)]
+pub struct ClippedNormal {
+    inner: Normal,
+    lo: f64,
+    hi: f64,
+}
+
+impl ClippedNormal {
+    /// Creates a clipped normal. Returns `None` on invalid parameters or if
+    /// `lo > hi`.
+    pub fn new(mean: f64, sd: f64, lo: f64, hi: f64) -> Option<Self> {
+        if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+            return None;
+        }
+        Some(Self {
+            inner: Normal::new(mean, sd)?,
+            lo,
+            hi,
+        })
+    }
+
+    /// Lower clip bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper clip bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Draws one sample, clamped to `[lo, hi]`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).clamp(self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDEC0DE)
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(Normal::new(f64::NAN, 1.0).is_none());
+        assert!(Normal::new(0.0, -1.0).is_none());
+        assert!(Normal::new(0.0, f64::INFINITY).is_none());
+        assert!(ClippedNormal::new(0.0, 1.0, 2.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn zero_sd_is_constant() {
+        let mut n = Normal::new(5.5, 0.0).unwrap();
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(n.sample(&mut r), 5.5);
+        }
+    }
+
+    #[test]
+    fn sample_mean_converges() {
+        let mut n = Normal::new(10.0, 3.0).unwrap();
+        let mut r = rng();
+        let k = 200_000;
+        let mean = (0..k).map(|_| n.sample(&mut r)).sum::<f64>() / k as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean={mean}");
+    }
+
+    #[test]
+    fn sample_sd_converges() {
+        let mut n = Normal::new(0.0, 2.0).unwrap();
+        let mut r = rng();
+        let k = 200_000;
+        let xs: Vec<f64> = (0..k).map(|_| n.sample(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / k as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / k as f64;
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "sd={}", var.sqrt());
+    }
+
+    #[test]
+    fn clipping_respects_bounds() {
+        let mut n = ClippedNormal::new(1.0, 10.0, 0.5, 2.0).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = n.sample(&mut r);
+            assert!((0.5..=2.0).contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Normal::new(0.0, 1.0).unwrap();
+        let mut b = Normal::new(0.0, 1.0).unwrap();
+        let mut ra = rng();
+        let mut rb = rng();
+        for _ in 0..64 {
+            assert_eq!(a.sample(&mut ra), b.sample(&mut rb));
+        }
+    }
+
+    #[test]
+    fn accessors_report_parameters() {
+        let n = Normal::new(3.0, 0.25).unwrap();
+        assert_eq!(n.mean(), 3.0);
+        assert_eq!(n.sd(), 0.25);
+        let c = ClippedNormal::new(3.0, 0.25, 1.0, 4.0).unwrap();
+        assert_eq!(c.lo(), 1.0);
+        assert_eq!(c.hi(), 4.0);
+    }
+}

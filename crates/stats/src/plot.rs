@@ -1,0 +1,226 @@
+//! Minimal SVG line-chart rendering for result tables.
+//!
+//! The experiment binaries can emit each figure as a standalone SVG
+//! (`--svg` flag), so the reproduced curves can be compared against the
+//! paper's plots visually, not just numerically. Hand-rolled on purpose:
+//! no plotting dependency, deterministic output, safe to snapshot in
+//! tests.
+
+use crate::table::Table;
+use std::fmt::Write as _;
+
+/// Default categorical palette (color-blind-safe-ish, 8 entries cycled).
+const PALETTE: [&str; 8] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb", "#222222",
+];
+
+/// Renders the table as an SVG line chart.
+///
+/// Layout: margins for axis labels and a right-hand legend; x spans the
+/// table's x range; y spans `[0, max(y)·1.05]` (normalized-energy figures
+/// naturally include 0). NaN values break the polyline (segments are
+/// skipped).
+pub fn to_svg(table: &Table, width: u32, height: u32) -> String {
+    let (w, h) = (width as f64, height as f64);
+    let (ml, mr, mt, mb) = (56.0, 128.0, 28.0, 44.0);
+    let (pw, ph) = (w - ml - mr, h - mt - mb);
+
+    let x_min = table.x.first().copied().unwrap_or(0.0);
+    let x_max = table.x.last().copied().unwrap_or(1.0);
+    let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+    let y_max = table
+        .series
+        .iter()
+        .flat_map(|s| s.values.iter())
+        .filter(|v| v.is_finite())
+        .fold(0.0_f64, |a, &b| a.max(b))
+        .max(f64::MIN_POSITIVE)
+        * 1.05;
+
+    let px = |x: f64| ml + (x - x_min) / x_span * pw;
+    let py = |y: f64| mt + (1.0 - y / y_max) * ph;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="Helvetica,Arial,sans-serif" font-size="11">"#
+    );
+    let _ = writeln!(out, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    // Title.
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="16" text-anchor="middle" font-size="12">{}</text>"#,
+        ml + pw / 2.0,
+        escape(&table.title)
+    );
+    // Axes.
+    let _ = writeln!(
+        out,
+        r#"<line x1="{ml}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        mt + ph,
+        ml + pw,
+        mt + ph
+    );
+    let _ = writeln!(
+        out,
+        r#"<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{}" stroke="black"/>"#,
+        mt + ph
+    );
+    // X ticks at every table x value (they are sparse).
+    for &x in &table.x {
+        let cx = px(x);
+        let _ = writeln!(
+            out,
+            r#"<line x1="{cx:.1}" y1="{}" x2="{cx:.1}" y2="{}" stroke="black"/>"#,
+            mt + ph,
+            mt + ph + 4.0
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{cx:.1}" y="{}" text-anchor="middle">{}</text>"#,
+            mt + ph + 16.0,
+            trim_num(x)
+        );
+    }
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        ml + pw / 2.0,
+        mt + ph + 34.0,
+        escape(&table.x_label)
+    );
+    // Y ticks: 5 divisions.
+    for i in 0..=5 {
+        let y = y_max * i as f64 / 5.0;
+        let cy = py(y);
+        let _ = writeln!(
+            out,
+            r#"<line x1="{}" y1="{cy:.1}" x2="{ml}" y2="{cy:.1}" stroke="black"/>"#,
+            ml - 4.0
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{:.1}" text-anchor="end">{}</text>"#,
+            ml - 8.0,
+            cy + 3.5,
+            trim_num(y)
+        );
+        if i > 0 {
+            let _ = writeln!(
+                out,
+                r##"<line x1="{ml}" y1="{cy:.1}" x2="{}" y2="{cy:.1}" stroke="#dddddd"/>"##,
+                ml + pw
+            );
+        }
+    }
+    // Series.
+    for (si, series) in table.series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let mut d = String::new();
+        let mut pen_down = false;
+        for (&x, &y) in table.x.iter().zip(&series.values) {
+            if !y.is_finite() {
+                pen_down = false;
+                continue;
+            }
+            let cmd = if pen_down { 'L' } else { 'M' };
+            let _ = write!(d, "{cmd}{:.1},{:.1} ", px(x), py(y));
+            pen_down = true;
+        }
+        let _ = writeln!(
+            out,
+            r#"<path d="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+            d.trim_end()
+        );
+        for (&x, &y) in table.x.iter().zip(&series.values) {
+            if y.is_finite() {
+                let _ = writeln!(
+                    out,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.4" fill="{color}"/>"#,
+                    px(x),
+                    py(y)
+                );
+            }
+        }
+        // Legend entry.
+        let ly = mt + 14.0 * si as f64;
+        let _ = writeln!(
+            out,
+            r#"<line x1="{}" y1="{ly:.1}" x2="{}" y2="{ly:.1}" stroke="{color}" stroke-width="1.8"/>"#,
+            ml + pw + 10.0,
+            ml + pw + 30.0
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{:.1}">{}</text>"#,
+            ml + pw + 36.0,
+            ly + 3.5,
+            escape(&series.name)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn trim_num(x: f64) -> String {
+    if (x - x.round()).abs() < 1e-9 {
+        format!("{}", x.round() as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig demo", "load", vec![0.1, 0.5, 1.0]);
+        t.push_series("GSS", vec![0.7, 0.5, 0.7]);
+        t.push_series("NPM", vec![1.0, 1.0, 1.0]);
+        t
+    }
+
+    #[test]
+    fn produces_well_formed_svg() {
+        let svg = to_svg(&sample(), 640, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // One path per series, one legend label each.
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains(">GSS<"));
+        assert!(svg.contains(">NPM<"));
+        assert!(svg.contains("Fig demo"));
+    }
+
+    #[test]
+    fn nan_values_break_the_line() {
+        let mut t = Table::new("t", "x", vec![0.0, 1.0, 2.0]);
+        t.push_series("s", vec![1.0, f64::NAN, 2.0]);
+        let svg = to_svg(&t, 400, 300);
+        // Two move commands: the pen lifts over the NaN.
+        let path_line = svg.lines().find(|l| l.contains("<path")).unwrap();
+        assert_eq!(path_line.matches('M').count(), 2, "{path_line}");
+        // Only two markers.
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut t = Table::new("a < b & c", "x", vec![0.0]);
+        t.push_series("s<1>", vec![1.0]);
+        let svg = to_svg(&t, 400, 300);
+        assert!(svg.contains("a &lt; b &amp; c"));
+        assert!(svg.contains("s&lt;1&gt;"));
+        assert!(!svg.contains("a < b"));
+    }
+
+    #[test]
+    fn deterministic_output() {
+        assert_eq!(to_svg(&sample(), 640, 400), to_svg(&sample(), 640, 400));
+    }
+}

@@ -1,0 +1,190 @@
+//! Result tables: the series behind one figure, rendered as text/markdown/CSV.
+//!
+//! Every experiment binary in `pas-experiments` produces one [`Table`]: an
+//! x-axis (load, α, `S_min` ratio, ...) and one y-series per scheduling
+//! scheme, mirroring how the paper plots "normalized energy vs X, one curve
+//! per scheme".
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One named curve: `y[i]` corresponds to the table's `x[i]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label, e.g. `"GSS"` or `"SS(2)"`.
+    pub name: String,
+    /// Y values, parallel to the owning table's x-axis.
+    pub values: Vec<f64>,
+}
+
+/// A figure's worth of data: a shared x-axis plus one series per scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table title (figure id), e.g. `"Fig 4a: ATR, 2 CPUs, Transmeta"`.
+    pub title: String,
+    /// X-axis label, e.g. `"load"`.
+    pub x_label: String,
+    /// X-axis values.
+    pub x: Vec<f64>,
+    /// One series per curve.
+    pub series: Vec<Series>,
+}
+
+impl Table {
+    /// Creates an empty table over the given x-axis.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        x: Vec<f64>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            x,
+            series: Vec::new(),
+        }
+    }
+
+    /// Appends a series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series length does not match the x-axis length — a
+    /// mismatched series would silently misalign the rendered figure.
+    pub fn push_series(&mut self, name: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.x.len(),
+            "series length must match x-axis length"
+        );
+        self.series.push(Series {
+            name: name.into(),
+            values,
+        });
+    }
+
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Renders as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = write!(out, "| {} |", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {} |", s.name);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for (i, x) in self.x.iter().enumerate() {
+            let _ = write!(out, "| {x:.3} |");
+            for s in &self.series {
+                let _ = write!(out, " {:.4} |", s.values[i]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{}", s.name);
+        }
+        let _ = writeln!(out);
+        for (i, x) in self.x.iter().enumerate() {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                let _ = write!(out, ",{}", s.values[i]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders as an aligned plain-text table for terminal output.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>12}", s.name);
+        }
+        let _ = writeln!(out);
+        for (i, x) in self.x.iter().enumerate() {
+            let _ = write!(out, "{x:>12.3}");
+            for s in &self.series {
+                let _ = write!(out, "{:>12.4}", s.values[i]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Fig X", "load", vec![0.1, 0.2]);
+        t.push_series("GSS", vec![0.5, 0.6]);
+        t.push_series("SPM", vec![0.7, 0.8]);
+        t
+    }
+
+    #[test]
+    fn markdown_contains_all_cells() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| load | GSS | SPM |"));
+        assert!(md.contains("0.100"));
+        assert!(md.contains("0.8000"));
+    }
+
+    #[test]
+    fn csv_round_trips_lengths() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "load,GSS,SPM");
+        assert_eq!(lines[1].split(',').count(), 3);
+    }
+
+    #[test]
+    fn text_renders_header_and_rows() {
+        let txt = sample().to_text();
+        assert!(txt.starts_with("Fig X"));
+        assert_eq!(txt.lines().count(), 4);
+    }
+
+    #[test]
+    fn series_lookup() {
+        let t = sample();
+        assert!(t.series("GSS").is_some());
+        assert!(t.series("nope").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "series length")]
+    fn mismatched_series_panics() {
+        let mut t = Table::new("t", "x", vec![1.0]);
+        t.push_series("bad", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Table = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.series.len(), 2);
+        assert_eq!(back.x, t.x);
+    }
+}

@@ -1,0 +1,309 @@
+//! The automated target recognition (ATR) application.
+//!
+//! The paper's motivating example (§1): "the number of regions of interest
+//! (ROI) in one frame varies substantially. For some frames, the number of
+//! detected ROIs may be maximum and all the tasks need to be executed,
+//! while in most cases [...] part of the application can be skipped", and
+//! (§5) "the regions of interest in one frame are detected and each ROI is
+//! compared with all the templates".
+//!
+//! The reconstruction (DESIGN.md §5): each frame is
+//!
+//! 1. a *detection* task,
+//! 2. an OR branch over the detected ROI count `k` (a distribution skewed
+//!    toward few ROIs),
+//! 3. for each detected ROI, an *extraction* task followed by an AND-fan of
+//!    per-template *comparison* tasks (this is the parallelism multiple
+//!    processors exploit),
+//! 4. a *classification* task consuming the comparisons.
+//!
+//! Multiple frames are processed in sequence.
+
+use andor_graph::Segment;
+use pas_stats::ClippedNormal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// ATR generator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AtrParams {
+    /// Maximum number of ROIs detectable per frame.
+    pub max_rois: usize,
+    /// `roi_probs[k]` = probability of detecting `k+1` ROIs (length
+    /// `max_rois`, must sum to 1).
+    pub roi_probs: Vec<f64>,
+    /// Number of templates each ROI is compared against (parallel fan-out).
+    pub num_templates: usize,
+    /// Frames processed in sequence.
+    pub frames: usize,
+    /// WCET of the frame detection task (ms).
+    pub detect_wcet: f64,
+    /// WCET of the per-ROI extraction task (ms).
+    pub extract_wcet: f64,
+    /// WCET of one template comparison (ms).
+    pub compare_wcet: f64,
+    /// WCET of the per-ROI classification task (ms).
+    pub classify_wcet: f64,
+    /// Target ACET/WCET ratio α. The paper measured ATR's α and found
+    /// "little slack from task's run-time behavior": default 0.9.
+    pub alpha: f64,
+    /// Per-task WCET jitter (fraction of the base WCET) applied when
+    /// building with [`AtrParams::build_jittered`].
+    pub wcet_cv: f64,
+}
+
+impl Default for AtrParams {
+    fn default() -> Self {
+        Self {
+            max_rois: 4,
+            // Skewed toward few ROIs: most frames have 1-2.
+            roi_probs: vec![0.35, 0.35, 0.20, 0.10],
+            num_templates: 4,
+            frames: 1,
+            detect_wcet: 6.0,
+            extract_wcet: 3.0,
+            compare_wcet: 4.0,
+            classify_wcet: 2.0,
+            alpha: 0.9,
+            wcet_cv: 0.2,
+        }
+    }
+}
+
+impl AtrParams {
+    /// Validates the parameter set.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_rois == 0 {
+            return Err("max_rois must be positive".into());
+        }
+        if self.roi_probs.len() != self.max_rois {
+            return Err(format!(
+                "roi_probs has {} entries, expected {}",
+                self.roi_probs.len(),
+                self.max_rois
+            ));
+        }
+        let sum: f64 = self.roi_probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(format!("roi_probs sum to {sum}, expected 1"));
+        }
+        if self.roi_probs.iter().any(|p| !(*p > 0.0 && *p <= 1.0)) {
+            return Err("roi probabilities must lie in (0, 1]".into());
+        }
+        if self.num_templates == 0 || self.frames == 0 {
+            return Err("num_templates and frames must be positive".into());
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err("alpha must be in (0, 1]".into());
+        }
+        for (name, v) in [
+            ("detect_wcet", self.detect_wcet),
+            ("extract_wcet", self.extract_wcet),
+            ("compare_wcet", self.compare_wcet),
+            ("classify_wcet", self.classify_wcet),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        if !(self.wcet_cv >= 0.0 && self.wcet_cv < 1.0) {
+            return Err("wcet_cv must be in [0, 1)".into());
+        }
+        Ok(())
+    }
+
+    /// Builds the ATR application with exact (non-jittered) WCETs.
+    pub fn build(&self) -> Result<Segment, String> {
+        self.validate()?;
+        Ok(self.assemble(&mut |w| w))
+    }
+
+    /// Builds with per-task WCET jitter: each task's WCET is drawn from
+    /// `N(base, (cv·base)²)` clipped to `[base·(1−3cv), base·(1+3cv)]`, so
+    /// different frames/ROIs are not identical.
+    pub fn build_jittered<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Segment, String> {
+        self.validate()?;
+        let cv = self.wcet_cv;
+        Ok(self.assemble(&mut |base| {
+            if cv == 0.0 {
+                return base;
+            }
+            let lo = base * (1.0 - 3.0 * cv).max(0.1);
+            let hi = base * (1.0 + 3.0 * cv);
+            let mut dist =
+                ClippedNormal::new(base, cv * base, lo, hi).expect("valid clip bounds");
+            dist.sample(rng)
+        }))
+    }
+
+    fn assemble(&self, wcet_of: &mut impl FnMut(f64) -> f64) -> Segment {
+        let mut task = |name: String, base: f64| {
+            let w = wcet_of(base);
+            Segment::task(name, w, self.alpha * w)
+        };
+        let mut frames = Vec::with_capacity(self.frames);
+        for f in 0..self.frames {
+            let detect = task(format!("f{f}.detect"), self.detect_wcet);
+            // One arm per possible ROI count.
+            let arms: Vec<(f64, Segment)> = (1..=self.max_rois)
+                .map(|k| {
+                    let rois: Vec<Segment> = (0..k)
+                        .map(|r| {
+                            let extract =
+                                task(format!("f{f}.roi{r}of{k}.extract"), self.extract_wcet);
+                            let compares = Segment::par((0..self.num_templates).map(|t| {
+                                task(
+                                    format!("f{f}.roi{r}of{k}.tmpl{t}"),
+                                    self.compare_wcet,
+                                )
+                            }));
+                            let classify =
+                                task(format!("f{f}.roi{r}of{k}.classify"), self.classify_wcet);
+                            Segment::seq([extract, compares, classify])
+                        })
+                        .collect();
+                    (self.roi_probs[k - 1], Segment::seq(rois))
+                })
+                .collect();
+            frames.push(Segment::seq([detect, Segment::branch(arms)]));
+        }
+        Segment::seq(frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andor_graph::SectionGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_params_build_valid_graph() {
+        let app = AtrParams::default().build().unwrap();
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        // One scenario per ROI count.
+        let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+        assert_eq!(scenarios.len(), 4);
+        let total: f64 = scenarios.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_counts_scale_with_roi_count() {
+        let p = AtrParams::default();
+        let app = p.build().unwrap();
+        let g = app.lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+        let mut counts: Vec<usize> = scenarios
+            .iter()
+            .map(|(s, _)| {
+                sg.active_nodes(&g, s)
+                    .iter()
+                    .filter(|n| g.node(**n).kind.is_computation())
+                    .count()
+            })
+            .collect();
+        counts.sort_unstable();
+        // detect + k·(extract + templates + classify).
+        let per_roi = 1 + p.num_templates + 1;
+        let expect: Vec<usize> = (1..=4).map(|k| 1 + k * per_roi).collect();
+        assert_eq!(counts, expect);
+    }
+
+    #[test]
+    fn alpha_is_respected() {
+        let p = AtrParams {
+            alpha: 0.7,
+            ..Default::default()
+        };
+        let g = p.build().unwrap().lower().unwrap();
+        for (_, n) in g.iter() {
+            if n.kind.is_computation() {
+                assert!((n.kind.acet() / n.kind.wcet() - 0.7).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_frame_sequences_frames() {
+        let p = AtrParams {
+            frames: 3,
+            ..Default::default()
+        };
+        let g = p.build().unwrap().lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+        // 4 outcomes per frame, 3 frames → 64 scenarios.
+        assert_eq!(scenarios.len(), 64);
+    }
+
+    #[test]
+    fn jittered_build_is_deterministic_per_seed_and_valid() {
+        let p = AtrParams::default();
+        let g1 = p
+            .build_jittered(&mut StdRng::seed_from_u64(5))
+            .unwrap()
+            .lower()
+            .unwrap();
+        let g2 = p
+            .build_jittered(&mut StdRng::seed_from_u64(5))
+            .unwrap()
+            .lower()
+            .unwrap();
+        for ((_, a), (_, b)) in g1.iter().zip(g2.iter()) {
+            assert_eq!(a.kind.wcet(), b.kind.wcet());
+        }
+        // And a different seed differs somewhere.
+        let g3 = p
+            .build_jittered(&mut StdRng::seed_from_u64(6))
+            .unwrap()
+            .lower()
+            .unwrap();
+        let differs = g1
+            .iter()
+            .zip(g3.iter())
+            .any(|((_, a), (_, b))| a.kind.wcet() != b.kind.wcet());
+        assert!(differs);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let bad = AtrParams {
+            roi_probs: vec![0.5, 0.5],
+            ..Default::default()
+        };
+        assert!(bad.build().is_err());
+        let bad = AtrParams {
+            alpha: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.build().is_err());
+        let bad = AtrParams {
+            roi_probs: vec![0.2, 0.2, 0.2, 0.2],
+            ..Default::default()
+        };
+        assert!(bad.build().is_err(), "probabilities must sum to 1");
+        let bad = AtrParams {
+            detect_wcet: -1.0,
+            ..Default::default()
+        };
+        assert!(bad.build().is_err());
+    }
+
+    #[test]
+    fn template_comparisons_fan_out_in_parallel() {
+        let g = AtrParams::default().build().unwrap().lower().unwrap();
+        // Some AND fork has one successor per template.
+        let max_fanout = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.is_and())
+            .map(|n| n.succs.len())
+            .max()
+            .unwrap();
+        assert!(max_fanout >= 4);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Workload generators for the ICPP'02 evaluation.
+//!
+//! Three families:
+//!
+//! * [`atr`] — the automated target recognition (ATR) application the paper
+//!   motivates: the number of regions of interest (ROIs) detected in a
+//!   frame varies substantially, so a frame's work is an OR structure over
+//!   the ROI count, and each ROI is compared against all templates in
+//!   parallel. The paper's exact task graph was "not shown due to space
+//!   limitation"; this is a parameterized reconstruction (see DESIGN.md §5).
+//! * [`synthetic`] — the synthetic application of the paper's Figure 3
+//!   (tasks A–L, four OR nodes, four AND nodes, a probabilistic loop),
+//!   reconstructed from the legible figure attributes.
+//! * [`video`] — an MPEG-style decoder pipeline: per-frame work depends on
+//!   the frame type (I/P/B) chosen by the encoder, a second realistic
+//!   OR-structured workload from the paper's application domain.
+//! * [`random`] — random structured AND/OR applications for property-based
+//!   testing and ablations.
+//!
+//! [`transform`] adjusts a workload's α (the ratio of average-case over
+//! worst-case execution time — the x-axis of the paper's Figure 6).
+
+pub mod atr;
+pub mod random;
+pub mod synthetic;
+pub mod transform;
+pub mod video;
+
+pub use atr::AtrParams;
+pub use random::RandomAppParams;
+pub use synthetic::{synthetic_app, synthetic_app_alpha};
+pub use transform::{with_alpha, with_alpha_jitter};
+pub use video::VideoParams;

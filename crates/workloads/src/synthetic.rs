@@ -1,0 +1,136 @@
+//! The synthetic application of the paper's Figure 3.
+//!
+//! The available scan of the paper garbles the figure, but the following
+//! attributes are legible and all used here:
+//!
+//! * tasks with `(wcet/acet)` labels: A(8/5), B(5/3), C(4/2), E(5/4),
+//!   F(8/6), G(5/3), H(10/6), I(10/8), K(5/3), L(10/8); tasks D and J carry
+//!   the `4/2` label printed beside them;
+//! * four OR nodes (O1–O4) and four AND nodes (A1–A4);
+//! * branch probabilities 35%/65% and 30%/70%;
+//! * a loop annotated with up to 4 iterations and probabilities
+//!   `50%/20%/5%/25%`;
+//! * the time unit is milliseconds.
+//!
+//! The reconstruction arranges these as: A, an AND-parallel pair (B ∥ C),
+//! a 35/65 branch (E followed by the loop over D, versus F then G), an
+//! AND-parallel pair (H ∥ I), and a 30/70 branch (J versus K then L). The
+//! evaluation only requires *a* fixed AND/OR application with Figure 3's
+//! statistics; DESIGN.md §5 records the substitution.
+
+use andor_graph::Segment;
+
+/// The Figure-3 synthetic application with the paper's printed
+/// WCET/ACET values.
+pub fn synthetic_app() -> Segment {
+    Segment::seq([
+        Segment::task("A", 8.0, 5.0),
+        Segment::par([Segment::task("B", 5.0, 3.0), Segment::task("C", 4.0, 2.0)]),
+        Segment::branch([
+            (
+                0.35,
+                Segment::seq([
+                    Segment::task("E", 5.0, 4.0),
+                    Segment::loop_(
+                        Segment::task("D", 4.0, 2.0),
+                        [(1, 0.50), (2, 0.20), (3, 0.05), (4, 0.25)],
+                    ),
+                ]),
+            ),
+            (
+                0.65,
+                Segment::seq([Segment::task("F", 8.0, 6.0), Segment::task("G", 5.0, 3.0)]),
+            ),
+        ]),
+        Segment::par([
+            Segment::task("H", 10.0, 6.0),
+            Segment::task("I", 10.0, 8.0),
+        ]),
+        Segment::branch([
+            (0.30, Segment::task("J", 4.0, 2.0)),
+            (
+                0.70,
+                Segment::seq([Segment::task("K", 5.0, 3.0), Segment::task("L", 10.0, 8.0)]),
+            ),
+        ]),
+    ])
+}
+
+/// The synthetic application with every task's ACET replaced by
+/// `alpha · wcet` — the workload of the paper's Figure 6 (energy vs α).
+pub fn synthetic_app_alpha(alpha: f64) -> Segment {
+    crate::transform::with_alpha(&synthetic_app(), alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andor_graph::SectionGraph;
+
+    #[test]
+    fn lowers_and_validates() {
+        let g = synthetic_app().lower().unwrap();
+        // 12 named tasks, with D unrolled up to 4 times (D counts 4 copies,
+        // so 11 + 4 = 15 computation nodes).
+        assert_eq!(g.num_tasks(), 15);
+        let sg = SectionGraph::build(&g).unwrap();
+        assert!(sg.len() > 4, "has several sections");
+    }
+
+    #[test]
+    fn scenario_count_and_probabilities() {
+        let g = synthetic_app().lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+        // Branch1 (2 arms; arm 0 contains the 4-way loop) × branch2 (2):
+        // (4 + 1) × 2 = 10 scenarios.
+        assert_eq!(scenarios.len(), 10);
+        let total: f64 = scenarios.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_attributes_match_figure3() {
+        let g = synthetic_app().lower().unwrap();
+        let find = |name: &str| {
+            g.iter()
+                .find(|(_, n)| n.name == name)
+                .map(|(_, n)| (n.kind.wcet(), n.kind.acet()))
+                .unwrap_or_else(|| panic!("task {name} missing"))
+        };
+        assert_eq!(find("A"), (8.0, 5.0));
+        assert_eq!(find("B"), (5.0, 3.0));
+        assert_eq!(find("C"), (4.0, 2.0));
+        assert_eq!(find("E"), (5.0, 4.0));
+        assert_eq!(find("F"), (8.0, 6.0));
+        assert_eq!(find("G"), (5.0, 3.0));
+        assert_eq!(find("H"), (10.0, 6.0));
+        assert_eq!(find("I"), (10.0, 8.0));
+        assert_eq!(find("J"), (4.0, 2.0));
+        assert_eq!(find("K"), (5.0, 3.0));
+        assert_eq!(find("L"), (10.0, 8.0));
+        // Loop body copies.
+        assert_eq!(find("D#1"), (4.0, 2.0));
+        assert_eq!(find("D#4"), (4.0, 2.0));
+    }
+
+    #[test]
+    fn alpha_variant_rescales_acets() {
+        let g = synthetic_app_alpha(0.5).lower().unwrap();
+        for (_, n) in g.iter() {
+            if n.kind.is_computation() {
+                assert!((n.kind.acet() - 0.5 * n.kind.wcet()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn or_structure_counts() {
+        let g = synthetic_app().lower().unwrap();
+        // 2 explicit branches (2 OR nodes each) + loop expansion ORs.
+        assert!(g.num_or_nodes() >= 4);
+        // AND nodes: two Par fork/join pairs at least.
+        let ands = g.nodes().iter().filter(|n| n.kind.is_and()).count();
+        assert!(ands >= 4);
+    }
+}

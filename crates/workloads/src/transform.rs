@@ -1,0 +1,169 @@
+//! Workload transforms: controlling α (ACET/WCET ratio).
+//!
+//! The paper's Figure 6 sweeps α — "the average case execution time over
+//! worst case execution time for the tasks in the application, which
+//! indicates how much dynamic slack there is" — and generates each task's
+//! ACET "from a normal distribution around" α·WCET. These helpers rewrite a
+//! [`Segment`] tree accordingly before lowering.
+
+use andor_graph::Segment;
+use pas_stats::ClippedNormal;
+use rand::Rng;
+
+/// Sets every task's ACET to exactly `alpha · wcet`.
+///
+/// # Panics
+///
+/// Panics unless `0 < alpha <= 1`.
+pub fn with_alpha(seg: &Segment, alpha: f64) -> Segment {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    map_tasks(seg, &mut |wcet, _acet| alpha * wcet)
+}
+
+/// Draws every task's ACET from `N(alpha·wcet, (sd_frac·wcet)²)` clipped to
+/// `(0, wcet]` — the paper's per-task variability around the target α.
+///
+/// # Panics
+///
+/// Panics unless `0 < alpha <= 1` and `sd_frac >= 0`.
+pub fn with_alpha_jitter<R: Rng + ?Sized>(
+    seg: &Segment,
+    alpha: f64,
+    sd_frac: f64,
+    rng: &mut R,
+) -> Segment {
+    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+    assert!(sd_frac >= 0.0, "sd_frac must be non-negative");
+    map_tasks(seg, &mut |wcet, _acet| {
+        let mut dist = ClippedNormal::new(alpha * wcet, sd_frac * wcet, 0.01 * wcet, wcet)
+            .expect("valid clip bounds");
+        dist.sample(rng)
+    })
+}
+
+/// The α actually realized by a segment tree: total ACET over total WCET.
+pub fn realized_alpha(seg: &Segment) -> f64 {
+    let (w, a) = totals(seg);
+    if w == 0.0 {
+        1.0
+    } else {
+        a / w
+    }
+}
+
+fn totals(seg: &Segment) -> (f64, f64) {
+    match seg {
+        Segment::Task { wcet, acet, .. } => (*wcet, *acet),
+        Segment::Seq(v) | Segment::Par(v) => v.iter().map(totals).fold(
+            (0.0, 0.0),
+            |(w, a), (w2, a2)| (w + w2, a + a2),
+        ),
+        Segment::Branch(arms) => arms.iter().map(|(_, s)| totals(s)).fold(
+            (0.0, 0.0),
+            |(w, a), (w2, a2)| (w + w2, a + a2),
+        ),
+        Segment::Loop { body, counts } => {
+            let (w, a) = totals(body);
+            let max_n = counts.iter().map(|(n, _)| *n).max().unwrap_or(0) as f64;
+            (w * max_n, a * max_n)
+        }
+    }
+}
+
+fn map_tasks(seg: &Segment, f: &mut impl FnMut(f64, f64) -> f64) -> Segment {
+    match seg {
+        Segment::Task { name, wcet, acet } => Segment::Task {
+            name: name.clone(),
+            wcet: *wcet,
+            acet: f(*wcet, *acet),
+        },
+        Segment::Seq(v) => Segment::Seq(v.iter().map(|s| map_tasks(s, f)).collect()),
+        Segment::Par(v) => Segment::Par(v.iter().map(|s| map_tasks(s, f)).collect()),
+        Segment::Branch(arms) => Segment::Branch(
+            arms.iter().map(|(p, s)| (*p, map_tasks(s, f))).collect(),
+        ),
+        Segment::Loop { body, counts } => Segment::Loop {
+            body: Box::new(map_tasks(body, f)),
+            counts: counts.clone(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_app() -> Segment {
+        Segment::seq([
+            Segment::task("A", 10.0, 5.0),
+            Segment::par([
+                Segment::task("B", 4.0, 2.0),
+                Segment::task("C", 6.0, 3.0),
+            ]),
+            Segment::branch([
+                (0.5, Segment::task("D", 8.0, 4.0)),
+                (0.5, Segment::empty()),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn with_alpha_sets_exact_ratio() {
+        let app = with_alpha(&sample_app(), 0.6);
+        assert!((realized_alpha(&app) - 0.6).abs() < 1e-12);
+        // Lowered graph keeps the ratio per task.
+        let g = app.lower().unwrap();
+        for (_, n) in g.iter() {
+            if n.kind.is_computation() {
+                assert!((n.kind.acet() / n.kind.wcet() - 0.6).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_one_means_no_dynamic_slack() {
+        let app = with_alpha(&sample_app(), 1.0);
+        let g = app.lower().unwrap();
+        for (_, n) in g.iter() {
+            if n.kind.is_computation() {
+                assert_eq!(n.kind.acet(), n.kind.wcet());
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_centers_on_alpha() {
+        let mut rng = StdRng::seed_from_u64(21);
+        // Average over many draws of the realized alpha.
+        let k = 300;
+        let mean: f64 = (0..k)
+            .map(|_| realized_alpha(&with_alpha_jitter(&sample_app(), 0.5, 0.1, &mut rng)))
+            .sum::<f64>()
+            / k as f64;
+        assert!((mean - 0.5).abs() < 0.03, "mean={mean}");
+    }
+
+    #[test]
+    fn jitter_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let app = with_alpha_jitter(&sample_app(), 0.9, 0.3, &mut rng);
+            app.lower().expect("acet stays within (0, wcet]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn with_alpha_rejects_zero() {
+        let _ = with_alpha(&sample_app(), 0.0);
+    }
+
+    #[test]
+    fn realized_alpha_of_loop_counts_max_unrolling() {
+        let app = Segment::loop_(Segment::task("b", 4.0, 2.0), [(2, 0.5), (3, 0.5)]);
+        // Ratio is scale-invariant: still 0.5.
+        assert!((realized_alpha(&app) - 0.5).abs() < 1e-12);
+    }
+}

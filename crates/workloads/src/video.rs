@@ -1,0 +1,228 @@
+//! A video-decoder pipeline workload.
+//!
+//! The paper motivates AND/OR scheduling with applications whose control
+//! flow depends on the input ("the control flow of most practical
+//! applications also have OR structures, where execution of the sub-paths
+//! depends on the results of previous tasks"). A classic instance from the
+//! same era's power-management literature is an MPEG-style decoder: the
+//! work per frame depends on the frame type decided by the encoder —
+//! intra-coded frames (I) decode standalone, predicted frames (P) add
+//! motion compensation, bidirectional frames (B) add a second reference.
+//!
+//! Per frame:
+//!
+//! 1. `parse` — bitstream parsing (always),
+//! 2. an OR branch over the frame type:
+//!    * **I**: `idct` slices in parallel,
+//!    * **P**: `idct` slices ∥ `mc` (motion compensation),
+//!    * **B**: `idct` slices ∥ `mc-fwd` ∥ `mc-bwd`,
+//! 3. `render` — color conversion + display (always).
+//!
+//! A group of pictures (GOP) is a sequence of frames processed against one
+//! deadline window, giving multi-frame OR-induced slack exactly like the
+//! ATR workload's ROI variability.
+
+use andor_graph::Segment;
+use serde::{Deserialize, Serialize};
+
+/// Video-decoder generator parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VideoParams {
+    /// Frames per deadline window (GOP length).
+    pub frames: usize,
+    /// Probabilities of frame types `[I, P, B]`; must sum to 1.
+    pub type_probs: [f64; 3],
+    /// Parallel IDCT slices per frame.
+    pub slices: usize,
+    /// WCET of bitstream parsing (ms).
+    pub parse_wcet: f64,
+    /// WCET of one IDCT slice (ms).
+    pub idct_wcet: f64,
+    /// WCET of one motion-compensation pass (ms).
+    pub mc_wcet: f64,
+    /// WCET of rendering (ms).
+    pub render_wcet: f64,
+    /// ACET/WCET ratio applied uniformly.
+    pub alpha: f64,
+}
+
+impl Default for VideoParams {
+    fn default() -> Self {
+        Self {
+            frames: 3,
+            // Typical GOP mix: few I frames, many P/B.
+            type_probs: [0.15, 0.45, 0.40],
+            slices: 4,
+            parse_wcet: 2.0,
+            idct_wcet: 3.0,
+            mc_wcet: 5.0,
+            render_wcet: 2.5,
+            alpha: 0.6,
+        }
+    }
+}
+
+impl VideoParams {
+    /// Validates the parameter set.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.frames == 0 || self.slices == 0 {
+            return Err("frames and slices must be positive".into());
+        }
+        let sum: f64 = self.type_probs.iter().sum();
+        if (sum - 1.0).abs() > 1e-6 || self.type_probs.iter().any(|p| *p <= 0.0) {
+            return Err("type_probs must be positive and sum to 1".into());
+        }
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err("alpha must be in (0, 1]".into());
+        }
+        for (name, v) in [
+            ("parse_wcet", self.parse_wcet),
+            ("idct_wcet", self.idct_wcet),
+            ("mc_wcet", self.mc_wcet),
+            ("render_wcet", self.render_wcet),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the decoder application.
+    pub fn build(&self) -> Result<Segment, String> {
+        self.validate()?;
+        let task = |name: String, wcet: f64| Segment::task(name, wcet, self.alpha * wcet);
+        let mut frames = Vec::with_capacity(self.frames);
+        for f in 0..self.frames {
+            let idct = |tag: &str| {
+                Segment::par(
+                    (0..self.slices)
+                        .map(|s| task(format!("f{f}.{tag}.idct{s}"), self.idct_wcet)),
+                )
+            };
+            let i_frame = idct("I");
+            let p_frame = Segment::par([
+                idct("P"),
+                task(format!("f{f}.P.mc"), self.mc_wcet),
+            ]);
+            let b_frame = Segment::par([
+                idct("B"),
+                task(format!("f{f}.B.mc-fwd"), self.mc_wcet),
+                task(format!("f{f}.B.mc-bwd"), self.mc_wcet),
+            ]);
+            frames.push(Segment::seq([
+                task(format!("f{f}.parse"), self.parse_wcet),
+                Segment::branch([
+                    (self.type_probs[0], i_frame),
+                    (self.type_probs[1], p_frame),
+                    (self.type_probs[2], b_frame),
+                ]),
+                task(format!("f{f}.render"), self.render_wcet),
+            ]));
+        }
+        Ok(Segment::seq(frames))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andor_graph::SectionGraph;
+
+    #[test]
+    fn default_params_build_valid_graph() {
+        let g = VideoParams::default().build().unwrap().lower().unwrap();
+        g.validate().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        // 3 frame types per frame, 3 frames: 27 scenarios.
+        let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+        assert_eq!(scenarios.len(), 27);
+        let total: f64 = scenarios.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frame_types_have_increasing_work() {
+        let p = VideoParams {
+            frames: 1,
+            ..Default::default()
+        };
+        let g = p.build().unwrap().lower().unwrap();
+        let sg = SectionGraph::build(&g).unwrap();
+        let mut works: Vec<(f64, f64)> = sg
+            .enumerate_scenarios(&g)
+            .map(|(s, prob)| {
+                let w: f64 = sg
+                    .active_nodes(&g, &s)
+                    .iter()
+                    .map(|&n| g.node(n).kind.wcet())
+                    .sum();
+                (prob, w)
+            })
+            .map(|(prob, w)| (w, prob))
+            .collect();
+        works.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // I < P < B by one/two motion-compensation passes.
+        assert!((works[1].0 - works[0].0 - p.mc_wcet).abs() < 1e-9);
+        assert!((works[2].0 - works[1].0 - p.mc_wcet).abs() < 1e-9);
+        // Probabilities follow the configured mix.
+        assert!((works[0].1 - 0.15).abs() < 1e-9);
+        assert!((works[2].1 - 0.40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_applies_uniformly() {
+        let p = VideoParams {
+            alpha: 0.5,
+            ..Default::default()
+        };
+        let g = p.build().unwrap().lower().unwrap();
+        for (_, n) in g.iter() {
+            if n.kind.is_computation() {
+                assert!((n.kind.acet() - 0.5 * n.kind.wcet()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let bad = VideoParams {
+            type_probs: [0.5, 0.5, 0.5],
+            ..Default::default()
+        };
+        assert!(bad.build().is_err());
+        let bad = VideoParams {
+            frames: 0,
+            ..Default::default()
+        };
+        assert!(bad.build().is_err());
+        let bad = VideoParams {
+            idct_wcet: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.build().is_err());
+        let bad = VideoParams {
+            alpha: 1.5,
+            ..Default::default()
+        };
+        assert!(bad.build().is_err());
+    }
+
+    #[test]
+    fn slices_fan_out_in_parallel() {
+        let p = VideoParams {
+            frames: 1,
+            slices: 6,
+            ..Default::default()
+        };
+        let g = p.build().unwrap().lower().unwrap();
+        let max_fanout = g
+            .nodes()
+            .iter()
+            .filter(|n| n.kind.is_and())
+            .map(|n| n.succs.len())
+            .max()
+            .unwrap();
+        assert!(max_fanout >= 6);
+    }
+}

@@ -1,0 +1,77 @@
+//! Automated target recognition (ATR): the paper's motivating workload.
+//!
+//! Each frame detects a variable number of regions of interest; every
+//! detected ROI is compared against all templates in parallel. This example
+//! configures the ATR generator, shows how the OR structure exposes
+//! dynamic slack, and sweeps the processor count to show where the
+//! parallelism saturates.
+//!
+//! Run with: `cargo run --release --example atr_pipeline`
+
+use pas_andor::core::{Scheme, Setup};
+use pas_andor::power::ProcessorModel;
+use pas_andor::sim::ExecTimeModel;
+use pas_andor::workloads::AtrParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An ATR instance: up to 6 ROIs per frame (most frames have 1-2),
+    // 4 templates, 2 frames per deadline window.
+    let params = AtrParams {
+        max_rois: 6,
+        roi_probs: vec![0.30, 0.28, 0.18, 0.12, 0.08, 0.04],
+        num_templates: 4,
+        frames: 2,
+        ..AtrParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let app = params.build_jittered(&mut rng)?;
+    let graph = app.lower()?;
+    println!(
+        "ATR instance: {} tasks, {} OR nodes, total WCET {:.0} ms",
+        graph.num_tasks(),
+        graph.num_or_nodes(),
+        graph.total_wcet()
+    );
+
+    let etm = ExecTimeModel::paper_defaults();
+    println!("\nprocs  scheme  norm.energy  speed-changes/run");
+    for procs in [1, 2, 4, 6] {
+        // Deadline chosen for 60% load at each processor count.
+        let setup = Setup::for_load(
+            graph.clone(),
+            ProcessorModel::xscale(),
+            procs,
+            0.6,
+        )?;
+        let mut sim_rng = StdRng::seed_from_u64(99);
+        const RUNS: usize = 300;
+        let mut energy = [0.0_f64; 3];
+        let mut changes = [0.0_f64; 3];
+        let schemes = [Scheme::Npm, Scheme::Gss, Scheme::As];
+        for _ in 0..RUNS {
+            let real = setup.sample(&etm, &mut sim_rng);
+            for (i, s) in schemes.iter().enumerate() {
+                let res = setup.run(*s, &real);
+                assert!(!res.missed_deadline);
+                energy[i] += res.total_energy();
+                changes[i] += res.energy.speed_changes() as f64;
+            }
+        }
+        for (i, s) in schemes.iter().enumerate() {
+            println!(
+                "{:>5}  {:<6}  {:>10.4}  {:>16.2}",
+                procs,
+                s.name(),
+                energy[i] / energy[0],
+                changes[i] / RUNS as f64
+            );
+        }
+        println!();
+    }
+    println!("Note how the dynamic schemes' relative savings shrink as the");
+    println!("processor count outgrows the application's parallelism — the");
+    println!("effect the paper reports for its 4- and 6-processor runs.");
+    Ok(())
+}

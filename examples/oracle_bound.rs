@@ -1,0 +1,62 @@
+//! How close do the on-line schemes get to a clairvoyant scheduler?
+//!
+//! Paper §3.3 motivates speculation with the observation that a
+//! clairvoyant algorithm — one that knows every task's actual execution
+//! time in advance — achieves minimal energy by running everything at one
+//! speed. This example measures each scheme's distance from that bound on
+//! both evaluation platforms.
+//!
+//! Two effects to look for in the output:
+//!
+//! * on the fine-grained Transmeta table, adaptive speculation (AS) tracks
+//!   the clairvoyant bound within a few percent at every load;
+//! * on the coarse XScale table, schemes occasionally dip *below* 1.0 —
+//!   mixing two adjacent levels across tasks beats any single rounded-up
+//!   level, something the single-speed clairvoyant cannot express.
+//!
+//! Run with: `cargo run --release --example oracle_bound`
+
+use pas_andor::core::{Scheme, Setup};
+use pas_andor::power::ProcessorModel;
+use pas_andor::sim::ExecTimeModel;
+use pas_andor::workloads::AtrParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(0xA72);
+    let app = AtrParams::default().build_jittered(&mut rng)?.lower()?;
+    const RUNS: usize = 400;
+
+    for model in [ProcessorModel::transmeta5400(), ProcessorModel::xscale()] {
+        println!("== {} ==", model.name());
+        println!("{:<6} {:>8} {:>8} {:>8} {:>8}", "load", "GSS", "AS", "SPM", "NPM");
+        for load in [0.3, 0.5, 0.7, 0.9] {
+            let setup = Setup::for_load(app.clone(), model.clone(), 2, load)?;
+            let mut rng = StdRng::seed_from_u64(99);
+            let etm = ExecTimeModel::paper_defaults();
+            let (mut oracle, mut gss, mut asp, mut spm, mut npm) =
+                (0.0, 0.0, 0.0, 0.0, 0.0);
+            for _ in 0..RUNS {
+                let real = setup.sample(&etm, &mut rng);
+                oracle += setup.run_oracle(&real).total_energy();
+                gss += setup.run(Scheme::Gss, &real).total_energy();
+                asp += setup.run(Scheme::As, &real).total_energy();
+                spm += setup.run(Scheme::Spm, &real).total_energy();
+                npm += setup.run(Scheme::Npm, &real).total_energy();
+            }
+            println!(
+                "{:<6} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+                load,
+                gss / oracle,
+                asp / oracle,
+                spm / oracle,
+                npm / oracle
+            );
+        }
+        println!();
+    }
+    println!("values are mean energy over the clairvoyant single-speed bound;");
+    println!("< 1.0 is possible on coarse level tables (level mixing).");
+    Ok(())
+}

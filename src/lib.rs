@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # pas-andor — Power-Aware Scheduling for AND/OR Graphs
+//!
+//! A from-scratch Rust reproduction of *Zhu, AbouGhazaleh, Mossé, Melhem:
+//! "Power Aware Scheduling for AND/OR Graphs in Multi-Processor Real-Time
+//! Systems", ICPP 2002* — the AND/OR application model, the greedy
+//! slack-sharing DVS scheduler with its deadline guarantee, the speculative
+//! variants, the multiprocessor execution engine, the two processor power
+//! models of the evaluation, and every figure/table of the paper's
+//! experimental section.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`graph`] ([`andor_graph`]) — AND/OR task graphs, program sections,
+//!   scenarios, structured construction with loop expansion;
+//! * [`power`] ([`dvfs_power`]) — voltage/frequency tables (Transmeta
+//!   TM5400, Intel XScale, synthetic), energy accounting, overheads;
+//! * [`sim`] ([`mp_sim`]) — the deterministic multiprocessor engine;
+//! * [`core`] ([`pas_core`]) — the off-line phase and the six on-line
+//!   schemes (NPM, SPM, GSS, SS(1), SS(2), AS);
+//! * [`workloads`] — ATR, the Figure-3 synthetic application, random
+//!   generators;
+//! * [`stats`] ([`pas_stats`]) — sampling and summary statistics;
+//! * [`experiments`] ([`pas_experiments`]) — the Monte-Carlo harness and
+//!   per-figure sweeps.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pas_andor::graph::Segment;
+//! use pas_andor::power::ProcessorModel;
+//! use pas_andor::core::{Scheme, Setup};
+//! use pas_andor::sim::ExecTimeModel;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // An application: A, then either B (30%) or C (70%).
+//! let app = Segment::seq([
+//!     Segment::task("A", 8.0, 5.0),
+//!     Segment::branch([
+//!         (0.3, Segment::task("B", 5.0, 3.0)),
+//!         (0.7, Segment::task("C", 4.0, 2.0)),
+//!     ]),
+//! ]);
+//!
+//! // Two processors, 26 ms deadline, Transmeta TM5400 levels.
+//! let setup = Setup::new(app.lower()?, ProcessorModel::transmeta5400(), 2, 26.0)?;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+//! let gss = setup.run(Scheme::Gss, &real);
+//! assert!(!gss.missed_deadline);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use andor_graph as graph;
+pub use dvfs_power as power;
+pub use mp_sim as sim;
+pub use pas_core as core;
+pub use pas_experiments as experiments;
+pub use pas_stats as stats;
+pub use workloads;

@@ -1,0 +1,211 @@
+//! Golden-schedule tests: small instances whose canonical schedules, LSTs
+//! and GSS runs were traced by hand against the paper's definitions. These
+//! anchor the implementation — if a refactor changes any number here, it
+//! changed the algorithm, not just the code.
+
+use pas_andor::core::{Scheme, Setup};
+use pas_andor::graph::Segment;
+use pas_andor::power::{Overheads, ProcessorModel};
+use pas_andor::sim::Realization;
+use pas_andor::workloads::synthetic_app;
+
+fn lst_of(setup: &Setup, name: &str) -> f64 {
+    let (id, _) = setup
+        .graph
+        .iter()
+        .find(|(_, n)| n.name == name)
+        .unwrap_or_else(|| panic!("task {name} missing"));
+    setup.plan.lst[id.index()].expect("computation node")
+}
+
+/// Figure 1a of the paper: A(8/5) feeding an AND fork to B(5/3) ∥ C(4/2),
+/// two processors.
+///
+/// Canonical (WCET, fmax): A on p0 [0,8]; fork; B on p0 [8,13], C on p1
+/// [8,12]; makespan 13. With D = 26: shift by 13 → LST_A = 13, LST_B = 21,
+/// LST_C = 21.
+#[test]
+fn figure_1a_hand_traced() {
+    let app = Segment::seq([
+        Segment::task("A", 8.0, 5.0),
+        Segment::par([
+            Segment::task("B", 5.0, 3.0),
+            Segment::task("C", 4.0, 2.0),
+        ]),
+    ]);
+    let setup = Setup::with_deadline_and_overheads(
+        app.lower().unwrap(),
+        ProcessorModel::continuous(0.05).unwrap(),
+        2,
+        26.0,
+        Overheads::none(),
+    )
+    .unwrap();
+    assert!((setup.plan.worst_total - 13.0).abs() < 1e-12);
+    assert!((setup.plan.avg_total - 8.0).abs() < 1e-12, "A(5) + max(3,2)");
+    assert!((lst_of(&setup, "A") - 13.0).abs() < 1e-12);
+    assert!((lst_of(&setup, "B") - 21.0).abs() < 1e-12);
+    assert!((lst_of(&setup, "C") - 21.0).abs() < 1e-12);
+
+    // GSS at worst case: A runs at 8/(8+13) = 8/21; B and C then split the
+    // remaining window. Every task finishes exactly at its shifted-
+    // canonical estimate, and the application at exactly D.
+    let scen = setup
+        .sections
+        .enumerate_scenarios(&setup.graph)
+        .next()
+        .map(|(s, _)| s)
+        .unwrap();
+    let real = Realization::worst_case(&setup.graph, scen);
+    let mut policy = setup.policy(Scheme::Gss);
+    let res = setup.simulator(true).run(policy.as_mut(), &real);
+    assert!(!res.missed_deadline);
+    assert!((res.finish_time - 26.0).abs() < 1e-9, "{}", res.finish_time);
+    let tr = res.trace.unwrap();
+    assert!((tr[0].speed - 8.0 / 21.0).abs() < 1e-12);
+}
+
+/// Figure 1b of the paper: A(8/5), then an OR with B(5/3)→F(8/6) at 30%
+/// versus C(4/2)→G(5/3) at 70%, merging at O4. One processor, D = 30.
+///
+/// Worst path: A + (B+F) = 8 + 13 = 21 → Tw = 21.
+/// Ta = 5 + 0.3·(3+6) + 0.7·(2+3) = 11.2.
+/// LST_A = 30 − 21 = 9; LST_B = 30 − 13 = 17; LST_F = 30 − 8 = 22;
+/// LST_C = 30 − 9 = 21 (its own path's remaining worst: 4+5);
+/// LST_G = 30 − 5 = 25.
+#[test]
+fn figure_1b_hand_traced() {
+    let app = Segment::seq([
+        Segment::task("A", 8.0, 5.0),
+        Segment::branch([
+            (
+                0.3,
+                Segment::seq([Segment::task("B", 5.0, 3.0), Segment::task("F", 8.0, 6.0)]),
+            ),
+            (
+                0.7,
+                Segment::seq([Segment::task("C", 4.0, 2.0), Segment::task("G", 5.0, 3.0)]),
+            ),
+        ]),
+    ]);
+    let setup = Setup::with_deadline_and_overheads(
+        app.lower().unwrap(),
+        ProcessorModel::continuous(0.05).unwrap(),
+        1,
+        30.0,
+        Overheads::none(),
+    )
+    .unwrap();
+    assert!((setup.plan.worst_total - 21.0).abs() < 1e-12);
+    assert!((setup.plan.avg_total - 11.2).abs() < 1e-12);
+    assert!((lst_of(&setup, "A") - 9.0).abs() < 1e-12);
+    assert!((lst_of(&setup, "B") - 17.0).abs() < 1e-12);
+    assert!((lst_of(&setup, "F") - 22.0).abs() < 1e-12);
+    assert!((lst_of(&setup, "C") - 21.0).abs() < 1e-12);
+    assert!((lst_of(&setup, "G") - 25.0).abs() < 1e-12);
+
+    // PMP statistics at the branch OR.
+    let or = setup
+        .graph
+        .iter()
+        .find(|(_, n)| n.kind.is_or() && n.succs.len() == 2)
+        .unwrap()
+        .0;
+    assert!((setup.plan.branch_worst[&(or, 0)] - 13.0).abs() < 1e-12);
+    assert!((setup.plan.branch_worst[&(or, 1)] - 9.0).abs() < 1e-12);
+    assert!((setup.plan.branch_avg[&(or, 0)] - 9.0).abs() < 1e-12);
+    assert!((setup.plan.branch_avg[&(or, 1)] - 5.0).abs() < 1e-12);
+
+    // GSS down the 70% path at worst case: A stretches over [0, 17]
+    // (speed 8/17); the OR fires at 17; C over [17, 17+(4+(21-17))] ...
+    // C's window is LST_C + c = 25, so C runs at 4/8 = 0.5 ending at 25;
+    // G runs at 5/5 = 1.0 ending exactly at 30.
+    let scenarios: Vec<_> = setup
+        .sections
+        .enumerate_scenarios(&setup.graph)
+        .collect();
+    let (seventy, _) = scenarios
+        .iter()
+        .find(|(_, p)| (*p - 0.7).abs() < 1e-12)
+        .unwrap();
+    let real = Realization::worst_case(&setup.graph, seventy.clone());
+    let mut policy = setup.policy(Scheme::Gss);
+    let res = setup.simulator(true).run(policy.as_mut(), &real);
+    assert!((res.finish_time - 30.0).abs() < 1e-9);
+    let tr = res.trace.unwrap();
+    let speeds: Vec<f64> = tr.iter().map(|e| e.speed).collect();
+    assert!((speeds[0] - 8.0 / 17.0).abs() < 1e-12, "A: {}", speeds[0]);
+    assert!((speeds[1] - 0.5).abs() < 1e-12, "C: {}", speeds[1]);
+    assert!((speeds[2] - 1.0).abs() < 1e-12, "G: {}", speeds[2]);
+}
+
+/// LTF tie-breaking and multiprocessor packing, hand-checked: five tasks
+/// (9, 7, 5, 3, 3) on two processors.
+///
+/// LTF order: 9, 7, 5, 3, 3. Schedule: 9 on p0 [0,9]; 7 on p1 [0,7];
+/// 5 on p1 [7,12]; 3 on p0 [9,12]; 3 on p1/p0 [12,15]. Makespan 15.
+#[test]
+fn ltf_packing_hand_traced() {
+    let app = Segment::par([
+        Segment::task("t9", 9.0, 9.0),
+        Segment::task("t7", 7.0, 7.0),
+        Segment::task("t5", 5.0, 5.0),
+        Segment::task("t3a", 3.0, 3.0),
+        Segment::task("t3b", 3.0, 3.0),
+    ]);
+    let setup = Setup::with_deadline_and_overheads(
+        app.lower().unwrap(),
+        ProcessorModel::continuous(0.05).unwrap(),
+        2,
+        15.0, // exactly the canonical makespan: zero slack
+        Overheads::none(),
+    )
+    .unwrap();
+    assert!((setup.plan.worst_total - 15.0).abs() < 1e-12);
+    // At zero slack, NPM and GSS coincide.
+    let scen = setup
+        .sections
+        .enumerate_scenarios(&setup.graph)
+        .next()
+        .map(|(s, _)| s)
+        .unwrap();
+    let real = Realization::worst_case(&setup.graph, scen);
+    for scheme in [Scheme::Npm, Scheme::Gss] {
+        let res = setup.run(scheme, &real);
+        assert!(
+            (res.finish_time - 15.0).abs() < 1e-9,
+            "{scheme}: {}",
+            res.finish_time
+        );
+    }
+}
+
+/// Regression anchor: the synthetic application's off-line quantities on
+/// 2 processors must stay exactly as first computed (WCETs are integers,
+/// so these are exact).
+#[test]
+fn synthetic_app_plan_snapshot() {
+    let setup = Setup::with_deadline_and_overheads(
+        synthetic_app().lower().unwrap(),
+        ProcessorModel::transmeta5400(),
+        2,
+        118.0,
+        Overheads::none(),
+    )
+    .unwrap();
+    assert_eq!(setup.plan.worst_total, 59.0);
+    // Ta, hand-derived: root section at ACET on 2 procs = 5 + max(3,2) = 8;
+    // branch mix = 0.35·(4 + 2 + E[extra loop iters]·2 = 8.1) + 0.65·(6+3)
+    // = 8.685; H∥I = 8; final mix = 0.3·2 + 0.7·11 = 8.3. Total 32.985.
+    assert!(
+        (setup.plan.avg_total - 32.985).abs() < 1e-9,
+        "{}",
+        setup.plan.avg_total
+    );
+    assert_eq!(setup.sections.len(), 15);
+    let scenarios: Vec<_> = setup
+        .sections
+        .enumerate_scenarios(&setup.graph)
+        .collect();
+    assert_eq!(scenarios.len(), 10);
+}

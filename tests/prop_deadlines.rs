@@ -1,0 +1,152 @@
+//! Property-based tests: the deadline guarantee and basic energy sanity
+//! must hold on *arbitrary* valid AND/OR applications, not just the two
+//! paper workloads.
+
+use pas_andor::core::{Scheme, Setup};
+use pas_andor::power::{Overheads, ProcessorModel};
+use pas_andor::sim::{ExecTimeModel, Realization};
+use pas_andor::workloads::RandomAppParams;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_model() -> impl Strategy<Value = ProcessorModel> {
+    prop_oneof![
+        Just(ProcessorModel::transmeta5400()),
+        Just(ProcessorModel::xscale()),
+        (0.05f64..0.9).prop_map(|s| ProcessorModel::continuous(s).unwrap()),
+        (2usize..12, 0.1f64..0.8).prop_map(|(n, r)| {
+            ProcessorModel::synthetic(800.0, n, r, 0.9, 1.7).unwrap()
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No random application, platform, load, overhead or realization may
+    /// produce a deadline miss under any scheme.
+    #[test]
+    fn no_scheme_ever_misses_deadline(
+        app_seed in 0u64..10_000,
+        real_seed in 0u64..10_000,
+        model in arb_model(),
+        procs in 1usize..5,
+        load in 0.1f64..1.0,
+        overhead_us in 0f64..200.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(app_seed);
+        let app = RandomAppParams::default().generate(&mut rng).lower().unwrap();
+        let setup = Setup::for_load_with_overheads(
+            app,
+            model,
+            procs,
+            load,
+            Overheads::new(300.0, overhead_us / 1000.0).unwrap(),
+        )
+        .expect("load <= 1 keeps the plan feasible");
+        let mut rng = StdRng::seed_from_u64(real_seed);
+        let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        for scheme in Scheme::ALL {
+            let res = setup.run(scheme, &real);
+            prop_assert!(
+                !res.missed_deadline,
+                "{} missed: {} > {} (app_seed={}, procs={}, load={})",
+                scheme.name(), res.finish_time, res.deadline, app_seed, procs, load
+            );
+        }
+    }
+
+    /// The worst-case realization of the most likely scenario never misses
+    /// either (adversarial execution times, not just sampled ones).
+    #[test]
+    fn worst_case_realization_never_misses(
+        app_seed in 0u64..10_000,
+        procs in 1usize..4,
+        load in 0.3f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(app_seed);
+        let app = RandomAppParams::default().generate(&mut rng).lower().unwrap();
+        let setup = Setup::for_load(app, ProcessorModel::xscale(), procs, load).unwrap();
+        let scenario = setup.sections.sample_scenario(&setup.graph, &mut rng);
+        let real = Realization::worst_case(&setup.graph, scenario);
+        for scheme in Scheme::ALL {
+            let res = setup.run(scheme, &real);
+            prop_assert!(!res.missed_deadline, "{} missed", scheme.name());
+        }
+    }
+
+    /// Managed schemes never burn more energy than NPM on the same
+    /// realization... except for bounded speed-change overhead energy.
+    #[test]
+    fn managed_energy_bounded_by_npm_plus_overhead(
+        app_seed in 0u64..10_000,
+        real_seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(app_seed);
+        let app = RandomAppParams::default().generate(&mut rng).lower().unwrap();
+        let setup = Setup::for_load(app, ProcessorModel::transmeta5400(), 2, 0.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(real_seed);
+        let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        let npm = setup.run(Scheme::Npm, &real);
+        for scheme in Scheme::MANAGED {
+            let res = setup.run(scheme, &real);
+            // Overhead energy is the only component that can exceed NPM's
+            // consumption (NPM performs no transitions and runs no PMPs).
+            let slack_for_overhead = res.energy.transition_energy()
+                + 0.01 * npm.total_energy();
+            prop_assert!(
+                res.total_energy() <= npm.total_energy() + slack_for_overhead,
+                "{}: {} vs NPM {}",
+                scheme.name(), res.total_energy(), npm.total_energy()
+            );
+        }
+    }
+
+    /// Extreme magnitudes: the pipeline stays correct when WCETs span
+    /// microseconds to minutes (numerical-robustness check).
+    #[test]
+    fn extreme_wcet_magnitudes_stay_safe(
+        scale_exp in -3i32..4,
+        app_seed in 0u64..1000,
+        real_seed in 0u64..1000,
+    ) {
+        let scale = 10f64.powi(scale_exp);
+        let mut rng = StdRng::seed_from_u64(app_seed);
+        let base = RandomAppParams {
+            wcet_range: (1.0 * scale, 10.0 * scale),
+            ..Default::default()
+        };
+        let app = base.generate(&mut rng).lower().unwrap();
+        let setup = Setup::for_load(app, ProcessorModel::transmeta5400(), 2, 0.7).unwrap();
+        let mut rng = StdRng::seed_from_u64(real_seed);
+        let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        for scheme in [Scheme::Gss, Scheme::As, Scheme::Spm] {
+            let res = setup.run(scheme, &real);
+            prop_assert!(!res.missed_deadline, "{} at scale 1e{}", scheme.name(), scale_exp);
+            prop_assert!(res.total_energy().is_finite());
+        }
+    }
+
+    /// Determinism: identical seeds produce identical runs.
+    #[test]
+    fn runs_are_deterministic(app_seed in 0u64..1000, real_seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(app_seed);
+        let app = RandomAppParams::default().generate(&mut rng).lower().unwrap();
+        let setup = Setup::for_load(app, ProcessorModel::xscale(), 2, 0.7).unwrap();
+        let real_a = {
+            let mut r = StdRng::seed_from_u64(real_seed);
+            setup.sample(&ExecTimeModel::paper_defaults(), &mut r)
+        };
+        let real_b = {
+            let mut r = StdRng::seed_from_u64(real_seed);
+            setup.sample(&ExecTimeModel::paper_defaults(), &mut r)
+        };
+        for scheme in Scheme::ALL {
+            let a = setup.run(scheme, &real_a);
+            let b = setup.run(scheme, &real_b);
+            prop_assert_eq!(a.finish_time, b.finish_time);
+            prop_assert_eq!(a.total_energy(), b.total_energy());
+        }
+    }
+}

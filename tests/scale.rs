@@ -1,0 +1,83 @@
+//! Scale tests: the pipeline must handle applications far larger than the
+//! paper's examples — hundreds of tasks, hundreds of scenarios — without
+//! blowing up algorithmically (the offline phase is near-linear per
+//! section; scenario enumeration is linear in the scenario count).
+
+use pas_andor::core::{Scheme, Setup};
+use pas_andor::graph::SectionGraph;
+use pas_andor::power::ProcessorModel;
+use pas_andor::sim::ExecTimeModel;
+use pas_andor::workloads::{AtrParams, RandomAppParams, VideoParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn large_atr_instance_end_to_end() {
+    // 8 ROIs max, 8 templates, 2 frames: ~150 tasks on the heaviest path,
+    // 64 scenarios.
+    let params = AtrParams {
+        max_rois: 8,
+        roi_probs: vec![0.20, 0.20, 0.15, 0.13, 0.12, 0.10, 0.06, 0.04],
+        num_templates: 8,
+        frames: 2,
+        ..AtrParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let g = params.build_jittered(&mut rng).unwrap().lower().unwrap();
+    assert!(g.num_tasks() > 300, "expected a large instance: {}", g.num_tasks());
+    let sg = SectionGraph::build(&g).unwrap();
+    let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
+    assert_eq!(scenarios.len(), 64);
+
+    let setup = Setup::for_load(g, ProcessorModel::xscale(), 4, 0.7).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..5 {
+        let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        for scheme in [Scheme::Gss, Scheme::As] {
+            let res = setup.run(scheme, &real);
+            assert!(!res.missed_deadline);
+        }
+    }
+}
+
+#[test]
+fn long_video_gop_end_to_end() {
+    // 6 frames × 3 types = 729 scenarios; ~100 tasks per path.
+    let params = VideoParams {
+        frames: 6,
+        slices: 6,
+        ..VideoParams::default()
+    };
+    let g = params.build().unwrap().lower().unwrap();
+    let sg = SectionGraph::build(&g).unwrap();
+    assert_eq!(sg.enumerate_scenarios(&g).count(), 729);
+    let setup = Setup::for_load(g, ProcessorModel::transmeta5400(), 6, 0.6).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+    for scheme in Scheme::ALL {
+        assert!(!setup.run(scheme, &real).missed_deadline, "{scheme}");
+    }
+}
+
+#[test]
+fn deep_random_apps_stay_correct() {
+    let params = RandomAppParams {
+        max_depth: 6,
+        max_seq_len: 4,
+        ..RandomAppParams::default()
+    };
+    let mut biggest = 0usize;
+    for seed in 0..20 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = params.generate(&mut rng).lower().unwrap();
+        biggest = biggest.max(g.num_tasks());
+        let setup = match Setup::for_load(g, ProcessorModel::xscale(), 3, 0.8) {
+            Ok(s) => s,
+            Err(e) => panic!("seed {seed}: {e}"),
+        };
+        let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        let res = setup.run(Scheme::Gss, &real);
+        assert!(!res.missed_deadline, "seed {seed}");
+    }
+    assert!(biggest > 100, "generator should reach large sizes: {biggest}");
+}

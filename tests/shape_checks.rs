@@ -1,0 +1,211 @@
+//! Reproduction shape checks: the qualitative findings of the paper's §5
+//! must hold in this implementation (absolute joules are not comparable —
+//! the authors' testbed is gone — but who wins, where the curves bend, and
+//! which effects appear are).
+//!
+//! Replication counts here are reduced (vs the paper's 1000) to keep test
+//! time sane; the checked effects are far larger than the Monte-Carlo
+//! noise at these counts.
+
+use pas_andor::core::Scheme;
+use pas_andor::experiments::figures::{
+    fig_energy_vs_alpha, fig_energy_vs_load, load_axis,
+};
+use pas_andor::experiments::{ExperimentConfig, Platform};
+
+fn cfg() -> ExperimentConfig {
+    let mut c = ExperimentConfig::quick(150);
+    c.base_seed = 0x5EED;
+    c
+}
+
+/// §5.1, Figure 4: "the normalized energy consumption starts by decreasing
+/// with [load]... and starts increasing" — the idle-energy/minimum-speed
+/// effect the paper calls counter-intuitive.
+#[test]
+fn energy_vs_load_falls_then_rises() {
+    let out = fig_energy_vs_load(Platform::Transmeta, 2, &cfg());
+    assert_eq!(out.total_misses, 0);
+    let gss = &out.energy.series("GSS").unwrap().values;
+    let min_idx = gss
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    // The minimum sits strictly inside the sweep: lower at moderate load
+    // than at either extreme.
+    assert!(min_idx > 0, "no initial decrease: {gss:?}");
+    assert!(min_idx < gss.len() - 1, "no final increase: {gss:?}");
+    assert!(gss[0] > gss[min_idx] + 0.01);
+    assert!(*gss.last().unwrap() > gss[min_idx] + 0.01);
+}
+
+/// §5: at load 1.0 there is no static slack, so SPM degenerates to NPM.
+#[test]
+fn spm_equals_npm_at_full_load() {
+    let out = fig_energy_vs_load(Platform::XScale, 2, &cfg());
+    let spm = &out.energy.series("SPM").unwrap().values;
+    let idx_full = load_axis().iter().position(|&l| l == 1.0).unwrap();
+    assert!(
+        (spm[idx_full] - 1.0).abs() < 1e-9,
+        "SPM at load 1.0 must equal NPM: {}",
+        spm[idx_full]
+    );
+}
+
+/// §5.1: "the greedy scheme is better than some speculative algorithms
+/// when S_min is rather high or there are fewer speed levels" — on the
+/// XScale's 5 coarse levels GSS must beat at least one speculative scheme
+/// somewhere in the load sweep.
+#[test]
+fn gss_beats_a_speculative_scheme_somewhere_on_xscale() {
+    let out = fig_energy_vs_load(Platform::XScale, 2, &cfg());
+    let gss = &out.energy.series("GSS").unwrap().values;
+    let beats = ["SS(1)", "SS(2)", "AS"].iter().any(|name| {
+        let spec = &out.energy.series(name).unwrap().values;
+        gss.iter().zip(spec).any(|(g, s)| g < s)
+    });
+    assert!(beats, "GSS never beat any speculative scheme: {out:?}");
+}
+
+/// §3.3/§4: the speculative schemes exist to reduce the *number of speed
+/// changes*; AS must change speed substantially less often than GSS.
+#[test]
+fn speculation_reduces_speed_changes() {
+    let out = fig_energy_vs_load(Platform::Transmeta, 2, &cfg());
+    let gss: f64 = out
+        .speed_changes
+        .series("GSS")
+        .unwrap()
+        .values
+        .iter()
+        .sum();
+    let asp: f64 = out.speed_changes.series("AS").unwrap().values.iter().sum();
+    assert!(
+        asp < 0.8 * gss,
+        "AS must cut speed changes vs GSS: {asp} vs {gss}"
+    );
+    // NPM never changes speed at all.
+    let npm: f64 = out
+        .speed_changes
+        .series("NPM")
+        .unwrap()
+        .values
+        .iter()
+        .sum();
+    assert_eq!(npm, 0.0);
+}
+
+/// §5.2, Figure 6: SPM only exploits *static* slack, so the dynamic
+/// schemes' advantage over it is largest at small α (lots of dynamic
+/// slack) and vanishes as α → 1 (none) — "the dynamic schemes become
+/// worse relative to static power management when α becomes larger".
+#[test]
+fn alpha_sweep_dynamic_advantage_shrinks() {
+    let out = fig_energy_vs_alpha(Platform::Transmeta, &cfg());
+    assert_eq!(out.total_misses, 0);
+    let spm = &out.energy.series("SPM").unwrap().values;
+    let gss = &out.energy.series("GSS").unwrap().values;
+    let advantage: Vec<f64> = spm.iter().zip(gss).map(|(s, g)| s - g).collect();
+    assert!(
+        advantage[1] > advantage[9] + 0.02,
+        "GSS's edge over SPM must shrink with alpha: {advantage:?}"
+    );
+    // At α = 1 there is no dynamic slack left: GSS sits within a few
+    // percent of SPM.
+    assert!(
+        (gss[9] - spm[9]).abs() < 0.08,
+        "at alpha=1, GSS ≈ SPM: {} vs {}",
+        gss[9],
+        spm[9]
+    );
+    // "All the dynamic algorithms perform the best with moderate α": the
+    // GSS curve is U-shaped with an interior minimum (at low α the
+    // minimum-speed clamp and idle energy dominate; at high α there is no
+    // dynamic slack).
+    let min_idx = gss
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert!(
+        min_idx > 0 && min_idx < gss.len() - 1,
+        "GSS vs alpha should dip at moderate alpha: {gss:?}"
+    );
+    assert!(gss[0] > gss[min_idx] + 0.02);
+    assert!(gss[9] > gss[min_idx] + 0.02);
+}
+
+/// §5 (conclusions): "when the number of processors increases, the
+/// performance of the dynamic schemes decreases due to the limited
+/// parallelism". Compare 2 vs 6 processors at moderate-to-high load.
+#[test]
+fn more_processors_hurt_dynamic_schemes() {
+    let two = fig_energy_vs_load(Platform::Transmeta, 2, &cfg());
+    let six = fig_energy_vs_load(Platform::Transmeta, 6, &cfg());
+    // Average normalized GSS energy across the upper half of the load
+    // sweep (where slowdown capability, not idle power, dominates).
+    let avg_hi = |out: &pas_andor::experiments::figures::SweepOutput| {
+        let v = &out.energy.series("GSS").unwrap().values;
+        v[5..].iter().sum::<f64>() / (v.len() - 5) as f64
+    };
+    assert!(
+        avg_hi(&six) > avg_hi(&two),
+        "6-proc GSS should save less than 2-proc: {} vs {}",
+        avg_hi(&six),
+        avg_hi(&two)
+    );
+}
+
+/// Figure 6 note: at α = 1 on the XScale, SS(1)'s speculative speed
+/// degenerates to the static value (`Tᵃ = Tʷ`), so SS(1) and SPM coincide
+/// (up to SS(1)'s per-task PMP computation overhead, which SPM does not
+/// pay).
+#[test]
+fn ss1_equals_spm_at_alpha_one_on_xscale() {
+    let out = fig_energy_vs_alpha(Platform::XScale, &cfg());
+    let ss1 = out.energy.series("SS(1)").unwrap().values[9];
+    let spm = out.energy.series("SPM").unwrap().values[9];
+    assert!(
+        (ss1 - spm).abs() < 1e-3,
+        "SS(1) must coincide with SPM at alpha=1: {ss1} vs {spm}"
+    );
+}
+
+/// On the fine-grained Transmeta table at high load, adaptive speculation
+/// beats plain greedy (the levels are fine enough for speculation to pay
+/// off — the flip side of the paper's S_min/levels explanation).
+#[test]
+fn as_beats_gss_at_high_load_on_fine_levels() {
+    let out = fig_energy_vs_load(Platform::Transmeta, 2, &cfg());
+    let gss = &out.energy.series("GSS").unwrap().values;
+    let asp = &out.energy.series("AS").unwrap().values;
+    // Average over the upper half of the load sweep.
+    let hi = |v: &[f64]| v[5..].iter().sum::<f64>() / (v.len() - 5) as f64;
+    assert!(
+        hi(asp) < hi(gss) - 0.01,
+        "AS should beat GSS at high load on Transmeta: {} vs {}",
+        hi(asp),
+        hi(gss)
+    );
+}
+
+/// All managed schemes save energy at moderate load on both platforms.
+#[test]
+fn managed_schemes_save_at_moderate_load() {
+    for platform in [Platform::Transmeta, Platform::XScale] {
+        let out = fig_energy_vs_load(platform, 2, &cfg());
+        let idx = 4; // load 0.5
+        for scheme in Scheme::MANAGED {
+            let v = out.energy.series(scheme.name()).unwrap().values[idx];
+            assert!(
+                v < 0.9,
+                "{} on {} at load 0.5: {v}",
+                scheme.name(),
+                platform.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Theorem 1 (and its extension to the speculative schemes): for any
+//! execution path of a feasible AND/OR application, every scheme finishes
+//! by the deadline — including at the absolute worst case and with
+//! overheads and discrete speed levels enabled.
+
+use pas_andor::core::{Scheme, Setup};
+use pas_andor::power::{Overheads, ProcessorModel};
+use pas_andor::sim::{ExecTimeModel, Realization};
+use pas_andor::workloads::{synthetic_app, AtrParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn models() -> Vec<ProcessorModel> {
+    vec![
+        ProcessorModel::transmeta5400(),
+        ProcessorModel::xscale(),
+        ProcessorModel::continuous(0.15).unwrap(),
+        ProcessorModel::synthetic(1000.0, 3, 0.3, 1.0, 1.8).unwrap(),
+    ]
+}
+
+fn apps() -> Vec<pas_andor::graph::AndOrGraph> {
+    let mut rng = StdRng::seed_from_u64(1);
+    vec![
+        synthetic_app().lower().unwrap(),
+        AtrParams::default()
+            .build_jittered(&mut rng)
+            .unwrap()
+            .lower()
+            .unwrap(),
+    ]
+}
+
+/// Every scenario at full WCET: the strongest adversary for the guarantee.
+#[test]
+fn worst_case_of_every_scenario_meets_deadline() {
+    for app in apps() {
+        for model in models() {
+            for procs in [1, 2, 4] {
+                for load in [0.4, 0.8, 1.0] {
+                    let setup = Setup::for_load(app.clone(), model.clone(), procs, load)
+                        .expect("feasible");
+                    let scenarios: Vec<_> =
+                        setup.sections.enumerate_scenarios(&setup.graph).collect();
+                    for (scenario, _) in scenarios {
+                        let real = Realization::worst_case(&setup.graph, scenario);
+                        for scheme in Scheme::ALL {
+                            let res = setup.run(scheme, &real);
+                            assert!(
+                                !res.missed_deadline,
+                                "{scheme} missed at procs={procs} load={load} \
+                                 model={}: {} > {}",
+                                model.name(),
+                                res.finish_time,
+                                res.deadline
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Large transition overheads must be absorbed by the reservation logic,
+/// not blow the deadline.
+#[test]
+fn guarantee_survives_heavy_overheads() {
+    let app = synthetic_app().lower().unwrap();
+    for overhead_ms in [0.0, 0.1, 0.5, 1.0] {
+        let setup = Setup::for_load_with_overheads(
+            app.clone(),
+            ProcessorModel::xscale(),
+            2,
+            0.9,
+            Overheads::new(1000.0, overhead_ms).unwrap(),
+        )
+        .expect("feasible");
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+            for scheme in Scheme::ALL {
+                let res = setup.run(scheme, &real);
+                assert!(
+                    !res.missed_deadline,
+                    "{scheme} missed with overhead {overhead_ms} ms: {} > {}",
+                    res.finish_time,
+                    res.deadline
+                );
+            }
+        }
+    }
+}
+
+/// The engine at full speed with WCETs reproduces the canonical schedule:
+/// the worst scenario finishes exactly at `Tw` (modulo float noise), and
+/// no scenario finishes later.
+#[test]
+fn canonical_schedule_matches_engine_replay() {
+    for app in apps() {
+        for procs in [1, 2, 3] {
+            let setup = Setup::for_load_with_overheads(
+                app.clone(),
+                ProcessorModel::transmeta5400(),
+                procs,
+                1.0, // deadline == Tw: zero static slack
+                Overheads::none(),
+            )
+            .unwrap();
+            let scenarios: Vec<_> =
+                setup.sections.enumerate_scenarios(&setup.graph).collect();
+            let mut worst = 0.0_f64;
+            for (scenario, _) in scenarios {
+                let real = Realization::worst_case(&setup.graph, scenario);
+                let res = setup.run(Scheme::Npm, &real);
+                assert!(
+                    res.finish_time <= setup.plan.worst_total + 1e-9,
+                    "a scenario finished after Tw"
+                );
+                worst = worst.max(res.finish_time);
+            }
+            assert!(
+                (worst - setup.plan.worst_total).abs() < 1e-9,
+                "worst scenario ({worst}) must realize Tw ({})",
+                setup.plan.worst_total
+            );
+        }
+    }
+}
+
+/// With zero static slack, α = 1 (no dynamic slack) and a *single
+/// execution path* (no OR path slack either), every scheme degenerates to
+/// full speed and still fits exactly. (With OR nodes this would not hold:
+/// shorter alternative paths legitimately carry path slack even at
+/// load 1.)
+#[test]
+fn zero_slack_degenerates_to_npm_timing() {
+    use pas_andor::graph::Segment;
+    let app = Segment::seq([
+        Segment::task("A", 6.0, 6.0),
+        Segment::par([
+            Segment::task("B", 5.0, 5.0),
+            Segment::task("C", 7.0, 7.0),
+        ]),
+        Segment::task("D", 3.0, 3.0),
+    ])
+    .lower()
+    .unwrap();
+    let setup = Setup::for_load_with_overheads(
+        app,
+        ProcessorModel::xscale(),
+        2,
+        1.0,
+        Overheads::none(),
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..50 {
+        let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        let npm = setup.run(Scheme::Npm, &real);
+        for scheme in Scheme::MANAGED {
+            let res = setup.run(scheme, &real);
+            assert!(!res.missed_deadline, "{scheme}");
+            assert!(
+                (res.finish_time - npm.finish_time).abs() < 1e-6,
+                "{scheme}: no slack anywhere, timing must equal NPM \
+                 ({} vs {})",
+                res.finish_time,
+                npm.finish_time
+            );
+        }
+    }
+}
