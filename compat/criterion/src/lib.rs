@@ -1,0 +1,175 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `criterion`: same macro/API surface
+//! (`criterion_group!`, `criterion_main!`, `bench_function`,
+//! `benchmark_group`, `iter`, `iter_batched`), but a deliberately tiny
+//! harness — a handful of timed iterations printed to stdout, no
+//! statistics. Bench binaries stay cheap even when `cargo test` runs
+//! them.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (kept tiny on purpose).
+const ITERATIONS: u32 = 5;
+
+/// Top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Times a single routine under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times one routine within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing driver passed to the routine closure.
+pub struct Bencher {
+    total_nanos: u128,
+    iters: u32,
+}
+
+/// Batch sizing hint; ignored by the shim.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times `routine` over the shim's fixed iteration count.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..ITERATIONS {
+            let start = Instant::now();
+            black_box(routine());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..ITERATIONS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut b = Bencher {
+        total_nanos: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let mean = b.total_nanos / u128::from(b.iters);
+        println!("bench {id:<40} {mean:>12} ns/iter ({} iters)", b.iters);
+    } else {
+        println!("bench {id:<40} (no iterations)");
+    }
+}
+
+/// Declares a benchmark group function, as in real criterion's simple
+/// form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut count = 0u32;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert_eq!(count, ITERATIONS);
+    }
+
+    #[test]
+    fn group_runs_batched() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        let mut seen = 0u32;
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 7u32, |x| seen += x, BatchSize::SmallInput)
+        });
+        g.finish();
+        assert_eq!(seen, 7 * ITERATIONS);
+    }
+}

@@ -1,0 +1,162 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `rayon`: the `into_par_iter().map(..).collect()`
+//! shape this workspace uses, implemented with `std::thread::scope`.
+//!
+//! Items are materialised eagerly, split into contiguous chunks (one per
+//! available core), mapped on scoped threads, and re-assembled in the
+//! original order — so `collect()` is deterministic regardless of thread
+//! scheduling.
+
+use std::ops::Range;
+
+/// Converts a collection into a "parallel" iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Creates the parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Minimal parallel-iterator interface: `map` then `collect`.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Consumes the iterator into its items (in order).
+    fn into_items(self) -> Vec<Self::Item>;
+
+    /// Lazily attaches a map stage, executed in parallel at `collect`.
+    fn map<O, F>(self, f: F) -> ParMap<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+}
+
+/// Eager list of items pretending to be a parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_items(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A mapped parallel iterator; the closure runs on scoped threads when
+/// collected.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, O, F> ParMap<I, F>
+where
+    I: ParallelIterator,
+    O: Send,
+    F: Fn(I::Item) -> O + Sync,
+{
+    /// Runs the map stage across threads and gathers results in input
+    /// order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let items = self.inner.into_items();
+        let n = items.len();
+        if n == 0 {
+            return std::iter::empty().collect();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        let f = &self.f;
+        if threads <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut slots: Vec<Option<Vec<O>>> = Vec::new();
+        slots.resize_with(threads, || None);
+        // Hand each scoped thread one contiguous chunk and one output
+        // slot; order is restored by slot index, not completion order.
+        let mut chunks: Vec<Vec<I::Item>> = Vec::with_capacity(threads);
+        let mut items = items;
+        while items.len() > chunk {
+            let rest = items.split_off(chunk);
+            chunks.push(items);
+            items = rest;
+        }
+        chunks.push(items);
+        std::thread::scope(|scope| {
+            for (slot, chunk_items) in slots.iter_mut().zip(chunks) {
+                scope.spawn(move || {
+                    *slot = Some(chunk_items.into_iter().map(f).collect());
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .flat_map(|s| s.expect("scoped thread filled its slot"))
+            .collect()
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<$t>;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+range_into_par_iter!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let out: Vec<usize> = (0usize..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out.len(), 1000);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = (0u32..0).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn vec_source() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x: i32| x.to_string())
+            .collect();
+        assert_eq!(out, ["1", "2", "3"]);
+    }
+}

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pas_bench::bench_config;
 use pas_experiments::figures::{
-    ablation_levels, ablation_overhead, ablation_procs, ablation_smin,
-    energy_breakdown, oracle_gap_vs_load,
+    ablation_levels, ablation_overhead, ablation_procs, ablation_smin, energy_breakdown,
+    oracle_gap_vs_load,
 };
 use pas_experiments::Platform;
 

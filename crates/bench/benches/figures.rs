@@ -54,5 +54,10 @@ fn fig6_energy_vs_alpha(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, fig4_energy_vs_load, fig5_six_procs, fig6_energy_vs_alpha);
+criterion_group!(
+    benches,
+    fig4_energy_vs_load,
+    fig5_six_procs,
+    fig6_energy_vs_alpha
+);
 criterion_main!(benches);

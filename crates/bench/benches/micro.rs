@@ -1,8 +1,8 @@
 //! Micro-benchmarks of the scheduler machinery: the off-line phase, one
 //! on-line run per scheme, and realization sampling.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use andor_graph::SectionGraph;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use mp_sim::ExecTimeModel;
 use pas_bench::synthetic_setup;
 use pas_core::{OfflinePlan, Scheme};
@@ -25,7 +25,7 @@ fn online_run(c: &mut Criterion) {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter_batched(
                 || setup.sample(&ExecTimeModel::paper_defaults(), &mut rng),
-                |real| setup.run(scheme, &real),
+                |real| setup.run(scheme, &real).expect("run succeeds"),
                 BatchSize::SmallInput,
             )
         });
@@ -57,18 +57,13 @@ fn large_instance(c: &mut Criterion) {
     group.bench_function("offline_plan_400_tasks", |b| {
         b.iter(|| OfflinePlan::build(&g, &sg, 4, 10_000.0).unwrap())
     });
-    let setup = pas_core::Setup::for_load(
-        g.clone(),
-        dvfs_power::ProcessorModel::xscale(),
-        4,
-        0.7,
-    )
-    .unwrap();
+    let setup =
+        pas_core::Setup::for_load(g.clone(), dvfs_power::ProcessorModel::xscale(), 4, 0.7).unwrap();
     group.bench_function("gss_run_400_tasks", |b| {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter_batched(
             || setup.sample(&ExecTimeModel::paper_defaults(), &mut rng),
-            |real| setup.run(Scheme::Gss, &real),
+            |real| setup.run(Scheme::Gss, &real).expect("run succeeds"),
             BatchSize::SmallInput,
         )
     });

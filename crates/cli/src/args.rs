@@ -55,6 +55,8 @@ pub struct Args {
     pub gantt: bool,
     /// Output path for `export`.
     pub out: Option<String>,
+    /// JSON file with a [`mp_sim::FaultPlan`] to inject during `run`.
+    pub fault_plan: Option<String>,
 }
 
 impl Args {
@@ -85,6 +87,7 @@ impl Args {
             alpha: None,
             gantt: false,
             out: None,
+            fault_plan: None,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, String> {
@@ -126,6 +129,7 @@ impl Args {
                 }
                 "--gantt" => parsed.gantt = true,
                 "--out" => parsed.out = Some(value("--out")?.clone()),
+                "--fault-plan" => parsed.fault_plan = Some(value("--fault-plan")?.clone()),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -176,9 +180,28 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let a = parse(&[
-            "compare", "--app", "atr", "--model", "xscale", "--procs", "4",
-            "--load", "0.7", "--scheme", "ss2", "--seed", "9", "--reps", "50",
-            "--alpha", "0.8", "--gantt", "--out", "x.json",
+            "compare",
+            "--app",
+            "atr",
+            "--model",
+            "xscale",
+            "--procs",
+            "4",
+            "--load",
+            "0.7",
+            "--scheme",
+            "ss2",
+            "--seed",
+            "9",
+            "--reps",
+            "50",
+            "--alpha",
+            "0.8",
+            "--gantt",
+            "--out",
+            "x.json",
+            "--fault-plan",
+            "faults.json",
         ])
         .unwrap();
         assert_eq!(a.command, Command::Compare);
@@ -189,6 +212,7 @@ mod tests {
         assert_eq!(a.alpha, Some(0.8));
         assert!(a.gantt);
         assert_eq!(a.out.as_deref(), Some("x.json"));
+        assert_eq!(a.fault_plan.as_deref(), Some("faults.json"));
     }
 
     #[test]

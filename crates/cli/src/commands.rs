@@ -2,7 +2,7 @@
 //! the whole tool is unit-testable without spawning processes.
 
 use crate::args::{Args, Command, SchemeArg};
-use crate::source::{load_app, load_model};
+use crate::source::{load_app, load_fault_plan, load_model};
 use andor_graph::{app_profile, to_dot, SectionGraph};
 use mp_sim::trace::{lane_stats, power_profile, render_gantt, GanttOptions};
 use mp_sim::ExecTimeModel;
@@ -14,6 +14,9 @@ use std::fmt::Write as _;
 
 /// Dispatches a parsed command line.
 pub fn execute(args: &Args) -> Result<String, String> {
+    if args.fault_plan.is_some() && args.command != Command::Run {
+        return Err("--fault-plan applies only to `run`".into());
+    }
     match args.command {
         Command::Inspect => inspect(args),
         Command::Plan => plan(args),
@@ -48,8 +51,7 @@ fn build_setup(args: &Args) -> Result<Setup, String> {
 
 fn inspect(args: &Args) -> Result<String, String> {
     let graph = load_app(args)?;
-    let sections =
-        SectionGraph::build(&graph).map_err(|e| format!("section structure: {e}"))?;
+    let sections = SectionGraph::build(&graph).map_err(|e| format!("section structure: {e}"))?;
     let profile = app_profile(&graph, &sections);
     let mut out = String::new();
     let _ = writeln!(out, "application: {}", args.app);
@@ -68,7 +70,11 @@ fn inspect(args: &Args) -> Result<String, String> {
         "  work (WCET): expected {:.1} ms, range {:.1}..{:.1} ms",
         profile.expected_wcet, profile.wcet_range.0, profile.wcet_range.1
     );
-    let _ = writeln!(out, "  work (ACET): expected {:.1} ms", profile.expected_acet);
+    let _ = writeln!(
+        out,
+        "  work (ACET): expected {:.1} ms",
+        profile.expected_acet
+    );
     let _ = writeln!(
         out,
         "  worst critical path: {:.1} ms (mean parallelism {:.2})",
@@ -168,16 +174,32 @@ fn run_one(args: &Args) -> Result<String, String> {
     let setup = build_setup(args)?;
     let mut rng = StdRng::seed_from_u64(args.seed);
     let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+    let fault_plan = match &args.fault_plan {
+        Some(path) => Some(load_fault_plan(path)?),
+        None => None,
+    };
+    // The seed doubles as the fault plan's run index, so `--seed` varies
+    // the drawn faults alongside the realization.
+    let fault_set = fault_plan
+        .as_ref()
+        .map(|p| p.realize(&setup.graph, args.seed));
     let res = match args.scheme {
         SchemeArg::Scheme(scheme) => {
             let mut policy = setup.policy(scheme);
-            setup.simulator(true).run(policy.as_mut(), &real)
+            setup
+                .simulator(true)
+                .run_full(policy.as_mut(), &real, None, fault_set.as_ref())
         }
         SchemeArg::Oracle => {
-            let mut oracle = setup.oracle(&real);
-            setup.simulator(true).run(&mut oracle, &real)
+            let mut oracle = setup
+                .oracle(&real)
+                .map_err(|e| format!("simulation: {e}"))?;
+            setup
+                .simulator(true)
+                .run_full(&mut oracle, &real, None, fault_set.as_ref())
         }
-    };
+    }
+    .map_err(|e| format!("simulation: {e}"))?;
     let scheme_name = match args.scheme {
         SchemeArg::Scheme(s) => s.name().to_string(),
         SchemeArg::Oracle => "Oracle".into(),
@@ -191,13 +213,31 @@ fn run_one(args: &Args) -> Result<String, String> {
         setup.plan.num_procs,
         args.seed
     );
+    let status = if res.status.met() {
+        "met".to_string()
+    } else {
+        format!("MISSED by {:.2} ms", res.status.missed_by())
+    };
     let _ = writeln!(
         out,
         "finished at {:.2} ms of {:.2} ms — deadline {}",
-        res.finish_time,
-        res.deadline,
-        if res.missed_deadline { "MISSED" } else { "met" }
+        res.finish_time, res.deadline, status
     );
+    if fault_plan.is_some() {
+        let f = res.faults;
+        let _ = writeln!(
+            out,
+            "faults: {} injected ({} overruns, {} speed failures, {} stalls), \
+             {} detected, {} recoveries, recovery energy {:.3}",
+            f.total_injected(),
+            f.overruns_injected,
+            f.speed_failures_injected,
+            f.stalls_injected,
+            f.overruns_detected,
+            f.recoveries,
+            f.recovery_energy
+        );
+    }
     let _ = writeln!(
         out,
         "energy {:.3} (busy {:.3}, idle {:.3}, transitions {:.3}), {} speed changes",
@@ -208,7 +248,11 @@ fn run_one(args: &Args) -> Result<String, String> {
         res.energy.speed_changes()
     );
     let trace = res.trace.as_ref().expect("tracing enabled");
-    for lane in lane_stats(trace, setup.plan.num_procs, res.deadline.max(res.finish_time)) {
+    for lane in lane_stats(
+        trace,
+        setup.plan.num_procs,
+        res.deadline.max(res.finish_time),
+    ) {
         let _ = writeln!(
             out,
             "  p{}: {} tasks, busy {:.1} ms, utilization {:.0}%, mean speed {:.2}",
@@ -271,13 +315,17 @@ fn compare(args: &Args) -> Result<String, String> {
     for _ in 0..args.reps {
         let real = setup.sample(&etm, &mut rng);
         for (i, scheme) in Scheme::ALL.iter().enumerate() {
-            let res = setup.run(*scheme, &real);
+            let res = setup
+                .run(*scheme, &real)
+                .map_err(|e| format!("simulation: {e}"))?;
             energies[i].add(res.total_energy());
             hists[i].add(res.total_energy());
             changes[i].add(res.energy.speed_changes() as f64);
             misses[i] += res.missed_deadline as u64;
         }
-        let res = setup.run_oracle(&real);
+        let res = setup
+            .run_oracle(&real)
+            .map_err(|e| format!("simulation: {e}"))?;
         let last = Scheme::ALL.len();
         energies[last].add(res.total_energy());
         hists[last].add(res.total_energy());
@@ -331,6 +379,7 @@ fn optimal(args: &Args) -> Result<String, String> {
         &setup.sim_config(false),
         20_000_000,
     )
+    .map_err(|e| format!("simulation: {e}"))?
     .ok_or_else(|| {
         format!(
             "search space too large ({n_tasks} tasks × {} levels — exhaustive              search is for tiny instances) or model has no discrete levels",
@@ -360,15 +409,15 @@ fn optimal(args: &Args) -> Result<String, String> {
     // Compare the on-line schemes' worst-case energy on the same instance.
     let _ = writeln!(out, "\nworst-case energy over the optimum:");
     for scheme in Scheme::ALL {
-        let worst = setup
-            .sections
-            .enumerate_scenarios(&setup.graph)
-            .map(|(s, _)| {
-                let real =
-                    mp_sim::Realization::worst_case(&setup.graph, s);
-                setup.run(scheme, &real).total_energy()
-            })
-            .fold(0.0_f64, f64::max);
+        let mut worst = 0.0_f64;
+        for (s, _) in setup.sections.enumerate_scenarios(&setup.graph) {
+            let real = mp_sim::Realization::worst_case(&setup.graph, s);
+            let energy = setup
+                .run(scheme, &real)
+                .map_err(|e| format!("simulation: {e}"))?
+                .total_energy();
+            worst = worst.max(energy);
+        }
         let _ = writeln!(
             out,
             "  {:<7} {:.3}x",
@@ -386,12 +435,8 @@ fn dot(args: &Args) -> Result<String, String> {
 
 fn export(args: &Args) -> Result<String, String> {
     let graph = load_app(args)?;
-    let path = args
-        .out
-        .as_deref()
-        .ok_or("export needs --out FILE")?;
-    let json =
-        serde_json::to_string_pretty(&graph).map_err(|e| format!("serializing: {e}"))?;
+    let path = args.out.as_deref().ok_or("export needs --out FILE")?;
+    let json = serde_json::to_string_pretty(&graph).map_err(|e| format!("serializing: {e}"))?;
     std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
     Ok(format!(
         "wrote {} ({} nodes, {} tasks)\n",

@@ -30,7 +30,8 @@ pub use args::{Args, Command};
 pub const USAGE: &str = "usage: pas <inspect|plan|run|compare|dot|optimal|export> \
 [--app atr|synthetic|video|FILE.json] [--model transmeta|xscale|continuous:S] \
 [--procs N] [--load L | --deadline D] [--scheme npm|spm|gss|ss1|ss2|as|oracle] \
-[--seed S] [--reps N] [--alpha A] [--gantt] [--out FILE]";
+[--seed S] [--reps N] [--alpha A] [--gantt] [--out FILE] \
+[--fault-plan FILE.json]";
 
 /// Parses `args` and executes the selected command, returning the text to
 /// print.
@@ -76,7 +77,13 @@ mod tests {
     #[test]
     fn plan_reports_offline_quantities() {
         let out = call(&[
-            "plan", "--app", "synthetic", "--procs", "2", "--load", "0.5",
+            "plan",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
         ])
         .unwrap();
         assert!(out.contains("Tw"), "{out}");
@@ -89,7 +96,13 @@ mod tests {
     #[test]
     fn plan_rejects_infeasible_deadline() {
         let err = call(&[
-            "plan", "--app", "synthetic", "--procs", "1", "--deadline", "1.0",
+            "plan",
+            "--app",
+            "synthetic",
+            "--procs",
+            "1",
+            "--deadline",
+            "1.0",
         ])
         .unwrap_err();
         assert!(err.contains("infeasible"), "{err}");
@@ -98,8 +111,18 @@ mod tests {
     #[test]
     fn run_gss_with_gantt() {
         let out = call(&[
-            "run", "--app", "synthetic", "--procs", "2", "--load", "0.5",
-            "--scheme", "gss", "--seed", "7", "--gantt",
+            "run",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--scheme",
+            "gss",
+            "--seed",
+            "7",
+            "--gantt",
         ])
         .unwrap();
         assert!(out.contains("finished at"), "{out}");
@@ -110,10 +133,77 @@ mod tests {
     }
 
     #[test]
+    fn run_with_fault_plan_reports_injections() {
+        let dir = std::env::temp_dir().join("pas_cli_test_run_faults");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("plan.json");
+        let plan = mp_sim::FaultPlan::overruns(1.0, 1.5, 5);
+        std::fs::write(&path, serde_json::to_string(&plan).unwrap()).unwrap();
+        let out = call(&[
+            "run",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--scheme",
+            "gss",
+            "--seed",
+            "7",
+            "--fault-plan",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("overruns"), "{out}");
+        assert!(out.contains("detected"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_fault_plan_is_a_one_line_error() {
+        let dir = std::env::temp_dir().join("pas_cli_test_corrupt_faults");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("broken.json");
+        std::fs::write(&path, "{\"overrun_prob\": [oops").unwrap();
+        let err = call(&[
+            "run",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--fault-plan",
+            path.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("parsing"), "{err}");
+        assert!(!err.contains('\n'), "one-line error: {err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_plan_is_rejected_outside_run() {
+        let err = call(&["compare", "--app", "synthetic", "--fault-plan", "x.json"]).unwrap_err();
+        assert!(err.contains("applies only to `run`"), "{err}");
+    }
+
+    #[test]
     fn run_oracle_scheme() {
         let out = call(&[
-            "run", "--app", "synthetic", "--procs", "2", "--load", "0.5",
-            "--scheme", "oracle", "--seed", "7",
+            "run",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--scheme",
+            "oracle",
+            "--seed",
+            "7",
         ])
         .unwrap();
         assert!(out.contains("deadline met"), "{out}");
@@ -122,8 +212,17 @@ mod tests {
     #[test]
     fn compare_prints_all_schemes() {
         let out = call(&[
-            "compare", "--app", "synthetic", "--procs", "2", "--load", "0.5",
-            "--reps", "20", "--seed", "3",
+            "compare",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--reps",
+            "20",
+            "--seed",
+            "3",
         ])
         .unwrap();
         for name in ["NPM", "SPM", "GSS", "SS(1)", "SS(2)", "AS", "Oracle"] {
@@ -156,8 +255,8 @@ mod tests {
     #[test]
     fn video_workload_runs() {
         let out = call(&[
-            "run", "--app", "video", "--procs", "2", "--load", "0.6",
-            "--scheme", "as", "--seed", "3",
+            "run", "--app", "video", "--procs", "2", "--load", "0.6", "--scheme", "as", "--seed",
+            "3",
         ])
         .unwrap();
         assert!(out.contains("deadline met"), "{out}");
@@ -166,14 +265,32 @@ mod tests {
     #[test]
     fn model_selection() {
         let out = call(&[
-            "run", "--app", "synthetic", "--procs", "2", "--load", "0.5",
-            "--scheme", "gss", "--model", "xscale",
+            "run",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--scheme",
+            "gss",
+            "--model",
+            "xscale",
         ])
         .unwrap();
         assert!(out.contains("Intel XScale"), "{out}");
         let out = call(&[
-            "run", "--app", "synthetic", "--procs", "2", "--load", "0.5",
-            "--scheme", "gss", "--model", "continuous:0.2",
+            "run",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--scheme",
+            "gss",
+            "--model",
+            "continuous:0.2",
         ])
         .unwrap();
         assert!(out.contains("Continuous"), "{out}");
@@ -196,8 +313,7 @@ mod tests {
         std::fs::write(&path, serde_json::to_string(&app).unwrap()).unwrap();
         let path_s = path.to_str().unwrap();
         let out = call(&[
-            "optimal", "--app", path_s, "--procs", "1", "--load", "0.5",
-            "--model", "xscale",
+            "optimal", "--app", path_s, "--procs", "1", "--load", "0.5", "--model", "xscale",
         ])
         .unwrap();
         assert!(out.contains("exhaustive optimum"), "{out}");
@@ -214,10 +330,7 @@ mod tests {
 
     #[test]
     fn bad_scheme_is_an_error() {
-        let err = call(&[
-            "run", "--app", "synthetic", "--scheme", "warp-speed",
-        ])
-        .unwrap_err();
+        let err = call(&["run", "--app", "synthetic", "--scheme", "warp-speed"]).unwrap_err();
         assert!(err.contains("unknown scheme"), "{err}");
     }
 }

@@ -21,7 +21,9 @@ pub fn load_app(args: &Args) -> Result<AndOrGraph, String> {
         }
         "video" => {
             let params = workloads::VideoParams {
-                alpha: args.alpha.unwrap_or(workloads::VideoParams::default().alpha),
+                alpha: args
+                    .alpha
+                    .unwrap_or(workloads::VideoParams::default().alpha),
                 ..workloads::VideoParams::default()
             };
             params
@@ -46,14 +48,25 @@ pub fn load_app(args: &Args) -> Result<AndOrGraph, String> {
             if args.alpha.is_some() {
                 return Err("--alpha applies only to the built-in workloads".into());
             }
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("reading {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let g: AndOrGraph =
                 serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-            g.validate().map_err(|e| format!("validating {path}: {e}"))?;
+            g.validate()
+                .map_err(|e| format!("validating {path}: {e}"))?;
             Ok(g)
         }
     }
+}
+
+/// Loads and validates a fault plan from a JSON file (the serde form of
+/// [`mp_sim::FaultPlan`]).
+pub fn load_fault_plan(path: &str) -> Result<mp_sim::FaultPlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let plan: mp_sim::FaultPlan =
+        serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    plan.validate()
+        .map_err(|e| format!("validating {path}: {e}"))?;
+    Ok(plan)
 }
 
 /// Resolves the `--model` specification.
@@ -96,6 +109,7 @@ mod tests {
             alpha: None,
             gantt: false,
             out: None,
+            fault_plan: None,
         }
     }
 
@@ -133,6 +147,39 @@ mod tests {
         let err = load_app(&base_args(path.to_str().unwrap())).unwrap_err();
         assert!(err.contains("parsing"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_plan_round_trip_and_corrupt_file() {
+        let dir = std::env::temp_dir().join("pas_cli_test_fault_plan");
+        let _ = std::fs::create_dir_all(&dir);
+        // Round trip a valid plan.
+        let good = dir.join("good.json");
+        let plan = mp_sim::FaultPlan::overruns(0.2, 1.5, 9);
+        std::fs::write(&good, serde_json::to_string(&plan).expect("serializes"))
+            .expect("write fixture");
+        let loaded = load_fault_plan(good.to_str().expect("utf-8 path")).expect("valid plan loads");
+        assert_eq!(loaded, plan);
+        // Corrupt JSON surfaces a one-line parse error.
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, "{\"overrun_prob\": ").expect("write fixture");
+        let err = load_fault_plan(bad.to_str().expect("utf-8 path"))
+            .expect_err("corrupt JSON is rejected");
+        assert!(err.contains("parsing"), "{err}");
+        assert!(!err.contains('\n'), "one-line error: {err:?}");
+        // Valid JSON, invalid semantics: validation error.
+        let invalid = dir.join("invalid.json");
+        let mut out_of_range = mp_sim::FaultPlan::none();
+        out_of_range.overrun_prob = 2.0;
+        std::fs::write(
+            &invalid,
+            serde_json::to_string(&out_of_range).expect("serializes"),
+        )
+        .expect("write fixture");
+        let err = load_fault_plan(invalid.to_str().expect("utf-8 path"))
+            .expect_err("out-of-range probability is rejected");
+        assert!(err.contains("validating"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

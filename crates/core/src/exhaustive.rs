@@ -13,7 +13,7 @@
 
 use andor_graph::{AndOrGraph, NodeId, SectionGraph};
 use dvfs_power::{OperatingPoint, ProcessorModel};
-use mp_sim::{DispatchCtx, DispatchOrder, Policy, Realization, SimConfig, Simulator};
+use mp_sim::{DispatchCtx, DispatchOrder, Policy, Realization, SimConfig, SimError, Simulator};
 use std::collections::HashMap;
 
 /// A fixed per-task operating-point assignment, executable as a policy.
@@ -69,9 +69,13 @@ pub struct OptimalAssignment {
 /// Searches every per-task level assignment for the minimum *worst-case*
 /// energy that meets the deadline in every scenario at WCET.
 ///
-/// Returns `None` if the search space exceeds `budget` assignments
-/// (`levels^tasks · scenarios` simulator runs), or if even full speed is
-/// infeasible.
+/// Returns `Ok(None)` if the search space exceeds `budget` assignments
+/// (`levels^tasks · scenarios` simulator runs), the model is continuous
+/// (no finite level table), or even full speed is infeasible.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from any candidate evaluation run.
 pub fn optimal_assignment(
     g: &AndOrGraph,
     sections: &SectionGraph,
@@ -79,20 +83,25 @@ pub fn optimal_assignment(
     model: &ProcessorModel,
     cfg: &SimConfig,
     budget: u64,
-) -> Option<OptimalAssignment> {
-    let levels = model.levels()?;
+) -> Result<Option<OptimalAssignment>, SimError> {
+    let Some(levels) = model.levels() else {
+        return Ok(None);
+    };
     let tasks: Vec<NodeId> = g
         .iter()
         .filter(|(_, n)| n.kind.is_computation())
         .map(|(id, _)| id)
         .collect();
-    let combos = (levels.len() as u64).checked_pow(tasks.len() as u32)?;
+    let Some(combos) = (levels.len() as u64).checked_pow(tasks.len() as u32) else {
+        return Ok(None);
+    };
     let scenarios: Vec<Realization> = sections
         .enumerate_scenarios(g)
         .map(|(s, _)| Realization::worst_case(g, s))
         .collect();
-    if combos.checked_mul(scenarios.len() as u64)? > budget {
-        return None;
+    match combos.checked_mul(scenarios.len() as u64) {
+        Some(total) if total <= budget => {}
+        _ => return Ok(None),
     }
     let points: Vec<OperatingPoint> = levels
         .iter()
@@ -116,7 +125,7 @@ pub fn optimal_assignment(
         let mut feasible = true;
         let mut worst_energy = 0.0_f64;
         for real in &scenarios {
-            let res = sim.run(&mut policy, real);
+            let res = sim.run(&mut policy, real)?;
             evaluated += 1;
             if res.missed_deadline {
                 feasible = false;
@@ -140,9 +149,10 @@ pub fn optimal_assignment(
         let mut k = 0;
         loop {
             if k == indices.len() {
-                let mut out = best?;
-                out.evaluated = evaluated;
-                return Some(out);
+                return Ok(best.map(|mut out| {
+                    out.evaluated = evaluated;
+                    out
+                }));
             }
             indices[k] += 1;
             if indices[k] < points.len() {
@@ -171,13 +181,13 @@ mod tests {
             ]),
         ]);
         Setup::for_load_with_overheads(
-            app.lower().unwrap(),
+            app.lower().expect("fixture app lowers"),
             ProcessorModel::xscale(),
             1,
             0.5,
             Overheads::none(),
         )
-        .unwrap()
+        .expect("feasible load")
     }
 
     fn optimum(setup: &Setup) -> OptimalAssignment {
@@ -189,6 +199,7 @@ mod tests {
             &setup.sim_config(false),
             10_000_000,
         )
+        .expect("search runs")
         .expect("tiny instance within budget")
     }
 
@@ -204,6 +215,7 @@ mod tests {
             .map(|(s, _)| {
                 setup
                     .run(Scheme::Npm, &Realization::worst_case(&setup.graph, s))
+                    .expect("run succeeds")
                     .total_energy()
             })
             .fold(0.0_f64, f64::max);
@@ -222,6 +234,7 @@ mod tests {
                 .map(|(s, _)| {
                     setup
                         .run(scheme, &Realization::worst_case(&setup.graph, s))
+                        .expect("run succeeds")
                         .total_energy()
                 })
                 .fold(0.0_f64, f64::max);
@@ -243,7 +256,7 @@ mod tests {
         let setup = tiny_setup();
         let opt = optimum(&setup);
         let mut best_single = f64::INFINITY;
-        for l in setup.model.levels().unwrap() {
+        for l in setup.model.levels().expect("xscale has a level table") {
             let point = OperatingPoint {
                 speed: l.freq_mhz / setup.model.max_freq_mhz(),
                 power: setup.model.level_power(l),
@@ -259,7 +272,9 @@ mod tests {
             let mut worst = 0.0_f64;
             let mut ok = true;
             for (s, _) in setup.sections.enumerate_scenarios(&setup.graph) {
-                let res = sim.run(&mut policy, &Realization::worst_case(&setup.graph, s));
+                let res = sim
+                    .run(&mut policy, &Realization::worst_case(&setup.graph, s))
+                    .expect("run succeeds");
                 if res.missed_deadline {
                     ok = false;
                     break;
@@ -284,6 +299,7 @@ mod tests {
             &setup.sim_config(false),
             10, // far too small
         )
+        .expect("search runs")
         .is_none());
     }
 
@@ -291,12 +307,12 @@ mod tests {
     fn continuous_model_is_rejected() {
         let app = Segment::task("A", 2.0, 1.0);
         let setup = Setup::for_load(
-            app.lower().unwrap(),
-            ProcessorModel::continuous(0.1).unwrap(),
+            app.lower().expect("fixture app lowers"),
+            ProcessorModel::continuous(0.1).expect("valid continuous model"),
             1,
             0.5,
         )
-        .unwrap();
+        .expect("feasible load");
         assert!(optimal_assignment(
             &setup.graph,
             &setup.sections,
@@ -305,6 +321,7 @@ mod tests {
             &setup.sim_config(false),
             1_000_000,
         )
+        .expect("search runs")
         .is_none());
     }
 }

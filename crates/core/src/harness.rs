@@ -4,7 +4,9 @@ use crate::offline::{OfflineError, OfflinePlan};
 use crate::policies::Scheme;
 use andor_graph::{AndOrGraph, GraphError, SectionGraph};
 use dvfs_power::{Overheads, ProcessorModel, DEFAULT_IDLE_FRACTION};
-use mp_sim::{ExecTimeModel, Policy, Realization, RunResult, SimConfig, Simulator};
+use mp_sim::{
+    ExecTimeModel, FaultSet, Policy, Realization, RunResult, SimConfig, SimError, Simulator,
+};
 use rand::Rng;
 
 /// Errors building a [`Setup`].
@@ -68,9 +70,9 @@ impl From<OfflineError> for SetupError {
 ///
 /// let mut rng = StdRng::seed_from_u64(42);
 /// let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
-/// let gss = setup.run(Scheme::Gss, &real);
-/// let npm = setup.run(Scheme::Npm, &real);
-/// assert!(!gss.missed_deadline);
+/// let gss = setup.run(Scheme::Gss, &real).expect("valid setup simulates");
+/// let npm = setup.run(Scheme::Npm, &real).expect("valid setup simulates");
+/// assert!(gss.status.met());
 /// assert!(gss.total_energy() < npm.total_energy());
 /// ```
 #[derive(Debug)]
@@ -158,13 +160,7 @@ impl Setup {
         num_procs: usize,
         load: f64,
     ) -> Result<Self, SetupError> {
-        Self::for_load_with_overheads(
-            graph,
-            model,
-            num_procs,
-            load,
-            Overheads::paper_defaults(),
-        )
+        Self::for_load_with_overheads(graph, model, num_procs, load, Overheads::paper_defaults())
     }
 
     /// Builds a setup for a target load under an explicit overhead
@@ -192,13 +188,8 @@ impl Setup {
             reserve,
         )?;
         let deadline = probe.worst_total / load;
-        let plan = OfflinePlan::build_with_pmp_reserve(
-            &graph,
-            &sections,
-            num_procs,
-            deadline,
-            reserve,
-        )?;
+        let plan =
+            OfflinePlan::build_with_pmp_reserve(&graph, &sections, num_procs, deadline, reserve)?;
         Ok(Self {
             graph,
             sections,
@@ -280,14 +271,42 @@ impl Setup {
     }
 
     /// Runs one scheme on one realization (no trace).
-    pub fn run(&self, scheme: Scheme, real: &Realization) -> RunResult {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the engine (dependency-violating
+    /// dispatch order, unresolved OR choice, plan/graph mismatch).
+    pub fn run(&self, scheme: Scheme, real: &Realization) -> Result<RunResult, SimError> {
         let mut policy = self.policy(scheme);
         self.simulator(false).run(policy.as_mut(), real)
     }
 
+    /// Runs one scheme on one realization under an injected fault set
+    /// (no trace). With an empty fault set this is byte-identical to
+    /// [`Setup::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the engine.
+    pub fn run_with_faults(
+        &self,
+        scheme: Scheme,
+        real: &Realization,
+        faults: &FaultSet,
+    ) -> Result<RunResult, SimError> {
+        let mut policy = self.policy(scheme);
+        self.simulator(false)
+            .run_with_faults(policy.as_mut(), real, faults)
+    }
+
     /// Builds the clairvoyant single-speed bound for one realization
     /// (see [`crate::oracle`]).
-    pub fn oracle(&self, real: &Realization) -> crate::oracle::OraclePolicy {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the full-speed probe run that measures
+    /// the realization's makespan.
+    pub fn oracle(&self, real: &Realization) -> Result<crate::oracle::OraclePolicy, SimError> {
         crate::oracle::OraclePolicy::for_realization(
             &self.graph,
             &self.sections,
@@ -301,8 +320,12 @@ impl Setup {
     }
 
     /// Runs the clairvoyant bound on one realization.
-    pub fn run_oracle(&self, real: &Realization) -> RunResult {
-        let mut oracle = self.oracle(real);
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the probe or the measured run.
+    pub fn run_oracle(&self, real: &Realization) -> Result<RunResult, SimError> {
+        let mut oracle = self.oracle(real)?;
         self.simulator(false).run(&mut oracle, real)
     }
 }
@@ -323,31 +346,34 @@ mod tests {
             ]),
         ])
         .lower()
-        .unwrap()
+        .expect("fixture app lowers")
     }
 
     #[test]
     fn for_load_hits_requested_load() {
         for load in [0.2, 0.5, 0.9, 1.0] {
-            let s = Setup::for_load(app(), ProcessorModel::xscale(), 2, load).unwrap();
+            let s =
+                Setup::for_load(app(), ProcessorModel::xscale(), 2, load).expect("feasible load");
             assert!((s.plan.load() - load).abs() < 1e-9, "load {load}");
         }
     }
 
     #[test]
     fn infeasible_deadline_surfaces_as_offline_error() {
-        let err = Setup::new(app(), ProcessorModel::xscale(), 1, 1.0).unwrap_err();
+        let err = Setup::new(app(), ProcessorModel::xscale(), 1, 1.0)
+            .expect_err("1 ms deadline is infeasible");
         assert!(matches!(err, SetupError::Offline(_)), "{err}");
     }
 
     #[test]
     fn run_all_schemes_on_sampled_realizations() {
-        let s = Setup::for_load(app(), ProcessorModel::transmeta5400(), 2, 0.5).unwrap();
+        let s =
+            Setup::for_load(app(), ProcessorModel::transmeta5400(), 2, 0.5).expect("feasible load");
         let mut rng = StdRng::seed_from_u64(17);
         for i in 0..20 {
             let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
             for scheme in Scheme::ALL {
-                let res = s.run(scheme, &real);
+                let res = s.run(scheme, &real).expect("run succeeds");
                 assert!(
                     !res.missed_deadline,
                     "iteration {i}: {} missed ({} > {})",
@@ -362,12 +388,16 @@ mod tests {
 
     #[test]
     fn managed_schemes_save_energy_at_low_load() {
-        let s = Setup::for_load(app(), ProcessorModel::transmeta5400(), 2, 0.3).unwrap();
+        let s =
+            Setup::for_load(app(), ProcessorModel::transmeta5400(), 2, 0.3).expect("feasible load");
         let mut rng = StdRng::seed_from_u64(99);
         let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
-        let npm = s.run(Scheme::Npm, &real).total_energy();
+        let npm = s
+            .run(Scheme::Npm, &real)
+            .expect("run succeeds")
+            .total_energy();
         for scheme in Scheme::MANAGED {
-            let e = s.run(scheme, &real).total_energy();
+            let e = s.run(scheme, &real).expect("run succeeds").total_energy();
             assert!(
                 e < npm,
                 "{} should beat NPM at low load: {e} vs {npm}",
@@ -377,11 +407,34 @@ mod tests {
     }
 
     #[test]
+    fn empty_fault_set_is_transparent_through_the_harness() {
+        let s =
+            Setup::for_load(app(), ProcessorModel::transmeta5400(), 2, 0.5).expect("feasible load");
+        let mut rng = StdRng::seed_from_u64(7);
+        let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        let empty = FaultSet::empty(s.graph.len());
+        for scheme in Scheme::ALL {
+            let clean = s.run(scheme, &real).expect("run succeeds");
+            let faulted = s
+                .run_with_faults(scheme, &real, &empty)
+                .expect("run succeeds");
+            assert_eq!(clean.finish_time, faulted.finish_time, "{}", scheme.name());
+            assert_eq!(
+                clean.total_energy(),
+                faulted.total_energy(),
+                "{}",
+                scheme.name()
+            );
+            assert!(faulted.faults.is_clean());
+        }
+    }
+
+    #[test]
     fn builder_style_overrides() {
         let s = Setup::new(app(), ProcessorModel::xscale(), 2, 40.0)
-            .unwrap()
+            .expect("feasible deadline")
             .with_overheads(Overheads::none())
-            .unwrap()
+            .expect("overhead-free replan stays feasible")
             .with_idle_fraction(0.1);
         assert_eq!(s.overheads, Overheads::none());
         assert_eq!(s.sim_config(false).idle_fraction, 0.1);

@@ -20,7 +20,7 @@
 //!   (recursively across embedded OR nodes).
 //!
 //! If the worst path cannot meet the deadline the phase fails
-//! ([`OfflineError::Infeasible`]).
+//! ([`PlanError::Infeasible`]).
 //!
 //! **On-line phase** ([`policies`]): six speed-selection schemes behind the
 //! engine's [`mp_sim::Policy`] trait:
@@ -51,9 +51,9 @@ pub mod policies;
 
 pub use exhaustive::{optimal_assignment, AssignmentPolicy, OptimalAssignment};
 pub use harness::{Setup, SetupError};
-pub use offline::{OfflineError, OfflinePlan};
+pub use offline::{OfflineError, OfflinePlan, PlanError};
 pub use oracle::OraclePolicy;
 pub use policies::{
-    AsPolicy, EnergyFloorPolicy, GssPolicy, ProportionalPolicy, Scheme, SpmPolicy,
-    Ss1Policy, Ss2Policy,
+    AsPolicy, EnergyFloorPolicy, GssPolicy, ProportionalPolicy, Scheme, SpmPolicy, Ss1Policy,
+    Ss2Policy,
 };

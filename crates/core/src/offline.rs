@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 /// Why the off-line phase rejected a problem instance.
 #[derive(Debug, Clone, PartialEq)]
-pub enum OfflineError {
+pub enum PlanError {
     /// The longest path of the canonical schedule misses the deadline; no
     /// on-line scheme can save it (paper §3.2: "If Tʷ > D, the algorithm
     /// fails to guarantee the deadline").
@@ -22,25 +22,40 @@ pub enum OfflineError {
     BadDeadline(f64),
     /// At least one processor is required.
     NoProcessors,
+    /// An OR branch has no program section — the section graph and the
+    /// application graph disagree (e.g. a plan built against a different
+    /// application).
+    MissingBranchSection {
+        /// Name of the OR node.
+        or: String,
+        /// The branch index with no section.
+        branch: usize,
+    },
 }
 
-impl std::fmt::Display for OfflineError {
+/// Former name of [`PlanError`], kept as an alias for downstream code.
+pub type OfflineError = PlanError;
+
+impl std::fmt::Display for PlanError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            OfflineError::Infeasible {
+            PlanError::Infeasible {
                 worst_finish,
                 deadline,
             } => write!(
                 f,
                 "infeasible: worst-case finish {worst_finish} exceeds deadline {deadline}"
             ),
-            OfflineError::BadDeadline(d) => write!(f, "bad deadline {d}"),
-            OfflineError::NoProcessors => write!(f, "at least one processor required"),
+            PlanError::BadDeadline(d) => write!(f, "bad deadline {d}"),
+            PlanError::NoProcessors => write!(f, "at least one processor required"),
+            PlanError::MissingBranchSection { or, branch } => {
+                write!(f, "OR node '{or}' branch {branch} has no program section")
+            }
         }
     }
 }
 
-impl std::error::Error for OfflineError {}
+impl std::error::Error for PlanError {}
 
 /// Everything the on-line phase needs, computed once per
 /// (application, processor count, deadline) triple.
@@ -62,10 +77,10 @@ pub struct OfflinePlan {
     pub avg_total: f64,
     /// `Tw_k` per `(or, branch)`: worst remaining time from the PMP after
     /// the OR selects branch `k` to the end of the application.
-    #[serde(with = "branch_map_serde")]
+    /// Serialized as a sorted entry list (tuple keys are not JSON object
+    /// keys).
     pub branch_worst: HashMap<(NodeId, usize), f64>,
     /// `Ta_k` per `(or, branch)`: average remaining time analogously.
-    #[serde(with = "branch_map_serde")]
     pub branch_avg: HashMap<(NodeId, usize), f64>,
     /// Canonical start time of each node *relative to its section start*
     /// in the worst-case canonical schedule, parallel to
@@ -89,7 +104,7 @@ impl OfflinePlan {
         sections: &SectionGraph,
         num_procs: usize,
         deadline: f64,
-    ) -> Result<Self, OfflineError> {
+    ) -> Result<Self, PlanError> {
         Self::build_with_pmp_reserve(g, sections, num_procs, deadline, 0.0)
     }
 
@@ -106,12 +121,12 @@ impl OfflinePlan {
         num_procs: usize,
         deadline: f64,
         pmp_reserve_ms: f64,
-    ) -> Result<Self, OfflineError> {
+    ) -> Result<Self, PlanError> {
         if num_procs == 0 {
-            return Err(OfflineError::NoProcessors);
+            return Err(PlanError::NoProcessors);
         }
         if !(deadline.is_finite() && deadline > 0.0) {
-            return Err(OfflineError::BadDeadline(deadline));
+            return Err(PlanError::BadDeadline(deadline));
         }
 
         // Round 1: canonical LTF schedule per section (WCET, full speed)
@@ -147,7 +162,10 @@ impl OfflinePlan {
             for (k, (_, p)) in branches.iter().enumerate() {
                 let b = sections
                     .branch_section(or, k)
-                    .expect("every branch has a section")
+                    .ok_or_else(|| PlanError::MissingBranchSection {
+                        or: g.node(or).name.clone(),
+                        branch: k,
+                    })?
                     .index();
                 let bw = canon[b].worst.makespan + worst_after[b];
                 let ba = canon[b].avg.makespan + avg_after[b];
@@ -164,7 +182,7 @@ impl OfflinePlan {
         let worst_total = canon[root].worst.makespan + worst_after[root];
         let avg_total = canon[root].avg.makespan + avg_after[root];
         if worst_total > deadline * (1.0 + 1e-12) {
-            return Err(OfflineError::Infeasible {
+            return Err(PlanError::Infeasible {
                 worst_finish: worst_total,
                 deadline,
             });
@@ -179,8 +197,7 @@ impl OfflinePlan {
                 .iter()
                 .zip(canon[sid].worst.start_rel.iter())
             {
-                lst[node.index()] =
-                    Some(deadline - ((lw - start_rel) + worst_after[sid]));
+                lst[node.index()] = Some(deadline - ((lw - start_rel) + worst_after[sid]));
             }
         }
 
@@ -211,31 +228,6 @@ impl OfflinePlan {
     /// length over the deadline.
     pub fn load(&self) -> f64 {
         self.worst_total / self.deadline
-    }
-}
-
-/// JSON-friendly encoding of the `(or, branch) → time` maps: tuple keys are
-/// not representable as JSON object keys, so (de)serialize as entry lists.
-mod branch_map_serde {
-    use andor_graph::NodeId;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-    use std::collections::HashMap;
-
-    pub fn serialize<S: Serializer>(
-        map: &HashMap<(NodeId, usize), f64>,
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
-        let mut entries: Vec<(NodeId, usize, f64)> =
-            map.iter().map(|(&(n, k), &v)| (n, k, v)).collect();
-        entries.sort_by_key(|&(n, k, _)| (n, k));
-        entries.serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> Result<HashMap<(NodeId, usize), f64>, D::Error> {
-        let entries = Vec::<(NodeId, usize, f64)>::deserialize(d)?;
-        Ok(entries.into_iter().map(|(n, k, v)| ((n, k), v)).collect())
     }
 }
 
@@ -288,11 +280,7 @@ fn ltf_order(g: &AndOrGraph, nodes: &[NodeId], num_procs: usize) -> Vec<NodeId> 
         })
         .collect();
     // Ready pool: (wcet, id) — popped longest-first.
-    let mut ready: Vec<NodeId> = nodes
-        .iter()
-        .copied()
-        .filter(|n| indeg[n] == 0)
-        .collect();
+    let mut ready: Vec<NodeId> = nodes.iter().copied().filter(|n| indeg[n] == 0).collect();
     sort_ltf(g, &mut ready);
 
     let mut avail = vec![0.0_f64; num_procs];
@@ -325,8 +313,8 @@ fn ltf_order(g: &AndOrGraph, nodes: &[NodeId], num_procs: usize) -> Vec<NodeId> 
             let (p, &p_avail) = avail
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                .expect("num_procs > 0");
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("num_procs > 0 checked before scheduling");
             if p_avail <= now + 1e-12 {
                 ready.remove(0);
                 let start = now.max(ready_at[&n]);
@@ -338,9 +326,11 @@ fn ltf_order(g: &AndOrGraph, nodes: &[NodeId], num_procs: usize) -> Vec<NodeId> 
                     if !in_section.contains(&s) {
                         continue;
                     }
-                    let e = indeg.get_mut(&s).expect("in section");
+                    let Some(e) = indeg.get_mut(&s) else { continue };
                     *e -= 1;
-                    let r = ready_at.get_mut(&s).expect("in section");
+                    let Some(r) = ready_at.get_mut(&s) else {
+                        continue;
+                    };
                     *r = r.max(end);
                     if *e == 0 {
                         if end <= now + 1e-12 {
@@ -378,8 +368,7 @@ fn sort_ltf(g: &AndOrGraph, ready: &mut [NodeId]) {
         g.node(b)
             .kind
             .wcet()
-            .partial_cmp(&g.node(a).kind.wcet())
-            .expect("finite wcet")
+            .total_cmp(&g.node(a).kind.wcet())
             .then(a.cmp(&b))
     });
 }
@@ -423,8 +412,8 @@ fn replay(
             let (p, &p_avail) = avail
                 .iter()
                 .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
-                .expect("num_procs > 0");
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("num_procs > 0 checked before scheduling");
             let s = ready.max(last_dispatch).max(p_avail);
             avail[p] = s + dur;
             s
@@ -449,9 +438,9 @@ mod tests {
     use andor_graph::{GraphBuilder, Segment};
 
     fn plan_of(app: &Segment, m: usize, d: f64) -> (AndOrGraph, SectionGraph, OfflinePlan) {
-        let g = app.lower().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
-        let plan = OfflinePlan::build(&g, &sg, m, d).unwrap();
+        let g = app.lower().expect("fixture lowers");
+        let sg = SectionGraph::build(&g).expect("fixture sections");
+        let plan = OfflinePlan::build(&g, &sg, m, d).expect("plan builds");
         (g, sg, plan)
     }
 
@@ -471,10 +460,7 @@ mod tests {
 
     #[test]
     fn parallel_tasks_two_procs_makespan_is_max() {
-        let app = Segment::par([
-            Segment::task("X", 6.0, 3.0),
-            Segment::task("Y", 4.0, 2.0),
-        ]);
+        let app = Segment::par([Segment::task("X", 6.0, 3.0), Segment::task("Y", 4.0, 2.0)]);
         let (_, _, plan) = plan_of(&app, 2, 10.0);
         assert!((plan.worst_total - 6.0).abs() < 1e-12);
         assert!((plan.avg_total - 3.0).abs() < 1e-12);
@@ -494,9 +480,9 @@ mod tests {
         // Dispatch order within the root section: fork, L, M, S, join.
         let order = &plan.dispatch.per_section[0];
         let names: Vec<&str> = order.iter().map(|&n| g.node(n).name.as_str()).collect();
-        let l = names.iter().position(|n| *n == "L").unwrap();
-        let m = names.iter().position(|n| *n == "M").unwrap();
-        let s = names.iter().position(|n| *n == "S").unwrap();
+        let l = names.iter().position(|n| *n == "L").expect("L in order");
+        let m = names.iter().position(|n| *n == "M").expect("M in order");
+        let s = names.iter().position(|n| *n == "S").expect("S in order");
         assert!(l < m && m < s);
     }
 
@@ -532,7 +518,7 @@ mod tests {
         let or = g
             .iter()
             .find(|(_, n)| n.kind.is_or() && n.succs.len() == 2)
-            .unwrap()
+            .expect("fixture has a two-way OR")
             .0;
         // Branch 0 (B): 8 + 3 (D) remaining worst; branch 1 (C): 4 + 3.
         assert!((plan.branch_worst[&(or, 0)] - 11.0).abs() < 1e-12);
@@ -554,7 +540,7 @@ mod tests {
             g.iter()
                 .find(|(_, n)| n.name == name)
                 .and_then(|(id, _)| plan.lst[id.index()])
-                .unwrap()
+                .expect("task has an LST")
         };
         assert!((by_name("A") - 8.0).abs() < 1e-12);
         assert!((by_name("B") - 11.0).abs() < 1e-12);
@@ -574,49 +560,49 @@ mod tests {
             ]),
         ]);
         let (g, _, plan) = plan_of(&app, 1, 20.0);
-        let a = g.iter().find(|(_, n)| n.name == "A").unwrap().0;
+        let a = g.iter().find(|(_, n)| n.name == "A").expect("task A").0;
         // Remaining worst at A's start: 2 + 8 = 10 → LST = 10.
-        assert!((plan.lst[a.index()].unwrap() - 10.0).abs() < 1e-12);
-        let c = g.iter().find(|(_, n)| n.name == "C").unwrap().0;
+        assert!((plan.lst[a.index()].expect("A has an LST") - 10.0).abs() < 1e-12);
+        let c = g.iter().find(|(_, n)| n.name == "C").expect("task C").0;
         // C's own path: remaining worst at C's start is just C (4) →
         // LST = 16, even though the B path would have left only 12.
-        assert!((plan.lst[c.index()].unwrap() - 16.0).abs() < 1e-12);
+        assert!((plan.lst[c.index()].expect("C has an LST") - 16.0).abs() < 1e-12);
     }
 
     #[test]
     fn infeasible_deadline_rejected() {
         let app = Segment::task("A", 10.0, 5.0);
-        let g = app.lower().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
-        let err = OfflinePlan::build(&g, &sg, 1, 9.0).unwrap_err();
-        assert!(matches!(err, OfflineError::Infeasible { .. }));
+        let g = app.lower().expect("fixture lowers");
+        let sg = SectionGraph::build(&g).expect("fixture sections");
+        let err = OfflinePlan::build(&g, &sg, 1, 9.0).expect_err("must be infeasible");
+        assert!(matches!(err, PlanError::Infeasible { .. }));
     }
 
     #[test]
     fn bad_parameters_rejected() {
         let app = Segment::task("A", 1.0, 0.5);
-        let g = app.lower().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        let g = app.lower().expect("fixture lowers");
+        let sg = SectionGraph::build(&g).expect("fixture sections");
         assert_eq!(
-            OfflinePlan::build(&g, &sg, 0, 10.0).unwrap_err(),
-            OfflineError::NoProcessors
+            OfflinePlan::build(&g, &sg, 0, 10.0).expect_err("no processors"),
+            PlanError::NoProcessors
         );
         assert!(matches!(
-            OfflinePlan::build(&g, &sg, 1, f64::NAN).unwrap_err(),
-            OfflineError::BadDeadline(_)
+            OfflinePlan::build(&g, &sg, 1, f64::NAN).expect_err("NaN deadline"),
+            PlanError::BadDeadline(_)
         ));
         assert!(matches!(
-            OfflinePlan::build(&g, &sg, 1, -1.0).unwrap_err(),
-            OfflineError::BadDeadline(_)
+            OfflinePlan::build(&g, &sg, 1, -1.0).expect_err("negative deadline"),
+            PlanError::BadDeadline(_)
         ));
     }
 
     #[test]
     fn exact_deadline_is_feasible() {
         let app = Segment::task("A", 10.0, 5.0);
-        let g = app.lower().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
-        let plan = OfflinePlan::build(&g, &sg, 1, 10.0).unwrap();
+        let g = app.lower().expect("fixture lowers");
+        let sg = SectionGraph::build(&g).expect("fixture sections");
+        let plan = OfflinePlan::build(&g, &sg, 1, 10.0).expect("plan builds");
         assert!((plan.static_slack()).abs() < 1e-12);
     }
 
@@ -628,17 +614,17 @@ mod tests {
         let x = b.task("B", 3.0, 1.5);
         let y = b.task("C", 5.0, 2.5);
         let d = b.task("D", 1.0, 0.5);
-        b.edge(a, x).unwrap();
-        b.edge(a, y).unwrap();
-        b.edge(x, d).unwrap();
-        b.edge(y, d).unwrap();
-        let g = b.build().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
-        let plan = OfflinePlan::build(&g, &sg, 2, 10.0).unwrap();
+        b.edge(a, x).expect("edge is valid");
+        b.edge(a, y).expect("edge is valid");
+        b.edge(x, d).expect("edge is valid");
+        b.edge(y, d).expect("edge is valid");
+        let g = b.build().expect("diamond builds");
+        let sg = SectionGraph::build(&g).expect("diamond sections");
+        let plan = OfflinePlan::build(&g, &sg, 2, 10.0).expect("plan builds");
         // 2 + 5 + 1 = 8 on two processors.
         assert!((plan.worst_total - 8.0).abs() < 1e-12);
         let order = &plan.dispatch.per_section[0];
-        let pos = |id: NodeId| order.iter().position(|&n| n == id).unwrap();
+        let pos = |id: NodeId| order.iter().position(|&n| n == id).expect("node in order");
         assert!(pos(a) < pos(x) && pos(a) < pos(y) && pos(y) < pos(d));
         // LTF dispatches C (5) before B (3) once both are ready.
         assert!(pos(y) < pos(x));
@@ -691,13 +677,10 @@ mod tests {
 
     #[test]
     fn plan_serde_round_trip() {
-        let app = Segment::seq([
-            Segment::task("A", 2.0, 1.0),
-            Segment::task("B", 3.0, 2.0),
-        ]);
+        let app = Segment::seq([Segment::task("A", 2.0, 1.0), Segment::task("B", 3.0, 2.0)]);
         let (_, _, plan) = plan_of(&app, 1, 10.0);
-        let json = serde_json::to_string(&plan).unwrap();
-        let back: OfflinePlan = serde_json::from_str(&json).unwrap();
+        let json = serde_json::to_string(&plan).expect("plan serializes");
+        let back: OfflinePlan = serde_json::from_str(&json).expect("plan deserializes");
         assert_eq!(back.num_procs, 1);
         assert!((back.worst_total - plan.worst_total).abs() < 1e-12);
     }

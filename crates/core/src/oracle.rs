@@ -29,7 +29,7 @@
 use andor_graph::{AndOrGraph, NodeId, SectionGraph};
 use dvfs_power::{OperatingPoint, Overheads, ProcessorModel};
 use mp_sim::{
-    DispatchCtx, DispatchOrder, MaxSpeed, Policy, Realization, SimConfig, Simulator,
+    DispatchCtx, DispatchOrder, MaxSpeed, Policy, Realization, SimConfig, SimError, Simulator,
     SpeedDecision,
 };
 
@@ -44,6 +44,11 @@ impl OraclePolicy {
     /// full speed (overhead-free — the clairvoyant computes off-line) and
     /// picks the slowest level finishing by `deadline`, reserving one
     /// voltage transition for entering the chosen speed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the full-speed probe run (e.g. a
+    /// realization that does not resolve a reachable OR node).
     #[allow(clippy::too_many_arguments)] // mirrors the engine's parameter set
     pub fn for_realization(
         g: &AndOrGraph,
@@ -54,7 +59,7 @@ impl OraclePolicy {
         deadline: f64,
         overheads: Overheads,
         real: &Realization,
-    ) -> Self {
+    ) -> Result<Self, SimError> {
         let probe_cfg = SimConfig {
             num_procs,
             deadline,
@@ -64,17 +69,17 @@ impl OraclePolicy {
             record_trace: false,
         };
         let probe = Simulator::new(g, sections, dispatch, model, probe_cfg);
-        let makespan = probe.run(&mut MaxSpeed, real).finish_time;
+        let makespan = probe.run(&mut MaxSpeed, real)?.finish_time;
         let budget = (deadline - overheads.transition_time_ms).max(f64::MIN_POSITIVE);
         let desired = if makespan <= 0.0 {
             model.min_speed()
         } else {
             makespan / budget
         };
-        Self {
+        Ok(Self {
             point: model.quantize_up(desired),
             makespan_full_speed: makespan,
-        }
+        })
     }
 
     /// The single operating point chosen.
@@ -115,18 +120,15 @@ mod tests {
     fn setup() -> Setup {
         let app = Segment::seq([
             Segment::task("A", 6.0, 3.0),
-            Segment::par([
-                Segment::task("B", 5.0, 2.0),
-                Segment::task("C", 7.0, 3.0),
-            ]),
+            Segment::par([Segment::task("B", 5.0, 2.0), Segment::task("C", 7.0, 3.0)]),
             Segment::branch([
                 (0.4, Segment::task("D", 9.0, 4.0)),
                 (0.6, Segment::task("E", 3.0, 2.0)),
             ]),
         ])
         .lower()
-        .unwrap();
-        Setup::for_load(app, ProcessorModel::transmeta5400(), 2, 0.6).unwrap()
+        .expect("fixture app lowers");
+        Setup::for_load(app, ProcessorModel::transmeta5400(), 2, 0.6).expect("feasible load")
     }
 
     fn oracle_for(s: &Setup, real: &Realization) -> OraclePolicy {
@@ -140,6 +142,7 @@ mod tests {
             s.overheads,
             real,
         )
+        .expect("probe run succeeds")
     }
 
     #[test]
@@ -149,7 +152,10 @@ mod tests {
         for _ in 0..200 {
             let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
             let mut oracle = oracle_for(&s, &real);
-            let res = s.simulator(false).run(&mut oracle, &real);
+            let res = s
+                .simulator(false)
+                .run(&mut oracle, &real)
+                .expect("run succeeds");
             assert!(
                 !res.missed_deadline,
                 "oracle missed: {} > {}",
@@ -164,28 +170,29 @@ mod tests {
     fn oracle_lower_bounds_online_schemes_on_average() {
         let app = Segment::seq([
             Segment::task("A", 6.0, 3.0),
-            Segment::par([
-                Segment::task("B", 5.0, 2.0),
-                Segment::task("C", 7.0, 3.0),
-            ]),
+            Segment::par([Segment::task("B", 5.0, 2.0), Segment::task("C", 7.0, 3.0)]),
             Segment::branch([
                 (0.4, Segment::task("D", 9.0, 4.0)),
                 (0.6, Segment::task("E", 3.0, 2.0)),
             ]),
         ])
         .lower()
-        .unwrap();
-        let s = Setup::for_load(app, ProcessorModel::continuous(0.05).unwrap(), 2, 0.6)
-            .unwrap();
+        .expect("fixture app lowers");
+        let model = ProcessorModel::continuous(0.05).expect("valid continuous model");
+        let s = Setup::for_load(app, model, 2, 0.6).expect("feasible load");
         let mut rng = StdRng::seed_from_u64(9);
         let mut e_oracle = 0.0;
         let mut e_schemes = vec![0.0_f64; Scheme::ALL.len()];
         for _ in 0..300 {
             let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
             let mut oracle = oracle_for(&s, &real);
-            e_oracle += s.simulator(false).run(&mut oracle, &real).total_energy();
+            e_oracle += s
+                .simulator(false)
+                .run(&mut oracle, &real)
+                .expect("run succeeds")
+                .total_energy();
             for (i, scheme) in Scheme::ALL.iter().enumerate() {
-                e_schemes[i] += s.run(*scheme, &real).total_energy();
+                e_schemes[i] += s.run(*scheme, &real).expect("run succeeds").total_energy();
             }
         }
         for (i, scheme) in Scheme::ALL.iter().enumerate() {
@@ -205,11 +212,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(14);
         let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
         let mut oracle = oracle_for(&s, &real);
-        let res = s.simulator(true).run(&mut oracle, &real);
+        let res = s
+            .simulator(true)
+            .run(&mut oracle, &real)
+            .expect("run succeeds");
         let speeds: std::collections::BTreeSet<u64> = res
             .trace
             .as_ref()
-            .unwrap()
+            .expect("trace recorded")
             .iter()
             .map(|e| (e.speed * 1e9) as u64)
             .collect();
@@ -225,8 +235,8 @@ mod tests {
         let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
         let oracle = oracle_for(&s, &real);
         // The chosen speed is the quantization of makespan/deadline.
-        let ideal = oracle.makespan_full_speed()
-            / (s.plan.deadline - s.overheads.transition_time_ms);
+        let ideal =
+            oracle.makespan_full_speed() / (s.plan.deadline - s.overheads.transition_time_ms);
         assert!(oracle.point().speed >= ideal - 1e-12);
         // ...and no more than one level above it.
         let above = s.model.quantize_up(ideal).speed;

@@ -111,8 +111,8 @@ impl<'a> Guarantee<'a> {
     /// dispatched under `ctx`: stretch its WCET over the window ending at
     /// `LST + c`, minus the reserved overhead time.
     fn gss_desired(&self, task: NodeId, ctx: &DispatchCtx) -> f64 {
-        let lst = self.plan.lst[task.index()]
-            .expect("dispatched computation nodes always carry an LST");
+        let lst =
+            self.plan.lst[task.index()].expect("dispatched computation nodes always carry an LST");
         let slack = (lst - ctx.now).max(0.0);
         let reserve = self
             .overheads
@@ -520,7 +520,7 @@ mod tests {
                 .map(|(s, _)| s)
                 .unwrap(),
         );
-        sim.run(policy.as_mut(), &real)
+        sim.run(policy.as_mut(), &real).expect("run succeeds")
     }
 
     #[test]
@@ -614,8 +614,20 @@ mod tests {
         let gss = run_worst(&fx, Scheme::Gss, Overheads::none());
         let ss1 = run_worst(&fx, Scheme::Ss1, Overheads::none());
         assert!(!gss.missed_deadline && !ss1.missed_deadline);
-        let gss_speeds: Vec<f64> = gss.trace.as_ref().unwrap().iter().map(|e| e.speed).collect();
-        let ss1_speeds: Vec<f64> = ss1.trace.as_ref().unwrap().iter().map(|e| e.speed).collect();
+        let gss_speeds: Vec<f64> = gss
+            .trace
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|e| e.speed)
+            .collect();
+        let ss1_speeds: Vec<f64> = ss1
+            .trace
+            .as_ref()
+            .unwrap()
+            .iter()
+            .map(|e| e.speed)
+            .collect();
         // GSS's first task is slower than SS(1)'s (greedy takes all slack).
         assert!(gss_speeds[0] <= ss1_speeds[0] + 1e-12);
         // SS(1) speeds never drop below its speculative floor.
@@ -664,12 +676,11 @@ mod tests {
         as_pol.begin_run();
         let initial = as_pol.spec_desired();
         assert!((initial - fx.plan.avg_total / 24.0).abs() < 1e-12);
-        let or = fx
-            .g
-            .iter()
-            .find(|(_, n)| n.kind.is_or() && n.succs.len() == 2)
-            .unwrap()
-            .0;
+        let or =
+            fx.g.iter()
+                .find(|(_, n)| n.kind.is_or() && n.succs.len() == 2)
+                .unwrap()
+                .0;
         as_pol.on_or_fired(or, 0, 10.0);
         // Remaining avg for branch 0 is 6 (B's acet), 14 ms left.
         assert!((as_pol.spec_desired() - 6.0 / 14.0).abs() < 1e-12);
@@ -681,10 +692,7 @@ mod tests {
     fn all_schemes_meet_deadline_at_worst_case() {
         let app = Segment::seq([
             Segment::task("A", 6.0, 3.0),
-            Segment::par([
-                Segment::task("B", 5.0, 2.0),
-                Segment::task("C", 7.0, 3.0),
-            ]),
+            Segment::par([Segment::task("B", 5.0, 2.0), Segment::task("C", 7.0, 3.0)]),
             Segment::branch([
                 (0.4, Segment::task("D", 9.0, 4.0)),
                 (0.6, Segment::task("E", 3.0, 2.0)),
@@ -749,7 +757,7 @@ mod tests {
             .unwrap();
         let real = Realization::worst_case(&fx.g, scen);
         let mut pp = ProportionalPolicy::new(&fx.plan, &fx.model, Overheads::none());
-        let res = sim.run(&mut pp, &real);
+        let res = sim.run(&mut pp, &real).expect("run succeeds");
         assert!(!res.missed_deadline);
         let tr = res.trace.as_ref().unwrap();
         assert!((tr[0].speed - 0.5).abs() < 1e-9, "{}", tr[0].speed);
@@ -776,10 +784,13 @@ mod tests {
             .map(|(s, _)| s)
             .unwrap();
         let real = Realization::worst_case(&fx.g, scen);
-        let mut pp =
-            ProportionalPolicy::new(&fx.plan, &fx.model, Overheads::paper_defaults());
-        let res = sim.run(&mut pp, &real);
-        assert!(!res.missed_deadline, "{} > {}", res.finish_time, res.deadline);
+        let mut pp = ProportionalPolicy::new(&fx.plan, &fx.model, Overheads::paper_defaults());
+        let res = sim.run(&mut pp, &real).expect("run succeeds");
+        assert!(
+            !res.missed_deadline,
+            "{} > {}",
+            res.finish_time, res.deadline
+        );
     }
 
     #[test]
@@ -835,7 +846,9 @@ mod tests {
             .next()
             .map(|(s, _)| s)
             .unwrap();
-        let res = sim.run(&mut policy, &Realization::worst_case(&fx.g, scen));
+        let res = sim
+            .run(&mut policy, &Realization::worst_case(&fx.g, scen))
+            .expect("run succeeds");
         assert!(!res.missed_deadline);
     }
 

@@ -8,7 +8,7 @@ use dvfs_power::ProcessorModel;
 use pas_experiments::cli::Options;
 use pas_experiments::figures::{
     ablation_leakage, ablation_levels, ablation_overhead, ablation_procs, ablation_smin,
-    energy_breakdown, fig_energy_vs_alpha, fig_energy_vs_load, level_table,
+    energy_breakdown, fault_sweep, fig_energy_vs_alpha, fig_energy_vs_load, level_table,
     oracle_gap_vs_load, stream_carryover, SweepOutput,
 };
 use pas_experiments::Platform;
@@ -38,11 +38,21 @@ fn main() {
     };
     let sweep_md = |out: &SweepOutput| {
         assert_eq!(out.total_misses, 0, "deadline misses detected!");
-        format!("{}{}", out.energy.to_markdown(), out.speed_changes.to_markdown())
+        format!(
+            "{}{}",
+            out.energy.to_markdown(),
+            out.speed_changes.to_markdown()
+        )
     };
 
-    write("table1", level_table(&ProcessorModel::transmeta5400()).to_markdown());
-    write("table2", level_table(&ProcessorModel::xscale()).to_markdown());
+    write(
+        "table1",
+        level_table(&ProcessorModel::transmeta5400()).to_markdown(),
+    );
+    write(
+        "table2",
+        level_table(&ProcessorModel::xscale()).to_markdown(),
+    );
     for (tag, procs) in [("fig4", 2), ("fig5", 6)] {
         let mut md = String::new();
         for platform in [Platform::Transmeta, Platform::XScale] {
@@ -95,5 +105,15 @@ fn main() {
         md.push('\n');
     }
     write("stream", md);
+    let mut md = String::new();
+    for platform in [Platform::Transmeta, Platform::XScale] {
+        let out = fault_sweep(platform, 1.5, &[0.0, 0.01, 0.02, 0.05, 0.1, 0.2], &opts.cfg)
+            .expect("fault sweep runs");
+        md.push_str(&out.miss_rate.to_markdown());
+        md.push_str(&out.energy.to_markdown());
+        md.push_str(&out.recovery_energy.to_markdown());
+        md.push('\n');
+    }
+    write("fault_sweep", md);
     println!("done: the full evaluation is in {outdir}/");
 }

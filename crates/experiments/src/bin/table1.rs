@@ -4,5 +4,8 @@ use dvfs_power::ProcessorModel;
 use pas_experiments::figures::level_table;
 
 fn main() {
-    print!("{}", level_table(&ProcessorModel::transmeta5400()).to_text());
+    print!(
+        "{}",
+        level_table(&ProcessorModel::transmeta5400()).to_text()
+    );
 }

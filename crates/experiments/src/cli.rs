@@ -37,13 +37,11 @@ impl Options {
             match arg.as_str() {
                 "--reps" => {
                     let v = it.next().ok_or("--reps needs a value")?;
-                    cfg.replications =
-                        v.parse().map_err(|_| format!("bad --reps value: {v}"))?;
+                    cfg.replications = v.parse().map_err(|_| format!("bad --reps value: {v}"))?;
                 }
                 "--seed" => {
                     let v = it.next().ok_or("--seed needs a value")?;
-                    cfg.base_seed =
-                        v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
+                    cfg.base_seed = v.parse().map_err(|_| format!("bad --seed value: {v}"))?;
                 }
                 "--csv" => {
                     csv = Some(it.next().ok_or("--csv needs a path")?);
@@ -136,8 +134,15 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let o = Options::parse(args(&[
-            "--reps", "50", "--seed", "7", "--csv", "/tmp/x.csv",
-            "--svg", "/tmp/x.svg", "--markdown",
+            "--reps",
+            "50",
+            "--seed",
+            "7",
+            "--csv",
+            "/tmp/x.csv",
+            "--svg",
+            "/tmp/x.svg",
+            "--markdown",
         ]))
         .unwrap();
         assert_eq!(o.cfg.replications, 50);

@@ -1,8 +1,9 @@
 //! One function per paper table/figure, plus the future-work ablations.
 
-use crate::runner::{evaluate, EvalResult, ExperimentConfig};
+use crate::runner::{evaluate, evaluate_with_faults, EvalResult, ExperimentConfig};
 use andor_graph::AndOrGraph;
 use dvfs_power::{Overheads, ProcessorModel};
+use mp_sim::{FaultPlan, SimError};
 use pas_core::Setup;
 use pas_stats::Table;
 use rand::rngs::StdRng;
@@ -57,7 +58,10 @@ pub fn sweep(
     cfg: &ExperimentConfig,
     mut setup_for: impl FnMut(f64) -> Setup,
 ) -> SweepOutput {
-    let evals: Vec<EvalResult> = xs.iter().map(|&x| evaluate(&setup_for(x), cfg)).collect();
+    let evals: Vec<EvalResult> = xs
+        .iter()
+        .map(|&x| evaluate(&setup_for(x), cfg).expect("valid setup simulates"))
+        .collect();
     let mut energy = Table::new(title, x_label, xs.to_vec());
     let mut speed_changes = Table::new(
         format!("{title} — speed changes per run"),
@@ -240,20 +244,20 @@ pub fn ablation_leakage(platform: Platform, cfg: &ExperimentConfig) -> Table {
             let runs: Vec<mp_sim::RunResult> = {
                 let mut out = Vec::new();
                 for scheme in [Scheme::Npm, Scheme::Spm, Scheme::Gss, Scheme::As] {
-                    out.push(setup.run(scheme, &real));
+                    out.push(setup.run(scheme, &real).expect("run succeeds"));
                 }
                 let mut gss_floor = EnergyFloorPolicy::new(
                     GssPolicy::new(&setup.plan, &setup.model, setup.overheads),
                     floor,
                     &setup.model,
                 );
-                out.push(sim.run(&mut gss_floor, &real));
+                out.push(sim.run(&mut gss_floor, &real).expect("run succeeds"));
                 let mut as_floor = EnergyFloorPolicy::new(
                     AsPolicy::new(&setup.plan, &setup.model, setup.overheads),
                     floor,
                     &setup.model,
                 );
-                out.push(sim.run(&mut as_floor, &real));
+                out.push(sim.run(&mut as_floor, &real).expect("run succeeds"));
                 out
             };
             for (i, r) in runs.iter().enumerate() {
@@ -284,11 +288,7 @@ pub fn ablation_leakage(platform: Platform, cfg: &ExperimentConfig) -> Table {
 /// **Extension E1** — gap to the clairvoyant single-speed bound
 /// (paper §3.3's motivating intuition): mean energy of each scheme divided
 /// by the oracle's mean energy, vs load.
-pub fn oracle_gap_vs_load(
-    platform: Platform,
-    num_procs: usize,
-    cfg: &ExperimentConfig,
-) -> Table {
+pub fn oracle_gap_vs_load(platform: Platform, num_procs: usize, cfg: &ExperimentConfig) -> Table {
     let mut cfg = cfg.clone();
     cfg.include_oracle = true;
     let app = atr_app();
@@ -296,9 +296,9 @@ pub fn oracle_gap_vs_load(
     let evals: Vec<EvalResult> = xs
         .iter()
         .map(|&load| {
-            let setup = Setup::for_load(app.clone(), platform.model(), num_procs, load)
-                .expect("feasible");
-            evaluate(&setup, &cfg)
+            let setup =
+                Setup::for_load(app.clone(), platform.model(), num_procs, load).expect("feasible");
+            evaluate(&setup, &cfg).expect("valid setup simulates")
         })
         .collect();
     let mut t = Table::new(
@@ -330,9 +330,8 @@ pub fn energy_breakdown(
     load: f64,
     cfg: &ExperimentConfig,
 ) -> Table {
-    let setup = Setup::for_load(atr_app(), platform.model(), num_procs, load)
-        .expect("feasible");
-    let eval = evaluate(&setup, cfg);
+    let setup = Setup::for_load(atr_app(), platform.model(), num_procs, load).expect("feasible");
+    let eval = evaluate(&setup, cfg).expect("valid setup simulates");
     let npm_total = eval
         .of(pas_core::Scheme::Npm)
         .expect("NPM configured")
@@ -351,11 +350,17 @@ pub fn energy_breakdown(
     );
     t.push_series(
         "busy",
-        eval.stats.iter().map(|s| s.busy_energy.mean() / npm_total).collect(),
+        eval.stats
+            .iter()
+            .map(|s| s.busy_energy.mean() / npm_total)
+            .collect(),
     );
     t.push_series(
         "idle",
-        eval.stats.iter().map(|s| s.idle_energy.mean() / npm_total).collect(),
+        eval.stats
+            .iter()
+            .map(|s| s.idle_energy.mean() / npm_total)
+            .collect(),
     );
     t.push_series(
         "transition",
@@ -366,7 +371,10 @@ pub fn energy_breakdown(
     );
     t.push_series(
         "total",
-        eval.stats.iter().map(|s| s.energy.mean() / npm_total).collect(),
+        eval.stats
+            .iter()
+            .map(|s| s.energy.mean() / npm_total)
+            .collect(),
     );
     t
 }
@@ -397,8 +405,10 @@ pub fn stream_carryover(platform: Platform, cfg: &ExperimentConfig) -> Table {
                 .collect();
             let sim = setup.simulator(false);
             let mut policy = setup.policy(scheme);
-            let cold = mp_sim::run_stream(&sim, policy.as_mut(), &frames, false);
-            let warm = mp_sim::run_stream(&sim, policy.as_mut(), &frames, true);
+            let cold =
+                mp_sim::run_stream(&sim, policy.as_mut(), &frames, false).expect("stream runs");
+            let warm =
+                mp_sim::run_stream(&sim, policy.as_mut(), &frames, true).expect("stream runs");
             assert_eq!(cold.misses + warm.misses, 0, "{} missed", scheme.name());
             cold_c += cold.speed_changes() as f64 / FRAMES as f64;
             warm_c += warm.speed_changes() as f64 / FRAMES as f64;
@@ -422,6 +432,109 @@ pub fn stream_carryover(platform: Platform, cfg: &ExperimentConfig) -> Table {
     t.push_series("warm changes/frame", warm_changes);
     t.push_series("warm/cold energy", warm_over_cold_energy);
     t
+}
+
+/// Output of the fault-injection sweep ([Extension E5](fault_sweep)).
+#[derive(Debug, Clone)]
+pub struct FaultSweepOutput {
+    /// Deadline-miss rate per scheme vs overrun probability.
+    pub miss_rate: Table,
+    /// Energy normalized to NPM *at the same fault point* vs overrun
+    /// probability.
+    pub energy: Table,
+    /// Mean per-run recovery energy (escalation transitions plus the
+    /// containment premium) vs overrun probability.
+    pub recovery_energy: Table,
+    /// Total faults injected across the whole sweep.
+    pub injected: u64,
+    /// Total overruns detected across the whole sweep.
+    pub detected: u64,
+}
+
+/// **Extension E5** — overrun fault injection: execution-time overruns
+/// (actual exceeding WCET by `overrun_factor`) are injected with
+/// per-task probability `prob` for each `prob` in `probs`. Every scheme
+/// sees the identical fault sets on the identical realizations, so
+/// miss-rate and energy columns are directly comparable. At
+/// `prob = 0.0` the numbers reproduce the fault-free baselines exactly.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from plan validation or any replication.
+pub fn fault_sweep(
+    platform: Platform,
+    overrun_factor: f64,
+    probs: &[f64],
+    cfg: &ExperimentConfig,
+) -> Result<FaultSweepOutput, SimError> {
+    let app = atr_app();
+    let setup = Setup::for_load(app, platform.model(), 2, 0.6)
+        .expect("load 0.6 is feasible by construction");
+    let mut evals: Vec<EvalResult> = Vec::with_capacity(probs.len());
+    for &prob in probs {
+        let plan = FaultPlan::overruns(prob, overrun_factor, cfg.base_seed ^ 0xFA);
+        evals.push(evaluate_with_faults(&setup, cfg, Some(&plan))?);
+    }
+    let title = format!(
+        "ATR, 2 processors, load 0.6, overrun factor {}, {}",
+        overrun_factor,
+        platform.name()
+    );
+    let mut miss_rate = Table::new(
+        format!("Deadline-miss rate vs overrun probability — {title}"),
+        "overrun_prob",
+        probs.to_vec(),
+    );
+    let mut energy = Table::new(
+        format!("Normalized energy vs overrun probability — {title}"),
+        "overrun_prob",
+        probs.to_vec(),
+    );
+    let mut recovery_energy = Table::new(
+        format!("Recovery energy per run vs overrun probability — {title}"),
+        "overrun_prob",
+        probs.to_vec(),
+    );
+    for &scheme in &cfg.schemes {
+        miss_rate.push_series(
+            scheme.name(),
+            evals
+                .iter()
+                .map(|e| e.of(scheme).map(|s| s.miss_rate()).unwrap_or(f64::NAN))
+                .collect(),
+        );
+        energy.push_series(
+            scheme.name(),
+            evals
+                .iter()
+                .map(|e| e.normalized_energy(scheme).unwrap_or(f64::NAN))
+                .collect(),
+        );
+        recovery_energy.push_series(
+            scheme.name(),
+            evals
+                .iter()
+                .map(|e| {
+                    e.of(scheme)
+                        .map(|s| s.recovery_energy.mean())
+                        .unwrap_or(f64::NAN)
+                })
+                .collect(),
+        );
+    }
+    let injected = evals.iter().map(|e| e.total_faults_injected()).sum();
+    let detected = evals
+        .iter()
+        .flat_map(|e| e.stats.iter())
+        .map(|s| s.faults.overruns_detected)
+        .sum();
+    Ok(FaultSweepOutput {
+        miss_rate,
+        energy,
+        recovery_energy,
+        injected,
+        detected,
+    })
 }
 
 /// **Tables 1 and 2** — renders a processor model's voltage/speed table in
@@ -464,7 +577,7 @@ mod tests {
         assert_eq!(out.energy.series.len(), 6);
         assert_eq!(out.total_misses, 0);
         // NPM normalizes to 1 everywhere.
-        for v in &out.energy.series("NPM").unwrap().values {
+        for v in &out.energy.series("NPM").expect("NPM series").values {
             assert!((v - 1.0).abs() < 1e-12);
         }
     }
@@ -490,7 +603,10 @@ mod tests {
         assert_eq!(t1.x.len(), 16);
         let t2 = level_table(&ProcessorModel::xscale());
         assert_eq!(t2.x.len(), 5);
-        assert_eq!(t2.series("f(MHz)").unwrap().values[0], 150.0);
+        assert_eq!(
+            t2.series("f(MHz)").expect("frequency series").values[0],
+            150.0
+        );
     }
 
     #[test]
@@ -505,18 +621,18 @@ mod tests {
                 assert!(v.is_finite() && *v > 0.3, "{}: gap {v}", series.name);
             }
         }
-        let npm = &t.series("NPM").unwrap().values;
-        let gss = &t.series("GSS").unwrap().values;
+        let npm = &t.series("NPM").expect("NPM series").values;
+        let gss = &t.series("GSS").expect("GSS series").values;
         assert!(npm[4] > gss[4], "NPM gap exceeds GSS gap at load 0.5");
     }
 
     #[test]
     fn breakdown_components_sum_to_total() {
         let t = energy_breakdown(Platform::Transmeta, 2, 0.5, &tiny());
-        let busy = &t.series("busy").unwrap().values;
-        let idle = &t.series("idle").unwrap().values;
-        let trans = &t.series("transition").unwrap().values;
-        let total = &t.series("total").unwrap().values;
+        let busy = &t.series("busy").expect("busy series").values;
+        let idle = &t.series("idle").expect("idle series").values;
+        let trans = &t.series("transition").expect("transition series").values;
+        let total = &t.series("total").expect("total series").values;
         for i in 0..t.x.len() {
             assert!((busy[i] + idle[i] + trans[i] - total[i]).abs() < 1e-9);
         }
@@ -527,8 +643,8 @@ mod tests {
     #[test]
     fn leakage_floor_recovers_energy() {
         let t = ablation_leakage(Platform::Transmeta, &ExperimentConfig::quick(24));
-        let gss = &t.series("GSS").unwrap().values;
-        let gss_floor = &t.series("GSS+floor").unwrap().values;
+        let gss = &t.series("GSS").expect("GSS series").values;
+        let gss_floor = &t.series("GSS+floor").expect("floored series").values;
         // At zero leakage the floor is the minimum speed: identical runs.
         assert!((gss[0] - gss_floor[0]).abs() < 1e-9);
         // At heavy leakage the floor must not hurt, and should help.
@@ -550,14 +666,32 @@ mod tests {
     #[test]
     fn stream_carryover_never_increases_changes() {
         let t = stream_carryover(Platform::XScale, &ExperimentConfig::quick(4));
-        let cold = &t.series("cold changes/frame").unwrap().values;
-        let warm = &t.series("warm changes/frame").unwrap().values;
+        let cold = &t.series("cold changes/frame").expect("cold series").values;
+        let warm = &t.series("warm changes/frame").expect("warm series").values;
         for (c, w) in cold.iter().zip(warm) {
             assert!(w <= &(c + 1e-9), "carry-over increased changes: {w} vs {c}");
         }
         // NPM (index 0) has zero changes either way.
         assert_eq!(cold[0], 0.0);
         assert_eq!(warm[0], 0.0);
+    }
+
+    #[test]
+    fn fault_sweep_zero_prob_reproduces_baseline() {
+        let cfg = tiny();
+        let out = fault_sweep(Platform::Transmeta, 1.5, &[0.0, 0.3], &cfg).expect("sweep runs");
+        // prob 0: no misses, NPM normalization exactly 1.
+        for series in &out.miss_rate.series {
+            assert_eq!(series.values[0], 0.0, "{} missed at prob 0", series.name);
+        }
+        let npm = out.energy.series("NPM").expect("NPM series");
+        assert!((npm.values[0] - 1.0).abs() < 1e-12);
+        // prob 0.3 with factor 1.5 injects and detects overruns.
+        assert!(out.injected > 0);
+        assert!(out.detected > 0);
+        let recovery = out.recovery_energy.series("GSS").expect("GSS series");
+        assert_eq!(recovery.values[0], 0.0, "no recovery energy at prob 0");
+        assert!(recovery.values[1] > 0.0, "recovery energy at prob 0.3");
     }
 
     #[test]

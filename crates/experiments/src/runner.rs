@@ -1,5 +1,6 @@
 //! The Monte-Carlo experiment harness.
 
+use mp_sim::{FaultPlan, FaultReport, SimError};
 use pas_core::{Scheme, Setup};
 use pas_stats::Summary;
 use rand::rngs::StdRng;
@@ -60,9 +61,30 @@ pub struct SchemeStats {
     pub transition_energy: Summary,
     /// Per-run voltage/speed change counts.
     pub speed_changes: Summary,
-    /// Number of runs that missed the deadline (must stay 0; reported so
-    /// experiments surface violations instead of hiding them).
+    /// Number of runs that missed the deadline (must stay 0 in fault-free
+    /// experiments; reported so experiments surface violations instead of
+    /// hiding them).
     pub deadline_misses: u64,
+    /// How far past the deadline the missed runs finished (ms); empty when
+    /// no run missed.
+    pub miss_margin: Summary,
+    /// Fault-injection counters accumulated over every replication
+    /// (all-zero in fault-free experiments).
+    pub faults: FaultReport,
+    /// Per-run energy spent recovering from detected overruns (escalating
+    /// to maximum speed and the containment premium).
+    pub recovery_energy: Summary,
+}
+
+impl SchemeStats {
+    /// Fraction of replications that missed the deadline.
+    pub fn miss_rate(&self) -> f64 {
+        if self.energy.count() == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.energy.count() as f64
+        }
+    }
 }
 
 /// All schemes' statistics at one experiment point.
@@ -100,13 +122,42 @@ impl EvalResult {
     pub fn total_misses(&self) -> u64 {
         self.stats.iter().map(|s| s.deadline_misses).sum()
     }
+
+    /// Total faults injected across all schemes' replications.
+    pub fn total_faults_injected(&self) -> u64 {
+        self.stats.iter().map(|s| s.faults.total_injected()).sum()
+    }
 }
 
 /// Evaluates every configured scheme on `cfg.replications` shared
 /// realizations of `setup`. Replications run in parallel; the result is
 /// independent of thread count because each replication derives its RNG
 /// from `base_seed` and the replication index alone.
-pub fn evaluate(setup: &Setup, cfg: &ExperimentConfig) -> EvalResult {
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any replication hits (the engine
+/// rejecting the setup's dispatch order or realization).
+pub fn evaluate(setup: &Setup, cfg: &ExperimentConfig) -> Result<EvalResult, SimError> {
+    evaluate_with_faults(setup, cfg, None)
+}
+
+/// [`evaluate`], optionally injecting faults from a [`FaultPlan`].
+///
+/// Replication `r` realizes the plan with run index `r`, so every scheme
+/// sees the *same* fault set on the same replication — the paired design
+/// extends to faults. With `faults: None` (or an all-zero plan) the
+/// results are identical to [`evaluate`].
+///
+/// # Errors
+///
+/// Returns [`SimError::BadFaultPlan`] if the plan fails validation, or
+/// any engine error a replication hits.
+pub fn evaluate_with_faults(
+    setup: &Setup,
+    cfg: &ExperimentConfig,
+    faults: Option<&FaultPlan>,
+) -> Result<EvalResult, SimError> {
     struct RepSample {
         energy: f64,
         busy: f64,
@@ -114,37 +165,48 @@ pub fn evaluate(setup: &Setup, cfg: &ExperimentConfig) -> EvalResult {
         transition: f64,
         changes: u64,
         missed: bool,
+        missed_by: Option<f64>,
+        report: FaultReport,
+    }
+    if let Some(plan) = faults {
+        plan.validate()?;
     }
     let per_rep: Vec<(Vec<RepSample>, Option<f64>)> = (0..cfg.replications)
         .into_par_iter()
-        .map(|r| {
+        .map(|r| -> Result<(Vec<RepSample>, Option<f64>), SimError> {
             // SplitMix-style seed derivation keeps streams independent.
             let seed = cfg
                 .base_seed
                 .wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let mut rng = StdRng::seed_from_u64(seed);
             let real = setup.sample(&cfg.etm, &mut rng);
-            let samples = cfg
-                .schemes
-                .iter()
-                .map(|&scheme| {
-                    let res = setup.run(scheme, &real);
-                    RepSample {
-                        energy: res.total_energy(),
-                        busy: res.energy.busy_energy(),
-                        idle: res.energy.idle_energy(),
-                        transition: res.energy.transition_energy(),
-                        changes: res.energy.speed_changes(),
-                        missed: res.missed_deadline,
-                    }
-                })
-                .collect();
-            let oracle = cfg
-                .include_oracle
-                .then(|| setup.run_oracle(&real).total_energy());
-            (samples, oracle)
+            let fault_set = faults.map(|p| p.realize(&setup.graph, r as u64));
+            let mut samples = Vec::with_capacity(cfg.schemes.len());
+            for &scheme in &cfg.schemes {
+                let res = match &fault_set {
+                    Some(fs) => setup.run_with_faults(scheme, &real, fs)?,
+                    None => setup.run(scheme, &real)?,
+                };
+                samples.push(RepSample {
+                    energy: res.total_energy(),
+                    busy: res.energy.busy_energy(),
+                    idle: res.energy.idle_energy(),
+                    transition: res.energy.transition_energy(),
+                    changes: res.energy.speed_changes(),
+                    missed: res.missed_deadline,
+                    missed_by: (!res.status.met()).then(|| res.status.missed_by()),
+                    report: res.faults,
+                });
+            }
+            let oracle = match cfg.include_oracle {
+                true => Some(setup.run_oracle(&real)?.total_energy()),
+                false => None,
+            };
+            Ok((samples, oracle))
         })
-        .collect();
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect::<Result<_, _>>()?;
 
     let stats = cfg
         .schemes
@@ -157,6 +219,9 @@ pub fn evaluate(setup: &Setup, cfg: &ExperimentConfig) -> EvalResult {
             let mut transition_energy = Summary::new();
             let mut speed_changes = Summary::new();
             let mut deadline_misses = 0u64;
+            let mut miss_margin = Summary::new();
+            let mut fault_report = FaultReport::default();
+            let mut recovery_energy = Summary::new();
             for (rep, _) in &per_rep {
                 let s = &rep[i];
                 energy.add(s.energy);
@@ -165,6 +230,11 @@ pub fn evaluate(setup: &Setup, cfg: &ExperimentConfig) -> EvalResult {
                 transition_energy.add(s.transition);
                 speed_changes.add(s.changes as f64);
                 deadline_misses += s.missed as u64;
+                if let Some(by) = s.missed_by {
+                    miss_margin.add(by);
+                }
+                fault_report.absorb(&s.report);
+                recovery_energy.add(s.report.recovery_energy);
             }
             SchemeStats {
                 scheme,
@@ -174,19 +244,19 @@ pub fn evaluate(setup: &Setup, cfg: &ExperimentConfig) -> EvalResult {
                 transition_energy,
                 speed_changes,
                 deadline_misses,
+                miss_margin,
+                faults: fault_report,
+                recovery_energy,
             }
         })
         .collect();
-    let oracle_energy = cfg.include_oracle.then(|| {
-        per_rep
-            .iter()
-            .filter_map(|(_, o)| *o)
-            .collect::<Summary>()
-    });
-    EvalResult {
+    let oracle_energy = cfg
+        .include_oracle
+        .then(|| per_rep.iter().filter_map(|(_, o)| *o).collect::<Summary>());
+    Ok(EvalResult {
         stats,
         oracle_energy,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -197,35 +267,38 @@ mod tests {
 
     fn setup() -> Setup {
         Setup::for_load(
-            synthetic_app().lower().unwrap(),
+            synthetic_app().lower().expect("fixture app lowers"),
             ProcessorModel::transmeta5400(),
             2,
             0.5,
         )
-        .unwrap()
+        .expect("feasible load")
     }
 
     #[test]
     fn evaluate_produces_stats_for_every_scheme() {
-        let res = evaluate(&setup(), &ExperimentConfig::quick(32));
+        let res = evaluate(&setup(), &ExperimentConfig::quick(32)).expect("evaluation runs");
         assert_eq!(res.stats.len(), 6);
         for s in &res.stats {
             assert_eq!(s.energy.count(), 32);
             assert_eq!(s.deadline_misses, 0, "{} missed deadlines", s.scheme);
+            assert!(s.faults.is_clean(), "{} saw phantom faults", s.scheme);
+            assert_eq!(s.miss_rate(), 0.0);
         }
     }
 
     #[test]
     fn npm_normalization_is_one() {
-        let res = evaluate(&setup(), &ExperimentConfig::quick(16));
-        assert!((res.normalized_energy(Scheme::Npm).unwrap() - 1.0).abs() < 1e-12);
+        let res = evaluate(&setup(), &ExperimentConfig::quick(16)).expect("evaluation runs");
+        let norm = res.normalized_energy(Scheme::Npm).expect("NPM configured");
+        assert!((norm - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn managed_schemes_beat_npm_at_half_load() {
-        let res = evaluate(&setup(), &ExperimentConfig::quick(64));
+        let res = evaluate(&setup(), &ExperimentConfig::quick(64)).expect("evaluation runs");
         for scheme in Scheme::MANAGED {
-            let norm = res.normalized_energy(scheme).unwrap();
+            let norm = res.normalized_energy(scheme).expect("scheme configured");
             assert!(norm < 1.0, "{scheme}: {norm}");
         }
     }
@@ -233,25 +306,76 @@ mod tests {
     #[test]
     fn results_reproducible_and_seed_sensitive() {
         let s = setup();
-        let a = evaluate(&s, &ExperimentConfig::quick(16));
-        let b = evaluate(&s, &ExperimentConfig::quick(16));
+        let a = evaluate(&s, &ExperimentConfig::quick(16)).expect("evaluation runs");
+        let b = evaluate(&s, &ExperimentConfig::quick(16)).expect("evaluation runs");
         assert_eq!(
-            a.of(Scheme::Gss).unwrap().energy.mean(),
-            b.of(Scheme::Gss).unwrap().energy.mean()
+            a.of(Scheme::Gss).expect("GSS configured").energy.mean(),
+            b.of(Scheme::Gss).expect("GSS configured").energy.mean()
         );
         let mut cfg = ExperimentConfig::quick(16);
         cfg.base_seed = 999;
-        let c = evaluate(&s, &cfg);
+        let c = evaluate(&s, &cfg).expect("evaluation runs");
         assert_ne!(
-            a.of(Scheme::Gss).unwrap().energy.mean(),
-            c.of(Scheme::Gss).unwrap().energy.mean()
+            a.of(Scheme::Gss).expect("GSS configured").energy.mean(),
+            c.of(Scheme::Gss).expect("GSS configured").energy.mean()
         );
     }
 
     #[test]
     fn npm_never_changes_speed_gss_does() {
-        let res = evaluate(&setup(), &ExperimentConfig::quick(16));
-        assert_eq!(res.of(Scheme::Npm).unwrap().speed_changes.mean(), 0.0);
-        assert!(res.of(Scheme::Gss).unwrap().speed_changes.mean() > 0.0);
+        let res = evaluate(&setup(), &ExperimentConfig::quick(16)).expect("evaluation runs");
+        let npm = res.of(Scheme::Npm).expect("NPM configured");
+        assert_eq!(npm.speed_changes.mean(), 0.0);
+        let gss = res.of(Scheme::Gss).expect("GSS configured");
+        assert!(gss.speed_changes.mean() > 0.0);
+    }
+
+    #[test]
+    fn zero_probability_fault_plan_reproduces_baseline() {
+        let s = setup();
+        let cfg = ExperimentConfig::quick(16);
+        let clean = evaluate(&s, &cfg).expect("evaluation runs");
+        let plan = FaultPlan::none();
+        let faulted = evaluate_with_faults(&s, &cfg, Some(&plan)).expect("evaluation runs");
+        for (a, b) in clean.stats.iter().zip(&faulted.stats) {
+            assert_eq!(a.energy.mean(), b.energy.mean(), "{}", a.scheme);
+            assert_eq!(a.speed_changes.mean(), b.speed_changes.mean());
+            assert!(b.faults.is_clean());
+        }
+    }
+
+    #[test]
+    fn injected_overruns_are_counted_and_recovered() {
+        let s = setup();
+        let cfg = ExperimentConfig::quick(16);
+        let plan = FaultPlan::overruns(0.5, 1.5, 77);
+        let res = evaluate_with_faults(&s, &cfg, Some(&plan)).expect("evaluation runs");
+        for stats in &res.stats {
+            assert!(
+                stats.faults.overruns_injected > 0,
+                "{} saw no overruns at p=0.5",
+                stats.scheme
+            );
+            assert!(stats.faults.overruns_detected > 0);
+            assert_eq!(stats.recovery_energy.count(), 16);
+        }
+        // Same plan, same replication indices: every scheme sees the same
+        // injection counts (the paired design extends to faults).
+        let first = res.stats[0].faults.overruns_injected;
+        for stats in &res.stats {
+            assert_eq!(stats.faults.overruns_injected, first, "{}", stats.scheme);
+        }
+    }
+
+    #[test]
+    fn invalid_fault_plan_is_rejected() {
+        let s = setup();
+        let plan = FaultPlan {
+            overrun_prob: 2.0,
+            ..FaultPlan::none()
+        };
+        let err = evaluate_with_faults(&s, &ExperimentConfig::quick(4), Some(&plan))
+            .expect_err("probability 2.0 is invalid");
+        assert!(matches!(err, SimError::BadFaultPlan { .. }), "{err}");
     }
 }

@@ -127,10 +127,7 @@ mod tests {
     fn app() -> (AndOrGraph, SectionGraph) {
         let g = Segment::seq([
             Segment::task("A", 4.0, 2.0),
-            Segment::par([
-                Segment::task("B", 6.0, 3.0),
-                Segment::task("C", 2.0, 1.0),
-            ]),
+            Segment::par([Segment::task("B", 6.0, 3.0), Segment::task("C", 2.0, 1.0)]),
             Segment::branch([
                 (0.25, Segment::task("D", 8.0, 4.0)),
                 (0.75, Segment::task("E", 2.0, 1.0)),

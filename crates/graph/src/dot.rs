@@ -84,14 +84,8 @@ mod tests {
     fn sample() -> AndOrGraph {
         Segment::seq([
             Segment::task("A", 8.0, 5.0),
-            Segment::par([
-                Segment::task("B", 5.0, 3.0),
-                Segment::task("C", 4.0, 2.0),
-            ]),
-            Segment::branch([
-                (0.3, Segment::task("D", 6.0, 4.0)),
-                (0.7, Segment::empty()),
-            ]),
+            Segment::par([Segment::task("B", 5.0, 3.0), Segment::task("C", 4.0, 2.0)]),
+            Segment::branch([(0.3, Segment::task("D", 6.0, 4.0)), (0.7, Segment::empty())]),
         ])
         .lower()
         .unwrap()

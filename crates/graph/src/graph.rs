@@ -43,7 +43,10 @@ impl std::fmt::Display for GraphError {
             GraphError::Empty => write!(f, "graph has no nodes"),
             GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
             GraphError::BadExecutionTimes { node } => {
-                write!(f, "node {node}: execution times must satisfy 0 < acet <= wcet")
+                write!(
+                    f,
+                    "node {node}: execution times must satisfy 0 < acet <= wcet"
+                )
             }
             GraphError::BadOrProbabilities { node } => {
                 write!(f, "OR node {node}: invalid branch probabilities")
@@ -148,7 +151,10 @@ impl AndOrGraph {
 
     /// Number of computation nodes.
     pub fn num_tasks(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind.is_computation()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind.is_computation())
+            .count()
     }
 
     /// Number of OR nodes.
@@ -163,7 +169,6 @@ impl AndOrGraph {
         // Section structure is validated by attempting the decomposition.
         crate::sections::SectionGraph::build(self).map(|_| ())
     }
-
 }
 
 /// Incremental constructor for [`AndOrGraph`].
@@ -307,11 +312,7 @@ fn validate(nodes: &[Node]) -> Result<(), GraphError> {
         let id = NodeId(i as u32);
         match &n.kind {
             NodeKind::Computation { wcet, acet } => {
-                if !(acet.is_finite()
-                    && wcet.is_finite()
-                    && *acet > 0.0
-                    && *acet <= *wcet)
-                {
+                if !(acet.is_finite() && wcet.is_finite() && *acet > 0.0 && *acet <= *wcet) {
                     return Err(GraphError::BadExecutionTimes { node: id });
                 }
             }
@@ -321,9 +322,7 @@ fn validate(nodes: &[Node]) -> Result<(), GraphError> {
                 }
                 if !n.succs.is_empty() {
                     let sum: f64 = probs.iter().sum();
-                    if (sum - 1.0).abs() > 1e-6
-                        || probs.iter().any(|p| !(*p > 0.0 && *p <= 1.0))
-                    {
+                    if (sum - 1.0).abs() > 1e-6 || probs.iter().any(|p| !(*p > 0.0 && *p <= 1.0)) {
                         return Err(GraphError::BadOrProbabilities { node: id });
                     }
                 }

@@ -42,10 +42,10 @@ pub mod scenario;
 pub mod sections;
 pub mod structure;
 
+pub use analysis::{app_profile, scenario_profile, AppProfile, ScenarioProfile};
+pub use dot::to_dot;
 pub use graph::{AndOrGraph, GraphBuilder, GraphError};
 pub use node::{Node, NodeId, NodeKind};
 pub use scenario::{Scenario, ScenarioIter};
 pub use sections::{Section, SectionGraph, SectionId};
-pub use analysis::{app_profile, scenario_profile, AppProfile, ScenarioProfile};
-pub use dot::to_dot;
 pub use structure::Segment;

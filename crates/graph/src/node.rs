@@ -6,9 +6,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// `u32` keeps the per-node footprint small; graphs in this domain have at
 /// most a few thousand nodes even after loop expansion.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {

@@ -23,10 +23,7 @@ pub struct Scenario {
 impl Scenario {
     /// The branch chosen at `or`, if this scenario reaches it.
     pub fn choice_for(&self, or: NodeId) -> Option<usize> {
-        self.choices
-            .iter()
-            .find(|(o, _)| *o == or)
-            .map(|(_, k)| *k)
+        self.choices.iter().find(|(o, _)| *o == or).map(|(_, k)| *k)
     }
 }
 
@@ -206,7 +203,10 @@ mod tests {
         let g = or_diamond();
         let sg = SectionGraph::build(&g).unwrap();
         let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
-        let (s30, _) = scenarios.iter().find(|(_, p)| (*p - 0.3).abs() < 1e-12).unwrap();
+        let (s30, _) = scenarios
+            .iter()
+            .find(|(_, p)| (*p - 0.3).abs() < 1e-12)
+            .unwrap();
         let nodes = sg.active_nodes(&g, s30);
         // A, O1, B, O2, D — and definitely not C.
         assert!(nodes.contains(&NodeId(0)));
@@ -287,7 +287,11 @@ mod tests {
     fn sample_branch_is_exhaustive_under_rounding() {
         // Probabilities that sum to slightly under 1.0 still return a valid
         // index for u drawn near 1.
-        let branches = vec![(NodeId(0), 0.3333333), (NodeId(1), 0.3333333), (NodeId(2), 0.3333333)];
+        let branches = vec![
+            (NodeId(0), 0.3333333),
+            (NodeId(1), 0.3333333),
+            (NodeId(2), 0.3333333),
+        ];
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..10_000 {
             let k = sample_branch(&branches, &mut rng);

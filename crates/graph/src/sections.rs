@@ -26,9 +26,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
 /// Index of a section within a [`SectionGraph`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct SectionId(pub u32);
 
 impl SectionId {
@@ -206,10 +204,8 @@ impl<'g> Builder<'g> {
         let home = if preds.is_empty() {
             SectionId(0)
         } else {
-            let candidates: Vec<SectionId> = preds
-                .iter()
-                .map(|&p| self.pred_section(p, id))
-                .collect();
+            let candidates: Vec<SectionId> =
+                preds.iter().map(|&p| self.pred_section(p, id)).collect();
             // The node lives in the deepest candidate; all other candidates
             // must be ancestors of it (already-completed sections).
             let deepest = *candidates
@@ -329,19 +325,19 @@ mod tests {
         let t_c = b.task("C", 4.0, 2.0);
         let o2 = b.or("O2");
         let d = b.task("D", 6.0, 4.0);
-        b.edge(a, o1).unwrap();
-        b.or_branch(o1, t_b, 0.3).unwrap();
-        b.or_branch(o1, t_c, 0.7).unwrap();
-        b.edge(t_b, o2).unwrap();
-        b.edge(t_c, o2).unwrap();
-        b.or_branch(o2, d, 1.0).unwrap();
-        b.build().unwrap()
+        b.edge(a, o1).expect("edge is valid");
+        b.or_branch(o1, t_b, 0.3).expect("branch is valid");
+        b.or_branch(o1, t_c, 0.7).expect("branch is valid");
+        b.edge(t_b, o2).expect("edge is valid");
+        b.edge(t_c, o2).expect("edge is valid");
+        b.or_branch(o2, d, 1.0).expect("branch is valid");
+        b.build().expect("graph builds")
     }
 
     #[test]
     fn diamond_decomposes_into_four_sections() {
         let g = or_diamond();
-        let sg = SectionGraph::build(&g).unwrap();
+        let sg = SectionGraph::build(&g).expect("sections build");
         // root {A}, branch(O1,0) {B}, branch(O1,1) {C}, branch(O2,0) {D}
         assert_eq!(sg.len(), 4);
         let root = sg.section(sg.root());
@@ -350,15 +346,21 @@ mod tests {
         assert_eq!(root.exit_or, Some(NodeId(1)));
         assert_eq!(root.depth, 0);
 
-        let b0 = sg.branch_section(NodeId(1), 0).unwrap();
-        let b1 = sg.branch_section(NodeId(1), 1).unwrap();
+        let b0 = sg
+            .branch_section(NodeId(1), 0)
+            .expect("branch has a section");
+        let b1 = sg
+            .branch_section(NodeId(1), 1)
+            .expect("branch has a section");
         assert_eq!(sg.section(b0).nodes, vec![NodeId(2)]);
         assert_eq!(sg.section(b1).nodes, vec![NodeId(3)]);
         assert_eq!(sg.section(b0).exit_or, Some(NodeId(4)));
         assert_eq!(sg.section(b1).exit_or, Some(NodeId(4)));
         assert_eq!(sg.section(b0).depth, 1);
 
-        let cont = sg.branch_section(NodeId(4), 0).unwrap();
+        let cont = sg
+            .branch_section(NodeId(4), 0)
+            .expect("branch has a section");
         assert_eq!(sg.section(cont).nodes, vec![NodeId(5)]);
         assert_eq!(sg.section(cont).exit_or, None);
         assert_eq!(sg.section(cont).depth, 2);
@@ -367,18 +369,25 @@ mod tests {
     #[test]
     fn ancestors_of_merge_continuation_exclude_branches() {
         let g = or_diamond();
-        let sg = SectionGraph::build(&g).unwrap();
-        let b0 = sg.branch_section(NodeId(1), 0).unwrap();
-        let cont = sg.branch_section(NodeId(4), 0).unwrap();
+        let sg = SectionGraph::build(&g).expect("sections build");
+        let b0 = sg
+            .branch_section(NodeId(1), 0)
+            .expect("branch has a section");
+        let cont = sg
+            .branch_section(NodeId(4), 0)
+            .expect("branch has a section");
         assert!(sg.is_ancestor(sg.root(), cont));
-        assert!(!sg.is_ancestor(b0, cont), "branch is not guaranteed history");
+        assert!(
+            !sg.is_ancestor(b0, cont),
+            "branch is not guaranteed history"
+        );
         assert!(sg.is_ancestor(cont, cont));
     }
 
     #[test]
     fn section_of_maps_tasks_not_ors() {
         let g = or_diamond();
-        let sg = SectionGraph::build(&g).unwrap();
+        let sg = SectionGraph::build(&g).expect("sections build");
         assert_eq!(sg.section_of(NodeId(0)), Some(sg.root()));
         assert_eq!(sg.section_of(NodeId(1)), None); // OR node
     }
@@ -391,13 +400,13 @@ mod tests {
         let x = b.task("X", 5.0, 3.0);
         let y = b.task("Y", 4.0, 2.0);
         let join = b.and("J");
-        b.edge(a, fork).unwrap();
-        b.edge(fork, x).unwrap();
-        b.edge(fork, y).unwrap();
-        b.edge(x, join).unwrap();
-        b.edge(y, join).unwrap();
-        let g = b.build().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        b.edge(a, fork).expect("edge is valid");
+        b.edge(fork, x).expect("edge is valid");
+        b.edge(fork, y).expect("edge is valid");
+        b.edge(x, join).expect("edge is valid");
+        b.edge(y, join).expect("edge is valid");
+        let g = b.build().expect("graph builds");
+        let sg = SectionGraph::build(&g).expect("sections build");
         assert_eq!(sg.len(), 1);
         assert_eq!(sg.section(sg.root()).nodes.len(), 5);
         assert_eq!(sg.section(sg.root()).exit_or, None);
@@ -414,17 +423,19 @@ mod tests {
         let o2 = b.or("O2");
         let j = b.and("J");
         let d = b.task("D", 6.0, 4.0);
-        b.edge(a, o1).unwrap();
-        b.or_branch(o1, t_b, 0.3).unwrap();
-        b.or_branch(o1, t_c, 0.7).unwrap();
-        b.edge(t_b, o2).unwrap();
-        b.edge(t_c, o2).unwrap();
-        b.or_branch(o2, j, 1.0).unwrap();
-        b.edge(a, j).unwrap(); // ancestor cross edge
-        b.edge(j, d).unwrap();
-        let g = b.build().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
-        let cont = sg.branch_section(NodeId(4), 0).unwrap();
+        b.edge(a, o1).expect("edge is valid");
+        b.or_branch(o1, t_b, 0.3).expect("branch is valid");
+        b.or_branch(o1, t_c, 0.7).expect("branch is valid");
+        b.edge(t_b, o2).expect("edge is valid");
+        b.edge(t_c, o2).expect("edge is valid");
+        b.or_branch(o2, j, 1.0).expect("branch is valid");
+        b.edge(a, j).expect("edge is valid"); // ancestor cross edge
+        b.edge(j, d).expect("edge is valid");
+        let g = b.build().expect("graph builds");
+        let sg = SectionGraph::build(&g).expect("sections build");
+        let cont = sg
+            .branch_section(NodeId(4), 0)
+            .expect("branch has a section");
         assert_eq!(sg.section(cont).nodes, vec![NodeId(5), NodeId(6)]);
     }
 
@@ -438,12 +449,12 @@ mod tests {
         let t_b = b.task("B", 5.0, 3.0);
         let t_c = b.task("C", 4.0, 2.0);
         let j = b.and("J");
-        b.edge(a, o1).unwrap();
-        b.or_branch(o1, t_b, 0.3).unwrap();
-        b.or_branch(o1, t_c, 0.7).unwrap();
-        b.edge(t_c, j).unwrap();
-        b.edge(t_b, j).unwrap(); // sibling cross edge
-        let err = b.build().unwrap_err();
+        b.edge(a, o1).expect("edge is valid");
+        b.or_branch(o1, t_b, 0.3).expect("branch is valid");
+        b.or_branch(o1, t_c, 0.7).expect("branch is valid");
+        b.edge(t_c, j).expect("edge is valid");
+        b.edge(t_b, j).expect("edge is valid"); // sibling cross edge
+        let err = b.build().expect_err("structure violation is rejected");
         assert!(matches!(err, GraphError::SectionStructure { .. }), "{err}");
     }
 
@@ -459,13 +470,13 @@ mod tests {
         let o2 = b.or("O2");
         let p = b.task("P", 1.0, 1.0);
         let q = b.task("Q", 1.0, 1.0);
-        b.edge(fork, x).unwrap();
-        b.edge(fork, y).unwrap();
-        b.edge(x, o1).unwrap();
-        b.edge(y, o2).unwrap();
-        b.or_branch(o1, p, 1.0).unwrap();
-        b.or_branch(o2, q, 1.0).unwrap();
-        let err = b.build().unwrap_err();
+        b.edge(fork, x).expect("edge is valid");
+        b.edge(fork, y).expect("edge is valid");
+        b.edge(x, o1).expect("edge is valid");
+        b.edge(y, o2).expect("edge is valid");
+        b.or_branch(o1, p, 1.0).expect("branch is valid");
+        b.or_branch(o2, q, 1.0).expect("branch is valid");
+        let err = b.build().expect_err("structure violation is rejected");
         assert!(matches!(err, GraphError::SectionStructure { .. }), "{err}");
     }
 
@@ -478,14 +489,16 @@ mod tests {
         let t_b = b.task("B", 5.0, 3.0);
         let o2 = b.or("O2");
         let d = b.task("D", 6.0, 4.0);
-        b.edge(a, o1).unwrap();
-        b.or_branch(o1, t_b, 0.4).unwrap();
-        b.or_branch(o1, o2, 0.6).unwrap();
-        b.edge(t_b, o2).unwrap();
-        b.or_branch(o2, d, 1.0).unwrap();
-        let g = b.build().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
-        let skip = sg.branch_section(NodeId(1), 1).unwrap();
+        b.edge(a, o1).expect("edge is valid");
+        b.or_branch(o1, t_b, 0.4).expect("branch is valid");
+        b.or_branch(o1, o2, 0.6).expect("branch is valid");
+        b.edge(t_b, o2).expect("edge is valid");
+        b.or_branch(o2, d, 1.0).expect("branch is valid");
+        let g = b.build().expect("graph builds");
+        let sg = SectionGraph::build(&g).expect("sections build");
+        let skip = sg
+            .branch_section(NodeId(1), 1)
+            .expect("branch has a section");
         assert!(sg.section(skip).is_passthrough());
         assert_eq!(sg.section(skip).exit_or, Some(NodeId(3)));
     }
@@ -501,20 +514,20 @@ mod tests {
         let tc = b.task("C", 2.0, 1.0);
         let td = b.task("D", 2.0, 1.0);
         let te = b.task("E", 2.0, 1.0);
-        b.edge(a, o1).unwrap();
-        b.or_branch(o1, tb, 0.5).unwrap();
-        b.or_branch(o1, te, 0.5).unwrap();
-        b.edge(tb, o2).unwrap();
-        b.or_branch(o2, tc, 0.5).unwrap();
-        b.or_branch(o2, td, 0.5).unwrap();
-        let g = b.build().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
-        let s_b = sg.branch_section(o1, 0).unwrap();
-        let s_c = sg.branch_section(o2, 0).unwrap();
+        b.edge(a, o1).expect("edge is valid");
+        b.or_branch(o1, tb, 0.5).expect("branch is valid");
+        b.or_branch(o1, te, 0.5).expect("branch is valid");
+        b.edge(tb, o2).expect("edge is valid");
+        b.or_branch(o2, tc, 0.5).expect("branch is valid");
+        b.or_branch(o2, td, 0.5).expect("branch is valid");
+        let g = b.build().expect("graph builds");
+        let sg = SectionGraph::build(&g).expect("sections build");
+        let s_b = sg.branch_section(o1, 0).expect("branch has a section");
+        let s_c = sg.branch_section(o2, 0).expect("branch has a section");
         assert_eq!(sg.section(s_b).depth, 1);
         assert_eq!(sg.section(s_c).depth, 2);
         // E's section never sees O2's sections as ancestors.
-        let s_e = sg.branch_section(o1, 1).unwrap();
+        let s_e = sg.branch_section(o1, 1).expect("branch has a section");
         assert!(!sg.is_ancestor(s_c, s_e));
     }
 
@@ -524,10 +537,10 @@ mod tests {
         let x = b.task("X", 1.0, 0.5);
         let y = b.task("Y", 2.0, 1.0);
         let j = b.and("J");
-        b.edge(x, j).unwrap();
-        b.edge(y, j).unwrap();
-        let g = b.build().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        b.edge(x, j).expect("edge is valid");
+        b.edge(y, j).expect("edge is valid");
+        let g = b.build().expect("graph builds");
+        let sg = SectionGraph::build(&g).expect("sections build");
         assert_eq!(sg.len(), 1);
         assert_eq!(sg.section(sg.root()).nodes.len(), 3);
     }

@@ -148,12 +148,8 @@ impl Segment {
                 wcet: *wcet,
                 acet: *acet,
             },
-            Segment::Seq(v) => {
-                Segment::Seq(v.iter().map(|s| s.with_suffix(suffix)).collect())
-            }
-            Segment::Par(v) => {
-                Segment::Par(v.iter().map(|s| s.with_suffix(suffix)).collect())
-            }
+            Segment::Seq(v) => Segment::Seq(v.iter().map(|s| s.with_suffix(suffix)).collect()),
+            Segment::Par(v) => Segment::Par(v.iter().map(|s| s.with_suffix(suffix)).collect()),
             Segment::Branch(arms) => Segment::Branch(
                 arms.iter()
                     .map(|(p, s)| (*p, s.with_suffix(suffix)))
@@ -335,12 +331,9 @@ mod tests {
 
     #[test]
     fn par_adds_fork_and_join() {
-        let g = Segment::par([
-            Segment::task("X", 1.0, 0.5),
-            Segment::task("Y", 2.0, 1.0),
-        ])
-        .lower()
-        .unwrap();
+        let g = Segment::par([Segment::task("X", 1.0, 0.5), Segment::task("Y", 2.0, 1.0)])
+            .lower()
+            .unwrap();
         // fork + join + 2 tasks.
         assert_eq!(g.len(), 4);
         assert_eq!(g.num_tasks(), 2);
@@ -446,10 +439,7 @@ mod tests {
     fn empty_branch_arm_lowers_to_noop() {
         let app = Segment::seq([
             Segment::task("A", 1.0, 0.5),
-            Segment::branch([
-                (0.4, Segment::task("B", 2.0, 1.0)),
-                (0.6, Segment::empty()),
-            ]),
+            Segment::branch([(0.4, Segment::task("B", 2.0, 1.0)), (0.6, Segment::empty())]),
             Segment::task("Z", 1.0, 0.5),
         ]);
         let g = app.lower().unwrap();
@@ -478,10 +468,7 @@ mod tests {
     #[test]
     fn loop_distribution_scenario_probabilities_match() {
         // 1 iter 50%, 2 iters 30%, 4 iters 20%.
-        let app = Segment::loop_(
-            Segment::task("w", 2.0, 1.0),
-            [(1, 0.5), (2, 0.3), (4, 0.2)],
-        );
+        let app = Segment::loop_(Segment::task("w", 2.0, 1.0), [(1, 0.5), (2, 0.3), (4, 0.2)]);
         let g = app.lower().unwrap();
         let sg = SectionGraph::build(&g).unwrap();
         let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
@@ -548,10 +535,7 @@ mod tests {
         // Paper Figure 1a: A then AND-fork to B and C.
         let app = Segment::seq([
             Segment::task("A", 8.0, 5.0),
-            Segment::par([
-                Segment::task("B", 5.0, 3.0),
-                Segment::task("C", 4.0, 2.0),
-            ]),
+            Segment::par([Segment::task("B", 5.0, 3.0), Segment::task("C", 4.0, 2.0)]),
         ]);
         let g = app.lower().unwrap();
         assert_eq!(g.num_tasks(), 3);
@@ -565,8 +549,14 @@ mod tests {
         let app = Segment::seq([
             Segment::task("A", 8.0, 5.0),
             Segment::branch([
-                (0.3, Segment::seq([Segment::task("B", 5.0, 3.0), Segment::task("F", 8.0, 6.0)])),
-                (0.7, Segment::seq([Segment::task("C", 4.0, 2.0), Segment::task("G", 5.0, 3.0)])),
+                (
+                    0.3,
+                    Segment::seq([Segment::task("B", 5.0, 3.0), Segment::task("F", 8.0, 6.0)]),
+                ),
+                (
+                    0.7,
+                    Segment::seq([Segment::task("C", 4.0, 2.0), Segment::task("G", 5.0, 3.0)]),
+                ),
             ]),
         ]);
         let g = app.lower().unwrap();

@@ -18,21 +18,17 @@ fn arb_segment(depth: u32, allow_branch: bool) -> BoxedStrategy<Segment> {
     }
     let seq = proptest::collection::vec(arb_segment(depth - 1, allow_branch), 1..4)
         .prop_map(Segment::Seq);
-    let par = proptest::collection::vec(arb_segment(depth - 1, false), 2..4)
-        .prop_map(Segment::Par);
+    let par = proptest::collection::vec(arb_segment(depth - 1, false), 2..4).prop_map(Segment::Par);
     if allow_branch {
-        let branch = proptest::collection::vec(
-            (1u32..100, arb_segment(depth - 1, true)),
-            2..4,
-        )
-        .prop_map(|arms| {
-            let total: u32 = arms.iter().map(|(w, _)| w).sum();
-            Segment::Branch(
-                arms.into_iter()
-                    .map(|(w, s)| (w as f64 / total as f64, s))
-                    .collect(),
-            )
-        });
+        let branch = proptest::collection::vec((1u32..100, arb_segment(depth - 1, true)), 2..4)
+            .prop_map(|arms| {
+                let total: u32 = arms.iter().map(|(w, _)| w).sum();
+                Segment::Branch(
+                    arms.into_iter()
+                        .map(|(w, s)| (w as f64 / total as f64, s))
+                        .collect(),
+                )
+            });
         prop_oneof![task, seq, par, branch].boxed()
     } else {
         prop_oneof![task, seq, par].boxed()

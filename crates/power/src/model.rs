@@ -145,10 +145,7 @@ impl ProcessorModel {
                 return None;
             }
         }
-        if levels
-            .iter()
-            .any(|l| l.freq_mhz <= 0.0 || l.voltage <= 0.0)
-        {
+        if levels.iter().any(|l| l.freq_mhz <= 0.0 || l.voltage <= 0.0) {
             return None;
         }
         Some(Self {
@@ -423,9 +420,7 @@ mod tests {
         )
         .is_none());
         // Non-positive entries.
-        assert!(
-            ProcessorModel::from_levels("bad", vec![SpeedLevel::new(0.0, 1.0)]).is_none()
-        );
+        assert!(ProcessorModel::from_levels("bad", vec![SpeedLevel::new(0.0, 1.0)]).is_none());
     }
 
     #[test]

@@ -8,9 +8,8 @@ fn arb_model() -> impl Strategy<Value = ProcessorModel> {
         Just(ProcessorModel::transmeta5400()),
         Just(ProcessorModel::xscale()),
         (0.01f64..1.0).prop_map(|s| ProcessorModel::continuous(s).unwrap()),
-        (1usize..24, 0.05f64..0.95, 500f64..2000.0).prop_map(|(n, r, f)| {
-            ProcessorModel::synthetic(f, n, r, 0.7, 1.9).unwrap()
-        }),
+        (1usize..24, 0.05f64..0.95, 500f64..2000.0)
+            .prop_map(|(n, r, f)| { ProcessorModel::synthetic(f, n, r, 0.7, 1.9).unwrap() }),
     ]
 }
 

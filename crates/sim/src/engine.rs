@@ -1,6 +1,8 @@
 //! The execution engine: dispatches one realization of an AND/OR
 //! application on `m` DVS processors under a speed policy.
 
+use crate::error::SimError;
+use crate::fault::{DeadlineStatus, FaultReport, FaultSet};
 use crate::policy::{DispatchCtx, Policy};
 use crate::realization::Realization;
 use andor_graph::{AndOrGraph, NodeId, SectionGraph, SectionId};
@@ -95,8 +97,14 @@ pub struct RunResult {
     pub finish_time: f64,
     /// The deadline the run was scheduled against (ms).
     pub deadline: f64,
-    /// True if the application finished after its deadline.
+    /// True if the application finished after its deadline. Kept for
+    /// compatibility; [`RunResult::status`] carries the margin as well.
     pub missed_deadline: bool,
+    /// Whether the deadline was met, and by how much.
+    pub status: DeadlineStatus,
+    /// Faults injected, detected and recovered during the run. All-zero
+    /// for fault-free runs.
+    pub faults: FaultReport,
     /// Energy aggregated over all processors.
     pub energy: EnergyMeter,
     /// Per-processor energy accounting.
@@ -135,7 +143,10 @@ impl<'a> Simulator<'a> {
     /// # Panics
     ///
     /// Panics if `cfg.num_procs == 0` or the dispatch order does not cover
-    /// every section.
+    /// every section. These are construction-time programming errors, not
+    /// data-dependent run failures, so they stay asserts; everything that
+    /// depends on the realization or dispatch order contents surfaces as
+    /// [`SimError`] from the `run*` methods instead.
     pub fn new(
         g: &'a AndOrGraph,
         sections: &'a SectionGraph,
@@ -165,43 +176,83 @@ impl<'a> Simulator<'a> {
 
     /// Executes one realization under `policy`, with every processor
     /// starting at the maximum operating point.
-    pub fn run(&self, policy: &mut dyn Policy, real: &Realization) -> RunResult {
-        self.run_with_initial(policy, real, None)
+    pub fn run(&self, policy: &mut dyn Policy, real: &Realization) -> Result<RunResult, SimError> {
+        self.run_full(policy, real, None, None)
     }
 
     /// Executes one realization under `policy`, optionally starting each
     /// processor at a given operating point (DVS state carried over from a
     /// previous frame instance).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `initial` is provided with the wrong length.
     pub fn run_with_initial(
         &self,
         policy: &mut dyn Policy,
         real: &Realization,
         initial: Option<&[OperatingPoint]>,
-    ) -> RunResult {
+    ) -> Result<RunResult, SimError> {
+        self.run_full(policy, real, initial, None)
+    }
+
+    /// Executes one realization under `policy` while injecting the given
+    /// fault set (see [`crate::fault`]).
+    ///
+    /// Detection and containment: when a task's measured execution time
+    /// exceeds the worst-case budget at the speed the policy reserved
+    /// (`wcet / speed`), the engine counts a detected overrun, escalates
+    /// the affected processor to the maximum operating point, and
+    /// suspends the policy's slack-claiming — every subsequent dispatch
+    /// runs at `f_max` — until the current program section's exit OR
+    /// fires. The energy premium of recovery (escalation transitions plus
+    /// running contained tasks above the requested point) is tallied in
+    /// [`RunResult::faults`].
+    pub fn run_with_faults(
+        &self,
+        policy: &mut dyn Policy,
+        real: &Realization,
+        faults: &FaultSet,
+    ) -> Result<RunResult, SimError> {
+        self.run_full(policy, real, None, Some(faults))
+    }
+
+    /// The full-control entry point behind [`Simulator::run`],
+    /// [`Simulator::run_with_initial`] and [`Simulator::run_with_faults`].
+    pub fn run_full(
+        &self,
+        policy: &mut dyn Policy,
+        real: &Realization,
+        initial: Option<&[OperatingPoint]>,
+        faults: Option<&FaultSet>,
+    ) -> Result<RunResult, SimError> {
         let m = self.cfg.num_procs;
         let mut finish: Vec<Option<f64>> = vec![None; self.g.len()];
         let mut meters = vec![EnergyMeter::new(); m];
         let mut avail = vec![0.0_f64; m];
         let mut point: Vec<OperatingPoint> = match initial {
             Some(points) => {
-                assert_eq!(points.len(), m, "one initial point per processor");
+                if points.len() != m {
+                    return Err(SimError::InitialPointCount {
+                        expected: m,
+                        got: points.len(),
+                    });
+                }
                 points.to_vec()
             }
             None => vec![self.model.max_point(); m],
         };
         let mut trace = self.cfg.record_trace.then(Vec::new);
         let mut last_dispatch = 0.0_f64;
+        let mut report = FaultReport::default();
+        // Containment: set on overrun detection, cleared when the current
+        // section's exit OR fires. While set, every dispatch is forced to
+        // the maximum operating point regardless of the policy's decision.
+        let mut contained = false;
+        let max_point = self.model.max_point();
 
         policy.begin_run();
 
         let mut cur: SectionId = self.sections.root();
         loop {
             for &node in &self.order.per_section[cur.index()] {
-                let ready = self.ready_time(node, &finish);
+                let ready = self.ready_time(node, &finish)?;
                 if !self.g.node(node).kind.is_computation() {
                     // AND synchronization node: dummy, zero time, handled by
                     // whichever processor is cycling through the scheduler.
@@ -214,8 +265,8 @@ impl<'a> Simulator<'a> {
                 let (p, &p_avail) = avail
                     .iter()
                     .enumerate()
-                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("times are finite"))
-                    .expect("num_procs > 0");
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .expect("num_procs > 0 is asserted at construction");
                 let start = ready.max(last_dispatch).max(p_avail);
                 last_dispatch = start;
 
@@ -227,6 +278,13 @@ impl<'a> Simulator<'a> {
                 let decision = policy.speed_for(node, &ctx);
                 let rho = self.cfg.static_fraction;
                 let mut t = start;
+                // Transient stall: the processor hangs (pipeline drained,
+                // drawing idle power) before it begins dispatching the task.
+                if let Some(stall) = faults.and_then(|f| f.stall(node.index())) {
+                    meters[p].add_idle(self.cfg.idle_fraction, stall);
+                    t += stall;
+                    report.stalls_injected += 1;
+                }
                 if decision.ran_pmp {
                     let dt = self
                         .cfg
@@ -235,17 +293,35 @@ impl<'a> Simulator<'a> {
                     meters[p].add_busy(point[p].power + rho, dt);
                     t += dt;
                 }
-                if (decision.point.speed - point[p].speed).abs() > 1e-12 {
+                // While contained, the policy's slack-claiming is suspended:
+                // the engine overrides its decision with the maximum point.
+                let requested = decision.point;
+                let target = if contained { max_point } else { requested };
+                if (target.speed - point[p].speed).abs() > 1e-12 {
                     let dt = self.cfg.overheads.transition_time_ms;
-                    meters[p].add_transition(
-                        point[p].power.max(decision.point.power) + rho,
-                        dt,
-                    );
+                    meters[p].add_transition(point[p].power.max(target.power) + rho, dt);
                     t += dt;
-                    point[p] = decision.point;
+                    if faults.is_some_and(|f| f.speed_fail(node.index())) {
+                        // Speed-change failure: the transition's time and
+                        // energy are paid, but the operating point silently
+                        // clamps to the old level.
+                        report.speed_failures_injected += 1;
+                    } else {
+                        point[p] = target;
+                    }
                 }
-                let exec = real.actual[node.index()] / point[p].speed;
+                let mut actual = real.actual[node.index()];
+                if let Some(factor) = faults.and_then(|f| f.overrun(node.index())) {
+                    actual = ctx.wcet * factor;
+                    report.overruns_injected += 1;
+                }
+                let exec = actual / point[p].speed;
                 meters[p].add_busy(point[p].power + rho, exec);
+                if contained && (target.speed - requested.speed).abs() > 1e-12 {
+                    // Premium of running above the point the policy asked
+                    // for, attributed to recovery.
+                    report.recovery_energy += (target.power - requested.power).max(0.0) * exec;
+                }
                 let end = t + exec;
                 avail[p] = end;
                 finish[node.index()] = Some(end);
@@ -257,6 +333,29 @@ impl<'a> Simulator<'a> {
                         end,
                         speed: point[p].speed,
                     });
+                }
+                // Overrun detection at task completion: the task ran past
+                // the worst-case budget the policy reserved at the speed it
+                // believed the processor was running. Covers injected WCET
+                // overruns and speed failures slow enough to breach the
+                // reservation. Only armed when a fault set is supplied —
+                // fault-free runs are bit-for-bit identical to the
+                // pre-fault-layer engine.
+                if faults.is_some() && exec > ctx.wcet / target.speed + 1e-9 {
+                    report.overruns_detected += 1;
+                    contained = true;
+                    if (max_point.speed - point[p].speed).abs() > 1e-12 {
+                        // Escalate the affected processor to f_max; the
+                        // transition happens after the task completes and
+                        // delays the processor's next availability.
+                        let dt = self.cfg.overheads.transition_time_ms;
+                        let power = point[p].power.max(max_point.power) + rho;
+                        meters[p].add_transition(power, dt);
+                        report.recovery_energy += power * dt;
+                        avail[p] = end + dt;
+                        point[p] = max_point;
+                        report.recoveries += 1;
+                    }
                 }
             }
 
@@ -278,6 +377,9 @@ impl<'a> Simulator<'a> {
                 .fold(0.0_f64, f64::max);
             let fire = drain.max(preds_done);
             finish[or.index()] = Some(fire);
+            // The section boundary re-synchronizes the schedule; containment
+            // (if any) ends here and the policy resumes slack-claiming.
+            contained = false;
 
             if self.g.node(or).succs.is_empty() {
                 break; // terminal OR: application ends at the sync point
@@ -285,57 +387,59 @@ impl<'a> Simulator<'a> {
             let k = real
                 .scenario
                 .choice_for(or)
-                .expect("realization resolves every reachable OR");
+                .ok_or_else(|| SimError::UnresolvedOr {
+                    or: self.g.node(or).name.clone(),
+                })?;
             policy.on_or_fired(or, k, fire);
-            cur = self
-                .sections
-                .branch_section(or, k)
-                .expect("every OR branch has a section");
+            cur = self.sections.branch_section(or, k).ok_or_else(|| {
+                SimError::MissingBranchSection {
+                    or: self.g.node(or).name.clone(),
+                    branch: k,
+                }
+            })?;
         }
 
-        let finish_time = finish
-            .iter()
-            .filter_map(|f| *f)
-            .fold(0.0_f64, f64::max);
+        let finish_time = finish.iter().filter_map(|f| *f).fold(0.0_f64, f64::max);
         // Idle energy accrues until the deadline (the system stays powered
         // for the whole frame), or until the actual finish on an overrun.
+        // Idle time already metered (transient stalls) is not re-charged.
         let horizon = finish_time.max(self.cfg.deadline);
         let mut energy = EnergyMeter::new();
         for meter in &mut meters {
-            let idle = horizon - meter.busy_time() - meter.transition_time();
+            let idle = horizon - meter.busy_time() - meter.transition_time() - meter.idle_time();
             meter.add_idle(self.cfg.idle_fraction, idle.max(0.0));
             energy.merge(meter);
         }
-        RunResult {
+        Ok(RunResult {
             finish_time,
             deadline: self.cfg.deadline,
             missed_deadline: finish_time > self.cfg.deadline * (1.0 + 1e-9) + 1e-9,
+            status: DeadlineStatus::classify(finish_time, self.cfg.deadline),
+            faults: report,
             energy,
             per_proc: meters,
             trace,
             final_points: point,
-        }
+        })
     }
 
-    fn ready_time(&self, node: NodeId, finish: &[Option<f64>]) -> f64 {
+    fn ready_time(&self, node: NodeId, finish: &[Option<f64>]) -> Result<f64, SimError> {
         let mut t = 0.0_f64;
         for &p in &self.g.node(node).preds {
-            let f = finish[p.index()].unwrap_or_else(|| {
-                panic!(
-                    "dispatch order violates dependencies: '{}' dispatched before '{}'",
-                    self.g.node(node).name,
-                    self.g.node(p).name
-                )
-            });
+            let f = finish[p.index()].ok_or_else(|| SimError::DependencyViolation {
+                node: self.g.node(node).name.clone(),
+                pred: self.g.node(p).name.clone(),
+            })?;
             t = t.max(f);
         }
-        t
+        Ok(t)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::policy::{MaxSpeed, SpeedDecision};
     use andor_graph::{GraphBuilder, Scenario, Segment};
 
@@ -362,8 +466,8 @@ mod tests {
     fn single_task() -> (AndOrGraph, SectionGraph) {
         let mut b = GraphBuilder::new();
         b.task("T", 10.0, 10.0);
-        let g = b.build().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        let g = b.build().expect("single task builds");
+        let sg = SectionGraph::build(&g).expect("single task sections");
         (g, sg)
     }
 
@@ -386,15 +490,19 @@ mod tests {
     fn single_task_at_full_speed() {
         let (g, sg) = single_task();
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
-        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        let res = sim
+            .run(&mut MaxSpeed, &wcet_real(&g))
+            .expect("run succeeds");
         assert!((res.finish_time - 10.0).abs() < 1e-12);
         assert!(!res.missed_deadline);
+        assert_eq!(res.status, DeadlineStatus::Met { slack: 10.0 });
+        assert!(res.faults.is_clean());
         // busy 10 at power 1, idle (20-10) at 0.05.
         assert!((res.energy.busy_energy() - 10.0).abs() < 1e-12);
         assert!((res.energy.idle_energy() - 0.5).abs() < 1e-12);
-        let tr = res.trace.unwrap();
+        let tr = res.trace.expect("trace recorded");
         assert_eq!(tr.len(), 1);
         assert_eq!(tr[0].proc, 0);
     }
@@ -403,9 +511,11 @@ mod tests {
     fn half_speed_quarters_busy_energy() {
         let (g, sg) = single_task();
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
-        let res = sim.run(&mut Fixed { speed: 0.5 }, &wcet_real(&g));
+        let res = sim
+            .run(&mut Fixed { speed: 0.5 }, &wcet_real(&g))
+            .expect("run succeeds");
         assert!((res.finish_time - 20.0).abs() < 1e-12);
         assert!(!res.missed_deadline);
         // 20 ms at power 0.125 = 2.5 = a quarter of the 10.0 at full speed.
@@ -417,27 +527,30 @@ mod tests {
     fn deadline_miss_detected() {
         let (g, sg) = single_task();
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 5.0));
-        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        let res = sim
+            .run(&mut MaxSpeed, &wcet_real(&g))
+            .expect("run succeeds");
         assert!(res.missed_deadline);
+        assert!(!res.status.met());
+        assert!((res.status.missed_by() - 5.0).abs() < 1e-12);
         assert!((res.finish_time - 10.0).abs() < 1e-12);
     }
 
     #[test]
     fn parallel_tasks_use_both_processors() {
-        let app = Segment::par([
-            Segment::task("X", 6.0, 6.0),
-            Segment::task("Y", 4.0, 4.0),
-        ]);
-        let g = app.lower().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        let app = Segment::par([Segment::task("X", 6.0, 6.0), Segment::task("Y", 4.0, 4.0)]);
+        let g = app.lower().expect("app lowers");
+        let sg = SectionGraph::build(&g).expect("sections build");
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let sim = Simulator::new(&g, &sg, &order, &model, cfg(2, 10.0));
-        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        let res = sim
+            .run(&mut MaxSpeed, &wcet_real(&g))
+            .expect("run succeeds");
         assert!((res.finish_time - 6.0).abs() < 1e-12);
-        let tr = res.trace.unwrap();
+        let tr = res.trace.expect("trace recorded");
         let procs: std::collections::HashSet<usize> = tr.iter().map(|e| e.proc).collect();
         assert_eq!(procs.len(), 2, "both processors used");
     }
@@ -450,13 +563,15 @@ mod tests {
             Segment::task("B", 2.0, 2.0),
             Segment::task("C", 1.0, 1.0),
         ]);
-        let g = app.lower().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        let g = app.lower().expect("app lowers");
+        let sg = SectionGraph::build(&g).expect("sections build");
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
-        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
-        let tr = res.trace.unwrap();
+        let res = sim
+            .run(&mut MaxSpeed, &wcet_real(&g))
+            .expect("run succeeds");
+        let tr = res.trace.expect("trace recorded");
         for w in tr.windows(2) {
             assert!(w[0].start <= w[1].start);
         }
@@ -472,15 +587,15 @@ mod tests {
                 (0.5, Segment::task("C", 3.0, 3.0)),
             ]),
         ]);
-        let g = app.lower().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        let g = app.lower().expect("app lowers");
+        let sg = SectionGraph::build(&g).expect("sections build");
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
         let or_node = g
             .iter()
             .find(|(_, n)| n.kind.is_or() && n.succs.len() == 2)
-            .unwrap()
+            .expect("fixture has a two-way OR")
             .0;
         for (k, expect) in [(0usize, 7.0), (1usize, 5.0)] {
             let real = Realization::worst_case(
@@ -489,7 +604,7 @@ mod tests {
                     choices: vec![(or_node, k)],
                 },
             );
-            let res = sim.run(&mut MaxSpeed, &real);
+            let res = sim.run(&mut MaxSpeed, &real).expect("run succeeds");
             assert!(
                 (res.finish_time - expect).abs() < 1e-12,
                 "branch {k}: finish={}",
@@ -499,14 +614,75 @@ mod tests {
     }
 
     #[test]
+    fn unresolved_or_is_a_typed_error() {
+        let app = Segment::seq([
+            Segment::task("A", 2.0, 2.0),
+            Segment::branch([
+                (0.5, Segment::task("B", 5.0, 5.0)),
+                (0.5, Segment::task("C", 3.0, 3.0)),
+            ]),
+        ]);
+        let g = app.lower().expect("app lowers");
+        let sg = SectionGraph::build(&g).expect("sections build");
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
+        // Worst-case realization with *no* OR choices recorded.
+        let real = Realization::worst_case(&g, Scenario { choices: vec![] });
+        let err = sim.run(&mut MaxSpeed, &real).expect_err("must fail");
+        assert!(matches!(err, SimError::UnresolvedOr { .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_initial_point_count_is_a_typed_error() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(2, 20.0));
+        let err = sim
+            .run_with_initial(&mut MaxSpeed, &wcet_real(&g), Some(&[model.max_point()]))
+            .expect_err("must fail");
+        assert_eq!(
+            err,
+            SimError::InitialPointCount {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+
+    #[test]
+    fn dependency_violation_is_a_typed_error() {
+        // Two chained tasks dispatched in the wrong order.
+        let mut b = GraphBuilder::new();
+        let a = b.task("A", 2.0, 2.0);
+        let c = b.task("B", 2.0, 2.0);
+        b.edge(a, c).expect("edge is valid");
+        let g = b.build().expect("graph builds");
+        let sg = SectionGraph::build(&g).expect("sections build");
+        let order = DispatchOrder {
+            per_section: vec![vec![c, a]],
+        };
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
+        let err = sim
+            .run(&mut MaxSpeed, &wcet_real(&g))
+            .expect_err("must fail");
+        assert!(matches!(err, SimError::DependencyViolation { .. }), "{err}");
+        assert!(err.to_string().contains("'B'"), "{err}");
+    }
+
+    #[test]
     fn speed_change_overhead_charged() {
         let (g, sg) = single_task();
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let mut config = cfg(1, 40.0);
-        config.overheads = Overheads::new(700.0, 0.5).unwrap();
+        config.overheads = Overheads::new(700.0, 0.5).expect("valid overheads");
         let sim = Simulator::new(&g, &sg, &order, &model, config);
-        let res = sim.run(&mut Fixed { speed: 0.5 }, &wcet_real(&g));
+        let res = sim
+            .run(&mut Fixed { speed: 0.5 }, &wcet_real(&g))
+            .expect("run succeeds");
         // compute overhead at current (full) speed: 700 cycles / 1 GHz =
         // 0.0007 ms; transition 0.5 ms; execution 20 ms.
         let expect = 0.0007 + 0.5 + 20.0;
@@ -526,11 +702,13 @@ mod tests {
     fn no_transition_when_speed_unchanged() {
         let (g, sg) = single_task();
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let mut config = cfg(1, 40.0);
-        config.overheads = Overheads::new(300.0, 0.5).unwrap();
+        config.overheads = Overheads::new(300.0, 0.5).expect("valid overheads");
         let sim = Simulator::new(&g, &sg, &order, &model, config);
-        let res = sim.run(&mut Fixed { speed: 1.0 }, &wcet_real(&g));
+        let res = sim
+            .run(&mut Fixed { speed: 1.0 }, &wcet_real(&g))
+            .expect("run succeeds");
         assert_eq!(res.energy.speed_changes(), 0);
         assert!((res.energy.transition_time()).abs() < 1e-12);
     }
@@ -539,9 +717,11 @@ mod tests {
     fn idle_horizon_is_deadline_when_early() {
         let (g, sg) = single_task();
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let sim = Simulator::new(&g, &sg, &order, &model, cfg(2, 50.0));
-        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        let res = sim
+            .run(&mut MaxSpeed, &wcet_real(&g))
+            .expect("run succeeds");
         // proc 0: 40 idle; proc 1: 50 idle. Both at 0.05.
         assert!((res.energy.idle_energy() - 0.05 * (40.0 + 50.0)).abs() < 1e-9);
     }
@@ -552,13 +732,15 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.task("A", 3.0, 3.0);
         let o = b.or("end");
-        b.edge(a, o).unwrap();
-        let g = b.build().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        b.edge(a, o).expect("edge is valid");
+        let g = b.build().expect("graph builds");
+        let sg = SectionGraph::build(&g).expect("sections build");
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 10.0));
-        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        let res = sim
+            .run(&mut MaxSpeed, &wcet_real(&g))
+            .expect("run succeeds");
         assert!((res.finish_time - 3.0).abs() < 1e-12);
     }
 
@@ -566,18 +748,17 @@ mod tests {
     fn and_nodes_cost_nothing() {
         let app = Segment::seq([
             Segment::task("A", 2.0, 2.0),
-            Segment::par([
-                Segment::task("X", 3.0, 3.0),
-                Segment::task("Y", 3.0, 3.0),
-            ]),
+            Segment::par([Segment::task("X", 3.0, 3.0), Segment::task("Y", 3.0, 3.0)]),
             Segment::task("Z", 1.0, 1.0),
         ]);
-        let g = app.lower().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        let g = app.lower().expect("app lowers");
+        let sg = SectionGraph::build(&g).expect("sections build");
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let sim = Simulator::new(&g, &sg, &order, &model, cfg(2, 20.0));
-        let res = sim.run(&mut MaxSpeed, &wcet_real(&g));
+        let res = sim
+            .run(&mut MaxSpeed, &wcet_real(&g))
+            .expect("run succeeds");
         // 2 (A) + 3 (X||Y) + 1 (Z): AND forks/joins add zero time.
         assert!((res.finish_time - 6.0).abs() < 1e-12);
         assert!((res.energy.busy_time() - 9.0).abs() < 1e-12);
@@ -590,7 +771,194 @@ mod tests {
         let order = DispatchOrder {
             per_section: vec![],
         };
-        let model = ProcessorModel::continuous(0.1).unwrap();
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
         let _ = Simulator::new(&g, &sg, &order, &model, cfg(1, 10.0));
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    #[test]
+    fn empty_fault_set_matches_fault_free_run() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
+        let real = wcet_real(&g);
+        let base = sim.run(&mut MaxSpeed, &real).expect("run succeeds");
+        let faulted = sim
+            .run_with_faults(&mut MaxSpeed, &real, &FaultSet::empty(g.len()))
+            .expect("run succeeds");
+        assert_eq!(base.finish_time, faulted.finish_time);
+        assert_eq!(base.total_energy(), faulted.total_energy());
+        assert!(faulted.faults.is_clean());
+    }
+
+    #[test]
+    fn injected_overrun_stretches_execution_and_is_detected() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
+        let plan = FaultPlan::overruns(1.0, 1.5, 7);
+        let faults = plan.realize(&g, 0);
+        let res = sim
+            .run_with_faults(&mut MaxSpeed, &wcet_real(&g), &faults)
+            .expect("run succeeds");
+        // WCET 10 * factor 1.5 at full speed = 15 ms.
+        assert!(
+            (res.finish_time - 15.0).abs() < 1e-12,
+            "{}",
+            res.finish_time
+        );
+        assert_eq!(res.faults.overruns_injected, 1);
+        assert_eq!(res.faults.overruns_detected, 1);
+        // Already at f_max: containment engages but no escalation needed.
+        assert_eq!(res.faults.recoveries, 0);
+        assert!(res.status.met());
+    }
+
+    #[test]
+    fn overrun_on_slow_processor_escalates_to_max() {
+        // Two chained tasks at half speed; the first overruns, so the
+        // second must be forced to full speed by containment.
+        let mut b = GraphBuilder::new();
+        let a = b.task("A", 4.0, 4.0);
+        let c = b.task("B", 4.0, 4.0);
+        b.edge(a, c).expect("edge is valid");
+        let g = b.build().expect("graph builds");
+        let sg = SectionGraph::build(&g).expect("sections build");
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 30.0));
+        let plan = FaultPlan {
+            overrun_prob: 1.0,
+            overrun_factor: 2.0,
+            ..FaultPlan::none()
+        };
+        let faults = plan.realize(&g, 0);
+        let res = sim
+            .run_with_faults(&mut Fixed { speed: 0.5 }, &wcet_real(&g), &faults)
+            .expect("run succeeds");
+        assert_eq!(res.faults.overruns_injected, 2);
+        assert!(res.faults.overruns_detected >= 1);
+        assert_eq!(res.faults.recoveries, 1, "escalated away from half speed");
+        assert!(res.faults.recovery_energy > 0.0);
+        // After escalation the second task runs at f_max: 8 ms (A at half
+        // speed, overrun: 4*2/0.5 = 16) + 8 (B overrun at full speed).
+        assert!((res.finish_time - 24.0).abs() < 1e-9, "{}", res.finish_time);
+        let tr = res.trace.expect("trace recorded");
+        assert!((tr[1].speed - 1.0).abs() < 1e-12, "contained task at f_max");
+    }
+
+    #[test]
+    fn containment_resets_at_section_boundary() {
+        // Section 1 overruns; after the OR fires, the policy's requested
+        // speed applies again in the branch section.
+        let app = Segment::seq([
+            Segment::task("A", 4.0, 4.0),
+            Segment::branch([(1.0, Segment::task("B", 4.0, 4.0))]),
+        ]);
+        let g = app.lower().expect("app lowers");
+        let sg = SectionGraph::build(&g).expect("sections build");
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 60.0));
+        let a = g
+            .iter()
+            .find(|(_, n)| n.name == "A")
+            .expect("fixture has task A")
+            .0;
+        let or_node = g
+            .iter()
+            .find(|(_, n)| n.kind.is_or() && !n.succs.is_empty())
+            .expect("fixture has a branching OR")
+            .0;
+        let real = Realization::worst_case(
+            &g,
+            Scenario {
+                choices: vec![(or_node, 0)],
+            },
+        );
+        // Every computation node overruns. A's overrun is detected in
+        // section 1 and engages containment; the OR boundary must clear it,
+        // so B is *dispatched* at the policy's requested half speed again
+        // (B's own overrun is then detected after it completes).
+        let faults = FaultPlan::overruns(1.0, 2.0, 1).realize(&g, 0);
+        let res = sim
+            .run_with_faults(&mut Fixed { speed: 0.5 }, &real, &faults)
+            .expect("run succeeds");
+        let tr = res.trace.as_ref().expect("trace recorded");
+        let b_entry = tr.iter().find(|e| e.node != a).expect("B executed");
+        assert!(
+            (b_entry.speed - 0.5).abs() < 1e-12,
+            "containment cleared at section boundary; B ran at requested speed, got {}",
+            b_entry.speed
+        );
+    }
+
+    #[test]
+    fn speed_failure_clamps_to_old_point_but_charges_transition() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
+        let mut config = cfg(1, 40.0);
+        config.overheads = Overheads::new(0.0, 0.5).expect("valid overheads");
+        let sim = Simulator::new(&g, &sg, &order, &model, config);
+        let plan = FaultPlan {
+            speed_fail_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let faults = plan.realize(&g, 0);
+        let res = sim
+            .run_with_faults(&mut Fixed { speed: 0.5 }, &wcet_real(&g), &faults)
+            .expect("run succeeds");
+        assert_eq!(res.faults.speed_failures_injected, 1);
+        // The point clamped to full speed, so execution took 10 ms (not
+        // 20), plus the 0.5 ms transition that was still paid.
+        assert!((res.finish_time - 10.5).abs() < 1e-9, "{}", res.finish_time);
+        assert!((res.energy.transition_time() - 0.5).abs() < 1e-12);
+        assert!((res.final_points[0].speed - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_delays_start_and_draws_idle_power() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 20.0));
+        let plan = FaultPlan {
+            stall_prob: 1.0,
+            stall_ms: 3.0,
+            ..FaultPlan::none()
+        };
+        let faults = plan.realize(&g, 0);
+        let res = sim
+            .run_with_faults(&mut MaxSpeed, &wcet_real(&g), &faults)
+            .expect("run succeeds");
+        assert_eq!(res.faults.stalls_injected, 1);
+        assert!(
+            (res.finish_time - 13.0).abs() < 1e-12,
+            "{}",
+            res.finish_time
+        );
+        // Idle: 3 ms stall + 7 ms tail to the deadline, at 0.05.
+        assert!((res.energy.idle_energy() - 0.05 * 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missed_deadline_reports_margin_instead_of_panicking() {
+        let (g, sg) = single_task();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::continuous(0.1).expect("continuous model");
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(1, 12.0));
+        let plan = FaultPlan::overruns(1.0, 2.0, 3);
+        let faults = plan.realize(&g, 0);
+        let res = sim
+            .run_with_faults(&mut MaxSpeed, &wcet_real(&g), &faults)
+            .expect("faulted run completes without panicking");
+        assert!(res.missed_deadline);
+        assert_eq!(res.status, DeadlineStatus::Missed { by: 8.0 });
+        // Idle horizon extends to the late finish, never negative idle.
+        assert!(res.energy.idle_energy().abs() < 1e-12);
     }
 }

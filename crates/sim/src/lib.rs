@@ -28,6 +28,8 @@
 //! realization gives the paired design the paper's figures rely on.
 
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod literal;
 pub mod policy;
 pub mod realization;
@@ -35,7 +37,9 @@ pub mod stream;
 pub mod trace;
 
 pub use engine::{DispatchOrder, RunResult, SimConfig, Simulator, TraceEntry};
+pub use error::SimError;
+pub use fault::{DeadlineStatus, FaultPlan, FaultReport, FaultSet};
+pub use literal::{run_literal, LiteralResult};
 pub use policy::{DispatchCtx, MaxSpeed, Policy, SpeedDecision};
 pub use realization::{ExecTimeModel, Realization};
-pub use literal::{run_literal, LiteralResult};
 pub use stream::{run_stream, StreamResult};

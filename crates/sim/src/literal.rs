@@ -21,6 +21,7 @@
 //! engine for experiments.
 
 use crate::engine::{DispatchOrder, SimConfig};
+use crate::error::SimError;
 use crate::policy::{DispatchCtx, Policy};
 use crate::realization::Realization;
 use andor_graph::{AndOrGraph, NodeId, SectionGraph, SectionId};
@@ -62,8 +63,7 @@ impl Eq for Timed {}
 impl Ord for Timed {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.time
-            .partial_cmp(&other.time)
-            .expect("finite times")
+            .total_cmp(&other.time)
             .then(self.seq.cmp(&other.seq))
     }
 }
@@ -75,6 +75,12 @@ impl PartialOrd for Timed {
 }
 
 /// Runs one realization through the agent-level Figure-2 interpreter.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] when the realization leaves a reachable OR
+/// unresolved, an OR branch has no section, or the interpreter stalls
+/// (dispatch order inconsistent with the graph).
 pub fn run_literal(
     g: &AndOrGraph,
     sections: &SectionGraph,
@@ -83,7 +89,7 @@ pub fn run_literal(
     cfg: &SimConfig,
     policy: &mut dyn Policy,
     real: &Realization,
-) -> LiteralResult {
+) -> Result<LiteralResult, SimError> {
     let m = cfg.num_procs;
     assert!(m > 0);
     policy.begin_run();
@@ -100,7 +106,7 @@ pub fn run_literal(
     // Index into the current section's order (the paper's NEO counter).
     let mut neo: usize;
     let mut section_left; // unfinished nodes in the current section
-    // Ready flags: node is ready when all its in-scope preds finished.
+                          // Ready flags: node is ready when all its in-scope preds finished.
     let mut up: Vec<usize> = vec![usize::MAX; g.len()];
     let mut ready_q: VecDeque<NodeId> = VecDeque::new();
 
@@ -172,7 +178,7 @@ pub fn run_literal(
                 .iter()
                 .enumerate()
                 .filter_map(|(i, t)| t.map(|t| (t, i)))
-                .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
                 .map(|(_, i)| i)
             else {
                 break; // everyone busy: wait for a completion event
@@ -232,18 +238,23 @@ pub fn run_literal(
             let k = real
                 .scenario
                 .choice_for(or)
-                .expect("realization resolves every reachable OR");
+                .ok_or_else(|| SimError::UnresolvedOr {
+                    or: g.node(or).name.clone(),
+                })?;
             policy.on_or_fired(or, k, now);
             cur = sections
                 .branch_section(or, k)
-                .expect("branch sections exist");
+                .ok_or_else(|| SimError::MissingBranchSection {
+                    or: g.node(or).name.clone(),
+                    branch: k,
+                })?;
             activate_section!(cur);
             continue;
         }
 
         // Advance time to the next event.
         let Some(Reverse(ev)) = events.pop() else {
-            panic!("literal interpreter stalled: no events but work remains");
+            return Err(SimError::Stalled);
         };
         now = ev.time;
         match ev.event {
@@ -273,11 +284,11 @@ pub fn run_literal(
         meter.add_idle(cfg.idle_fraction, idle.max(0.0));
         energy.merge(meter);
     }
-    LiteralResult {
+    Ok(LiteralResult {
         finish_time,
         energy,
         dispatches,
-    }
+    })
 }
 
 /// Decrements `UP` for the in-section successors of `n` and enqueues the
@@ -358,18 +369,18 @@ mod tests {
             ]),
         ])
         .lower()
-        .unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        .expect("fixture lowers");
+        let sg = SectionGraph::build(&g).expect("fixture sections");
         let order = DispatchOrder::topological(&g, &sg);
         let model = ProcessorModel::xscale();
         let config = cfg(2, 100.0);
         let sim = Simulator::new(&g, &sg, &order, &model, config);
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..20 {
-            let real =
-                Realization::sample(&g, &sg, &ExecTimeModel::paper_defaults(), &mut rng);
-            let fast = sim.run(&mut MaxSpeed, &real);
-            let lit = run_literal(&g, &sg, &order, &model, &config, &mut MaxSpeed, &real);
+            let real = Realization::sample(&g, &sg, &ExecTimeModel::paper_defaults(), &mut rng);
+            let fast = sim.run(&mut MaxSpeed, &real).expect("engine run succeeds");
+            let lit = run_literal(&g, &sg, &order, &model, &config, &mut MaxSpeed, &real)
+                .expect("literal run succeeds");
             assert!(
                 (fast.finish_time - lit.finish_time).abs() < 1e-9,
                 "finish: {} vs {}",

@@ -49,15 +49,41 @@ impl ExecTimeModel {
     }
 
     /// Draws an actual execution time for a task.
+    ///
+    /// Invariant: for any `wcet > 0` the result is in `(0, wcet]` — a
+    /// fault-free realization can never overrun the worst case or take
+    /// non-positive time, whatever (possibly degenerate) model parameters
+    /// or `(wcet, acet)` pair this is called with. Overruns are injected
+    /// explicitly through [`crate::fault::FaultPlan`], never sampled.
     pub fn sample<R: Rng + ?Sized>(&self, wcet: f64, acet: f64, rng: &mut R) -> f64 {
+        if !wcet.is_finite() || wcet <= 0.0 {
+            // No positive budget to sample within (dummy nodes pass 0.0).
+            return wcet.max(0.0);
+        }
         if self.floor_fraction >= 1.0 {
             return wcet;
         }
+        // Clamp degenerate inputs instead of panicking: a NaN or
+        // out-of-range acet collapses to the worst case.
+        let acet = if acet.is_finite() {
+            acet.clamp(0.0, wcet)
+        } else {
+            wcet
+        };
         let sd = self.sd_over_gap * (wcet - acet).max(0.0);
-        let lo = (self.floor_fraction * wcet).min(acet);
-        let mut dist = ClippedNormal::new(acet, sd, lo, wcet)
-            .expect("wcet >= acet >= 0 validated by the graph");
-        dist.sample(rng)
+        // Strictly positive floor even when `floor_fraction * wcet`
+        // underflows or acet sits at zero.
+        let lo = (self.floor_fraction * wcet)
+            .min(acet)
+            .max(wcet * 1e-12)
+            .min(wcet);
+        match ClippedNormal::new(acet, sd, lo, wcet) {
+            Some(mut dist) => dist.sample(rng).clamp(lo, wcet),
+            // Unreachable after the clamps above (sd could only be
+            // non-finite via a non-finite sd_over_gap); degrade to the
+            // deterministic mean rather than panicking mid-experiment.
+            None => acet.clamp(lo, wcet),
+        }
     }
 }
 
@@ -124,11 +150,11 @@ mod tests {
         let o1 = b.or("O1");
         let t_b = b.task("B", 5.0, 3.0);
         let t_c = b.task("C", 4.0, 2.0);
-        b.edge(a, o1).unwrap();
-        b.or_branch(o1, t_b, 0.3).unwrap();
-        b.or_branch(o1, t_c, 0.7).unwrap();
-        let g = b.build().unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        b.edge(a, o1).expect("edge is valid");
+        b.or_branch(o1, t_b, 0.3).expect("branch is valid");
+        b.or_branch(o1, t_c, 0.7).expect("branch is valid");
+        let g = b.build().expect("diamond builds");
+        let sg = SectionGraph::build(&g).expect("diamond sections");
         (g, sg)
     }
 
@@ -177,6 +203,36 @@ mod tests {
         assert_eq!(r.actual[1], 0.0, "OR node draws no execution time");
         assert!(r.actual[0] > 0.0 && r.actual[0] <= 8.0);
         assert_eq!(r.scenario.choices.len(), 1);
+    }
+
+    proptest::proptest! {
+        /// Satellite invariant: for any positive WCET — including
+        /// degenerate model parameters and out-of-range acet — a
+        /// fault-free sample lies strictly in `(0, wcet]`. Overrunning the
+        /// worst case is the fault layer's job, never the sampler's.
+        #[test]
+        fn sample_stays_in_zero_wcet_interval(
+            wcet_tenths in 1u32..10_000,
+            acet_pct in 0u32..=110,
+            sd_over_gap_pct in 0u32..=300,
+            floor_pct in 0u32..=120,
+            seed in 0u64..1_000,
+        ) {
+            let wcet = wcet_tenths as f64 / 10.0;
+            let acet = wcet * acet_pct as f64 / 100.0;
+            let m = ExecTimeModel {
+                sd_over_gap: sd_over_gap_pct as f64 / 100.0,
+                floor_fraction: floor_pct as f64 / 100.0,
+            };
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..64 {
+                let x = m.sample(wcet, acet, &mut rng);
+                proptest::prop_assert!(
+                    x > 0.0 && x <= wcet,
+                    "x={x} wcet={wcet} acet={acet} model={m:?}"
+                );
+            }
+        }
     }
 
     #[test]

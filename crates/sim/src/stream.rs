@@ -13,7 +13,8 @@
 //! stream never drifts (frame `k` always completes by its release point
 //! plus the period).
 
-use crate::engine::{RunResult, Simulator};
+use crate::engine::Simulator;
+use crate::error::SimError;
 use crate::policy::Policy;
 use crate::realization::Realization;
 use dvfs_power::{EnergyMeter, OperatingPoint};
@@ -50,28 +51,33 @@ impl StreamResult {
 /// point — the paper's independent-instances assumption. With `true`, the
 /// `final_points` of each run seed the next, modelling hardware whose DVS
 /// setting persists across frames.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] any frame's run produces (a dispatch
+/// order or realization inconsistent with the graph).
 pub fn run_stream(
     sim: &Simulator<'_>,
     policy: &mut dyn Policy,
     frames: &[Realization],
     carry_state: bool,
-) -> StreamResult {
+) -> Result<StreamResult, SimError> {
     let mut frame_finish = Vec::with_capacity(frames.len());
     let mut misses = 0u64;
     let mut energy = EnergyMeter::new();
     let mut state: Option<Vec<OperatingPoint>> = None;
     for real in frames {
-        let res: RunResult = sim.run_with_initial(policy, real, state.as_deref());
+        let res = sim.run_with_initial(policy, real, state.as_deref())?;
         frame_finish.push(res.finish_time);
         misses += res.missed_deadline as u64;
         energy.merge(&res.energy);
         state = carry_state.then(|| res.final_points.clone());
     }
-    StreamResult {
+    Ok(StreamResult {
         frame_finish,
         misses,
         energy,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -94,8 +100,8 @@ mod tests {
             ]),
         ])
         .lower()
-        .unwrap();
-        let sg = SectionGraph::build(&g).unwrap();
+        .expect("fixture lowers");
+        let sg = SectionGraph::build(&g).expect("fixture sections");
         (g, sg)
     }
 
@@ -130,7 +136,7 @@ mod tests {
             deadline: d,
             idle_fraction: 0.05,
             static_fraction: 0.0,
-            overheads: Overheads::new(0.0, 0.1).unwrap(),
+            overheads: Overheads::new(0.0, 0.1).expect("valid overheads"),
             record_trace: false,
         }
     }
@@ -145,8 +151,8 @@ mod tests {
         let mut policy = HalfSpeed {
             model: model.clone(),
         };
-        let cold = run_stream(&sim, &mut policy, &fs, false);
-        let warm = run_stream(&sim, &mut policy, &fs, true);
+        let cold = run_stream(&sim, &mut policy, &fs, false).expect("stream runs");
+        let warm = run_stream(&sim, &mut policy, &fs, true).expect("stream runs");
         // Cold: one down-transition per frame. Warm: only the first frame
         // transitions; later frames inherit the 0.6 level.
         assert_eq!(cold.speed_changes(), 8);
@@ -165,8 +171,8 @@ mod tests {
         let model = ProcessorModel::xscale();
         let sim = Simulator::new(&g, &sg, &order, &model, cfg(40.0));
         let fs = frames(&g, &sg, 5);
-        let cold = run_stream(&sim, &mut MaxSpeed, &fs, false);
-        let warm = run_stream(&sim, &mut MaxSpeed, &fs, true);
+        let cold = run_stream(&sim, &mut MaxSpeed, &fs, false).expect("stream runs");
+        let warm = run_stream(&sim, &mut MaxSpeed, &fs, true).expect("stream runs");
         assert_eq!(cold.total_energy(), warm.total_energy());
         assert_eq!(cold.speed_changes(), 0);
     }
@@ -178,10 +184,16 @@ mod tests {
         let model = ProcessorModel::xscale();
         let sim = Simulator::new(&g, &sg, &order, &model, cfg(40.0));
         let fs = frames(&g, &sg, 4);
-        let total = run_stream(&sim, &mut MaxSpeed, &fs, false).total_energy();
+        let total = run_stream(&sim, &mut MaxSpeed, &fs, false)
+            .expect("stream runs")
+            .total_energy();
         let manual: f64 = fs
             .iter()
-            .map(|r| sim.run(&mut MaxSpeed, r).total_energy())
+            .map(|r| {
+                sim.run(&mut MaxSpeed, r)
+                    .expect("run succeeds")
+                    .total_energy()
+            })
             .sum();
         assert!((total - manual).abs() < 1e-9);
     }

@@ -48,7 +48,11 @@ pub fn lane_stats(trace: &[TraceEntry], num_procs: usize, horizon: f64) -> Vec<L
                 tasks,
                 busy,
                 utilization: busy / horizon,
-                mean_speed: if busy > 0.0 { weighted_speed / busy } else { 0.0 },
+                mean_speed: if busy > 0.0 {
+                    weighted_speed / busy
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -80,12 +84,7 @@ pub fn speed_histogram(trace: &[TraceEntry]) -> Vec<(f64, f64)> {
 /// # Panics
 ///
 /// Panics if `bins == 0` or `horizon <= 0`.
-pub fn power_profile(
-    trace: &[TraceEntry],
-    powers: &[f64],
-    bins: usize,
-    horizon: f64,
-) -> Vec<f64> {
+pub fn power_profile(trace: &[TraceEntry], powers: &[f64], bins: usize, horizon: f64) -> Vec<f64> {
     assert!(bins > 0 && horizon > 0.0);
     assert_eq!(trace.len(), powers.len(), "one power value per trace entry");
     let width = horizon / bins as f64;
@@ -179,16 +178,8 @@ pub fn render_gantt(
             let c = col(d);
             name_row[c] = b'|';
         }
-        let _ = writeln!(
-            out,
-            "p{p} {}",
-            String::from_utf8(name_row).expect("ascii")
-        );
-        let _ = writeln!(
-            out,
-            "   {}",
-            String::from_utf8(speed_row).expect("ascii")
-        );
+        let _ = writeln!(out, "p{p} {}", String::from_utf8(name_row).expect("ascii"));
+        let _ = writeln!(out, "   {}", String::from_utf8(speed_row).expect("ascii"));
     }
     let _ = writeln!(out, "   0{:>w$.1} ms", end, w = opts.width - 1);
     out

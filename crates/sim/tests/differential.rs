@@ -7,8 +7,8 @@ use andor_graph::{AndOrGraph, NodeId, SectionGraph, Segment};
 use dvfs_power::{Overheads, ProcessorModel};
 use mp_sim::literal::run_literal;
 use mp_sim::{
-    DispatchCtx, DispatchOrder, ExecTimeModel, MaxSpeed, Policy, Realization, SimConfig,
-    Simulator, SpeedDecision,
+    DispatchCtx, DispatchOrder, ExecTimeModel, MaxSpeed, Policy, Realization, SimConfig, Simulator,
+    SpeedDecision,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -24,19 +24,17 @@ fn arb_segment(depth: u32, allow_branch: bool) -> BoxedStrategy<Segment> {
     }
     let seq = proptest::collection::vec(arb_segment(depth - 1, allow_branch), 1..4)
         .prop_map(Segment::Seq);
-    let par = proptest::collection::vec(arb_segment(depth - 1, false), 2..4)
-        .prop_map(Segment::Par);
+    let par = proptest::collection::vec(arb_segment(depth - 1, false), 2..4).prop_map(Segment::Par);
     if allow_branch {
-        let branch =
-            proptest::collection::vec((1u32..100, arb_segment(depth - 1, true)), 2..3)
-                .prop_map(|arms| {
-                    let total: u32 = arms.iter().map(|(w, _)| w).sum();
-                    Segment::Branch(
-                        arms.into_iter()
-                            .map(|(w, s)| (w as f64 / total as f64, s))
-                            .collect(),
-                    )
-                });
+        let branch = proptest::collection::vec((1u32..100, arb_segment(depth - 1, true)), 2..3)
+            .prop_map(|arms| {
+                let total: u32 = arms.iter().map(|(w, _)| w).sum();
+                Segment::Branch(
+                    arms.into_iter()
+                        .map(|(w, s)| (w as f64 / total as f64, s))
+                        .collect(),
+                )
+            });
         prop_oneof![task, seq, par, branch].boxed()
     } else {
         prop_oneof![task, seq, par].boxed()
@@ -95,8 +93,8 @@ fn check(
         record_trace: true,
     };
     let sim = Simulator::new(g, sg, &order, model, cfg);
-    let fast = sim.run(policy, real);
-    let lit = run_literal(g, sg, &order, model, &cfg, policy, real);
+    let fast = sim.run(policy, real).expect("engine run succeeds");
+    let lit = run_literal(g, sg, &order, model, &cfg, policy, real).expect("literal run succeeds");
 
     prop_assert!(
         (fast.finish_time - lit.finish_time).abs() < 1e-9,
@@ -113,7 +111,7 @@ fn check(
     prop_assert_eq!(fast.energy.speed_changes(), lit.energy.speed_changes());
 
     // Dispatch order and processor assignment of computation tasks match.
-    let fast_trace = fast.trace.as_ref().unwrap();
+    let fast_trace = fast.trace.as_ref().expect("trace recorded");
     let lit_tasks: Vec<(NodeId, usize, f64)> = lit
         .dispatches
         .iter()

@@ -45,19 +45,17 @@ fn arb_segment(depth: u32, allow_branch: bool) -> BoxedStrategy<Segment> {
     }
     let seq = proptest::collection::vec(arb_segment(depth - 1, allow_branch), 1..4)
         .prop_map(Segment::Seq);
-    let par = proptest::collection::vec(arb_segment(depth - 1, false), 2..4)
-        .prop_map(Segment::Par);
+    let par = proptest::collection::vec(arb_segment(depth - 1, false), 2..4).prop_map(Segment::Par);
     if allow_branch {
-        let branch =
-            proptest::collection::vec((1u32..100, arb_segment(depth - 1, true)), 2..3)
-                .prop_map(|arms| {
-                    let total: u32 = arms.iter().map(|(w, _)| w).sum();
-                    Segment::Branch(
-                        arms.into_iter()
-                            .map(|(w, s)| (w as f64 / total as f64, s))
-                            .collect(),
-                    )
-                });
+        let branch = proptest::collection::vec((1u32..100, arb_segment(depth - 1, true)), 2..3)
+            .prop_map(|arms| {
+                let total: u32 = arms.iter().map(|(w, _)| w).sum();
+                Segment::Branch(
+                    arms.into_iter()
+                        .map(|(w, s)| (w as f64 / total as f64, s))
+                        .collect(),
+                )
+            });
         prop_oneof![task, seq, par, branch].boxed()
     } else {
         prop_oneof![task, seq, par].boxed()
@@ -104,8 +102,8 @@ proptest! {
             rng: StdRng::seed_from_u64(policy_seed),
             seed: policy_seed,
         };
-        let res = sim.run(&mut policy, &real);
-        let trace = res.trace.as_ref().unwrap();
+        let res = sim.run(&mut policy, &real).expect("run succeeds");
+        let trace = res.trace.as_ref().expect("trace recorded");
 
         // 1. Every active computation node appears exactly once.
         let active = sg.active_nodes(&g, &real.scenario);
@@ -175,7 +173,7 @@ proptest! {
         }
         let s = speed_pct as f64 / 100.0;
         let order = DispatchOrder::topological(&g, &sg);
-        let model = ProcessorModel::continuous(0.01).unwrap();
+        let model = ProcessorModel::continuous(0.01).expect("continuous model");
         let cfg = SimConfig {
             num_procs: procs,
             deadline: g.total_wcet() * 1000.0,
@@ -187,8 +185,8 @@ proptest! {
         let sim = Simulator::new(&g, &sg, &order, &model, cfg);
         let mut rng = StdRng::seed_from_u64(7);
         let real = Realization::sample(&g, &sg, &ExecTimeModel::paper_defaults(), &mut rng);
-        let full = sim.run(&mut Fixed(1.0), &real).finish_time;
-        let slowed = sim.run(&mut Fixed(s), &real).finish_time;
+        let full = sim.run(&mut Fixed(1.0), &real).expect("run succeeds").finish_time;
+        let slowed = sim.run(&mut Fixed(s), &real).expect("run succeeds").finish_time;
         prop_assert!(
             (slowed - full / s).abs() < 1e-6 * (1.0 + full / s),
             "expected {}, got {slowed}",

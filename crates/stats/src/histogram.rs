@@ -71,7 +71,11 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             let next = cum + c as f64;
             if next >= target && c > 0 {
-                let within = if c == 0 { 0.0 } else { (target - cum) / c as f64 };
+                let within = if c == 0 {
+                    0.0
+                } else {
+                    (target - cum) / c as f64
+                };
                 return Some(self.bin_lo(i) + width * within.clamp(0.0, 1.0));
             }
             cum = next;
@@ -102,13 +106,7 @@ impl Histogram {
         let mut out = String::new();
         for (i, &c) in self.counts.iter().enumerate() {
             let bar = (c as usize * width) / max as usize;
-            let _ = writeln!(
-                out,
-                "{:>10.3} | {} {}",
-                self.bin_lo(i),
-                "#".repeat(bar),
-                c
-            );
+            let _ = writeln!(out, "{:>10.3} | {} {}", self.bin_lo(i), "#".repeat(bar), c);
         }
         out
     }

@@ -45,7 +45,10 @@ pub fn to_svg(table: &Table, width: u32, height: u32) -> String {
         out,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}" font-family="Helvetica,Arial,sans-serif" font-size="11">"#
     );
-    let _ = writeln!(out, r#"<rect width="{width}" height="{height}" fill="white"/>"#);
+    let _ = writeln!(
+        out,
+        r#"<rect width="{width}" height="{height}" fill="white"/>"#
+    );
     // Title.
     let _ = writeln!(
         out,
@@ -163,7 +166,9 @@ pub fn to_svg(table: &Table, width: u32, height: u32) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn trim_num(x: f64) -> String {

@@ -32,11 +32,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table over the given x-axis.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        x: Vec<f64>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, x: Vec<f64>) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),

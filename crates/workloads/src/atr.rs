@@ -130,8 +130,7 @@ impl AtrParams {
             }
             let lo = base * (1.0 - 3.0 * cv).max(0.1);
             let hi = base * (1.0 + 3.0 * cv);
-            let mut dist =
-                ClippedNormal::new(base, cv * base, lo, hi).expect("valid clip bounds");
+            let mut dist = ClippedNormal::new(base, cv * base, lo, hi).expect("valid clip bounds");
             dist.sample(rng)
         }))
     }
@@ -152,10 +151,7 @@ impl AtrParams {
                             let extract =
                                 task(format!("f{f}.roi{r}of{k}.extract"), self.extract_wcet);
                             let compares = Segment::par((0..self.num_templates).map(|t| {
-                                task(
-                                    format!("f{f}.roi{r}of{k}.tmpl{t}"),
-                                    self.compare_wcet,
-                                )
+                                task(format!("f{f}.roi{r}of{k}.tmpl{t}"), self.compare_wcet)
                             }));
                             let classify =
                                 task(format!("f{f}.roi{r}of{k}.classify"), self.classify_wcet);

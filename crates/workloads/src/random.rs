@@ -81,9 +81,7 @@ impl RandomAppParams {
             0 => self.gen_task(rng, counter),
             1 => {
                 let n = rng.gen_range(1..=self.max_seq_len);
-                Segment::seq(
-                    (0..n).map(|_| self.gen_seg(rng, depth - 1, allow_branch, counter)),
-                )
+                Segment::seq((0..n).map(|_| self.gen_seg(rng, depth - 1, allow_branch, counter)))
             }
             2 => {
                 let n = rng.gen_range(2..=self.max_par_width.max(2));
@@ -94,12 +92,10 @@ impl RandomAppParams {
                 // Random probabilities normalized to 1.
                 let raw: Vec<f64> = (0..n).map(|_| rng.gen_range(0.05..1.0)).collect();
                 let total: f64 = raw.iter().sum();
-                Segment::branch(raw.into_iter().map(|p| {
-                    (
-                        p / total,
-                        self.gen_seg(rng, depth - 1, true, counter),
-                    )
-                }))
+                Segment::branch(
+                    raw.into_iter()
+                        .map(|p| (p / total, self.gen_seg(rng, depth - 1, true, counter))),
+                )
             }
         }
     }
@@ -118,9 +114,7 @@ mod tests {
         for seed in 0..200 {
             let mut rng = StdRng::seed_from_u64(seed);
             let app = params.generate(&mut rng);
-            let g = app
-                .lower()
-                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let g = app.lower().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             SectionGraph::build(&g).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(g.num_tasks() >= 1);
         }

@@ -42,10 +42,7 @@ pub fn synthetic_app() -> Segment {
                 Segment::seq([Segment::task("F", 8.0, 6.0), Segment::task("G", 5.0, 3.0)]),
             ),
         ]),
-        Segment::par([
-            Segment::task("H", 10.0, 6.0),
-            Segment::task("I", 10.0, 8.0),
-        ]),
+        Segment::par([Segment::task("H", 10.0, 6.0), Segment::task("I", 10.0, 8.0)]),
         Segment::branch([
             (0.30, Segment::task("J", 4.0, 2.0)),
             (

@@ -54,14 +54,14 @@ pub fn realized_alpha(seg: &Segment) -> f64 {
 fn totals(seg: &Segment) -> (f64, f64) {
     match seg {
         Segment::Task { wcet, acet, .. } => (*wcet, *acet),
-        Segment::Seq(v) | Segment::Par(v) => v.iter().map(totals).fold(
-            (0.0, 0.0),
-            |(w, a), (w2, a2)| (w + w2, a + a2),
-        ),
-        Segment::Branch(arms) => arms.iter().map(|(_, s)| totals(s)).fold(
-            (0.0, 0.0),
-            |(w, a), (w2, a2)| (w + w2, a + a2),
-        ),
+        Segment::Seq(v) | Segment::Par(v) => v
+            .iter()
+            .map(totals)
+            .fold((0.0, 0.0), |(w, a), (w2, a2)| (w + w2, a + a2)),
+        Segment::Branch(arms) => arms
+            .iter()
+            .map(|(_, s)| totals(s))
+            .fold((0.0, 0.0), |(w, a), (w2, a2)| (w + w2, a + a2)),
         Segment::Loop { body, counts } => {
             let (w, a) = totals(body);
             let max_n = counts.iter().map(|(n, _)| *n).max().unwrap_or(0) as f64;
@@ -79,9 +79,9 @@ fn map_tasks(seg: &Segment, f: &mut impl FnMut(f64, f64) -> f64) -> Segment {
         },
         Segment::Seq(v) => Segment::Seq(v.iter().map(|s| map_tasks(s, f)).collect()),
         Segment::Par(v) => Segment::Par(v.iter().map(|s| map_tasks(s, f)).collect()),
-        Segment::Branch(arms) => Segment::Branch(
-            arms.iter().map(|(p, s)| (*p, map_tasks(s, f))).collect(),
-        ),
+        Segment::Branch(arms) => {
+            Segment::Branch(arms.iter().map(|(p, s)| (*p, map_tasks(s, f))).collect())
+        }
         Segment::Loop { body, counts } => Segment::Loop {
             body: Box::new(map_tasks(body, f)),
             counts: counts.clone(),
@@ -98,14 +98,8 @@ mod tests {
     fn sample_app() -> Segment {
         Segment::seq([
             Segment::task("A", 10.0, 5.0),
-            Segment::par([
-                Segment::task("B", 4.0, 2.0),
-                Segment::task("C", 6.0, 3.0),
-            ]),
-            Segment::branch([
-                (0.5, Segment::task("D", 8.0, 4.0)),
-                (0.5, Segment::empty()),
-            ]),
+            Segment::par([Segment::task("B", 4.0, 2.0), Segment::task("C", 6.0, 3.0)]),
+            Segment::branch([(0.5, Segment::task("D", 8.0, 4.0)), (0.5, Segment::empty())]),
         ])
     }
 

@@ -96,15 +96,11 @@ impl VideoParams {
         for f in 0..self.frames {
             let idct = |tag: &str| {
                 Segment::par(
-                    (0..self.slices)
-                        .map(|s| task(format!("f{f}.{tag}.idct{s}"), self.idct_wcet)),
+                    (0..self.slices).map(|s| task(format!("f{f}.{tag}.idct{s}"), self.idct_wcet)),
                 )
             };
             let i_frame = idct("I");
-            let p_frame = Segment::par([
-                idct("P"),
-                task(format!("f{f}.P.mc"), self.mc_wcet),
-            ]);
+            let p_frame = Segment::par([idct("P"), task(format!("f{f}.P.mc"), self.mc_wcet)]);
             let b_frame = Segment::par([
                 idct("B"),
                 task(format!("f{f}.B.mc-fwd"), self.mc_wcet),

@@ -39,12 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nprocs  scheme  norm.energy  speed-changes/run");
     for procs in [1, 2, 4, 6] {
         // Deadline chosen for 60% load at each processor count.
-        let setup = Setup::for_load(
-            graph.clone(),
-            ProcessorModel::xscale(),
-            procs,
-            0.6,
-        )?;
+        let setup = Setup::for_load(graph.clone(), ProcessorModel::xscale(), procs, 0.6)?;
         let mut sim_rng = StdRng::seed_from_u64(99);
         const RUNS: usize = 300;
         let mut energy = [0.0_f64; 3];
@@ -53,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for _ in 0..RUNS {
             let real = setup.sample(&etm, &mut sim_rng);
             for (i, s) in schemes.iter().enumerate() {
-                let res = setup.run(*s, &real);
+                let res = setup.run(*s, &real)?;
                 assert!(!res.missed_deadline);
                 energy[i] += res.total_energy();
                 changes[i] += res.energy.speed_changes() as f64;

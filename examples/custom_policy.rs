@@ -62,14 +62,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     const RUNS: usize = 500;
     for _ in 0..RUNS {
         let real = setup.sample(&etm, &mut rng);
-        let res = sim.run(&mut custom, &real);
+        let res = sim.run(&mut custom, &real)?;
         assert!(
             !res.missed_deadline,
             "the GSS floor must keep any custom policy deadline-safe"
         );
         e_custom += res.total_energy();
-        e_gss += setup.run(Scheme::Gss, &real).total_energy();
-        e_npm += setup.run(Scheme::Npm, &real).total_energy();
+        e_gss += setup.run(Scheme::Gss, &real)?.total_energy();
+        e_npm += setup.run(Scheme::Npm, &real)?.total_energy();
     }
 
     println!("policy          normalized energy");

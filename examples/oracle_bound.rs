@@ -30,20 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for model in [ProcessorModel::transmeta5400(), ProcessorModel::xscale()] {
         println!("== {} ==", model.name());
-        println!("{:<6} {:>8} {:>8} {:>8} {:>8}", "load", "GSS", "AS", "SPM", "NPM");
+        println!(
+            "{:<6} {:>8} {:>8} {:>8} {:>8}",
+            "load", "GSS", "AS", "SPM", "NPM"
+        );
         for load in [0.3, 0.5, 0.7, 0.9] {
             let setup = Setup::for_load(app.clone(), model.clone(), 2, load)?;
             let mut rng = StdRng::seed_from_u64(99);
             let etm = ExecTimeModel::paper_defaults();
-            let (mut oracle, mut gss, mut asp, mut spm, mut npm) =
-                (0.0, 0.0, 0.0, 0.0, 0.0);
+            let (mut oracle, mut gss, mut asp, mut spm, mut npm) = (0.0, 0.0, 0.0, 0.0, 0.0);
             for _ in 0..RUNS {
                 let real = setup.sample(&etm, &mut rng);
-                oracle += setup.run_oracle(&real).total_energy();
-                gss += setup.run(Scheme::Gss, &real).total_energy();
-                asp += setup.run(Scheme::As, &real).total_energy();
-                spm += setup.run(Scheme::Spm, &real).total_energy();
-                npm += setup.run(Scheme::Npm, &real).total_energy();
+                oracle += setup.run_oracle(&real)?.total_energy();
+                gss += setup.run(Scheme::Gss, &real)?.total_energy();
+                asp += setup.run(Scheme::As, &real)?.total_energy();
+                spm += setup.run(Scheme::Spm, &real)?.total_energy();
+                npm += setup.run(Scheme::Npm, &real)?.total_energy();
             }
             println!(
                 "{:<6} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",

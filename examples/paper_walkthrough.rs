@@ -23,10 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 1's two structures combined: an AND fork and an OR branch.
     let app = Segment::seq([
         Segment::task("A", 8.0, 5.0),
-        Segment::par([
-            Segment::task("B", 5.0, 3.0),
-            Segment::task("C", 4.0, 2.0),
-        ]),
+        Segment::par([Segment::task("B", 5.0, 3.0), Segment::task("C", 4.0, 2.0)]),
         Segment::branch([
             (0.3, Segment::seq([Segment::task("F", 8.0, 6.0)])),
             (0.7, Segment::seq([Segment::task("G", 5.0, 3.0)])),
@@ -76,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
     for scheme in [Scheme::Gss, Scheme::As] {
         let mut policy = setup.policy(scheme);
-        let res = setup.simulator(true).run(policy.as_mut(), &real);
+        let res = setup.simulator(true).run(policy.as_mut(), &real)?;
         println!("{}:", scheme.name());
         for e in res.trace.as_ref().unwrap() {
             println!(
@@ -106,14 +103,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..RUNS {
         let real = setup.sample(&etm, &mut rng);
         for (i, s) in Scheme::ALL.iter().enumerate() {
-            let res = setup.run(*s, &real);
+            let res = setup.run(*s, &real)?;
             assert!(!res.missed_deadline, "Theorem 1 violated?!");
             energy[i] += res.total_energy();
             changes[i] += res.energy.speed_changes() as f64;
         }
     }
     println!("{RUNS} runs, paired realizations (the paper's methodology):");
-    println!("{:<7} {:>12} {:>14}", "scheme", "norm.energy", "changes/run");
+    println!(
+        "{:<7} {:>12} {:>14}",
+        "scheme", "norm.energy", "changes/run"
+    );
     for (i, s) in Scheme::ALL.iter().enumerate() {
         println!(
             "{:<7} {:>12.4} {:>14.2}",

@@ -30,12 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two processors with the Transmeta TM5400's 16 voltage/speed levels,
     // and a 40 ms deadline. `Setup` runs the paper's off-line phase:
     // canonical LTF schedules, latest start times, per-PMP statistics.
-    let setup = Setup::new(
-        app.lower()?,
-        ProcessorModel::transmeta5400(),
-        2,
-        40.0,
-    )?;
+    let setup = Setup::new(app.lower()?, ProcessorModel::transmeta5400(), 2, 40.0)?;
     println!(
         "worst-case finish {:.1} ms, average {:.1} ms, deadline {:.1} ms (load {:.2})",
         setup.plan.worst_total,
@@ -53,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..FRAMES {
         let real = setup.sample(&etm, &mut rng);
         for (i, scheme) in Scheme::ALL.iter().enumerate() {
-            let res = setup.run(*scheme, &real);
+            let res = setup.run(*scheme, &real)?;
             assert!(!res.missed_deadline, "{scheme} must meet the deadline");
             totals[i] += res.total_energy();
         }

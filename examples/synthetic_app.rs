@@ -55,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(42);
     let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
     let mut policy = setup.policy(Scheme::Gss);
-    let res = setup.simulator(true).run(policy.as_mut(), &real);
+    let res = setup.simulator(true).run(policy.as_mut(), &real)?;
     println!("  task            proc  start(ms)  end(ms)  speed");
     for e in res.trace.as_ref().unwrap() {
         println!(
@@ -82,7 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..500 {
         let real = setup.sample(&etm, &mut rng);
         for (i, scheme) in Scheme::ALL.iter().enumerate() {
-            totals[i] += setup.run(*scheme, &real).total_energy();
+            totals[i] += setup.run(*scheme, &real)?.total_energy();
         }
     }
     for (i, scheme) in Scheme::ALL.iter().enumerate() {

@@ -48,7 +48,7 @@
 //!
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
-//! let gss = setup.run(Scheme::Gss, &real);
+//! let gss = setup.run(Scheme::Gss, &real).expect("valid setup simulates");
 //! assert!(!gss.missed_deadline);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

@@ -25,13 +25,7 @@ fn graph_json_round_trip_preserves_behavior() {
     let json = serde_json::to_string(&s.graph).unwrap();
     let graph2: AndOrGraph = serde_json::from_str(&json).unwrap();
     graph2.validate().unwrap();
-    let s2 = Setup::new(
-        graph2,
-        ProcessorModel::transmeta5400(),
-        2,
-        s.plan.deadline,
-    )
-    .unwrap();
+    let s2 = Setup::new(graph2, ProcessorModel::transmeta5400(), 2, s.plan.deadline).unwrap();
     // Identical plans from identical graphs.
     assert_eq!(s.plan.worst_total, s2.plan.worst_total);
     assert_eq!(s.plan.avg_total, s2.plan.avg_total);
@@ -41,8 +35,8 @@ fn graph_json_round_trip_preserves_behavior() {
     let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
     for scheme in Scheme::ALL {
         assert_eq!(
-            s.run(scheme, &real).total_energy(),
-            s2.run(scheme, &real).total_energy()
+            s.run(scheme, &real).expect("run succeeds").total_energy(),
+            s2.run(scheme, &real).expect("run succeeds").total_energy()
         );
     }
 }
@@ -61,8 +55,10 @@ fn plan_and_realization_serde_round_trips() {
     let real2: Realization = serde_json::from_str(&real_json).unwrap();
     assert_eq!(real2.actual, real.actual);
     assert_eq!(
-        s.run(Scheme::Gss, &real).finish_time,
-        s.run(Scheme::Gss, &real2).finish_time
+        s.run(Scheme::Gss, &real).expect("run succeeds").finish_time,
+        s.run(Scheme::Gss, &real2)
+            .expect("run succeeds")
+            .finish_time
     );
 }
 
@@ -73,7 +69,7 @@ fn energy_accounting_identities() {
     for _ in 0..50 {
         let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
         for scheme in Scheme::ALL {
-            let res = s.run(scheme, &real);
+            let res = s.run(scheme, &real).expect("run succeeds");
             // Total = busy + idle + transition.
             let sum = res.energy.busy_energy()
                 + res.energy.idle_energy()
@@ -101,7 +97,10 @@ fn trace_is_consistent_with_dependencies_and_energy() {
     let mut rng = StdRng::seed_from_u64(23);
     let real = s.sample(&ExecTimeModel::paper_defaults(), &mut rng);
     let mut policy = s.policy(Scheme::Gss);
-    let res = s.simulator(true).run(policy.as_mut(), &real);
+    let res = s
+        .simulator(true)
+        .run(policy.as_mut(), &real)
+        .expect("run succeeds");
     let trace = res.trace.as_ref().unwrap();
 
     // Starts are globally ordered (the engine serializes dispatches).
@@ -131,8 +130,7 @@ fn trace_is_consistent_with_dependencies_and_energy() {
     }
     // Every traced task's predecessors finished before it started
     // (OR nodes excepted: they are not traced).
-    let finish: std::collections::HashMap<_, _> =
-        trace.iter().map(|e| (e.node, e.end)).collect();
+    let finish: std::collections::HashMap<_, _> = trace.iter().map(|e| (e.node, e.end)).collect();
     for e in trace {
         for &pred in &s.graph.node(e.node).preds {
             if let Some(&pf) = finish.get(&pred) {
@@ -195,14 +193,12 @@ fn overhead_accounting_behaves() {
     for _ in 0..30 {
         let real = free.sample(&ExecTimeModel::paper_defaults(), &mut rng);
         for scheme in [Scheme::Gss, Scheme::As] {
-            let a = free.run(scheme, &real);
-            let b = costly.run(scheme, &real);
+            let a = free.run(scheme, &real).expect("run succeeds");
+            let b = costly.run(scheme, &real).expect("run succeeds");
             assert!(!a.missed_deadline && !b.missed_deadline);
             assert_eq!(a.energy.transition_time(), 0.0);
             assert!(
-                (b.energy.transition_time() - 0.5 * b.energy.speed_changes() as f64)
-                    .abs()
-                    < 1e-9
+                (b.energy.transition_time() - 0.5 * b.energy.speed_changes() as f64).abs() < 1e-9
             );
             // (No per-run energy ordering holds in general: reserving
             // overhead shifts which tasks absorb the slack.)

@@ -28,10 +28,7 @@ fn lst_of(setup: &Setup, name: &str) -> f64 {
 fn figure_1a_hand_traced() {
     let app = Segment::seq([
         Segment::task("A", 8.0, 5.0),
-        Segment::par([
-            Segment::task("B", 5.0, 3.0),
-            Segment::task("C", 4.0, 2.0),
-        ]),
+        Segment::par([Segment::task("B", 5.0, 3.0), Segment::task("C", 4.0, 2.0)]),
     ]);
     let setup = Setup::with_deadline_and_overheads(
         app.lower().unwrap(),
@@ -42,7 +39,10 @@ fn figure_1a_hand_traced() {
     )
     .unwrap();
     assert!((setup.plan.worst_total - 13.0).abs() < 1e-12);
-    assert!((setup.plan.avg_total - 8.0).abs() < 1e-12, "A(5) + max(3,2)");
+    assert!(
+        (setup.plan.avg_total - 8.0).abs() < 1e-12,
+        "A(5) + max(3,2)"
+    );
     assert!((lst_of(&setup, "A") - 13.0).abs() < 1e-12);
     assert!((lst_of(&setup, "B") - 21.0).abs() < 1e-12);
     assert!((lst_of(&setup, "C") - 21.0).abs() < 1e-12);
@@ -58,7 +58,10 @@ fn figure_1a_hand_traced() {
         .unwrap();
     let real = Realization::worst_case(&setup.graph, scen);
     let mut policy = setup.policy(Scheme::Gss);
-    let res = setup.simulator(true).run(policy.as_mut(), &real);
+    let res = setup
+        .simulator(true)
+        .run(policy.as_mut(), &real)
+        .expect("run succeeds");
     assert!(!res.missed_deadline);
     assert!((res.finish_time - 26.0).abs() < 1e-9, "{}", res.finish_time);
     let tr = res.trace.unwrap();
@@ -120,17 +123,17 @@ fn figure_1b_hand_traced() {
     // (speed 8/17); the OR fires at 17; C over [17, 17+(4+(21-17))] ...
     // C's window is LST_C + c = 25, so C runs at 4/8 = 0.5 ending at 25;
     // G runs at 5/5 = 1.0 ending exactly at 30.
-    let scenarios: Vec<_> = setup
-        .sections
-        .enumerate_scenarios(&setup.graph)
-        .collect();
+    let scenarios: Vec<_> = setup.sections.enumerate_scenarios(&setup.graph).collect();
     let (seventy, _) = scenarios
         .iter()
         .find(|(_, p)| (*p - 0.7).abs() < 1e-12)
         .unwrap();
     let real = Realization::worst_case(&setup.graph, seventy.clone());
     let mut policy = setup.policy(Scheme::Gss);
-    let res = setup.simulator(true).run(policy.as_mut(), &real);
+    let res = setup
+        .simulator(true)
+        .run(policy.as_mut(), &real)
+        .expect("run succeeds");
     assert!((res.finish_time - 30.0).abs() < 1e-9);
     let tr = res.trace.unwrap();
     let speeds: Vec<f64> = tr.iter().map(|e| e.speed).collect();
@@ -171,7 +174,7 @@ fn ltf_packing_hand_traced() {
         .unwrap();
     let real = Realization::worst_case(&setup.graph, scen);
     for scheme in [Scheme::Npm, Scheme::Gss] {
-        let res = setup.run(scheme, &real);
+        let res = setup.run(scheme, &real).expect("run succeeds");
         assert!(
             (res.finish_time - 15.0).abs() < 1e-9,
             "{scheme}: {}",
@@ -203,9 +206,6 @@ fn synthetic_app_plan_snapshot() {
         setup.plan.avg_total
     );
     assert_eq!(setup.sections.len(), 15);
-    let scenarios: Vec<_> = setup
-        .sections
-        .enumerate_scenarios(&setup.graph)
-        .collect();
+    let scenarios: Vec<_> = setup.sections.enumerate_scenarios(&setup.graph).collect();
     assert_eq!(scenarios.len(), 10);
 }

@@ -1,0 +1,124 @@
+//! Determinism regression: a fault-free seeded run of each of the six
+//! schemes must produce a byte-identical schedule trace and energy
+//! breakdown across refactors of the engine and policies.
+//!
+//! The golden files live in `tests/golden/`. To regenerate after an
+//! *intentional* behavior change, run:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_traces
+//! ```
+//!
+//! and review the diff — any unexplained change is a regression in the
+//! paired Monte-Carlo design (identical realizations must schedule
+//! identically).
+
+use pas_andor::core::{Scheme, Setup};
+use pas_andor::power::ProcessorModel;
+use pas_andor::sim::ExecTimeModel;
+use pas_andor::workloads::synthetic_app;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+const GOLDEN_SEED: u64 = 0x60_1DE2;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn file_stem(scheme: Scheme) -> String {
+    scheme
+        .name()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+/// Renders one run as stable JSON: trace plus the energy breakdown.
+/// Floats print through Rust's shortest-round-trip `Display`, so equal
+/// bits ⇔ equal text.
+fn render(scheme: Scheme, setup: &Setup, real: &pas_andor::sim::Realization) -> String {
+    let mut policy = setup.policy(scheme);
+    let res = setup
+        .simulator(true)
+        .run(policy.as_mut(), real)
+        .expect("fault-free golden run succeeds");
+    let trace = res.trace.as_ref().expect("trace recording enabled");
+    let entries = serde_json::to_string_pretty(trace).expect("trace serializes");
+    format!(
+        "{{\n  \"scheme\": \"{}\",\n  \"finish_time\": {},\n  \"missed_deadline\": {},\n  \
+         \"busy_energy\": {},\n  \"idle_energy\": {},\n  \"transition_energy\": {},\n  \
+         \"total_energy\": {},\n  \"speed_changes\": {},\n  \"trace\": {}\n}}\n",
+        scheme.name(),
+        res.finish_time,
+        res.missed_deadline,
+        res.energy.busy_energy(),
+        res.energy.idle_energy(),
+        res.energy.transition_energy(),
+        res.total_energy(),
+        res.energy.speed_changes(),
+        entries
+    )
+}
+
+#[test]
+fn fault_free_traces_match_golden_files() {
+    let app = synthetic_app().lower().expect("synthetic app lowers");
+    let setup =
+        Setup::for_load(app, ProcessorModel::transmeta5400(), 2, 0.6).expect("feasible setup");
+    let mut rng = StdRng::seed_from_u64(GOLDEN_SEED);
+    let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    if update {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+    }
+
+    let mut mismatches = Vec::new();
+    for scheme in Scheme::ALL {
+        let rendered = render(scheme, &setup, &real);
+        let path = dir.join(format!("trace_{}.json", file_stem(scheme)));
+        if update {
+            std::fs::write(&path, &rendered).expect("write golden file");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test \
+                 --test golden_traces to create it",
+                path.display()
+            )
+        });
+        if rendered != expected {
+            mismatches.push(scheme.name().to_string());
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "schedule traces diverged from golden files for: {} — if intentional, \
+         regenerate with UPDATE_GOLDEN=1 and review the diff",
+        mismatches.join(", ")
+    );
+}
+
+/// The same seed must produce the same realization (guards the RNG and
+/// sampler stack underneath the golden traces).
+#[test]
+fn golden_realization_is_stable() {
+    let app = synthetic_app().lower().expect("synthetic app lowers");
+    let setup =
+        Setup::for_load(app, ProcessorModel::transmeta5400(), 2, 0.6).expect("feasible setup");
+    let draw = || {
+        let mut rng = StdRng::seed_from_u64(GOLDEN_SEED);
+        setup.sample(&ExecTimeModel::paper_defaults(), &mut rng)
+    };
+    let a = draw();
+    let b = draw();
+    assert_eq!(a.scenario.choices, b.scenario.choices);
+    assert_eq!(a.actual, b.actual);
+}

@@ -15,9 +15,8 @@ fn arb_model() -> impl Strategy<Value = ProcessorModel> {
         Just(ProcessorModel::transmeta5400()),
         Just(ProcessorModel::xscale()),
         (0.05f64..0.9).prop_map(|s| ProcessorModel::continuous(s).unwrap()),
-        (2usize..12, 0.1f64..0.8).prop_map(|(n, r)| {
-            ProcessorModel::synthetic(800.0, n, r, 0.9, 1.7).unwrap()
-        }),
+        (2usize..12, 0.1f64..0.8)
+            .prop_map(|(n, r)| { ProcessorModel::synthetic(800.0, n, r, 0.9, 1.7).unwrap() }),
     ]
 }
 
@@ -48,7 +47,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(real_seed);
         let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
         for scheme in Scheme::ALL {
-            let res = setup.run(scheme, &real);
+            let res = setup.run(scheme, &real).expect("run succeeds");
             prop_assert!(
                 !res.missed_deadline,
                 "{} missed: {} > {} (app_seed={}, procs={}, load={})",
@@ -71,7 +70,7 @@ proptest! {
         let scenario = setup.sections.sample_scenario(&setup.graph, &mut rng);
         let real = Realization::worst_case(&setup.graph, scenario);
         for scheme in Scheme::ALL {
-            let res = setup.run(scheme, &real);
+            let res = setup.run(scheme, &real).expect("run succeeds");
             prop_assert!(!res.missed_deadline, "{} missed", scheme.name());
         }
     }
@@ -88,9 +87,9 @@ proptest! {
         let setup = Setup::for_load(app, ProcessorModel::transmeta5400(), 2, 0.6).unwrap();
         let mut rng = StdRng::seed_from_u64(real_seed);
         let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
-        let npm = setup.run(Scheme::Npm, &real);
+        let npm = setup.run(Scheme::Npm, &real).expect("run succeeds");
         for scheme in Scheme::MANAGED {
-            let res = setup.run(scheme, &real);
+            let res = setup.run(scheme, &real).expect("run succeeds");
             // Overhead energy is the only component that can exceed NPM's
             // consumption (NPM performs no transitions and runs no PMPs).
             let slack_for_overhead = res.energy.transition_energy()
@@ -122,7 +121,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(real_seed);
         let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
         for scheme in [Scheme::Gss, Scheme::As, Scheme::Spm] {
-            let res = setup.run(scheme, &real);
+            let res = setup.run(scheme, &real).expect("run succeeds");
             prop_assert!(!res.missed_deadline, "{} at scale 1e{}", scheme.name(), scale_exp);
             prop_assert!(res.total_energy().is_finite());
         }
@@ -143,8 +142,8 @@ proptest! {
             setup.sample(&ExecTimeModel::paper_defaults(), &mut r)
         };
         for scheme in Scheme::ALL {
-            let a = setup.run(scheme, &real_a);
-            let b = setup.run(scheme, &real_b);
+            let a = setup.run(scheme, &real_a).expect("run succeeds");
+            let b = setup.run(scheme, &real_b).expect("run succeeds");
             prop_assert_eq!(a.finish_time, b.finish_time);
             prop_assert_eq!(a.total_energy(), b.total_energy());
         }

@@ -24,7 +24,11 @@ fn large_atr_instance_end_to_end() {
     };
     let mut rng = StdRng::seed_from_u64(1);
     let g = params.build_jittered(&mut rng).unwrap().lower().unwrap();
-    assert!(g.num_tasks() > 300, "expected a large instance: {}", g.num_tasks());
+    assert!(
+        g.num_tasks() > 300,
+        "expected a large instance: {}",
+        g.num_tasks()
+    );
     let sg = SectionGraph::build(&g).unwrap();
     let scenarios: Vec<_> = sg.enumerate_scenarios(&g).collect();
     assert_eq!(scenarios.len(), 64);
@@ -34,7 +38,7 @@ fn large_atr_instance_end_to_end() {
     for _ in 0..5 {
         let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
         for scheme in [Scheme::Gss, Scheme::As] {
-            let res = setup.run(scheme, &real);
+            let res = setup.run(scheme, &real).expect("run succeeds");
             assert!(!res.missed_deadline);
         }
     }
@@ -55,7 +59,13 @@ fn long_video_gop_end_to_end() {
     let mut rng = StdRng::seed_from_u64(3);
     let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
     for scheme in Scheme::ALL {
-        assert!(!setup.run(scheme, &real).missed_deadline, "{scheme}");
+        assert!(
+            !setup
+                .run(scheme, &real)
+                .expect("run succeeds")
+                .missed_deadline,
+            "{scheme}"
+        );
     }
 }
 
@@ -76,8 +86,11 @@ fn deep_random_apps_stay_correct() {
             Err(e) => panic!("seed {seed}: {e}"),
         };
         let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
-        let res = setup.run(Scheme::Gss, &real);
+        let res = setup.run(Scheme::Gss, &real).expect("run succeeds");
         assert!(!res.missed_deadline, "seed {seed}");
     }
-    assert!(biggest > 100, "generator should reach large sizes: {biggest}");
+    assert!(
+        biggest > 100,
+        "generator should reach large sizes: {biggest}"
+    );
 }

@@ -8,9 +8,7 @@
 //! noise at these counts.
 
 use pas_andor::core::Scheme;
-use pas_andor::experiments::figures::{
-    fig_energy_vs_alpha, fig_energy_vs_load, load_axis,
-};
+use pas_andor::experiments::figures::{fig_energy_vs_alpha, fig_energy_vs_load, load_axis};
 use pas_andor::experiments::{ExperimentConfig, Platform};
 
 fn cfg() -> ExperimentConfig {
@@ -74,26 +72,14 @@ fn gss_beats_a_speculative_scheme_somewhere_on_xscale() {
 #[test]
 fn speculation_reduces_speed_changes() {
     let out = fig_energy_vs_load(Platform::Transmeta, 2, &cfg());
-    let gss: f64 = out
-        .speed_changes
-        .series("GSS")
-        .unwrap()
-        .values
-        .iter()
-        .sum();
+    let gss: f64 = out.speed_changes.series("GSS").unwrap().values.iter().sum();
     let asp: f64 = out.speed_changes.series("AS").unwrap().values.iter().sum();
     assert!(
         asp < 0.8 * gss,
         "AS must cut speed changes vs GSS: {asp} vs {gss}"
     );
     // NPM never changes speed at all.
-    let npm: f64 = out
-        .speed_changes
-        .series("NPM")
-        .unwrap()
-        .values
-        .iter()
-        .sum();
+    let npm: f64 = out.speed_changes.series("NPM").unwrap().values.iter().sum();
     assert_eq!(npm, 0.0);
 }
 

@@ -27,9 +27,10 @@ fn every_scheme_streams_without_misses() {
         for carry in [false, true] {
             let sim = s.simulator(false);
             let mut policy = s.policy(scheme);
-            let out = run_stream(&sim, policy.as_mut(), &fs, carry);
+            let out = run_stream(&sim, policy.as_mut(), &fs, carry).expect("stream runs");
             assert_eq!(
-                out.misses, 0,
+                out.misses,
+                0,
                 "{} missed deadlines in stream (carry={carry})",
                 scheme.name()
             );
@@ -48,8 +49,13 @@ fn cold_stream_equals_independent_runs() {
     for scheme in [Scheme::Gss, Scheme::As, Scheme::Spm] {
         let sim = s.simulator(false);
         let mut policy = s.policy(scheme);
-        let stream_energy = run_stream(&sim, policy.as_mut(), &fs, false).total_energy();
-        let sum: f64 = fs.iter().map(|r| s.run(scheme, r).total_energy()).sum();
+        let stream_energy = run_stream(&sim, policy.as_mut(), &fs, false)
+            .expect("stream runs")
+            .total_energy();
+        let sum: f64 = fs
+            .iter()
+            .map(|r| s.run(scheme, r).expect("run succeeds").total_energy())
+            .sum();
         assert!(
             (stream_energy - sum).abs() < 1e-6,
             "{}: {} vs {}",
@@ -69,8 +75,12 @@ fn warm_stream_energy_stays_close_to_cold() {
     for scheme in Scheme::MANAGED {
         let sim = s.simulator(false);
         let mut policy = s.policy(scheme);
-        let cold = run_stream(&sim, policy.as_mut(), &fs, false).total_energy();
-        let warm = run_stream(&sim, policy.as_mut(), &fs, true).total_energy();
+        let cold = run_stream(&sim, policy.as_mut(), &fs, false)
+            .expect("stream runs")
+            .total_energy();
+        let warm = run_stream(&sim, policy.as_mut(), &fs, true)
+            .expect("stream runs")
+            .total_energy();
         let rel = (warm - cold).abs() / cold;
         assert!(
             rel < 0.01,
@@ -87,9 +97,9 @@ fn stream_determinism() {
     let fs = frames(&s, 8, 5);
     let sim = s.simulator(false);
     let mut p1 = s.policy(Scheme::As);
-    let a = run_stream(&sim, p1.as_mut(), &fs, true);
+    let a = run_stream(&sim, p1.as_mut(), &fs, true).expect("stream runs");
     let mut p2 = s.policy(Scheme::As);
-    let b = run_stream(&sim, p2.as_mut(), &fs, true);
+    let b = run_stream(&sim, p2.as_mut(), &fs, true).expect("stream runs");
     assert_eq!(a.total_energy(), b.total_energy());
     assert_eq!(a.frame_finish, b.frame_finish);
     assert_eq!(a.speed_changes(), b.speed_changes());

@@ -38,14 +38,14 @@ fn worst_case_of_every_scenario_meets_deadline() {
         for model in models() {
             for procs in [1, 2, 4] {
                 for load in [0.4, 0.8, 1.0] {
-                    let setup = Setup::for_load(app.clone(), model.clone(), procs, load)
-                        .expect("feasible");
+                    let setup =
+                        Setup::for_load(app.clone(), model.clone(), procs, load).expect("feasible");
                     let scenarios: Vec<_> =
                         setup.sections.enumerate_scenarios(&setup.graph).collect();
                     for (scenario, _) in scenarios {
                         let real = Realization::worst_case(&setup.graph, scenario);
                         for scheme in Scheme::ALL {
-                            let res = setup.run(scheme, &real);
+                            let res = setup.run(scheme, &real).expect("run succeeds");
                             assert!(
                                 !res.missed_deadline,
                                 "{scheme} missed at procs={procs} load={load} \
@@ -80,12 +80,11 @@ fn guarantee_survives_heavy_overheads() {
         for _ in 0..100 {
             let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
             for scheme in Scheme::ALL {
-                let res = setup.run(scheme, &real);
+                let res = setup.run(scheme, &real).expect("run succeeds");
                 assert!(
                     !res.missed_deadline,
                     "{scheme} missed with overhead {overhead_ms} ms: {} > {}",
-                    res.finish_time,
-                    res.deadline
+                    res.finish_time, res.deadline
                 );
             }
         }
@@ -107,12 +106,11 @@ fn canonical_schedule_matches_engine_replay() {
                 Overheads::none(),
             )
             .unwrap();
-            let scenarios: Vec<_> =
-                setup.sections.enumerate_scenarios(&setup.graph).collect();
+            let scenarios: Vec<_> = setup.sections.enumerate_scenarios(&setup.graph).collect();
             let mut worst = 0.0_f64;
             for (scenario, _) in scenarios {
                 let real = Realization::worst_case(&setup.graph, scenario);
-                let res = setup.run(Scheme::Npm, &real);
+                let res = setup.run(Scheme::Npm, &real).expect("run succeeds");
                 assert!(
                     res.finish_time <= setup.plan.worst_total + 1e-9,
                     "a scenario finished after Tw"
@@ -138,28 +136,20 @@ fn zero_slack_degenerates_to_npm_timing() {
     use pas_andor::graph::Segment;
     let app = Segment::seq([
         Segment::task("A", 6.0, 6.0),
-        Segment::par([
-            Segment::task("B", 5.0, 5.0),
-            Segment::task("C", 7.0, 7.0),
-        ]),
+        Segment::par([Segment::task("B", 5.0, 5.0), Segment::task("C", 7.0, 7.0)]),
         Segment::task("D", 3.0, 3.0),
     ])
     .lower()
     .unwrap();
-    let setup = Setup::for_load_with_overheads(
-        app,
-        ProcessorModel::xscale(),
-        2,
-        1.0,
-        Overheads::none(),
-    )
-    .unwrap();
+    let setup =
+        Setup::for_load_with_overheads(app, ProcessorModel::xscale(), 2, 1.0, Overheads::none())
+            .unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     for _ in 0..50 {
         let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
-        let npm = setup.run(Scheme::Npm, &real);
+        let npm = setup.run(Scheme::Npm, &real).expect("run succeeds");
         for scheme in Scheme::MANAGED {
-            let res = setup.run(scheme, &real);
+            let res = setup.run(scheme, &real).expect("run succeeds");
             assert!(!res.missed_deadline, "{scheme}");
             assert!(
                 (res.finish_time - npm.finish_time).abs() < 1e-6,
