@@ -17,6 +17,9 @@ pub enum Command {
     Optimal,
     /// Save a workload's graph as JSON.
     Export,
+    /// Simulate one realization and export its event stream (Chrome
+    /// trace / JSONL / CSV metrics / text summary).
+    Trace,
 }
 
 /// Which scheme `pas run` simulates.
@@ -55,8 +58,16 @@ pub struct Args {
     pub gantt: bool,
     /// Output path for `export`.
     pub out: Option<String>,
-    /// JSON file with a [`mp_sim::FaultPlan`] to inject during `run`.
+    /// JSON file with a [`mp_sim::FaultPlan`] to inject during `run` or
+    /// `trace`.
     pub fault_plan: Option<String>,
+    /// Export format for `trace`: `chrome`, `jsonl`, `csv` or `summary`.
+    pub format: String,
+    /// Restrict `trace` exports to one processor's events.
+    pub proc_filter: Option<usize>,
+    /// Comma-separated event-kind filter for `trace` exports (see
+    /// `pas_obs::EventKind::name`).
+    pub kinds: Option<String>,
 }
 
 impl Args {
@@ -71,6 +82,7 @@ impl Args {
             Some("dot") => Command::Dot,
             Some("optimal") => Command::Optimal,
             Some("export") => Command::Export,
+            Some("trace") => Command::Trace,
             Some(other) => return Err(format!("unknown command '{other}'")),
             None => return Err("missing command".into()),
         };
@@ -88,6 +100,9 @@ impl Args {
             gantt: false,
             out: None,
             fault_plan: None,
+            format: "summary".into(),
+            proc_filter: None,
+            kinds: None,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, String> {
@@ -130,6 +145,9 @@ impl Args {
                 "--gantt" => parsed.gantt = true,
                 "--out" => parsed.out = Some(value("--out")?.clone()),
                 "--fault-plan" => parsed.fault_plan = Some(value("--fault-plan")?.clone()),
+                "--format" => parsed.format = value("--format")?.clone(),
+                "--proc" => parsed.proc_filter = Some(parse_num(value("--proc")?, "--proc")?),
+                "--kinds" => parsed.kinds = Some(value("--kinds")?.clone()),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -227,6 +245,26 @@ mod tests {
         assert!(parse(&["run", "--alpha", "0"]).is_err());
         assert!(parse(&["run", "--reps", "x"]).is_err());
         assert!(parse(&["run", "--seed"]).is_err());
+    }
+
+    #[test]
+    fn trace_flags() {
+        let a = parse(&[
+            "trace",
+            "--format",
+            "chrome",
+            "--proc",
+            "1",
+            "--kinds",
+            "dispatch,complete",
+        ])
+        .unwrap();
+        assert_eq!(a.command, Command::Trace);
+        assert_eq!(a.format, "chrome");
+        assert_eq!(a.proc_filter, Some(1));
+        assert_eq!(a.kinds.as_deref(), Some("dispatch,complete"));
+        // The format defaults to the human-readable summary.
+        assert_eq!(parse(&["trace"]).unwrap().format, "summary");
     }
 
     #[test]

@@ -14,8 +14,8 @@ use std::fmt::Write as _;
 
 /// Dispatches a parsed command line.
 pub fn execute(args: &Args) -> Result<String, String> {
-    if args.fault_plan.is_some() && args.command != Command::Run {
-        return Err("--fault-plan applies only to `run`".into());
+    if args.fault_plan.is_some() && args.command != Command::Run && args.command != Command::Trace {
+        return Err("--fault-plan applies only to `run` and `trace`".into());
     }
     match args.command {
         Command::Inspect => inspect(args),
@@ -25,6 +25,7 @@ pub fn execute(args: &Args) -> Result<String, String> {
         Command::Dot => dot(args),
         Command::Optimal => optimal(args),
         Command::Export => export(args),
+        Command::Trace => trace_cmd(args),
     }
 }
 
@@ -252,7 +253,9 @@ fn run_one(args: &Args) -> Result<String, String> {
         trace,
         setup.plan.num_procs,
         res.deadline.max(res.finish_time),
-    ) {
+    )
+    .map_err(|e| format!("trace analysis: {e}"))?
+    {
         let _ = writeln!(
             out,
             "  p{}: {} tasks, busy {:.1} ms, utilization {:.0}%, mean speed {:.2}",
@@ -283,7 +286,8 @@ fn run_one(args: &Args) -> Result<String, String> {
             .iter()
             .map(|e| setup.model.quantize_up(e.speed).power)
             .collect();
-        let profile = power_profile(trace, &powers, 72, horizon);
+        let profile = power_profile(trace, &powers, 72, horizon)
+            .map_err(|e| format!("trace analysis: {e}"))?;
         let row: String = profile
             .iter()
             .map(|p| {
@@ -426,6 +430,161 @@ fn optimal(args: &Args) -> Result<String, String> {
         );
     }
     Ok(out)
+}
+
+/// Simulates one realization under an [`mp_sim::Observer`] and exports
+/// the recorded event stream. `--format chrome` emits a Perfetto-loadable
+/// Chrome trace-event JSON document, `jsonl` the raw events one per line,
+/// `csv` the derived metrics registry, and `summary` (the default) a
+/// human-readable digest with the energy-ledger breakdown. `--proc` and
+/// `--kinds` narrow the chrome/jsonl exports; summary and csv always
+/// aggregate the full stream so their totals stay meaningful.
+fn trace_cmd(args: &Args) -> Result<String, String> {
+    use mp_sim::{EnergyLedger, EventLog, MetricsRegistry};
+    use pas_obs::{export as obs_export, EventKind};
+    let setup = build_setup(args)?;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+    let fault_plan = match &args.fault_plan {
+        Some(path) => Some(load_fault_plan(path)?),
+        None => None,
+    };
+    let fault_set = fault_plan
+        .as_ref()
+        .map(|p| p.realize(&setup.graph, args.seed));
+    let mut log = EventLog::new();
+    let res = match args.scheme {
+        SchemeArg::Scheme(scheme) => {
+            let mut policy = setup.policy(scheme);
+            setup.simulator(false).run_observed(
+                policy.as_mut(),
+                &real,
+                None,
+                fault_set.as_ref(),
+                Some(&mut log),
+            )
+        }
+        SchemeArg::Oracle => {
+            let mut oracle = setup
+                .oracle(&real)
+                .map_err(|e| format!("simulation: {e}"))?;
+            setup.simulator(false).run_observed(
+                &mut oracle,
+                &real,
+                None,
+                fault_set.as_ref(),
+                Some(&mut log),
+            )
+        }
+    }
+    .map_err(|e| format!("simulation: {e}"))?;
+    let events = log.into_events();
+    let kind_filter: Option<Vec<EventKind>> = match &args.kinds {
+        Some(spec) => Some(
+            spec.split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    EventKind::parse(s).ok_or_else(|| {
+                        let known: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+                        format!(
+                            "unknown event kind '{s}' (expected one of: {})",
+                            known.join(", ")
+                        )
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        ),
+        None => None,
+    };
+    let filtered: Vec<mp_sim::SimEvent> = events
+        .iter()
+        .filter(|ev| {
+            kind_filter
+                .as_ref()
+                .is_none_or(|ks| ks.contains(&ev.kind()))
+                && args.proc_filter.is_none_or(|p| ev.proc() == Some(p))
+        })
+        .cloned()
+        .collect();
+    let body = match args.format.as_str() {
+        "chrome" => obs_export::chrome_trace(&filtered, |n| setup.graph.node(n).name.clone()),
+        "jsonl" => obs_export::to_jsonl(&filtered),
+        "csv" => MetricsRegistry::from_events(&events).to_csv(),
+        "summary" => {
+            let reg = MetricsRegistry::from_events(&events);
+            let ledger = EnergyLedger::from_events(&events);
+            let scheme_name = match args.scheme {
+                SchemeArg::Scheme(s) => s.name().to_string(),
+                SchemeArg::Oracle => "Oracle".into(),
+            };
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{} on {} ({} processors, seed {})",
+                scheme_name,
+                setup.model.name(),
+                setup.plan.num_procs,
+                args.seed
+            );
+            let status = if res.status.met() {
+                "met".to_string()
+            } else {
+                format!("MISSED by {:.2} ms", res.status.missed_by())
+            };
+            let _ = writeln!(
+                out,
+                "finished at {:.2} ms of {:.2} ms — deadline {}",
+                res.finish_time, res.deadline, status
+            );
+            let _ = writeln!(
+                out,
+                "events: {} recorded, {} after filters",
+                events.len(),
+                filtered.len()
+            );
+            for kind in EventKind::ALL {
+                let count = reg.counter(&format!("events.{}", kind.name()));
+                if count > 0 {
+                    let _ = writeln!(out, "  {:<16} {count}", kind.name());
+                }
+            }
+            let _ = writeln!(
+                out,
+                "speed changes: {} event-derived vs {} engine meter",
+                reg.speed_changes(),
+                res.energy.speed_changes()
+            );
+            let _ = writeln!(out, "slack reclaimed: {:.2} ms", reg.slack_reclaimed_ms());
+            let _ = writeln!(out, "{ledger}");
+            match ledger.verify(res.total_energy()) {
+                Ok(()) => {
+                    let _ = writeln!(
+                        out,
+                        "ledger total {:.6} matches engine total_energy {:.6}",
+                        ledger.total(),
+                        res.total_energy()
+                    );
+                }
+                Err(mismatch) => {
+                    let _ = writeln!(out, "LEDGER MISMATCH: {mismatch}");
+                }
+            }
+            out
+        }
+        other => {
+            return Err(format!(
+                "unknown trace format '{other}' (expected chrome, jsonl, csv or summary)"
+            ))
+        }
+    };
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("writing {path}: {e}"))?;
+            Ok(format!("wrote {path} ({} events)\n", filtered.len()))
+        }
+        None => Ok(body),
+    }
 }
 
 fn dot(args: &Args) -> Result<String, String> {

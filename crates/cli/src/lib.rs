@@ -12,6 +12,8 @@
 //!              --reps 200                            Monte-Carlo scheme comparison
 //! pas dot      --app synthetic                       Graphviz DOT to stdout
 //! pas export   --app atr --out atr.json              save a workload as JSON
+//! pas trace    --app atr --scheme as --format chrome \
+//!              --out trace.json                      export the event stream
 //! ```
 //!
 //! `--app` accepts the built-in workloads `atr`, `synthetic` and `video`,
@@ -27,11 +29,12 @@ mod source;
 pub use args::{Args, Command};
 
 /// One-line usage summary printed on argument errors.
-pub const USAGE: &str = "usage: pas <inspect|plan|run|compare|dot|optimal|export> \
+pub const USAGE: &str = "usage: pas <inspect|plan|run|compare|dot|optimal|export|trace> \
 [--app atr|synthetic|video|FILE.json] [--model transmeta|xscale|continuous:S] \
 [--procs N] [--load L | --deadline D] [--scheme npm|spm|gss|ss1|ss2|as|oracle] \
 [--seed S] [--reps N] [--alpha A] [--gantt] [--out FILE] \
-[--fault-plan FILE.json]";
+[--fault-plan FILE.json] [--format chrome|jsonl|csv|summary] [--proc P] \
+[--kinds k1,k2,...]";
 
 /// Parses `args` and executes the selected command, returning the text to
 /// print.
@@ -326,6 +329,153 @@ mod tests {
     fn optimal_rejects_big_instances() {
         let err = call(&["optimal", "--app", "atr", "--load", "0.5"]).unwrap_err();
         assert!(err.contains("too large"), "{err}");
+    }
+
+    #[test]
+    fn trace_summary_reports_ledger_and_counts() {
+        let out = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--scheme",
+            "gss",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(out.contains("events:"), "{out}");
+        assert!(out.contains("dispatch"), "{out}");
+        assert!(out.contains("energy ledger"), "{out}");
+        assert!(out.contains("matches engine total_energy"), "{out}");
+        assert!(out.contains("event-derived"), "{out}");
+    }
+
+    #[test]
+    fn trace_chrome_is_valid_json_with_filters() {
+        let out = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--scheme",
+            "as",
+            "--format",
+            "chrome",
+        ])
+        .unwrap();
+        let doc: serde::Value = serde_json::from_str(&out).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        // Filtering down to one processor's completions still parses and
+        // carries only task slices (plus thread metadata).
+        let narrow = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--scheme",
+            "as",
+            "--format",
+            "chrome",
+            "--proc",
+            "0",
+            "--kinds",
+            "complete",
+        ])
+        .unwrap();
+        let doc: serde::Value = serde_json::from_str(&narrow).expect("valid JSON");
+        let narrow_events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert!(narrow_events.len() < events.len(), "filter narrows stream");
+    }
+
+    #[test]
+    fn trace_jsonl_round_trips_and_csv_has_metrics() {
+        let out = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--scheme",
+            "ss1",
+            "--format",
+            "jsonl",
+        ])
+        .unwrap();
+        let events = pas_obs::export::from_jsonl(&out).expect("round-trips");
+        assert!(!events.is_empty());
+        let csv = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--scheme",
+            "ss1",
+            "--format",
+            "csv",
+        ])
+        .unwrap();
+        assert!(csv.starts_with("metric,kind,value"), "{csv}");
+        assert!(csv.contains("speed_changes.total"), "{csv}");
+    }
+
+    #[test]
+    fn trace_rejects_bad_format_and_kind() {
+        let err = call(&["trace", "--app", "synthetic", "--format", "yaml"]).unwrap_err();
+        assert!(err.contains("unknown trace format"), "{err}");
+        let err = call(&["trace", "--app", "synthetic", "--kinds", "bogus"]).unwrap_err();
+        assert!(err.contains("unknown event kind"), "{err}");
+    }
+
+    #[test]
+    fn trace_writes_out_file() {
+        let dir = std::env::temp_dir().join("pas_cli_test_trace_out");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("trace.json");
+        let path_s = path.to_str().unwrap();
+        let out = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--format",
+            "chrome",
+            "--out",
+            path_s,
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(serde_json::from_str::<serde::Value>(&body).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_accepts_fault_plan() {
+        let dir = std::env::temp_dir().join("pas_cli_test_trace_faults");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("plan.json");
+        let plan = mp_sim::FaultPlan::overruns(1.0, 1.5, 5);
+        std::fs::write(&path, serde_json::to_string(&plan).unwrap()).unwrap();
+        let out = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--scheme",
+            "gss",
+            "--seed",
+            "7",
+            "--fault-plan",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("fault-injected"), "{out}");
+        assert!(out.contains("matches engine total_energy"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -110,6 +110,9 @@ mod tests {
             gantt: false,
             out: None,
             fault_plan: None,
+            format: "summary".into(),
+            proc_filter: None,
+            kinds: None,
         }
     }
 

@@ -236,6 +236,10 @@ impl Policy for Ss1Policy<'_> {
             ran_pmp: true,
         }
     }
+
+    fn speculation(&self) -> Option<f64> {
+        Some(self.spec_speed)
+    }
 }
 
 /// Static speculation with two speeds (SS(2)): when levels are coarse, run
@@ -344,6 +348,10 @@ impl Policy for AsPolicy<'_> {
             ran_pmp: true,
         }
     }
+
+    fn speculation(&self) -> Option<f64> {
+        Some(self.spec_desired)
+    }
 }
 
 /// Path-proportional slack distribution (PP): the uniprocessor scheme of
@@ -451,6 +459,10 @@ impl<P: Policy> Policy for EnergyFloorPolicy<'_, P> {
             point: self.model.quantize_up(self.floor),
             ran_pmp: d.ran_pmp,
         }
+    }
+
+    fn speculation(&self) -> Option<f64> {
+        self.inner.speculation()
     }
 }
 

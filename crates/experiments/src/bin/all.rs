@@ -115,5 +115,7 @@ fn main() {
         md.push('\n');
     }
     write("fault_sweep", md);
+    // With --emit-trace DIR, also drop per-scheme reference Chrome traces.
+    opts.emit_reference_traces(&[Platform::Transmeta, Platform::XScale]);
     println!("done: the full evaluation is in {outdir}/");
 }

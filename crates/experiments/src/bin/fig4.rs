@@ -12,4 +12,5 @@ fn main() {
         opts.emit(&out);
         println!();
     }
+    opts.emit_reference_traces(&[Platform::Transmeta, Platform::XScale]);
 }

@@ -6,9 +6,11 @@
 //!   paper's setting);
 //! * `--seed S` — base seed (default the paper-config seed);
 //! * `--csv PATH` — additionally write the energy table as CSV;
-//! * `--markdown` — print GitHub-flavored markdown instead of aligned text.
+//! * `--markdown` — print GitHub-flavored markdown instead of aligned text;
+//! * `--emit-trace DIR` — write one Chrome trace-event file per scheme
+//!   (a single representative run) into `DIR` for Perfetto inspection.
 
-use crate::figures::SweepOutput;
+use crate::figures::{Platform, SweepOutput};
 use crate::runner::ExperimentConfig;
 
 /// Parsed common options.
@@ -22,6 +24,8 @@ pub struct Options {
     pub svg: Option<String>,
     /// Render markdown instead of plain text.
     pub markdown: bool,
+    /// Directory for per-scheme reference Chrome traces, if requested.
+    pub emit_trace: Option<String>,
 }
 
 impl Options {
@@ -32,6 +36,7 @@ impl Options {
         let mut csv = None;
         let mut svg = None;
         let mut markdown = false;
+        let mut emit_trace = None;
         let mut it = args.into_iter().skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -50,9 +55,13 @@ impl Options {
                     svg = Some(it.next().ok_or("--svg needs a path")?);
                 }
                 "--markdown" => markdown = true,
+                "--emit-trace" => {
+                    emit_trace = Some(it.next().ok_or("--emit-trace needs a directory")?);
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: <bin> [--reps N] [--seed S] [--csv PATH] [--svg PATH] [--markdown]"
+                        "usage: <bin> [--reps N] [--seed S] [--csv PATH] [--svg PATH] \
+                         [--markdown] [--emit-trace DIR]"
                             .into(),
                     )
                 }
@@ -67,6 +76,7 @@ impl Options {
             csv,
             svg,
             markdown,
+            emit_trace,
         })
     }
 
@@ -111,6 +121,31 @@ impl Options {
             eprintln!("wrote {path}");
         }
     }
+
+    /// Honors `--emit-trace DIR`: writes one reference Chrome trace per
+    /// scheme for each platform. A no-op when the flag was absent.
+    pub fn emit_reference_traces(&self, platforms: &[Platform]) {
+        let Some(dir) = &self.emit_trace else {
+            return;
+        };
+        for &platform in platforms {
+            match crate::traces::write_reference_traces(
+                std::path::Path::new(dir),
+                platform,
+                self.cfg.base_seed,
+            ) {
+                Ok(paths) => {
+                    for path in paths {
+                        eprintln!("wrote {path}");
+                    }
+                }
+                Err(e) => {
+                    eprintln!("failed to emit traces: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +178,8 @@ mod tests {
             "--svg",
             "/tmp/x.svg",
             "--markdown",
+            "--emit-trace",
+            "/tmp/traces",
         ]))
         .unwrap();
         assert_eq!(o.cfg.replications, 50);
@@ -150,6 +187,7 @@ mod tests {
         assert_eq!(o.csv.as_deref(), Some("/tmp/x.csv"));
         assert_eq!(o.svg.as_deref(), Some("/tmp/x.svg"));
         assert!(o.markdown);
+        assert_eq!(o.emit_trace.as_deref(), Some("/tmp/traces"));
     }
 
     #[test]
@@ -158,5 +196,6 @@ mod tests {
         assert!(Options::parse(args(&["--reps", "zero"])).is_err());
         assert!(Options::parse(args(&["--reps", "0"])).is_err());
         assert!(Options::parse(args(&["--bogus"])).is_err());
+        assert!(Options::parse(args(&["--emit-trace"])).is_err());
     }
 }

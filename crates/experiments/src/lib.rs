@@ -19,6 +19,7 @@
 pub mod cli;
 pub mod figures;
 pub mod runner;
+pub mod traces;
 
 pub use figures::Platform;
 pub use runner::{evaluate, EvalResult, ExperimentConfig, SchemeStats};

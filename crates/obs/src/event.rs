@@ -1,0 +1,375 @@
+//! The typed simulation event stream.
+
+use andor_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// The category of an injected fault, as carried by
+/// [`SimEvent::FaultInjected`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The task's execution time was forced to `wcet * factor`.
+    Overrun {
+        /// Multiple of the worst case the task actually ran for.
+        factor: f64,
+    },
+    /// A commanded voltage/frequency transition paid its time and energy
+    /// but silently left the operating point unchanged.
+    SpeedFailure,
+    /// The processor hung for `ms` milliseconds (drawing idle power)
+    /// before dispatching the task.
+    Stall {
+        /// Stall duration (ms).
+        ms: f64,
+    },
+}
+
+/// One schedule action taken by the engine.
+///
+/// Times are milliseconds on the simulation clock; energies are the
+/// engine's normalized units (max dynamic power × ms). Every event that
+/// costs energy carries its full attribution, with the dynamic component
+/// and the static/leakage component (`rho × active time`) split out, so
+/// an [`crate::EnergyLedger`] reconstructs `total_energy()` by summation
+/// alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// A computation task was handed to a processor. Emitted at the
+    /// dispatch time, before any stall, speed change or execution; the
+    /// PMP (power-management-point) bookkeeping the policy ran at
+    /// dispatch is costed here.
+    TaskDispatch {
+        /// Dispatch time (ms).
+        t: f64,
+        /// The task.
+        node: NodeId,
+        /// Processor index it was assigned to.
+        proc: usize,
+        /// The task's worst-case execution time at full speed (ms).
+        wcet: f64,
+        /// Normalized speed the processor was running when dispatched
+        /// (before any transition commanded for this task).
+        speed: f64,
+        /// Time spent computing the policy's speed decision (ms; zero
+        /// when the policy skipped the PMP).
+        pmp_ms: f64,
+        /// Dynamic energy of the PMP window.
+        pmp_energy: f64,
+        /// Leakage energy of the PMP window.
+        pmp_leakage: f64,
+    },
+    /// A computation task finished executing.
+    TaskComplete {
+        /// Completion time (ms).
+        t: f64,
+        /// The task.
+        node: NodeId,
+        /// Processor index it ran on.
+        proc: usize,
+        /// Dispatch time (ms) — includes subsequent overhead windows.
+        start: f64,
+        /// Wall-clock execution time (ms) at the executed speed.
+        exec_ms: f64,
+        /// Normalized speed it executed at.
+        speed: f64,
+        /// Dynamic energy of the execution window.
+        energy: f64,
+        /// Leakage energy of the execution window.
+        leakage: f64,
+        /// Portion of `energy` above what the policy requested, paid
+        /// because fault containment forced a higher operating point.
+        /// Attributed to recovery, not busy work.
+        recovery_premium: f64,
+    },
+    /// A voltage/frequency transition was commanded.
+    SpeedChange {
+        /// Time the transition began (ms).
+        t: f64,
+        /// Processor index.
+        proc: usize,
+        /// Normalized speed before the transition.
+        from_speed: f64,
+        /// Normalized speed commanded.
+        to_speed: f64,
+        /// Transition latency (ms).
+        duration_ms: f64,
+        /// Dynamic energy of the transition window.
+        energy: f64,
+        /// Leakage energy of the transition window.
+        leakage: f64,
+        /// True when an injected speed-change failure left the operating
+        /// point at `from_speed` despite paying the overhead.
+        failed: bool,
+    },
+    /// A task was dispatched below full speed: the policy turned slack
+    /// into stretched execution. `reclaimed_ms` is the extra wall-clock
+    /// the task may use versus running its worst case at full speed.
+    SlackReclaimed {
+        /// Dispatch time (ms).
+        t: f64,
+        /// The task.
+        node: NodeId,
+        /// Processor index.
+        proc: usize,
+        /// `wcet / speed - wcet` (ms).
+        reclaimed_ms: f64,
+    },
+    /// An OR node fired and selected a branch.
+    OrBranchTaken {
+        /// Fire time (ms) — all processors synchronize here.
+        t: f64,
+        /// The OR node.
+        or: NodeId,
+        /// Index of the branch taken.
+        branch: usize,
+    },
+    /// A speculative policy (re)computed its speculated speed.
+    SpeculationUpdate {
+        /// Time of the update (ms); `0` for the initial speculation.
+        t: f64,
+        /// The speculated normalized speed.
+        spec_speed: f64,
+    },
+    /// A fault from the run's [fault set](../mp_sim/struct.FaultSet.html)
+    /// was injected at this task's dispatch.
+    FaultInjected {
+        /// Dispatch time of the affected task (ms).
+        t: f64,
+        /// The affected task.
+        node: NodeId,
+        /// Processor index.
+        proc: usize,
+        /// What was injected.
+        kind: FaultKind,
+    },
+    /// The engine's overrun detector tripped at a task's completion.
+    FaultDetected {
+        /// Detection time (= the task's completion, ms).
+        t: f64,
+        /// The overrunning task.
+        node: NodeId,
+        /// Processor index.
+        proc: usize,
+    },
+    /// Recovery escalated a processor to the maximum operating point
+    /// (the escalation transition's cost is attributed to recovery).
+    FaultRecovered {
+        /// Time the escalation transition began (ms).
+        t: f64,
+        /// Processor index.
+        proc: usize,
+        /// Dynamic energy of the escalation transition.
+        energy: f64,
+        /// Leakage energy of the escalation transition.
+        leakage: f64,
+    },
+    /// A processor went idle (no ready work, or stalled by a fault).
+    IdleStart {
+        /// Time the idle window opened (ms).
+        t: f64,
+        /// Processor index.
+        proc: usize,
+    },
+    /// The idle window closed; its energy is costed here.
+    IdleEnd {
+        /// Time the idle window closed (ms).
+        t: f64,
+        /// Processor index.
+        proc: usize,
+        /// Window length (ms).
+        duration_ms: f64,
+        /// Idle energy of the window (idle power × duration).
+        energy: f64,
+    },
+}
+
+/// The discriminant of a [`SimEvent`], for filtering and counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// [`SimEvent::TaskDispatch`].
+    TaskDispatch,
+    /// [`SimEvent::TaskComplete`].
+    TaskComplete,
+    /// [`SimEvent::SpeedChange`].
+    SpeedChange,
+    /// [`SimEvent::SlackReclaimed`].
+    SlackReclaimed,
+    /// [`SimEvent::OrBranchTaken`].
+    OrBranchTaken,
+    /// [`SimEvent::SpeculationUpdate`].
+    SpeculationUpdate,
+    /// [`SimEvent::FaultInjected`].
+    FaultInjected,
+    /// [`SimEvent::FaultDetected`].
+    FaultDetected,
+    /// [`SimEvent::FaultRecovered`].
+    FaultRecovered,
+    /// [`SimEvent::IdleStart`].
+    IdleStart,
+    /// [`SimEvent::IdleEnd`].
+    IdleEnd,
+}
+
+impl EventKind {
+    /// Every kind, in declaration order.
+    pub const ALL: [EventKind; 11] = [
+        EventKind::TaskDispatch,
+        EventKind::TaskComplete,
+        EventKind::SpeedChange,
+        EventKind::SlackReclaimed,
+        EventKind::OrBranchTaken,
+        EventKind::SpeculationUpdate,
+        EventKind::FaultInjected,
+        EventKind::FaultDetected,
+        EventKind::FaultRecovered,
+        EventKind::IdleStart,
+        EventKind::IdleEnd,
+    ];
+
+    /// The stable kebab-case name (CLI filter syntax, metric names).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TaskDispatch => "dispatch",
+            EventKind::TaskComplete => "complete",
+            EventKind::SpeedChange => "speed-change",
+            EventKind::SlackReclaimed => "slack",
+            EventKind::OrBranchTaken => "or-branch",
+            EventKind::SpeculationUpdate => "speculation",
+            EventKind::FaultInjected => "fault-injected",
+            EventKind::FaultDetected => "fault-detected",
+            EventKind::FaultRecovered => "fault-recovered",
+            EventKind::IdleStart => "idle-start",
+            EventKind::IdleEnd => "idle-end",
+        }
+    }
+
+    /// Parses a kind from its [`EventKind::name`].
+    pub fn parse(s: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl SimEvent {
+    /// This event's kind.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            SimEvent::TaskDispatch { .. } => EventKind::TaskDispatch,
+            SimEvent::TaskComplete { .. } => EventKind::TaskComplete,
+            SimEvent::SpeedChange { .. } => EventKind::SpeedChange,
+            SimEvent::SlackReclaimed { .. } => EventKind::SlackReclaimed,
+            SimEvent::OrBranchTaken { .. } => EventKind::OrBranchTaken,
+            SimEvent::SpeculationUpdate { .. } => EventKind::SpeculationUpdate,
+            SimEvent::FaultInjected { .. } => EventKind::FaultInjected,
+            SimEvent::FaultDetected { .. } => EventKind::FaultDetected,
+            SimEvent::FaultRecovered { .. } => EventKind::FaultRecovered,
+            SimEvent::IdleStart { .. } => EventKind::IdleStart,
+            SimEvent::IdleEnd { .. } => EventKind::IdleEnd,
+        }
+    }
+
+    /// The simulation time the event is stamped with (ms).
+    pub fn time(&self) -> f64 {
+        match self {
+            SimEvent::TaskDispatch { t, .. }
+            | SimEvent::TaskComplete { t, .. }
+            | SimEvent::SpeedChange { t, .. }
+            | SimEvent::SlackReclaimed { t, .. }
+            | SimEvent::OrBranchTaken { t, .. }
+            | SimEvent::SpeculationUpdate { t, .. }
+            | SimEvent::FaultInjected { t, .. }
+            | SimEvent::FaultDetected { t, .. }
+            | SimEvent::FaultRecovered { t, .. }
+            | SimEvent::IdleStart { t, .. }
+            | SimEvent::IdleEnd { t, .. } => *t,
+        }
+    }
+
+    /// The processor the event concerns, if it is processor-scoped
+    /// (section-boundary and speculation events are global).
+    pub fn proc(&self) -> Option<usize> {
+        match self {
+            SimEvent::TaskDispatch { proc, .. }
+            | SimEvent::TaskComplete { proc, .. }
+            | SimEvent::SpeedChange { proc, .. }
+            | SimEvent::SlackReclaimed { proc, .. }
+            | SimEvent::FaultInjected { proc, .. }
+            | SimEvent::FaultDetected { proc, .. }
+            | SimEvent::FaultRecovered { proc, .. }
+            | SimEvent::IdleStart { proc, .. }
+            | SimEvent::IdleEnd { proc, .. } => Some(*proc),
+            SimEvent::OrBranchTaken { .. } | SimEvent::SpeculationUpdate { .. } => None,
+        }
+    }
+
+    /// Total energy this event attributes (dynamic + leakage), zero for
+    /// purely informational events.
+    pub fn energy(&self) -> f64 {
+        match self {
+            SimEvent::TaskDispatch {
+                pmp_energy,
+                pmp_leakage,
+                ..
+            } => pmp_energy + pmp_leakage,
+            SimEvent::TaskComplete {
+                energy, leakage, ..
+            }
+            | SimEvent::SpeedChange {
+                energy, leakage, ..
+            }
+            | SimEvent::FaultRecovered {
+                energy, leakage, ..
+            } => energy + leakage,
+            SimEvent::IdleEnd { energy, .. } => *energy,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in EventKind::ALL {
+            assert_eq!(EventKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EventKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let ev = SimEvent::OrBranchTaken {
+            t: 3.0,
+            or: NodeId(7),
+            branch: 1,
+        };
+        assert_eq!(ev.kind(), EventKind::OrBranchTaken);
+        assert_eq!(ev.time(), 3.0);
+        assert_eq!(ev.proc(), None);
+        assert_eq!(ev.energy(), 0.0);
+
+        let ev = SimEvent::IdleEnd {
+            t: 5.0,
+            proc: 2,
+            duration_ms: 4.0,
+            energy: 0.2,
+        };
+        assert_eq!(ev.proc(), Some(2));
+        assert!((ev.energy() - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn event_energy_sums_dynamic_and_leakage() {
+        let ev = SimEvent::SpeedChange {
+            t: 1.0,
+            proc: 0,
+            from_speed: 1.0,
+            to_speed: 0.5,
+            duration_ms: 0.1,
+            energy: 0.1,
+            leakage: 0.02,
+            failed: false,
+        };
+        assert!((ev.energy() - 0.12).abs() < 1e-15);
+    }
+}

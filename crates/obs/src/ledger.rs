@@ -1,0 +1,244 @@
+//! The energy ledger: every joule attributed to a category, with the
+//! total checked against the engine's meter.
+
+use crate::event::SimEvent;
+use crate::observer::Observer;
+use crate::LEDGER_TOLERANCE;
+use std::fmt;
+
+/// Per-category energy attribution for one run.
+///
+/// Categories are disjoint and complete over the engine's charging
+/// sites:
+///
+/// * `busy` — dynamic energy of task execution at the point the policy
+///   requested, plus PMP bookkeeping windows;
+/// * `idle` — idle power over stalls, dispatch gaps and the tail out to
+///   the run horizon;
+/// * `speed_overhead` — dynamic energy of commanded voltage/frequency
+///   transitions (successful or injected-failed);
+/// * `leakage` — static power over every active window (execution, PMP,
+///   transitions);
+/// * `recovery` — escalation transitions plus the premium of running
+///   contained tasks above the requested point.
+///
+/// The sum equals `RunResult::total_energy()` to within
+/// [`LEDGER_TOLERANCE`]; [`EnergyLedger::verify`] checks it, and the
+/// engine enforces it on every debug-build run.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct EnergyLedger {
+    /// Task execution + PMP dynamic energy (recovery premium excluded).
+    pub busy: f64,
+    /// Idle-power energy.
+    pub idle: f64,
+    /// Voltage/frequency transition dynamic energy.
+    pub speed_overhead: f64,
+    /// Static/leakage energy over active windows.
+    pub leakage: f64,
+    /// Fault-recovery energy (escalations + containment premiums).
+    pub recovery: f64,
+}
+
+/// The ledger total diverged from the engine's meter — an accounting bug
+/// in one of the two.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerMismatch {
+    /// Sum over the ledger's categories.
+    pub ledger_total: f64,
+    /// The engine's `total_energy()`.
+    pub expected: f64,
+}
+
+impl fmt::Display for LedgerMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "energy ledger total {} diverges from meter total {} by {:e} \
+             (tolerance {:e} relative)",
+            self.ledger_total,
+            self.expected,
+            (self.ledger_total - self.expected).abs(),
+            LEDGER_TOLERANCE
+        )
+    }
+}
+
+impl std::error::Error for LedgerMismatch {}
+
+impl EnergyLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a ledger from a recorded stream.
+    pub fn from_events(events: &[SimEvent]) -> Self {
+        let mut ledger = Self::new();
+        for ev in events {
+            ledger.on_event(ev);
+        }
+        ledger
+    }
+
+    /// Sum over all categories.
+    pub fn total(&self) -> f64 {
+        self.busy + self.idle + self.speed_overhead + self.leakage + self.recovery
+    }
+
+    /// Checks the ledger against the engine's total, within
+    /// [`LEDGER_TOLERANCE`] relative error.
+    pub fn verify(&self, expected: f64) -> Result<(), LedgerMismatch> {
+        let total = self.total();
+        if (total - expected).abs() <= LEDGER_TOLERANCE * expected.abs().max(1.0) {
+            Ok(())
+        } else {
+            Err(LedgerMismatch {
+                ledger_total: total,
+                expected,
+            })
+        }
+    }
+}
+
+impl Observer for EnergyLedger {
+    fn on_event(&mut self, event: &SimEvent) {
+        match event {
+            SimEvent::TaskDispatch {
+                pmp_energy,
+                pmp_leakage,
+                ..
+            } => {
+                self.busy += pmp_energy;
+                self.leakage += pmp_leakage;
+            }
+            SimEvent::TaskComplete {
+                energy,
+                leakage,
+                recovery_premium,
+                ..
+            } => {
+                self.busy += energy - recovery_premium;
+                self.recovery += recovery_premium;
+                self.leakage += leakage;
+            }
+            SimEvent::SpeedChange {
+                energy, leakage, ..
+            } => {
+                self.speed_overhead += energy;
+                self.leakage += leakage;
+            }
+            SimEvent::FaultRecovered {
+                energy, leakage, ..
+            } => {
+                self.recovery += energy;
+                self.leakage += leakage;
+            }
+            SimEvent::IdleEnd { energy, .. } => self.idle += energy,
+            SimEvent::SlackReclaimed { .. }
+            | SimEvent::OrBranchTaken { .. }
+            | SimEvent::SpeculationUpdate { .. }
+            | SimEvent::FaultInjected { .. }
+            | SimEvent::FaultDetected { .. }
+            | SimEvent::IdleStart { .. } => {}
+        }
+    }
+}
+
+impl fmt::Display for EnergyLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "energy ledger (total {:.6}):", self.total())?;
+        writeln!(f, "  busy            {:.6}", self.busy)?;
+        writeln!(f, "  idle            {:.6}", self.idle)?;
+        writeln!(f, "  speed overhead  {:.6}", self.speed_overhead)?;
+        writeln!(f, "  leakage         {:.6}", self.leakage)?;
+        write!(f, "  fault recovery  {:.6}", self.recovery)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andor_graph::NodeId;
+
+    fn sample_events() -> Vec<SimEvent> {
+        vec![
+            SimEvent::TaskDispatch {
+                t: 0.0,
+                node: NodeId(0),
+                proc: 0,
+                wcet: 10.0,
+                speed: 1.0,
+                pmp_ms: 0.5,
+                pmp_energy: 0.5,
+                pmp_leakage: 0.05,
+            },
+            SimEvent::SpeedChange {
+                t: 0.5,
+                proc: 0,
+                from_speed: 1.0,
+                to_speed: 0.5,
+                duration_ms: 0.2,
+                energy: 0.2,
+                leakage: 0.02,
+                failed: false,
+            },
+            SimEvent::TaskComplete {
+                t: 20.7,
+                node: NodeId(0),
+                proc: 0,
+                start: 0.0,
+                exec_ms: 20.0,
+                speed: 0.5,
+                energy: 2.5,
+                leakage: 0.1,
+                recovery_premium: 0.5,
+            },
+            SimEvent::FaultRecovered {
+                t: 20.7,
+                proc: 0,
+                energy: 0.3,
+                leakage: 0.03,
+            },
+            SimEvent::IdleEnd {
+                t: 25.0,
+                proc: 0,
+                duration_ms: 4.0,
+                energy: 0.2,
+            },
+        ]
+    }
+
+    #[test]
+    fn categories_split_the_attribution() {
+        let ledger = EnergyLedger::from_events(&sample_events());
+        assert!((ledger.busy - (0.5 + 2.5 - 0.5)).abs() < 1e-12);
+        assert!((ledger.recovery - (0.5 + 0.3)).abs() < 1e-12);
+        assert!((ledger.speed_overhead - 0.2).abs() < 1e-12);
+        assert!((ledger.leakage - (0.05 + 0.02 + 0.1 + 0.03)).abs() < 1e-12);
+        assert!((ledger.idle - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn verify_accepts_the_true_total_and_rejects_others() {
+        let ledger = EnergyLedger::from_events(&sample_events());
+        let total: f64 = sample_events().iter().map(|e| e.energy()).sum();
+        assert!((ledger.total() - total).abs() < 1e-12);
+        ledger.verify(total).expect("true total verifies");
+        let err = ledger.verify(total + 0.01).unwrap_err();
+        assert!(err.to_string().contains("diverges"), "{err}");
+    }
+
+    #[test]
+    fn display_breaks_down_categories() {
+        let text = EnergyLedger::from_events(&sample_events()).to_string();
+        for label in [
+            "busy",
+            "idle",
+            "speed overhead",
+            "leakage",
+            "fault recovery",
+        ] {
+            assert!(text.contains(label), "{text}");
+        }
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! # pas-obs — observability for the AND/OR scheduling stack
+//!
+//! The engine in `mp-sim` computes energy and timing as end-of-run
+//! aggregates; this crate makes the *path* to those aggregates visible.
+//! It defines:
+//!
+//! * [`SimEvent`] — a typed event stream covering every schedule action
+//!   the engine takes (dispatches, completions, speed changes, slack
+//!   reclamation, OR branching, speculation updates, fault
+//!   injection/detection/recovery, idle windows). Every event that costs
+//!   energy carries its exact attribution, split into dynamic and leakage
+//!   components, so downstream accounting is pure summation.
+//! * [`Observer`] — the sink trait the engine feeds. Wiring is
+//!   zero-overhead when disabled: without an observer (and outside debug
+//!   builds) the engine skips event construction entirely.
+//! * [`EventLog`] — the trivial record-everything observer.
+//! * [`MetricsRegistry`] — counters, gauges and time-weighted histograms
+//!   derived from the stream (speed-change counts, slack-reclamation
+//!   totals, per-processor busy/idle time, fault tallies).
+//! * [`EnergyLedger`] — attributes every joule to
+//!   {busy, idle, speed-change overhead, leakage, fault recovery} and
+//!   checks the total against `RunResult::total_energy()` to within
+//!   1e-9 relative error. The engine enforces this invariant on every
+//!   debug-build run.
+//! * [`export`] — JSONL event dumps, Chrome trace-event / Perfetto JSON,
+//!   and CSV metrics.
+//!
+//! The crate is deliberately independent of the engine: events are plain
+//! data, so exporters and accounting can run in-process (streaming) or
+//! after the fact from a serialized log.
+
+mod event;
+mod ledger;
+mod metrics;
+mod observer;
+
+pub mod export;
+
+pub use event::{EventKind, FaultKind, SimEvent};
+pub use ledger::{EnergyLedger, LedgerMismatch};
+pub use metrics::{MetricsRegistry, TimeWeightedHist};
+pub use observer::{EventLog, NullObserver, Observer};
+
+/// Relative tolerance of the ledger-vs-meter invariant: the ledger total
+/// must match the engine's `total_energy()` to within `LEDGER_TOLERANCE *
+/// max(1, |total|)` (the two sum the same terms in different orders, so
+/// only rounding noise may separate them).
+pub const LEDGER_TOLERANCE: f64 = 1e-9;

@@ -1,0 +1,313 @@
+//! Counters, gauges and time-weighted histograms over the event stream.
+
+use crate::event::{FaultKind, SimEvent};
+use crate::observer::Observer;
+use std::collections::BTreeMap;
+
+/// A histogram of a piecewise-constant signal, weighted by how long the
+/// signal held each value. Used for per-processor speed profiles: the
+/// time-weighted mean of the busy-speed histogram is the average speed
+/// the processor did useful work at.
+#[derive(Debug, Default, Clone)]
+pub struct TimeWeightedHist {
+    spans: Vec<(f64, f64)>,   // (value, duration)
+    open: Option<(f64, f64)>, // (since, value)
+}
+
+impl TimeWeightedHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a closed span: the signal held `value` for `duration`.
+    pub fn add_span(&mut self, value: f64, duration: f64) {
+        if duration > 0.0 {
+            self.spans.push((value, duration));
+        }
+    }
+
+    /// Samples the signal at time `t`: closes the open span (if any) at
+    /// `t` and opens a new one holding `value`.
+    pub fn sample(&mut self, t: f64, value: f64) {
+        if let Some((since, v)) = self.open.take() {
+            self.add_span(v, t - since);
+        }
+        self.open = Some((t, value));
+    }
+
+    /// Closes the open span (if any) at time `t`.
+    pub fn finish(&mut self, t: f64) {
+        if let Some((since, v)) = self.open.take() {
+            self.add_span(v, t - since);
+        }
+    }
+
+    /// The recorded `(value, duration)` spans.
+    pub fn spans(&self) -> &[(f64, f64)] {
+        &self.spans
+    }
+
+    /// Total recorded duration.
+    pub fn total_time(&self) -> f64 {
+        self.spans.iter().map(|(_, d)| d).sum()
+    }
+
+    /// Time-weighted mean value (0 when nothing was recorded).
+    pub fn mean(&self) -> f64 {
+        let total = self.total_time();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.spans.iter().map(|(v, d)| v * d).sum::<f64>() / total
+    }
+
+    /// Total duration the signal held `value` (within `1e-12`).
+    pub fn time_at(&self, value: f64) -> f64 {
+        self.spans
+            .iter()
+            .filter(|(v, _)| (v - value).abs() < 1e-12)
+            .map(|(_, d)| d)
+            .sum()
+    }
+}
+
+/// A registry of named metrics derived from the event stream.
+///
+/// Feed it as an [`Observer`] during a run, or build it after the fact
+/// with [`MetricsRegistry::from_events`] — both produce identical
+/// contents, because events are the single source of truth.
+///
+/// Metric names are stable strings: `events.<kind>` counters tally the
+/// stream itself, and the derived families are
+/// `speed_changes.{total,failed,p<i>}`,
+/// `slack_reclaimed_ms.{total,p<i>}`, `faults.{injected,detected,
+/// recovered}` (+ `faults.injected.<kind>`), `tasks.dispatched`,
+/// `or_branches`, `busy_ms.p<i>`, `idle_ms.p<i>`,
+/// `energy.{idle,recovery}` and the `busy_speed.p<i>` histograms.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, TimeWeightedHist>,
+    end_time: f64,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a registry from a recorded stream.
+    pub fn from_events(events: &[SimEvent]) -> Self {
+        let mut reg = Self::new();
+        for ev in events {
+            reg.on_event(ev);
+        }
+        reg
+    }
+
+    /// Increments counter `name` by `by`.
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Adds `by` to gauge `name`.
+    pub fn add_gauge(&mut self, name: &str, by: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += by;
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// The histogram `name`, creating it empty on first use.
+    pub fn hist_mut(&mut self, name: &str) -> &mut TimeWeightedHist {
+        self.hists.entry(name.to_string()).or_default()
+    }
+
+    /// Counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge `name` (0 when never set).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Histogram `name`, if it exists.
+    pub fn hist(&self, name: &str) -> Option<&TimeWeightedHist> {
+        self.hists.get(name)
+    }
+
+    /// Latest event time seen (the run horizon once the engine's final
+    /// idle windows are in).
+    pub fn end_time(&self) -> f64 {
+        self.end_time
+    }
+
+    /// Total voltage/frequency transitions commanded, including recovery
+    /// escalations — comparable to the engine's
+    /// `EnergyMeter::speed_changes()` (Table 2's per-scheme counts).
+    pub fn speed_changes(&self) -> u64 {
+        self.counter("speed_changes.total") + self.counter("faults.recovered")
+    }
+
+    /// Total slack turned into stretched execution (ms).
+    pub fn slack_reclaimed_ms(&self) -> f64 {
+        self.gauge("slack_reclaimed_ms.total")
+    }
+
+    /// Renders every metric as CSV (`metric,kind,value`), histograms as
+    /// their time-weighted mean and total duration.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,kind,value\n");
+        for (name, v) in &self.counters {
+            out.push_str(&format!("{name},counter,{v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("{name},gauge,{v}\n"));
+        }
+        for (name, h) in &self.hists {
+            out.push_str(&format!("{name}.mean,hist,{}\n", h.mean()));
+            out.push_str(&format!("{name}.time,hist,{}\n", h.total_time()));
+        }
+        out
+    }
+}
+
+impl Observer for MetricsRegistry {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.end_time = self.end_time.max(event.time());
+        self.inc(&format!("events.{}", event.kind().name()), 1);
+        match event {
+            SimEvent::TaskDispatch { .. } => self.inc("tasks.dispatched", 1),
+            SimEvent::TaskComplete {
+                proc,
+                exec_ms,
+                speed,
+                ..
+            } => {
+                self.add_gauge(&format!("busy_ms.p{proc}"), *exec_ms);
+                let speed = *speed;
+                let exec_ms = *exec_ms;
+                self.hist_mut(&format!("busy_speed.p{proc}"))
+                    .add_span(speed, exec_ms);
+            }
+            SimEvent::SpeedChange { proc, failed, .. } => {
+                self.inc("speed_changes.total", 1);
+                self.inc(&format!("speed_changes.p{proc}"), 1);
+                if *failed {
+                    self.inc("speed_changes.failed", 1);
+                }
+            }
+            SimEvent::SlackReclaimed {
+                proc, reclaimed_ms, ..
+            } => {
+                self.add_gauge("slack_reclaimed_ms.total", *reclaimed_ms);
+                self.add_gauge(&format!("slack_reclaimed_ms.p{proc}"), *reclaimed_ms);
+            }
+            SimEvent::OrBranchTaken { .. } => self.inc("or_branches", 1),
+            SimEvent::SpeculationUpdate { spec_speed, .. } => {
+                self.set_gauge("speculation.last_speed", *spec_speed);
+            }
+            SimEvent::FaultInjected { kind, .. } => {
+                self.inc("faults.injected", 1);
+                let sub = match kind {
+                    FaultKind::Overrun { .. } => "overrun",
+                    FaultKind::SpeedFailure => "speed-failure",
+                    FaultKind::Stall { .. } => "stall",
+                };
+                self.inc(&format!("faults.injected.{sub}"), 1);
+            }
+            SimEvent::FaultDetected { .. } => self.inc("faults.detected", 1),
+            SimEvent::FaultRecovered {
+                energy, leakage, ..
+            } => {
+                self.inc("faults.recovered", 1);
+                self.add_gauge("energy.recovery", energy + leakage);
+            }
+            SimEvent::IdleStart { .. } => {}
+            SimEvent::IdleEnd {
+                proc,
+                duration_ms,
+                energy,
+                ..
+            } => {
+                self.add_gauge(&format!("idle_ms.p{proc}"), *duration_ms);
+                self.add_gauge("energy.idle", *energy);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andor_graph::NodeId;
+
+    #[test]
+    fn hist_mean_is_time_weighted() {
+        let mut h = TimeWeightedHist::new();
+        h.add_span(1.0, 1.0);
+        h.add_span(0.5, 3.0);
+        assert!((h.mean() - (1.0 + 1.5) / 4.0).abs() < 1e-12);
+        assert!((h.total_time() - 4.0).abs() < 1e-12);
+        assert!((h.time_at(0.5) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hist_sample_closes_open_spans() {
+        let mut h = TimeWeightedHist::new();
+        h.sample(0.0, 1.0);
+        h.sample(2.0, 0.5);
+        h.finish(6.0);
+        assert!((h.time_at(1.0) - 2.0).abs() < 1e-12);
+        assert!((h.time_at(0.5) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_tallies_events() {
+        let events = vec![
+            SimEvent::SpeedChange {
+                t: 0.0,
+                proc: 0,
+                from_speed: 1.0,
+                to_speed: 0.5,
+                duration_ms: 0.0,
+                energy: 0.0,
+                leakage: 0.0,
+                failed: false,
+            },
+            SimEvent::SlackReclaimed {
+                t: 0.0,
+                node: NodeId(1),
+                proc: 0,
+                reclaimed_ms: 4.0,
+            },
+            SimEvent::SpeedChange {
+                t: 5.0,
+                proc: 1,
+                from_speed: 0.5,
+                to_speed: 1.0,
+                duration_ms: 0.0,
+                energy: 0.0,
+                leakage: 0.0,
+                failed: true,
+            },
+        ];
+        let reg = MetricsRegistry::from_events(&events);
+        assert_eq!(reg.speed_changes(), 2);
+        assert_eq!(reg.counter("speed_changes.p0"), 1);
+        assert_eq!(reg.counter("speed_changes.failed"), 1);
+        assert!((reg.slack_reclaimed_ms() - 4.0).abs() < 1e-12);
+        assert_eq!(reg.counter("events.speed-change"), 2);
+        assert!((reg.end_time() - 5.0).abs() < 1e-12);
+        let csv = reg.to_csv();
+        assert!(csv.starts_with("metric,kind,value\n"), "{csv}");
+        assert!(csv.contains("speed_changes.total,counter,2"), "{csv}");
+    }
+}

@@ -1,0 +1,90 @@
+//! The observer trait and basic sinks.
+
+use crate::event::SimEvent;
+
+/// A sink for [`SimEvent`]s.
+///
+/// The engine calls [`Observer::on_event`] synchronously at each schedule
+/// action, in emission order (non-decreasing event time per processor).
+/// Implementations must not assume a global total order across
+/// processors: events of concurrent dispatches interleave.
+pub trait Observer {
+    /// Called once per event.
+    fn on_event(&mut self, event: &SimEvent);
+}
+
+/// An observer that discards everything (useful to benchmark the
+/// emission overhead itself).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_event(&mut self, _event: &SimEvent) {}
+}
+
+/// Records every event in order.
+#[derive(Debug, Default, Clone)]
+pub struct EventLog {
+    events: Vec<SimEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// Consumes the log, returning the events.
+    pub fn into_events(self) -> Vec<SimEvent> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl Observer for EventLog {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn event_log_records_in_order() {
+        let mut log = EventLog::new();
+        assert!(log.is_empty());
+        log.on_event(&SimEvent::IdleStart { t: 0.0, proc: 0 });
+        log.on_event(&SimEvent::IdleEnd {
+            t: 2.0,
+            proc: 0,
+            duration_ms: 2.0,
+            energy: 0.1,
+        });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[0].kind(), EventKind::IdleStart);
+        assert_eq!(log.into_events()[1].kind(), EventKind::IdleEnd);
+    }
+
+    #[test]
+    fn null_observer_is_a_sink() {
+        let mut null = NullObserver;
+        null.on_event(&SimEvent::IdleStart { t: 0.0, proc: 0 });
+    }
+}

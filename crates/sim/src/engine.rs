@@ -5,9 +5,53 @@ use crate::error::SimError;
 use crate::fault::{DeadlineStatus, FaultReport, FaultSet};
 use crate::policy::{DispatchCtx, Policy};
 use crate::realization::Realization;
+use crate::trace::trace_from_events;
 use andor_graph::{AndOrGraph, NodeId, SectionGraph, SectionId};
 use dvfs_power::{EnergyMeter, OperatingPoint, Overheads, ProcessorModel};
+use pas_obs::{FaultKind, Observer, SimEvent};
 use serde::{Deserialize, Serialize};
+
+/// The engine's internal event tap: fans each [`SimEvent`] out to the
+/// caller's observer (if any), the trace-recording log (if
+/// [`SimConfig::record_trace`]) and — in debug builds — an
+/// [`pas_obs::EnergyLedger`] that cross-checks the meters at run end.
+///
+/// Zero overhead when disabled: in release builds with no observer and
+/// no trace recording, [`Emitter::active`] is `false` and the engine
+/// never constructs an event.
+struct Emitter<'o> {
+    obs: Option<&'o mut dyn Observer>,
+    log: Option<Vec<SimEvent>>,
+    #[cfg(debug_assertions)]
+    ledger: pas_obs::EnergyLedger,
+}
+
+impl<'o> Emitter<'o> {
+    fn new(obs: Option<&'o mut dyn Observer>, record: bool) -> Self {
+        Self {
+            obs,
+            log: record.then(Vec::new),
+            #[cfg(debug_assertions)]
+            ledger: pas_obs::EnergyLedger::new(),
+        }
+    }
+
+    #[inline]
+    fn active(&self) -> bool {
+        cfg!(debug_assertions) || self.obs.is_some() || self.log.is_some()
+    }
+
+    fn emit(&mut self, ev: SimEvent) {
+        #[cfg(debug_assertions)]
+        self.ledger.on_event(&ev);
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.on_event(&ev);
+        }
+        if let Some(log) = self.log.as_mut() {
+            log.push(ev);
+        }
+    }
+}
 
 /// The canonical dispatch order: for every program section, its computation
 /// and AND nodes in the order the off-line phase fixed (list scheduling
@@ -76,7 +120,7 @@ impl SimConfig {
 }
 
 /// One executed task in the schedule trace.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TraceEntry {
     /// The task.
     pub node: NodeId,
@@ -222,6 +266,21 @@ impl<'a> Simulator<'a> {
         initial: Option<&[OperatingPoint]>,
         faults: Option<&FaultSet>,
     ) -> Result<RunResult, SimError> {
+        self.run_observed(policy, real, initial, faults, None)
+    }
+
+    /// Like [`Simulator::run_full`], additionally streaming every
+    /// schedule action to `observer` as typed [`SimEvent`]s (see
+    /// `pas-obs`). Event emission is purely additive: the schedule and
+    /// energy numbers are bit-identical with and without an observer.
+    pub fn run_observed(
+        &self,
+        policy: &mut dyn Policy,
+        real: &Realization,
+        initial: Option<&[OperatingPoint]>,
+        faults: Option<&FaultSet>,
+        observer: Option<&mut dyn Observer>,
+    ) -> Result<RunResult, SimError> {
         let m = self.cfg.num_procs;
         let mut finish: Vec<Option<f64>> = vec![None; self.g.len()];
         let mut meters = vec![EnergyMeter::new(); m];
@@ -238,7 +297,7 @@ impl<'a> Simulator<'a> {
             }
             None => vec![self.model.max_point(); m],
         };
-        let mut trace = self.cfg.record_trace.then(Vec::new);
+        let mut em = Emitter::new(observer, self.cfg.record_trace);
         let mut last_dispatch = 0.0_f64;
         let mut report = FaultReport::default();
         // Containment: set on overrun detection, cleared when the current
@@ -248,6 +307,14 @@ impl<'a> Simulator<'a> {
         let max_point = self.model.max_point();
 
         policy.begin_run();
+        if em.active() {
+            if let Some(spec) = policy.speculation() {
+                em.emit(SimEvent::SpeculationUpdate {
+                    t: 0.0,
+                    spec_speed: spec,
+                });
+            }
+        }
 
         let mut cur: SectionId = self.sections.root();
         loop {
@@ -277,14 +344,17 @@ impl<'a> Simulator<'a> {
                 };
                 let decision = policy.speed_for(node, &ctx);
                 let rho = self.cfg.static_fraction;
+                let pre_point = point[p];
                 let mut t = start;
                 // Transient stall: the processor hangs (pipeline drained,
                 // drawing idle power) before it begins dispatching the task.
-                if let Some(stall) = faults.and_then(|f| f.stall(node.index())) {
+                let stall = faults.and_then(|f| f.stall(node.index()));
+                if let Some(stall) = stall {
                     meters[p].add_idle(self.cfg.idle_fraction, stall);
                     t += stall;
                     report.stalls_injected += 1;
                 }
+                let mut pmp_ms = 0.0;
                 if decision.ran_pmp {
                     let dt = self
                         .cfg
@@ -292,16 +362,22 @@ impl<'a> Simulator<'a> {
                         .compute_time_ms(point[p].speed, self.model.max_freq_mhz());
                     meters[p].add_busy(point[p].power + rho, dt);
                     t += dt;
+                    pmp_ms = dt;
                 }
                 // While contained, the policy's slack-claiming is suspended:
                 // the engine overrides its decision with the maximum point.
                 let requested = decision.point;
                 let target = if contained { max_point } else { requested };
+                // (begin time, latency, dynamic energy, failed) of a
+                // commanded transition, for event emission below.
+                let mut transition: Option<(f64, f64, f64, bool)> = None;
                 if (target.speed - point[p].speed).abs() > 1e-12 {
                     let dt = self.cfg.overheads.transition_time_ms;
                     meters[p].add_transition(point[p].power.max(target.power) + rho, dt);
+                    let failed = faults.is_some_and(|f| f.speed_fail(node.index()));
+                    transition = Some((t, dt, point[p].power.max(target.power) * dt, failed));
                     t += dt;
-                    if faults.is_some_and(|f| f.speed_fail(node.index())) {
+                    if failed {
                         // Speed-change failure: the transition's time and
                         // energy are paid, but the operating point silently
                         // clamps to the old level.
@@ -311,29 +387,27 @@ impl<'a> Simulator<'a> {
                     }
                 }
                 let mut actual = real.actual[node.index()];
-                if let Some(factor) = faults.and_then(|f| f.overrun(node.index())) {
+                let overrun = faults.and_then(|f| f.overrun(node.index()));
+                if let Some(factor) = overrun {
                     actual = ctx.wcet * factor;
                     report.overruns_injected += 1;
                 }
-                let exec = actual / point[p].speed;
-                meters[p].add_busy(point[p].power + rho, exec);
+                let exec_point = point[p];
+                let exec = actual / exec_point.speed;
+                meters[p].add_busy(exec_point.power + rho, exec);
+                // Premium of running above the point the policy asked for,
+                // attributed to recovery. The report keeps its historical
+                // target-based formula; the event carries the premium
+                // actually charged (they differ only when an injected
+                // speed failure also clamped the containment escalation).
+                let mut premium = 0.0;
                 if contained && (target.speed - requested.speed).abs() > 1e-12 {
-                    // Premium of running above the point the policy asked
-                    // for, attributed to recovery.
                     report.recovery_energy += (target.power - requested.power).max(0.0) * exec;
+                    premium = (exec_point.power - requested.power).max(0.0) * exec;
                 }
                 let end = t + exec;
                 avail[p] = end;
                 finish[node.index()] = Some(end);
-                if let Some(tr) = trace.as_mut() {
-                    tr.push(TraceEntry {
-                        node,
-                        proc: p,
-                        start,
-                        end,
-                        speed: point[p].speed,
-                    });
-                }
                 // Overrun detection at task completion: the task ran past
                 // the worst-case budget the policy reserved at the speed it
                 // believed the processor was running. Covers injected WCET
@@ -341,8 +415,12 @@ impl<'a> Simulator<'a> {
                 // reservation. Only armed when a fault set is supplied —
                 // fault-free runs are bit-for-bit identical to the
                 // pre-fault-layer engine.
+                let mut detected = false;
+                // (dynamic power, latency) of a recovery escalation.
+                let mut escalation: Option<(f64, f64)> = None;
                 if faults.is_some() && exec > ctx.wcet / target.speed + 1e-9 {
                     report.overruns_detected += 1;
+                    detected = true;
                     contained = true;
                     if (max_point.speed - point[p].speed).abs() > 1e-12 {
                         // Escalate the affected processor to f_max; the
@@ -353,8 +431,98 @@ impl<'a> Simulator<'a> {
                         meters[p].add_transition(power, dt);
                         report.recovery_energy += power * dt;
                         avail[p] = end + dt;
+                        escalation = Some((point[p].power.max(max_point.power), dt));
                         point[p] = max_point;
                         report.recoveries += 1;
+                    }
+                }
+                if em.active() {
+                    em.emit(SimEvent::TaskDispatch {
+                        t: start,
+                        node,
+                        proc: p,
+                        wcet: ctx.wcet,
+                        speed: pre_point.speed,
+                        pmp_ms,
+                        pmp_energy: pre_point.power * pmp_ms,
+                        pmp_leakage: rho * pmp_ms,
+                    });
+                    if let Some(ms) = stall {
+                        em.emit(SimEvent::FaultInjected {
+                            t: start,
+                            node,
+                            proc: p,
+                            kind: FaultKind::Stall { ms },
+                        });
+                        em.emit(SimEvent::IdleStart { t: start, proc: p });
+                        em.emit(SimEvent::IdleEnd {
+                            t: start + ms,
+                            proc: p,
+                            duration_ms: ms,
+                            energy: self.cfg.idle_fraction * ms,
+                        });
+                    }
+                    if let Some((begin, dt, dyn_energy, failed)) = transition {
+                        if failed {
+                            em.emit(SimEvent::FaultInjected {
+                                t: begin,
+                                node,
+                                proc: p,
+                                kind: FaultKind::SpeedFailure,
+                            });
+                        }
+                        em.emit(SimEvent::SpeedChange {
+                            t: begin,
+                            proc: p,
+                            from_speed: pre_point.speed,
+                            to_speed: target.speed,
+                            duration_ms: dt,
+                            energy: dyn_energy,
+                            leakage: rho * dt,
+                            failed,
+                        });
+                    }
+                    if let Some(factor) = overrun {
+                        em.emit(SimEvent::FaultInjected {
+                            t: start,
+                            node,
+                            proc: p,
+                            kind: FaultKind::Overrun { factor },
+                        });
+                    }
+                    if exec_point.speed < 1.0 - 1e-12 {
+                        em.emit(SimEvent::SlackReclaimed {
+                            t: start,
+                            node,
+                            proc: p,
+                            reclaimed_ms: ctx.wcet / exec_point.speed - ctx.wcet,
+                        });
+                    }
+                    em.emit(SimEvent::TaskComplete {
+                        t: end,
+                        node,
+                        proc: p,
+                        start,
+                        exec_ms: exec,
+                        speed: exec_point.speed,
+                        energy: exec_point.power * exec,
+                        leakage: rho * exec,
+                        recovery_premium: premium,
+                    });
+                    if detected {
+                        em.emit(SimEvent::FaultDetected {
+                            t: end,
+                            node,
+                            proc: p,
+                        });
+                    }
+                    if let Some((dyn_power, dt)) = escalation {
+                        em.emit(SimEvent::FaultRecovered {
+                            t: end,
+                            proc: p,
+                            energy: dyn_power * dt,
+                            leakage: rho * dt,
+                        });
                     }
                 }
             }
@@ -391,6 +559,19 @@ impl<'a> Simulator<'a> {
                     or: self.g.node(or).name.clone(),
                 })?;
             policy.on_or_fired(or, k, fire);
+            if em.active() {
+                em.emit(SimEvent::OrBranchTaken {
+                    t: fire,
+                    or,
+                    branch: k,
+                });
+                if let Some(spec) = policy.speculation() {
+                    em.emit(SimEvent::SpeculationUpdate {
+                        t: fire,
+                        spec_speed: spec,
+                    });
+                }
+            }
             cur = self.sections.branch_section(or, k).ok_or_else(|| {
                 SimError::MissingBranchSection {
                     or: self.g.node(or).name.clone(),
@@ -405,11 +586,38 @@ impl<'a> Simulator<'a> {
         // Idle time already metered (transient stalls) is not re-charged.
         let horizon = finish_time.max(self.cfg.deadline);
         let mut energy = EnergyMeter::new();
-        for meter in &mut meters {
+        for (p, meter) in meters.iter_mut().enumerate() {
             let idle = horizon - meter.busy_time() - meter.transition_time() - meter.idle_time();
             meter.add_idle(self.cfg.idle_fraction, idle.max(0.0));
+            // One aggregate idle window per processor, mirroring the
+            // meter's lump (dispatch gaps + the tail out to the horizon).
+            // Stall windows were evented when metered.
+            if em.active() && idle > 0.0 {
+                em.emit(SimEvent::IdleStart {
+                    t: horizon - idle,
+                    proc: p,
+                });
+                em.emit(SimEvent::IdleEnd {
+                    t: horizon,
+                    proc: p,
+                    duration_ms: idle,
+                    energy: self.cfg.idle_fraction * idle,
+                });
+            }
             energy.merge(meter);
         }
+        // The ledger invariant: every debug-build run cross-checks the
+        // event-attributed energy against the meters.
+        #[cfg(debug_assertions)]
+        {
+            if let Err(mismatch) = em.ledger.verify(energy.total_energy()) {
+                panic!(
+                    "energy-ledger invariant violated under policy {}: {mismatch}",
+                    policy.name()
+                );
+            }
+        }
+        let trace = em.log.map(|events| trace_from_events(&events));
         Ok(RunResult {
             finish_time,
             deadline: self.cfg.deadline,

@@ -48,6 +48,12 @@ pub enum SimError {
         /// What was wrong.
         detail: String,
     },
+    /// A trace analysis was asked a malformed question (zero processors,
+    /// non-positive horizon, mismatched input lengths, ...).
+    BadTraceQuery {
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -72,6 +78,7 @@ impl fmt::Display for SimError {
                 write!(f, "simulation stalled: no events pending but work remains")
             }
             SimError::BadFaultPlan { detail } => write!(f, "invalid fault plan: {detail}"),
+            SimError::BadTraceQuery { detail } => write!(f, "invalid trace query: {detail}"),
         }
     }
 }

@@ -43,3 +43,6 @@ pub use literal::{run_literal, LiteralResult};
 pub use policy::{DispatchCtx, MaxSpeed, Policy, SpeedDecision};
 pub use realization::{ExecTimeModel, Realization};
 pub use stream::{run_stream, StreamResult};
+pub use trace::trace_from_events;
+// The observability layer the engine streams into (see `run_observed`).
+pub use pas_obs::{EnergyLedger, EventLog, MetricsRegistry, Observer, SimEvent};

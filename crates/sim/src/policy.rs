@@ -44,6 +44,15 @@ pub trait Policy {
 
     /// Notification that OR node `or` fired at `now` selecting `branch`.
     fn on_or_fired(&mut self, _or: NodeId, _branch: usize, _now: f64) {}
+
+    /// The normalized speed a speculative policy currently assumes for
+    /// future work (`None` for non-speculative policies). Purely
+    /// observational: the engine reads it after [`Policy::begin_run`] and
+    /// after each [`Policy::on_or_fired`] to emit `SpeculationUpdate`
+    /// events; it never feeds back into scheduling.
+    fn speculation(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// The no-power-management baseline: every task at maximum speed, no PMP

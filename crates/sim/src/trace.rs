@@ -7,8 +7,38 @@
 //! examples use it to *show* slack reclamation happening).
 
 use crate::engine::TraceEntry;
+use crate::error::SimError;
 use andor_graph::AndOrGraph;
+use pas_obs::SimEvent;
 use std::fmt::Write as _;
+
+/// Projects a recorded event stream down to the classic schedule trace:
+/// one [`TraceEntry`] per `TaskComplete`, in emission (= dispatch)
+/// order. This is the *only* way the engine builds
+/// [`RunResult::trace`](crate::RunResult) — the event stream is the
+/// single source of truth for schedules.
+pub fn trace_from_events(events: &[SimEvent]) -> Vec<TraceEntry> {
+    events
+        .iter()
+        .filter_map(|ev| match ev {
+            SimEvent::TaskComplete {
+                t,
+                node,
+                proc,
+                start,
+                speed,
+                ..
+            } => Some(TraceEntry {
+                node: *node,
+                proc: *proc,
+                start: *start,
+                end: *t,
+                speed: *speed,
+            }),
+            _ => None,
+        })
+        .collect()
+}
 
 /// Aggregate statistics of one processor's lane in a schedule trace.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,12 +57,27 @@ pub struct LaneStats {
 
 /// Computes per-processor statistics over `horizon` ms.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `num_procs` is zero or `horizon` is not positive.
-pub fn lane_stats(trace: &[TraceEntry], num_procs: usize, horizon: f64) -> Vec<LaneStats> {
-    assert!(num_procs > 0 && horizon > 0.0);
-    (0..num_procs)
+/// Returns [`SimError::BadTraceQuery`] if `num_procs` is zero or
+/// `horizon` is not positive — both reachable from user-supplied CLI
+/// arguments, so they are typed errors, not panics.
+pub fn lane_stats(
+    trace: &[TraceEntry],
+    num_procs: usize,
+    horizon: f64,
+) -> Result<Vec<LaneStats>, SimError> {
+    if num_procs == 0 {
+        return Err(SimError::BadTraceQuery {
+            detail: "lane_stats needs at least one processor".into(),
+        });
+    }
+    if horizon <= 0.0 || horizon.is_nan() {
+        return Err(SimError::BadTraceQuery {
+            detail: format!("lane_stats horizon must be positive, got {horizon}"),
+        });
+    }
+    Ok((0..num_procs)
         .map(|p| {
             let mut busy = 0.0;
             let mut weighted_speed = 0.0;
@@ -55,7 +100,7 @@ pub fn lane_stats(trace: &[TraceEntry], num_procs: usize, horizon: f64) -> Vec<L
                 },
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Histogram of time spent at each distinct speed, sorted by speed.
@@ -81,12 +126,36 @@ pub fn speed_histogram(trace: &[TraceEntry]) -> Vec<(f64, f64)> {
 /// out) in that window. Idle and static power are *not* included (they
 /// are constants; this profiles the schedule's dynamic shape).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `bins == 0` or `horizon <= 0`.
-pub fn power_profile(trace: &[TraceEntry], powers: &[f64], bins: usize, horizon: f64) -> Vec<f64> {
-    assert!(bins > 0 && horizon > 0.0);
-    assert_eq!(trace.len(), powers.len(), "one power value per trace entry");
+/// Returns [`SimError::BadTraceQuery`] if `bins == 0`, `horizon <= 0`,
+/// or `powers` does not supply one value per trace entry.
+pub fn power_profile(
+    trace: &[TraceEntry],
+    powers: &[f64],
+    bins: usize,
+    horizon: f64,
+) -> Result<Vec<f64>, SimError> {
+    if bins == 0 {
+        return Err(SimError::BadTraceQuery {
+            detail: "power_profile needs at least one bin".into(),
+        });
+    }
+    if horizon <= 0.0 || horizon.is_nan() {
+        return Err(SimError::BadTraceQuery {
+            detail: format!("power_profile horizon must be positive, got {horizon}"),
+        });
+    }
+    if trace.len() != powers.len() {
+        return Err(SimError::BadTraceQuery {
+            detail: format!(
+                "power_profile needs one power value per trace entry \
+                 ({} entries, {} powers)",
+                trace.len(),
+                powers.len()
+            ),
+        });
+    }
     let width = horizon / bins as f64;
     let mut out = vec![0.0_f64; bins];
     for (e, &p) in trace.iter().zip(powers) {
@@ -108,7 +177,7 @@ pub fn power_profile(trace: &[TraceEntry], powers: &[f64], bins: usize, horizon:
     for slot in &mut out {
         *slot /= width;
     }
-    out
+    Ok(out)
 }
 
 /// Options for [`render_gantt`].
@@ -218,7 +287,7 @@ mod tests {
 
     #[test]
     fn lane_stats_compute_utilization_and_speed() {
-        let stats = lane_stats(&trace2(), 2, 20.0);
+        let stats = lane_stats(&trace2(), 2, 20.0).expect("valid query");
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].tasks, 1);
         assert!((stats[0].busy - 4.0).abs() < 1e-12);
@@ -230,7 +299,7 @@ mod tests {
 
     #[test]
     fn empty_lane_has_zero_stats() {
-        let stats = lane_stats(&trace2(), 3, 20.0);
+        let stats = lane_stats(&trace2(), 3, 20.0).expect("valid query");
         assert_eq!(stats[2].tasks, 0);
         assert_eq!(stats[2].mean_speed, 0.0);
         assert_eq!(stats[2].utilization, 0.0);
@@ -284,9 +353,68 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn lane_stats_rejects_zero_procs() {
-        let _ = lane_stats(&[], 0, 1.0);
+    fn lane_stats_rejects_bad_queries_with_typed_errors() {
+        let err = lane_stats(&[], 0, 1.0).unwrap_err();
+        assert!(matches!(err, SimError::BadTraceQuery { .. }), "{err}");
+        let err = lane_stats(&[], 2, 0.0).unwrap_err();
+        assert!(err.to_string().contains("horizon"), "{err}");
+        let err = lane_stats(&[], 2, f64::NAN).unwrap_err();
+        assert!(matches!(err, SimError::BadTraceQuery { .. }), "{err}");
+    }
+
+    #[test]
+    fn power_profile_rejects_bad_queries_with_typed_errors() {
+        let err = power_profile(&[], &[], 0, 10.0).unwrap_err();
+        assert!(err.to_string().contains("bin"), "{err}");
+        let err = power_profile(&[], &[], 4, -1.0).unwrap_err();
+        assert!(err.to_string().contains("horizon"), "{err}");
+        let err = power_profile(&trace2(), &[1.0], 4, 10.0).unwrap_err();
+        assert!(err.to_string().contains("per trace entry"), "{err}");
+    }
+
+    #[test]
+    fn trace_from_events_projects_task_completions() {
+        let events = vec![
+            pas_obs::SimEvent::TaskDispatch {
+                t: 0.0,
+                node: NodeId(0),
+                proc: 0,
+                wcet: 4.0,
+                speed: 1.0,
+                pmp_ms: 0.0,
+                pmp_energy: 0.0,
+                pmp_leakage: 0.0,
+            },
+            pas_obs::SimEvent::TaskComplete {
+                t: 4.0,
+                node: NodeId(0),
+                proc: 0,
+                start: 0.0,
+                exec_ms: 4.0,
+                speed: 1.0,
+                energy: 4.0,
+                leakage: 0.0,
+                recovery_premium: 0.0,
+            },
+            pas_obs::SimEvent::IdleStart { t: 4.0, proc: 0 },
+            pas_obs::SimEvent::TaskComplete {
+                t: 12.0,
+                node: NodeId(1),
+                proc: 1,
+                start: 0.0,
+                exec_ms: 12.0,
+                speed: 0.5,
+                energy: 1.5,
+                leakage: 0.0,
+                recovery_premium: 0.0,
+            },
+        ];
+        let trace = trace_from_events(&events);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].node, NodeId(0));
+        assert_eq!(trace[1].proc, 1);
+        assert!((trace[1].end - 12.0).abs() < 1e-12);
+        assert!((trace[1].speed - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -295,7 +423,7 @@ mod tests {
         // horizon 20, 4 bins of 5 ms.
         let t = trace2();
         let powers = vec![1.0, 0.125];
-        let profile = power_profile(&t, &powers, 4, 20.0);
+        let profile = power_profile(&t, &powers, 4, 20.0).expect("valid query");
         // Bin 0 [0,5): 4 ms at 1.0 + 5 ms at 0.125 → (4 + 0.625)/5.
         assert!((profile[0] - 4.625 / 5.0).abs() < 1e-12);
         // Bin 1 [5,10): 5 ms at 0.125.
@@ -317,7 +445,7 @@ mod tests {
             end: 30.0,
             speed: 1.0,
         }];
-        let profile = power_profile(&t, &[1.0], 2, 10.0);
+        let profile = power_profile(&t, &[1.0], 2, 10.0).expect("valid query");
         assert_eq!(profile[0], 0.0);
         assert!((profile[1] - 2.0 / 5.0).abs() < 1e-12);
     }

@@ -23,7 +23,9 @@
 //!   generators;
 //! * [`stats`] ([`pas_stats`]) — sampling and summary statistics;
 //! * [`experiments`] ([`pas_experiments`]) — the Monte-Carlo harness and
-//!   per-figure sweeps.
+//!   per-figure sweeps;
+//! * [`obs`] ([`pas_obs`]) — the structured event stream, metrics
+//!   registry, energy ledger and trace exporters.
 //!
 //! ## Quick start
 //!
@@ -58,5 +60,6 @@ pub use dvfs_power as power;
 pub use mp_sim as sim;
 pub use pas_core as core;
 pub use pas_experiments as experiments;
+pub use pas_obs as obs;
 pub use pas_stats as stats;
 pub use workloads;

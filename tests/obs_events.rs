@@ -1,0 +1,192 @@
+//! Cross-crate observability invariants.
+//!
+//! The event stream is only trustworthy if it is *complete*: every joule
+//! the engine meters must be attributable to some event, and every
+//! counter the engine keeps must be recomputable from the stream alone.
+//! These tests enforce that over all six schemes, both paper platforms,
+//! random applications and random fault plans — not just the golden
+//! workloads.
+
+use pas_andor::core::{Scheme, Setup};
+use pas_andor::obs::{EnergyLedger, EventKind, EventLog, MetricsRegistry};
+use pas_andor::power::ProcessorModel;
+use pas_andor::sim::{trace_from_events, ExecTimeModel, FaultPlan, RunResult, SimEvent};
+use pas_andor::workloads::RandomAppParams;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs one scheme under an [`EventLog`] observer, returning the engine
+/// result alongside the recorded stream.
+fn observed_run(
+    setup: &Setup,
+    scheme: Scheme,
+    real: &pas_andor::sim::Realization,
+    faults: Option<&pas_andor::sim::FaultSet>,
+) -> (RunResult, Vec<SimEvent>) {
+    let mut log = EventLog::new();
+    let mut policy = setup.policy(scheme);
+    let res = setup
+        .simulator(true)
+        .run_observed(policy.as_mut(), real, None, faults, Some(&mut log))
+        .expect("observed run succeeds");
+    (res, log.into_events())
+}
+
+/// Every invariant the stream must satisfy against the engine's own
+/// accounting for one run.
+fn check_stream(scheme: Scheme, res: &RunResult, events: &[SimEvent]) {
+    // 1. The ledger attributes every joule: categories sum to the meter
+    //    total within the documented tolerance.
+    let ledger = EnergyLedger::from_events(events);
+    ledger
+        .verify(res.total_energy())
+        .unwrap_or_else(|m| panic!("{}: {m}", scheme.name()));
+
+    // 2. Event-derived speed-change counts match the engine's meters
+    //    (recovery escalations included — the meter counts those too).
+    let reg = MetricsRegistry::from_events(events);
+    assert_eq!(
+        reg.speed_changes(),
+        res.energy.speed_changes(),
+        "{}: event-derived speed changes diverge from the engine meter",
+        scheme.name()
+    );
+
+    // 3. The schedule trace is a pure projection of the stream.
+    let projected = trace_from_events(events);
+    let trace = res.trace.as_ref().expect("tracing enabled");
+    assert_eq!(&projected, trace, "{}: trace projection", scheme.name());
+
+    // 4. Dispatches pair with completions one-to-one.
+    assert_eq!(
+        reg.counter("events.dispatch"),
+        reg.counter("events.complete"),
+        "{}: unbalanced dispatch/complete",
+        scheme.name()
+    );
+
+    // 5. Event times are finite and within [0, finish ∨ horizon].
+    let horizon = res.deadline.max(res.finish_time) + 1e-6;
+    for ev in events {
+        assert!(
+            ev.time().is_finite() && ev.time() >= 0.0 && ev.time() <= horizon,
+            "{}: event out of range at t={}: {ev:?}",
+            scheme.name(),
+            ev.time()
+        );
+    }
+}
+
+#[test]
+fn atr_streams_reconcile_for_every_scheme_and_platform() {
+    for model in [ProcessorModel::transmeta5400(), ProcessorModel::xscale()] {
+        let app = pas_andor::experiments::figures::atr_app();
+        let setup = Setup::for_load(app, model, 2, 0.5).expect("feasible");
+        let mut rng = StdRng::seed_from_u64(7);
+        let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        for scheme in Scheme::ALL {
+            let (res, events) = observed_run(&setup, scheme, &real, None);
+            check_stream(scheme, &res, &events);
+            assert!(!events.is_empty());
+        }
+    }
+}
+
+#[test]
+fn speculative_schemes_emit_speculation_updates() {
+    let app = pas_andor::experiments::figures::atr_app();
+    let setup = Setup::for_load(app, ProcessorModel::transmeta5400(), 2, 0.5).expect("feasible");
+    let mut rng = StdRng::seed_from_u64(3);
+    let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+    for (scheme, speculates) in [
+        (Scheme::Ss1, true),
+        (Scheme::As, true),
+        (Scheme::Gss, false),
+        (Scheme::Npm, false),
+    ] {
+        let (_, events) = observed_run(&setup, scheme, &real, None);
+        let updates = events
+            .iter()
+            .filter(|e| e.kind() == EventKind::SpeculationUpdate)
+            .count();
+        assert_eq!(
+            updates > 0,
+            speculates,
+            "{}: speculation events",
+            scheme.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The ledger invariant and counter parity hold on arbitrary
+    /// applications, platforms, loads and fault plans, for all six
+    /// schemes. This is the release-mode guard for the invariant the
+    /// engine asserts on every debug run.
+    #[test]
+    fn ledger_sums_to_total_energy_under_faults(
+        app_seed in 0u64..10_000,
+        real_seed in 0u64..10_000,
+        xscale in 0u8..2,
+        procs in 1usize..4,
+        load in 0.2f64..0.9,
+        overrun_prob in 0.0f64..0.6,
+        overrun_factor in 1.05f64..2.0,
+        speed_fail_prob in 0.0f64..0.4,
+        stall_prob in 0.0f64..0.3,
+        stall_ms in 0.1f64..3.0,
+        fault_seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(app_seed);
+        let app = RandomAppParams::default().generate(&mut rng).lower().unwrap();
+        let model = if xscale == 1 {
+            ProcessorModel::xscale()
+        } else {
+            ProcessorModel::transmeta5400()
+        };
+        let setup = Setup::for_load(app, model, procs, load).expect("feasible");
+        let mut rng = StdRng::seed_from_u64(real_seed);
+        let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        let plan = FaultPlan {
+            overrun_prob,
+            overrun_factor,
+            speed_fail_prob,
+            stall_prob,
+            stall_ms,
+            seed: fault_seed,
+        };
+        plan.validate().expect("plan in range");
+        let faults = plan.realize(&setup.graph, real_seed);
+        for scheme in Scheme::ALL {
+            let (res, events) = observed_run(&setup, scheme, &real, Some(&faults));
+            check_stream(scheme, &res, &events);
+        }
+    }
+
+    /// Observation must never perturb the simulation: a run with an
+    /// observer attached is numerically identical to one without.
+    #[test]
+    fn observers_do_not_perturb_the_run(
+        app_seed in 0u64..5_000,
+        real_seed in 0u64..5_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(app_seed);
+        let app = RandomAppParams::default().generate(&mut rng).lower().unwrap();
+        let setup = Setup::for_load(app, ProcessorModel::xscale(), 2, 0.6).unwrap();
+        let mut rng = StdRng::seed_from_u64(real_seed);
+        let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        for scheme in Scheme::ALL {
+            let bare = setup.run(scheme, &real).expect("run succeeds");
+            let (observed, _) = observed_run(&setup, scheme, &real, None);
+            prop_assert_eq!(bare.finish_time, observed.finish_time);
+            prop_assert_eq!(bare.total_energy(), observed.total_energy());
+            prop_assert_eq!(
+                bare.energy.speed_changes(),
+                observed.energy.speed_changes()
+            );
+        }
+    }
+}
