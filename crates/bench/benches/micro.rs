@@ -18,7 +18,7 @@ fn offline_phase(c: &mut Criterion) {
 }
 
 fn online_run(c: &mut Criterion) {
-    let setup = synthetic_setup();
+    let setup = synthetic_setup().expect("bench setup");
     let mut g = c.benchmark_group("online_run");
     for scheme in Scheme::ALL {
         g.bench_function(scheme.name(), |b| {
@@ -34,7 +34,7 @@ fn online_run(c: &mut Criterion) {
 }
 
 fn sampling(c: &mut Criterion) {
-    let setup = synthetic_setup();
+    let setup = synthetic_setup().expect("bench setup");
     c.bench_function("realization_sample", |b| {
         let mut rng = StdRng::seed_from_u64(2);
         b.iter(|| setup.sample(&ExecTimeModel::paper_defaults(), &mut rng))

@@ -1,0 +1,733 @@
+//! The `pas bench` harness: golden workloads, captured metrics, and
+//! regression-tracked baselines.
+//!
+//! Criterion benches (see `benches/`) answer "how fast is the machinery
+//! on my machine right now?"; this module answers the complementary
+//! question "did the *numbers* move?". It runs a small set of golden
+//! workloads — the paper figures' operating points — under every scheme
+//! on both platforms, capturing:
+//!
+//! * wall time and events/second over a timing loop (informational —
+//!   machine-dependent, never compared);
+//! * deterministic quantities from one seeded, observed run: event
+//!   count, peak bounded-ring occupancy, finish time, total energy,
+//!   speed changes, the per-category [`EnergyLedger`], and per-section
+//!   slices from a [`SectionedLedger`];
+//! * the run's full [`MetricsRegistry`] rendered as CSV.
+//!
+//! [`write_baselines`] commits the deterministic portion under
+//! `results/baselines/`; [`check_against_baselines`] re-runs the golden
+//! workloads and reports every value that drifted beyond a relative
+//! tolerance, so `pas bench --check` can gate CI on numeric regressions
+//! the same way the golden-trace tests gate event streams.
+
+use mp_sim::{ExecTimeModel, SimError};
+use pas_core::{Scheme, Setup, SetupError};
+use pas_experiments::figures::{atr_app, Platform};
+use pas_experiments::traces::slug;
+use pas_obs::{EnergyLedger, Fanout, MetricsRegistry, RingLog, SectionedLedger};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+use std::time::Instant;
+
+/// Relative tolerance for baseline comparison. Golden workloads are
+/// bit-deterministic, so the tolerance only needs to absorb benign
+/// float-formatting round trips.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;
+
+/// Capacity of the bounded ring used to demonstrate O(1) event memory
+/// while still counting every event.
+pub const RING_CAPACITY: usize = 512;
+
+/// File name of the JSON baseline inside the baseline directory.
+pub const BASELINE_FILE: &str = "bench_baseline.json";
+
+/// Default baseline directory, relative to the repository root.
+pub const DEFAULT_BASELINE_DIR: &str = "results/baselines";
+
+/// Everything that can go wrong while benching.
+#[derive(Debug)]
+pub enum BenchError {
+    /// A golden workload's graph failed to build or lower.
+    Workload(String),
+    /// The platform/load setup was infeasible.
+    Setup(SetupError),
+    /// A simulation run failed.
+    Sim(SimError),
+    /// Reading or writing reports/baselines failed.
+    Io(std::io::Error),
+    /// A baseline file was missing or malformed.
+    Baseline(String),
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Workload(m) => write!(f, "workload: {m}"),
+            BenchError::Setup(e) => write!(f, "setup: {e}"),
+            BenchError::Sim(e) => write!(f, "simulation: {e}"),
+            BenchError::Io(e) => write!(f, "io: {e}"),
+            BenchError::Baseline(m) => write!(f, "baseline: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<SetupError> for BenchError {
+    fn from(e: SetupError) -> Self {
+        BenchError::Setup(e)
+    }
+}
+
+impl From<SimError> for BenchError {
+    fn from(e: SimError) -> Self {
+        BenchError::Sim(e)
+    }
+}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
+/// A golden workload: one figure operating point.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenWorkload {
+    /// Short name used in record keys and baseline file names.
+    pub name: &'static str,
+    /// Processor count.
+    pub num_procs: usize,
+    /// Load (deadline = critical path / load).
+    pub load: f64,
+}
+
+/// The golden set: Figure 4 (ATR, 2 procs), Figure 5 (ATR, 6 procs) and
+/// Figure 6 (synthetic app at α = 0.5, 2 procs), all at load 0.5.
+pub const GOLDEN_WORKLOADS: [GoldenWorkload; 3] = [
+    GoldenWorkload {
+        name: "fig4",
+        num_procs: 2,
+        load: 0.5,
+    },
+    GoldenWorkload {
+        name: "fig5",
+        num_procs: 6,
+        load: 0.5,
+    },
+    GoldenWorkload {
+        name: "fig6",
+        num_procs: 2,
+        load: 0.5,
+    },
+];
+
+impl GoldenWorkload {
+    /// Builds the workload's application graph.
+    pub fn graph(&self) -> Result<andor_graph::AndOrGraph, BenchError> {
+        match self.name {
+            "fig4" | "fig5" => Ok(atr_app()),
+            "fig6" => workloads::synthetic_app_alpha(0.5)
+                .lower()
+                .map_err(|e| BenchError::Workload(format!("fig6 synthetic app: {e}"))),
+            other => Err(BenchError::Workload(format!("unknown workload: {other}"))),
+        }
+    }
+}
+
+/// One section's attributed energy inside a [`BenchRecord`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SectionRecord {
+    /// Section key rendered for humans (`root`, `n7.b1`, ...).
+    pub section: String,
+    /// The section's category-split ledger.
+    pub ledger: EnergyLedger,
+}
+
+/// One (workload, platform, scheme) measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Golden workload name (`fig4`, ...).
+    pub workload: String,
+    /// Platform slug (`transmeta-tm5400`, `intel-xscale`).
+    pub platform: String,
+    /// Scheme slug (`npm`, `ss1`, ...).
+    pub scheme: String,
+    /// Timing-loop replications (informational).
+    pub reps: usize,
+    /// Timing-loop wall time in milliseconds (informational, never
+    /// compared: machine-dependent).
+    pub wall_ms: f64,
+    /// Observed engine event throughput (informational).
+    pub events_per_sec: f64,
+    /// Events emitted by the seeded run (deterministic).
+    pub events: u64,
+    /// Peak occupancy of the bounded event ring — stays at most
+    /// [`RING_CAPACITY`] no matter how long the run (deterministic).
+    pub peak_ring_occupancy: usize,
+    /// Finish time of the seeded run (ms, deterministic).
+    pub finish_ms: f64,
+    /// Total energy of the seeded run (mJ, deterministic).
+    pub energy_mj: f64,
+    /// Voltage/frequency transitions in the seeded run (deterministic).
+    pub speed_changes: u64,
+    /// Deadline misses in the seeded run (deterministic; 0 for the
+    /// guaranteed schemes).
+    pub misses: u64,
+    /// Per-category energy attribution (deterministic).
+    pub ledger: EnergyLedger,
+    /// Per-section energy attribution, merged over repeated keys
+    /// (deterministic).
+    pub sections: Vec<SectionRecord>,
+}
+
+impl BenchRecord {
+    /// The record's identity inside a report.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.workload, self.platform, self.scheme)
+    }
+}
+
+/// The full report `pas bench` writes as `BENCH_<rev>.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Source revision the numbers were captured at.
+    pub rev: String,
+    /// Relative tolerance [`check_against_baselines`] applies.
+    pub tolerance: f64,
+    /// One record per (workload, platform, scheme).
+    pub records: Vec<BenchRecord>,
+}
+
+/// A rendered `MetricsRegistry` CSV destined for the baseline directory.
+#[derive(Debug, Clone)]
+pub struct MetricsFile {
+    /// File name (`fig4_transmeta-tm5400_npm.metrics.csv`).
+    pub name: String,
+    /// CSV body (`metric,kind,value` lines).
+    pub csv: String,
+}
+
+/// A bench run: the JSON report plus the per-run metrics CSVs.
+#[derive(Debug, Clone)]
+pub struct BenchOutput {
+    /// The comparable report.
+    pub report: BenchReport,
+    /// One metrics CSV per record, in record order.
+    pub metrics: Vec<MetricsFile>,
+}
+
+/// Harness options.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Timing-loop replications per (workload, platform, scheme).
+    pub reps: usize,
+    /// Seed for the deterministic observed run (and the realization the
+    /// timing loop reuses).
+    pub seed: u64,
+    /// Revision label stamped into the report.
+    pub rev: String,
+    /// Restrict to these workload names (`None` = all golden workloads).
+    pub workloads: Option<Vec<String>>,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            reps: 3,
+            seed: 0x1CC_2002,
+            rev: "dev".to_string(),
+            workloads: None,
+        }
+    }
+}
+
+/// Best-effort revision label: `PAS_BENCH_REV` env override, then
+/// `git rev-parse --short HEAD`, then `"dev"`.
+pub fn detect_rev() -> String {
+    if let Ok(rev) = std::env::var("PAS_BENCH_REV") {
+        if !rev.trim().is_empty() {
+            return rev.trim().to_string();
+        }
+    }
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            if let Ok(s) = String::from_utf8(out.stdout) {
+                let s = s.trim();
+                if !s.is_empty() {
+                    return s.to_string();
+                }
+            }
+        }
+    }
+    "dev".to_string()
+}
+
+/// Runs the golden workloads and captures a [`BenchOutput`].
+///
+/// # Errors
+///
+/// Propagates workload construction, setup and simulation failures; an
+/// unknown name in `opts.workloads` is a [`BenchError::Workload`].
+pub fn run_bench(opts: &BenchOptions) -> Result<BenchOutput, BenchError> {
+    if let Some(filter) = &opts.workloads {
+        for name in filter {
+            if !GOLDEN_WORKLOADS.iter().any(|w| w.name == name) {
+                return Err(BenchError::Workload(format!(
+                    "unknown workload: {name} (golden set: fig4, fig5, fig6)"
+                )));
+            }
+        }
+    }
+    let mut records = Vec::new();
+    let mut metrics = Vec::new();
+    for wl in GOLDEN_WORKLOADS {
+        if let Some(filter) = &opts.workloads {
+            if !filter.iter().any(|n| n == wl.name) {
+                continue;
+            }
+        }
+        for platform in [Platform::Transmeta, Platform::XScale] {
+            let setup = Setup::for_load(wl.graph()?, platform.model(), wl.num_procs, wl.load)?;
+            // One seeded realization shared by every scheme and the
+            // timing loop, so numbers are comparable across schemes.
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+            let sim = setup.simulator(false);
+            for scheme in Scheme::ALL {
+                // Deterministic observed run: every quantity the
+                // baselines compare comes from this single run.
+                let mut registry = MetricsRegistry::new();
+                let mut ledger = SectionedLedger::new();
+                let mut ring = RingLog::new(RING_CAPACITY);
+                let res = {
+                    let mut fan = Fanout::new()
+                        .with(&mut registry)
+                        .with(&mut ledger)
+                        .with(&mut ring);
+                    let mut policy = setup.policy(scheme);
+                    sim.run_observed(policy.as_mut(), &real, None, None, Some(&mut fan))?
+                };
+                debug_assert!(
+                    ledger.verify(res.total_energy()).is_ok(),
+                    "sectioned ledger diverged from engine meter"
+                );
+                // Timing loop: fresh policy per rep, no observer — the
+                // release-mode fast path.
+                let start = Instant::now();
+                for _ in 0..opts.reps {
+                    let mut policy = setup.policy(scheme);
+                    sim.run(policy.as_mut(), &real)?;
+                }
+                let wall = start.elapsed();
+                let wall_ms = wall.as_secs_f64() * 1e3;
+                let events_per_sec =
+                    (ring.seen() * opts.reps as u64) as f64 / wall.as_secs_f64().max(1e-9);
+                let sections = ledger
+                    .merged()
+                    .into_iter()
+                    .map(|s| SectionRecord {
+                        section: s.key.to_string(),
+                        ledger: s.ledger,
+                    })
+                    .collect();
+                metrics.push(MetricsFile {
+                    name: format!(
+                        "{}_{}_{}.metrics.csv",
+                        wl.name,
+                        slug(platform.name()),
+                        slug(scheme.name())
+                    ),
+                    csv: registry.to_csv(),
+                });
+                records.push(BenchRecord {
+                    workload: wl.name.to_string(),
+                    platform: slug(platform.name()),
+                    scheme: slug(scheme.name()),
+                    reps: opts.reps,
+                    wall_ms,
+                    events_per_sec,
+                    events: ring.seen(),
+                    peak_ring_occupancy: ring.peak_occupancy(),
+                    finish_ms: res.finish_time,
+                    energy_mj: res.total_energy(),
+                    speed_changes: res.energy.speed_changes(),
+                    misses: res.missed_deadline as u64,
+                    ledger: *ledger.total(),
+                    sections,
+                });
+            }
+        }
+    }
+    Ok(BenchOutput {
+        report: BenchReport {
+            rev: opts.rev.clone(),
+            tolerance: DEFAULT_TOLERANCE,
+            records,
+        },
+        metrics,
+    })
+}
+
+/// Serializes a report as pretty JSON.
+pub fn report_json(report: &BenchReport) -> String {
+    serde_json::to_string_pretty(report).expect("report serializes")
+}
+
+/// Writes `BENCH_<rev>.json` into `dir` and returns its path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_report(report: &BenchReport, dir: &Path) -> Result<std::path::PathBuf, BenchError> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{}.json", report.rev));
+    std::fs::write(&path, report_json(report))?;
+    Ok(path)
+}
+
+/// Writes the baseline set into `dir`: `bench_baseline.json` plus one
+/// metrics CSV per record. Returns the written paths.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_baselines(out: &BenchOutput, dir: &Path) -> Result<Vec<String>, BenchError> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let path = dir.join(BASELINE_FILE);
+    std::fs::write(&path, report_json(&out.report))?;
+    written.push(path.display().to_string());
+    for m in &out.metrics {
+        let path = dir.join(&m.name);
+        std::fs::write(&path, &m.csv)?;
+        written.push(path.display().to_string());
+    }
+    Ok(written)
+}
+
+/// `|a - b|` within relative tolerance of the larger magnitude (absolute
+/// near zero).
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+fn diff(drifts: &mut Vec<String>, key: &str, field: &str, current: f64, baseline: f64, tol: f64) {
+    if !close(current, baseline, tol) {
+        drifts.push(format!(
+            "{key}: {field} {current} vs baseline {baseline} (tolerance {tol:e})"
+        ));
+    }
+}
+
+fn diff_ledger(
+    drifts: &mut Vec<String>,
+    key: &str,
+    prefix: &str,
+    cur: &EnergyLedger,
+    base: &EnergyLedger,
+    tol: f64,
+) {
+    diff(
+        drifts,
+        key,
+        &format!("{prefix}busy"),
+        cur.busy,
+        base.busy,
+        tol,
+    );
+    diff(
+        drifts,
+        key,
+        &format!("{prefix}idle"),
+        cur.idle,
+        base.idle,
+        tol,
+    );
+    diff(
+        drifts,
+        key,
+        &format!("{prefix}speed_overhead"),
+        cur.speed_overhead,
+        base.speed_overhead,
+        tol,
+    );
+    diff(
+        drifts,
+        key,
+        &format!("{prefix}leakage"),
+        cur.leakage,
+        base.leakage,
+        tol,
+    );
+    diff(
+        drifts,
+        key,
+        &format!("{prefix}recovery"),
+        cur.recovery,
+        base.recovery,
+        tol,
+    );
+}
+
+/// Parses a `metric,kind,value` CSV into `(metric, kind) -> value`.
+fn parse_metrics_csv(body: &str, name: &str) -> Result<Vec<(String, f64)>, BenchError> {
+    let mut out = Vec::new();
+    for (i, line) in body.lines().enumerate() {
+        if i == 0 || line.trim().is_empty() {
+            continue; // header
+        }
+        let mut parts = line.rsplitn(2, ',');
+        let value = parts
+            .next()
+            .and_then(|v| v.parse::<f64>().ok())
+            .ok_or_else(|| BenchError::Baseline(format!("{name}:{}: bad value", i + 1)))?;
+        let key = parts
+            .next()
+            .ok_or_else(|| BenchError::Baseline(format!("{name}:{}: bad line", i + 1)))?;
+        out.push((key.to_string(), value));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Compares a fresh bench run against the committed baselines in `dir`.
+///
+/// Returns the list of drift messages — empty means the check passed.
+/// Only deterministic quantities are compared; wall time and throughput
+/// are machine-dependent and ignored.
+///
+/// # Errors
+///
+/// [`BenchError::Baseline`] if `bench_baseline.json` or a metrics CSV is
+/// missing or malformed; [`BenchError::Io`] on read failures.
+pub fn check_against_baselines(out: &BenchOutput, dir: &Path) -> Result<Vec<String>, BenchError> {
+    let path = dir.join(BASELINE_FILE);
+    let body = std::fs::read_to_string(&path).map_err(|e| {
+        BenchError::Baseline(format!(
+            "{} unreadable ({e}); run `pas bench --update-baselines` first",
+            path.display()
+        ))
+    })?;
+    let baseline: BenchReport = serde_json::from_str(&body)
+        .map_err(|e| BenchError::Baseline(format!("{}: {e:?}", path.display())))?;
+    let tol = baseline.tolerance;
+    let mut drifts = Vec::new();
+    for rec in &out.report.records {
+        let key = rec.key();
+        let Some(base) = baseline.records.iter().find(|b| b.key() == key) else {
+            drifts.push(format!("{key}: missing from baseline"));
+            continue;
+        };
+        diff(
+            &mut drifts,
+            &key,
+            "events",
+            rec.events as f64,
+            base.events as f64,
+            tol,
+        );
+        diff(
+            &mut drifts,
+            &key,
+            "peak_ring_occupancy",
+            rec.peak_ring_occupancy as f64,
+            base.peak_ring_occupancy as f64,
+            tol,
+        );
+        diff(
+            &mut drifts,
+            &key,
+            "finish_ms",
+            rec.finish_ms,
+            base.finish_ms,
+            tol,
+        );
+        diff(
+            &mut drifts,
+            &key,
+            "energy_mj",
+            rec.energy_mj,
+            base.energy_mj,
+            tol,
+        );
+        diff(
+            &mut drifts,
+            &key,
+            "speed_changes",
+            rec.speed_changes as f64,
+            base.speed_changes as f64,
+            tol,
+        );
+        diff(
+            &mut drifts,
+            &key,
+            "misses",
+            rec.misses as f64,
+            base.misses as f64,
+            tol,
+        );
+        diff_ledger(&mut drifts, &key, "ledger.", &rec.ledger, &base.ledger, tol);
+        if rec.sections.len() != base.sections.len() {
+            drifts.push(format!(
+                "{key}: {} sections vs baseline {}",
+                rec.sections.len(),
+                base.sections.len()
+            ));
+        } else {
+            for (c, b) in rec.sections.iter().zip(&base.sections) {
+                if c.section != b.section {
+                    drifts.push(format!(
+                        "{key}: section {} vs baseline {}",
+                        c.section, b.section
+                    ));
+                    continue;
+                }
+                let prefix = format!("section[{}].", c.section);
+                diff_ledger(&mut drifts, &key, &prefix, &c.ledger, &b.ledger, tol);
+            }
+        }
+    }
+    for m in &out.metrics {
+        let path = dir.join(&m.name);
+        let base_body = std::fs::read_to_string(&path)
+            .map_err(|e| BenchError::Baseline(format!("{} unreadable ({e})", path.display())))?;
+        let cur = parse_metrics_csv(&m.csv, &m.name)?;
+        let base = parse_metrics_csv(&base_body, &m.name)?;
+        if cur.len() != base.len() {
+            drifts.push(format!(
+                "{}: {} metrics vs baseline {}",
+                m.name,
+                cur.len(),
+                base.len()
+            ));
+            continue;
+        }
+        for ((ck, cv), (bk, bv)) in cur.iter().zip(&base) {
+            if ck != bk {
+                drifts.push(format!("{}: metric {ck} vs baseline {bk}", m.name));
+            } else {
+                diff(&mut drifts, &m.name, ck, *cv, *bv, tol);
+            }
+        }
+    }
+    Ok(drifts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> BenchOptions {
+        BenchOptions {
+            reps: 1,
+            workloads: Some(vec!["fig4".to_string()]),
+            ..BenchOptions::default()
+        }
+    }
+
+    #[test]
+    fn golden_workloads_build() {
+        for wl in GOLDEN_WORKLOADS {
+            let g = wl.graph().expect("graph builds");
+            assert!(
+                Setup::for_load(g, Platform::XScale.model(), wl.num_procs, wl.load).is_ok(),
+                "{} infeasible",
+                wl.name
+            );
+        }
+    }
+
+    #[test]
+    fn bench_records_every_scheme_on_both_platforms() {
+        let out = run_bench(&quick_opts()).expect("bench runs");
+        // fig4 only: 2 platforms x 6 schemes.
+        assert_eq!(out.report.records.len(), 12);
+        assert_eq!(out.metrics.len(), 12);
+        for rec in &out.report.records {
+            assert!(rec.events > 0, "{}: no events", rec.key());
+            assert!(rec.peak_ring_occupancy <= RING_CAPACITY);
+            assert!(!rec.sections.is_empty(), "{}: no sections", rec.key());
+            assert_eq!(rec.misses, 0, "{}: missed deadline", rec.key());
+            // Per-section slices partition the per-category total.
+            let section_sum: f64 = rec.sections.iter().map(|s| s.ledger.total()).sum();
+            assert!(
+                (section_sum - rec.ledger.total()).abs() <= 1e-9 * rec.ledger.total().max(1.0),
+                "{}: sections sum {} != ledger total {}",
+                rec.key(),
+                section_sum,
+                rec.ledger.total()
+            );
+            // The ledger total is the engine meter's total.
+            assert!((rec.ledger.total() - rec.energy_mj).abs() <= 1e-9 * rec.energy_mj.max(1.0));
+        }
+        // NPM is the ceiling: every managed scheme uses at most its energy.
+        let npm: f64 = out
+            .report
+            .records
+            .iter()
+            .filter(|r| r.scheme == "npm" && r.platform == "intel-xscale")
+            .map(|r| r.energy_mj)
+            .sum();
+        for rec in &out.report.records {
+            if rec.platform == "intel-xscale" {
+                assert!(rec.energy_mj <= npm + 1e-9, "{} above NPM", rec.key());
+            }
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let out = run_bench(&quick_opts()).expect("bench runs");
+        let json = report_json(&out.report);
+        let back: BenchReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.records.len(), out.report.records.len());
+        for (a, b) in back.records.iter().zip(&out.report.records) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.events, b.events);
+            assert!((a.energy_mj - b.energy_mj).abs() < 1e-12);
+            assert_eq!(a.sections.len(), b.sections.len());
+        }
+    }
+
+    #[test]
+    fn check_passes_against_own_baselines_and_catches_drift() {
+        let dir = std::env::temp_dir().join("pas_bench_test_baselines");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run_bench(&quick_opts()).expect("bench runs");
+        write_baselines(&out, &dir).expect("baselines written");
+        let drifts = check_against_baselines(&out, &dir).expect("check runs");
+        assert!(drifts.is_empty(), "unexpected drift: {drifts:?}");
+        // Perturb one value: the check must flag exactly that record.
+        let mut bad = out.clone();
+        bad.report.records[0].energy_mj *= 1.001;
+        let drifts = check_against_baselines(&bad, &dir).expect("check runs");
+        assert!(
+            drifts.iter().any(|d| d.contains("energy_mj")),
+            "drift not caught: {drifts:?}"
+        );
+        // A missing metrics CSV is a baseline error, not a pass.
+        std::fs::remove_file(dir.join(&out.metrics[0].name)).unwrap();
+        assert!(matches!(
+            check_against_baselines(&out, &dir),
+            Err(BenchError::Baseline(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_workload_is_rejected() {
+        let opts = BenchOptions {
+            workloads: Some(vec!["fig9".to_string()]),
+            ..BenchOptions::default()
+        };
+        assert!(matches!(run_bench(&opts), Err(BenchError::Workload(_))));
+    }
+}

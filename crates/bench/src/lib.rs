@@ -1,4 +1,5 @@
-//! Shared fixtures for the benchmark suite.
+//! Shared fixtures for the benchmark suite plus the `pas bench`
+//! regression harness.
 //!
 //! Each paper table/figure has a named bench target (see `benches/`):
 //!
@@ -15,7 +16,18 @@
 //!
 //! Benchmarks run reduced replication counts (the statistical quality of
 //! the full figures is the experiment binaries' job; the benches measure
-//! the cost of the machinery).
+//! the cost of the machinery). The [`harness`] module is different in
+//! kind: it captures *numbers* (energy, events, ledger slices) for the
+//! golden workloads and diffs them against committed baselines — see
+//! `pas bench --check`.
+
+pub mod harness;
+
+pub use harness::{
+    check_against_baselines, detect_rev, run_bench, write_baselines, write_report, BenchError,
+    BenchOptions, BenchOutput, BenchRecord, BenchReport, GoldenWorkload, MetricsFile,
+    SectionRecord, BASELINE_FILE, DEFAULT_TOLERANCE, GOLDEN_WORKLOADS,
+};
 
 use pas_core::Setup;
 use pas_experiments::runner::ExperimentConfig;
@@ -26,12 +38,16 @@ pub fn bench_config() -> ExperimentConfig {
 }
 
 /// The standard synthetic-app setup used by micro benches.
-pub fn synthetic_setup() -> Setup {
-    Setup::for_load(
-        workloads::synthetic_app().lower().expect("valid"),
-        dvfs_power::ProcessorModel::transmeta5400(),
-        2,
-        0.5,
-    )
-    .expect("feasible")
+///
+/// # Errors
+///
+/// Propagates graph lowering and setup feasibility failures as
+/// [`BenchError`] instead of panicking, so callers embedded in larger
+/// tools (the `pas` CLI) can surface them.
+pub fn synthetic_setup() -> Result<Setup, BenchError> {
+    let graph = workloads::synthetic_app()
+        .lower()
+        .map_err(|e| BenchError::Workload(format!("synthetic app: {e}")))?;
+    Setup::for_load(graph, dvfs_power::ProcessorModel::transmeta5400(), 2, 0.5)
+        .map_err(BenchError::from)
 }

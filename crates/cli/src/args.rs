@@ -20,6 +20,9 @@ pub enum Command {
     /// Simulate one realization and export its event stream (Chrome
     /// trace / JSONL / CSV metrics / text summary).
     Trace,
+    /// Golden-workload regression harness: capture wall time, event
+    /// counts and ledger slices; diff against committed baselines.
+    Bench,
 }
 
 /// Which scheme `pas run` simulates.
@@ -68,6 +71,23 @@ pub struct Args {
     /// Comma-separated event-kind filter for `trace` exports (see
     /// `pas_obs::EventKind::name`).
     pub kinds: Option<String>,
+    /// Stream this many back-to-back frames through `trace` instead of a
+    /// single run.
+    pub frames: Option<usize>,
+    /// Carry DVS state across streamed frames (with `--frames`).
+    pub carry: bool,
+    /// `compare`: additionally aggregate a [`pas_obs::MetricsRegistry`]
+    /// across replications and cross-check engine counters.
+    pub metrics: bool,
+    /// `bench`: diff against the committed baselines, nonzero exit on
+    /// drift.
+    pub check: bool,
+    /// `bench`: rewrite the committed baselines from this run.
+    pub update_baselines: bool,
+    /// `bench`: baseline directory (default `results/baselines`).
+    pub bench_dir: Option<String>,
+    /// `bench`: comma-separated golden-workload filter (`fig4,fig6`).
+    pub workloads: Option<String>,
 }
 
 impl Args {
@@ -83,6 +103,7 @@ impl Args {
             Some("optimal") => Command::Optimal,
             Some("export") => Command::Export,
             Some("trace") => Command::Trace,
+            Some("bench") => Command::Bench,
             Some(other) => return Err(format!("unknown command '{other}'")),
             None => return Err("missing command".into()),
         };
@@ -103,6 +124,13 @@ impl Args {
             format: "summary".into(),
             proc_filter: None,
             kinds: None,
+            frames: None,
+            carry: false,
+            metrics: false,
+            check: false,
+            update_baselines: false,
+            bench_dir: None,
+            workloads: None,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, String> {
@@ -148,11 +176,26 @@ impl Args {
                 "--format" => parsed.format = value("--format")?.clone(),
                 "--proc" => parsed.proc_filter = Some(parse_num(value("--proc")?, "--proc")?),
                 "--kinds" => parsed.kinds = Some(value("--kinds")?.clone()),
+                "--frames" => {
+                    parsed.frames = Some(parse_num(value("--frames")?, "--frames")?);
+                    if parsed.frames == Some(0) {
+                        return Err("--frames must be positive".into());
+                    }
+                }
+                "--carry" => parsed.carry = true,
+                "--metrics" => parsed.metrics = true,
+                "--check" => parsed.check = true,
+                "--update-baselines" => parsed.update_baselines = true,
+                "--bench-dir" => parsed.bench_dir = Some(value("--bench-dir")?.clone()),
+                "--workloads" => parsed.workloads = Some(value("--workloads")?.clone()),
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
         if parsed.load.is_some() && parsed.deadline.is_some() {
             return Err("--load and --deadline are mutually exclusive".into());
+        }
+        if parsed.carry && parsed.frames.is_none() {
+            return Err("--carry requires --frames".into());
         }
         Ok(parsed)
     }
@@ -265,6 +308,44 @@ mod tests {
         assert_eq!(a.kinds.as_deref(), Some("dispatch,complete"));
         // The format defaults to the human-readable summary.
         assert_eq!(parse(&["trace"]).unwrap().format, "summary");
+    }
+
+    #[test]
+    fn stream_flags() {
+        let a = parse(&["trace", "--frames", "16", "--carry", "--format", "jsonl"]).unwrap();
+        assert_eq!(a.frames, Some(16));
+        assert!(a.carry);
+        assert!(parse(&["trace", "--frames", "0"]).is_err());
+        assert!(parse(&["trace", "--carry"]).is_err());
+    }
+
+    #[test]
+    fn bench_flags() {
+        let a = parse(&[
+            "bench",
+            "--check",
+            "--bench-dir",
+            "results/baselines",
+            "--workloads",
+            "fig4,fig6",
+            "--reps",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(a.command, Command::Bench);
+        assert!(a.check);
+        assert!(!a.update_baselines);
+        assert_eq!(a.bench_dir.as_deref(), Some("results/baselines"));
+        assert_eq!(a.workloads.as_deref(), Some("fig4,fig6"));
+        let b = parse(&["bench", "--update-baselines"]).unwrap();
+        assert!(b.update_baselines);
+    }
+
+    #[test]
+    fn compare_metrics_flag() {
+        let a = parse(&["compare", "--metrics", "--reps", "5"]).unwrap();
+        assert!(a.metrics);
+        assert!(!parse(&["compare"]).unwrap().metrics);
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub fn execute(args: &Args) -> Result<String, String> {
         Command::Optimal => optimal(args),
         Command::Export => export(args),
         Command::Trace => trace_cmd(args),
+        Command::Bench => bench_cmd(args),
     }
 }
 
@@ -316,12 +317,37 @@ fn compare(args: &Args) -> Result<String, String> {
     let mut hists: Vec<Histogram> = (0..n)
         .map(|_| Histogram::new(0.0, e_max, 200).expect("valid range"))
         .collect();
+    // `--metrics`: per-run MetricsRegistry aggregation plus an engine
+    // counter cross-check at Monte-Carlo scale (every run must agree
+    // between the event-derived and meter speed-change counts).
+    let mut ev_runs: Vec<Summary> = vec![Summary::new(); Scheme::ALL.len()];
+    let mut slack_runs: Vec<Summary> = vec![Summary::new(); Scheme::ALL.len()];
+    let mut counter_mismatches = 0u64;
     for _ in 0..args.reps {
         let real = setup.sample(&etm, &mut rng);
         for (i, scheme) in Scheme::ALL.iter().enumerate() {
-            let res = setup
-                .run(*scheme, &real)
-                .map_err(|e| format!("simulation: {e}"))?;
+            let res = if args.metrics {
+                let mut reg = mp_sim::MetricsRegistry::new();
+                let mut policy = setup.policy(*scheme);
+                let res = setup
+                    .simulator(false)
+                    .run_observed(policy.as_mut(), &real, None, None, Some(&mut reg))
+                    .map_err(|e| format!("simulation: {e}"))?;
+                let total: u64 = pas_obs::EventKind::ALL
+                    .iter()
+                    .map(|k| reg.counter(&format!("events.{}", k.name())))
+                    .sum();
+                ev_runs[i].add(total as f64);
+                slack_runs[i].add(reg.slack_reclaimed_ms());
+                if reg.speed_changes() != res.energy.speed_changes() {
+                    counter_mismatches += 1;
+                }
+                res
+            } else {
+                setup
+                    .run(*scheme, &real)
+                    .map_err(|e| format!("simulation: {e}"))?
+            };
             energies[i].add(res.total_energy());
             hists[i].add(res.total_energy());
             changes[i].add(res.energy.speed_changes() as f64);
@@ -366,6 +392,36 @@ fn compare(args: &Args) -> Result<String, String> {
             hists[i].quantile(0.95).unwrap_or(f64::NAN) / npm,
             changes[i].mean(),
             misses[i]
+        );
+    }
+    if args.metrics {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "metrics registry aggregated over {} replications:",
+            args.reps
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>10} {:>14} {:>10}",
+            "scheme", "events/run", "±95% CI", "slack ms/run", "±95% CI"
+        );
+        for (i, scheme) in Scheme::ALL.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>12.1} {:>10.2} {:>14.2} {:>10.2}",
+                scheme.name(),
+                ev_runs[i].mean(),
+                ev_runs[i].ci95(),
+                slack_runs[i].mean(),
+                slack_runs[i].ci95()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "engine counter cross-check: {} runs, {} speed-change mismatches",
+            args.reps * Scheme::ALL.len(),
+            counter_mismatches
         );
     }
     Ok(out)
@@ -432,53 +488,39 @@ fn optimal(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// Simulates one realization under an [`mp_sim::Observer`] and exports
-/// the recorded event stream. `--format chrome` emits a Perfetto-loadable
-/// Chrome trace-event JSON document, `jsonl` the raw events one per line,
-/// `csv` the derived metrics registry, and `summary` (the default) a
-/// human-readable digest with the energy-ledger breakdown. `--proc` and
-/// `--kinds` narrow the chrome/jsonl exports; summary and csv always
-/// aggregate the full stream so their totals stay meaningful.
+/// What the summary needs to know about a run, regardless of whether it
+/// was a single realization or a streamed frame sequence.
+struct RunDigest {
+    /// Status line(s) printed under the title.
+    header: String,
+    /// Engine meter total over the whole run/stream.
+    total_energy: f64,
+    /// Engine meter speed-change count.
+    meter_speed_changes: u64,
+}
+
+/// Simulates one realization — or, with `--frames N`, a stream of `N`
+/// back-to-back frames — under an [`mp_sim::Observer`] and exports the
+/// event stream. `--format chrome` and `jsonl` write through streaming
+/// sinks: with `--out` the file fills incrementally as the engine emits
+/// events, so event memory stays O(1) however long the stream. `csv`
+/// emits the derived metrics registry and `summary` (the default) a
+/// human-readable digest with the per-category energy ledger and its
+/// per-section slices. `--proc` and `--kinds` narrow the chrome/jsonl
+/// exports; summary and csv always aggregate the full stream so their
+/// totals stay meaningful.
 fn trace_cmd(args: &Args) -> Result<String, String> {
-    use mp_sim::{EnergyLedger, EventLog, MetricsRegistry};
-    use pas_obs::{export as obs_export, EventKind};
-    let setup = build_setup(args)?;
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
-    let fault_plan = match &args.fault_plan {
-        Some(path) => Some(load_fault_plan(path)?),
-        None => None,
+    use mp_sim::MetricsRegistry;
+    use pas_obs::{
+        ChromeSink, EventKind, Fanout, Filtered, JsonlSink, NullObserver, Observer, RingLog,
+        SectionedLedger,
     };
-    let fault_set = fault_plan
-        .as_ref()
-        .map(|p| p.realize(&setup.graph, args.seed));
-    let mut log = EventLog::new();
-    let res = match args.scheme {
-        SchemeArg::Scheme(scheme) => {
-            let mut policy = setup.policy(scheme);
-            setup.simulator(false).run_observed(
-                policy.as_mut(),
-                &real,
-                None,
-                fault_set.as_ref(),
-                Some(&mut log),
-            )
-        }
-        SchemeArg::Oracle => {
-            let mut oracle = setup
-                .oracle(&real)
-                .map_err(|e| format!("simulation: {e}"))?;
-            setup.simulator(false).run_observed(
-                &mut oracle,
-                &real,
-                None,
-                fault_set.as_ref(),
-                Some(&mut log),
-            )
-        }
+    if !matches!(args.format.as_str(), "chrome" | "jsonl" | "csv" | "summary") {
+        return Err(format!(
+            "unknown trace format '{}' (expected chrome, jsonl, csv or summary)",
+            args.format
+        ));
     }
-    .map_err(|e| format!("simulation: {e}"))?;
-    let events = log.into_events();
     let kind_filter: Option<Vec<EventKind>> = match &args.kinds {
         Some(spec) => Some(
             spec.split(',')
@@ -497,26 +539,190 @@ fn trace_cmd(args: &Args) -> Result<String, String> {
         ),
         None => None,
     };
-    let filtered: Vec<mp_sim::SimEvent> = events
-        .iter()
-        .filter(|ev| {
-            kind_filter
-                .as_ref()
-                .is_none_or(|ks| ks.contains(&ev.kind()))
-                && args.proc_filter.is_none_or(|p| ev.proc() == Some(p))
-        })
-        .cloned()
-        .collect();
-    let body = match args.format.as_str() {
-        "chrome" => obs_export::chrome_trace(&filtered, |n| setup.graph.node(n).name.clone()),
-        "jsonl" => obs_export::to_jsonl(&filtered),
-        "csv" => MetricsRegistry::from_events(&events).to_csv(),
+    let setup = build_setup(args)?;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let etm = ExecTimeModel::paper_defaults();
+    if args.frames.is_some() {
+        if args.fault_plan.is_some() {
+            return Err(
+                "--fault-plan does not combine with --frames (fault draws are per run)".into(),
+            );
+        }
+        if args.scheme == SchemeArg::Oracle {
+            return Err(
+                "--frames does not support the oracle scheme (its plan is per-realization)".into(),
+            );
+        }
+    }
+    let fault_plan = match &args.fault_plan {
+        Some(path) => Some(load_fault_plan(path)?),
+        None => None,
+    };
+    // Realizations: one per frame when streaming, one otherwise.
+    let frames: Option<Vec<mp_sim::Realization>> = args
+        .frames
+        .map(|n| (0..n).map(|_| setup.sample(&etm, &mut rng)).collect());
+    let single: Option<mp_sim::Realization> =
+        frames.is_none().then(|| setup.sample(&etm, &mut rng));
+    let fault_set = fault_plan
+        .as_ref()
+        .map(|p| p.realize(&setup.graph, args.seed));
+    // One run shape behind one entry point: everything downstream only
+    // sees an observer fed incrementally.
+    let run_into = |observer: &mut dyn Observer| -> Result<RunDigest, String> {
+        if let Some(fs) = &frames {
+            let sim = setup.simulator(false);
+            let mut policy = match args.scheme {
+                SchemeArg::Scheme(s) => setup.policy(s),
+                SchemeArg::Oracle => unreachable!("rejected above"),
+            };
+            let res =
+                mp_sim::run_stream_observed(&sim, policy.as_mut(), fs, args.carry, Some(observer))
+                    .map_err(|e| format!("simulation: {e}"))?;
+            let last = res.frame_finish.last().copied().unwrap_or(0.0);
+            Ok(RunDigest {
+                header: format!(
+                    "{} frames streamed{}, {} deadline misses, last frame finished at \
+                     {:.2} ms of {:.2} ms\n",
+                    fs.len(),
+                    if args.carry {
+                        " (DVS state carried over)"
+                    } else {
+                        ""
+                    },
+                    res.misses,
+                    last,
+                    setup.plan.deadline
+                ),
+                total_energy: res.total_energy(),
+                meter_speed_changes: res.speed_changes(),
+            })
+        } else {
+            let real = single.as_ref().expect("single-run realization");
+            let res = match args.scheme {
+                SchemeArg::Scheme(scheme) => {
+                    let mut policy = setup.policy(scheme);
+                    setup.simulator(false).run_observed(
+                        policy.as_mut(),
+                        real,
+                        None,
+                        fault_set.as_ref(),
+                        Some(observer),
+                    )
+                }
+                SchemeArg::Oracle => {
+                    let mut oracle = setup.oracle(real).map_err(|e| format!("simulation: {e}"))?;
+                    setup.simulator(false).run_observed(
+                        &mut oracle,
+                        real,
+                        None,
+                        fault_set.as_ref(),
+                        Some(observer),
+                    )
+                }
+            }
+            .map_err(|e| format!("simulation: {e}"))?;
+            let status = if res.status.met() {
+                "met".to_string()
+            } else {
+                format!("MISSED by {:.2} ms", res.status.missed_by())
+            };
+            Ok(RunDigest {
+                header: format!(
+                    "finished at {:.2} ms of {:.2} ms — deadline {}\n",
+                    res.finish_time, res.deadline, status
+                ),
+                total_energy: res.total_energy(),
+                meter_speed_changes: res.energy.speed_changes(),
+            })
+        }
+    };
+    let scheme_name = match args.scheme {
+        SchemeArg::Scheme(s) => s.name().to_string(),
+        SchemeArg::Oracle => "Oracle".into(),
+    };
+    let (body, event_count): (String, u64) = match args.format.as_str() {
+        "jsonl" => {
+            if let Some(path) = &args.out {
+                // Incremental path: each event hits the buffered file
+                // writer the moment the engine emits it.
+                let file =
+                    std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+                let mut sink = Filtered::new(
+                    JsonlSink::new(std::io::BufWriter::new(file)),
+                    kind_filter,
+                    args.proc_filter,
+                );
+                run_into(&mut sink)?;
+                let passed = sink.passed();
+                let mut w = sink
+                    .into_inner()
+                    .finish()
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                use std::io::Write as _;
+                w.flush().map_err(|e| format!("writing {path}: {e}"))?;
+                return Ok(format!("wrote {path} ({passed} events, streamed)\n"));
+            }
+            let mut sink = Filtered::new(JsonlSink::new(Vec::new()), kind_filter, args.proc_filter);
+            run_into(&mut sink)?;
+            let passed = sink.passed();
+            let buf = sink.into_inner().finish().expect("in-memory sink");
+            (String::from_utf8(buf).expect("jsonl is utf-8"), passed)
+        }
+        "chrome" => {
+            let name_of = |n: andor_graph::NodeId| setup.graph.node(n).name.clone();
+            if let Some(path) = &args.out {
+                let file =
+                    std::fs::File::create(path).map_err(|e| format!("creating {path}: {e}"))?;
+                let mut sink = Filtered::new(
+                    ChromeSink::new(std::io::BufWriter::new(file), name_of),
+                    kind_filter,
+                    args.proc_filter,
+                );
+                run_into(&mut sink)?;
+                let passed = sink.passed();
+                let mut w = sink
+                    .into_inner()
+                    .finish()
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+                use std::io::Write as _;
+                w.flush().map_err(|e| format!("writing {path}: {e}"))?;
+                return Ok(format!("wrote {path} ({passed} events, streamed)\n"));
+            }
+            let mut sink = Filtered::new(
+                ChromeSink::new(Vec::new(), name_of),
+                kind_filter,
+                args.proc_filter,
+            );
+            run_into(&mut sink)?;
+            let passed = sink.passed();
+            let buf = sink.into_inner().finish().expect("in-memory sink");
+            (
+                String::from_utf8(buf).expect("chrome trace is utf-8"),
+                passed,
+            )
+        }
+        "csv" => {
+            let mut reg = MetricsRegistry::new();
+            run_into(&mut reg)?;
+            let total: u64 = EventKind::ALL
+                .iter()
+                .map(|k| reg.counter(&format!("events.{}", k.name())))
+                .sum();
+            (reg.to_csv(), total)
+        }
         "summary" => {
-            let reg = MetricsRegistry::from_events(&events);
-            let ledger = EnergyLedger::from_events(&events);
-            let scheme_name = match args.scheme {
-                SchemeArg::Scheme(s) => s.name().to_string(),
-                SchemeArg::Oracle => "Oracle".into(),
+            let mut reg = MetricsRegistry::new();
+            let mut ledger = SectionedLedger::new();
+            let mut ring = RingLog::new(4096);
+            let mut filt = Filtered::new(NullObserver, kind_filter, args.proc_filter);
+            let digest = {
+                let mut fan = Fanout::new()
+                    .with(&mut reg)
+                    .with(&mut ledger)
+                    .with(&mut ring)
+                    .with(&mut filt);
+                run_into(&mut fan)?
             };
             let mut out = String::new();
             let _ = writeln!(
@@ -527,21 +733,12 @@ fn trace_cmd(args: &Args) -> Result<String, String> {
                 setup.plan.num_procs,
                 args.seed
             );
-            let status = if res.status.met() {
-                "met".to_string()
-            } else {
-                format!("MISSED by {:.2} ms", res.status.missed_by())
-            };
-            let _ = writeln!(
-                out,
-                "finished at {:.2} ms of {:.2} ms — deadline {}",
-                res.finish_time, res.deadline, status
-            );
+            out.push_str(&digest.header);
             let _ = writeln!(
                 out,
                 "events: {} recorded, {} after filters",
-                events.len(),
-                filtered.len()
+                ring.seen(),
+                filt.passed()
             );
             for kind in EventKind::ALL {
                 let count = reg.counter(&format!("events.{}", kind.name()));
@@ -551,40 +748,133 @@ fn trace_cmd(args: &Args) -> Result<String, String> {
             }
             let _ = writeln!(
                 out,
+                "live window: {} of {} events buffered (bounded ring)",
+                ring.peak_occupancy(),
+                ring.capacity()
+            );
+            let _ = writeln!(
+                out,
                 "speed changes: {} event-derived vs {} engine meter",
                 reg.speed_changes(),
-                res.energy.speed_changes()
+                digest.meter_speed_changes
             );
             let _ = writeln!(out, "slack reclaimed: {:.2} ms", reg.slack_reclaimed_ms());
             let _ = writeln!(out, "{ledger}");
-            match ledger.verify(res.total_energy()) {
+            match ledger.verify(digest.total_energy) {
                 Ok(()) => {
                     let _ = writeln!(
                         out,
                         "ledger total {:.6} matches engine total_energy {:.6}",
-                        ledger.total(),
-                        res.total_energy()
+                        ledger.total().total(),
+                        digest.total_energy
                     );
                 }
                 Err(mismatch) => {
                     let _ = writeln!(out, "LEDGER MISMATCH: {mismatch}");
                 }
             }
-            out
+            let passed = filt.passed();
+            (out, passed)
         }
-        other => {
-            return Err(format!(
-                "unknown trace format '{other}' (expected chrome, jsonl, csv or summary)"
-            ))
-        }
+        _ => unreachable!("format validated above"),
     };
     match &args.out {
         Some(path) => {
             std::fs::write(path, &body).map_err(|e| format!("writing {path}: {e}"))?;
-            Ok(format!("wrote {path} ({} events)\n", filtered.len()))
+            Ok(format!("wrote {path} ({event_count} events)\n"))
         }
         None => Ok(body),
     }
+}
+
+/// `pas bench`: runs the golden workloads (Figures 4–6 operating points,
+/// both platforms, all six schemes) through the [`pas_bench`] harness,
+/// prints a digest, writes `BENCH_<rev>.json`, and optionally refreshes
+/// (`--update-baselines`) or checks (`--check`, error on drift) the
+/// committed baselines under `--bench-dir`.
+fn bench_cmd(args: &Args) -> Result<String, String> {
+    let workloads: Option<Vec<String>> = args.workloads.as_ref().map(|spec| {
+        spec.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    });
+    let opts = pas_bench::BenchOptions {
+        reps: args.reps,
+        seed: args.seed,
+        rev: pas_bench::detect_rev(),
+        workloads,
+    };
+    let out = pas_bench::run_bench(&opts).map_err(|e| format!("bench: {e}"))?;
+    let dir = std::path::PathBuf::from(
+        args.bench_dir
+            .as_deref()
+            .unwrap_or(pas_bench::harness::DEFAULT_BASELINE_DIR),
+    );
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "pas bench — rev {}, {} records, {} timing reps each",
+        out.report.rev,
+        out.report.records.len(),
+        args.reps
+    );
+    let _ = writeln!(
+        text,
+        "{:<6} {:<18} {:<6} {:>9} {:>11} {:>7} {:>12} {:>9}",
+        "wkld", "platform", "scheme", "wall ms", "kevents/s", "events", "energy mJ", "sections"
+    );
+    for rec in &out.report.records {
+        let _ = writeln!(
+            text,
+            "{:<6} {:<18} {:<6} {:>9.2} {:>11.1} {:>7} {:>12.4} {:>9}",
+            rec.workload,
+            rec.platform,
+            rec.scheme,
+            rec.wall_ms,
+            rec.events_per_sec / 1e3,
+            rec.events,
+            rec.energy_mj,
+            rec.sections.len()
+        );
+    }
+    if args.update_baselines {
+        let written = pas_bench::write_baselines(&out, &dir).map_err(|e| format!("bench: {e}"))?;
+        for path in written {
+            let _ = writeln!(text, "wrote {path}");
+        }
+    }
+    let report_path = match &args.out {
+        Some(path) => {
+            std::fs::write(path, pas_bench::harness::report_json(&out.report))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            path.clone()
+        }
+        None => pas_bench::write_report(&out.report, std::path::Path::new("."))
+            .map_err(|e| format!("bench: {e}"))?
+            .display()
+            .to_string(),
+    };
+    let _ = writeln!(text, "wrote {report_path}");
+    if args.check {
+        let drifts =
+            pas_bench::check_against_baselines(&out, &dir).map_err(|e| format!("bench: {e}"))?;
+        if drifts.is_empty() {
+            let _ = writeln!(
+                text,
+                "baseline check passed ({} records within tolerance)",
+                out.report.records.len()
+            );
+        } else {
+            return Err(format!(
+                "baseline drift detected ({} deviations):\n  {}",
+                drifts.len(),
+                drifts.join("\n  ")
+            ));
+        }
+    }
+    Ok(text)
 }
 
 fn dot(args: &Args) -> Result<String, String> {

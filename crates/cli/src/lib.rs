@@ -14,6 +14,9 @@
 //! pas export   --app atr --out atr.json              save a workload as JSON
 //! pas trace    --app atr --scheme as --format chrome \
 //!              --out trace.json                      export the event stream
+//! pas trace    --app atr --frames 100 --format jsonl \
+//!              --out stream.jsonl                    stream 100 frames incrementally
+//! pas bench    --check                               diff golden workloads vs baselines
 //! ```
 //!
 //! `--app` accepts the built-in workloads `atr`, `synthetic` and `video`,
@@ -29,12 +32,13 @@ mod source;
 pub use args::{Args, Command};
 
 /// One-line usage summary printed on argument errors.
-pub const USAGE: &str = "usage: pas <inspect|plan|run|compare|dot|optimal|export|trace> \
+pub const USAGE: &str = "usage: pas <inspect|plan|run|compare|dot|optimal|export|trace|bench> \
 [--app atr|synthetic|video|FILE.json] [--model transmeta|xscale|continuous:S] \
 [--procs N] [--load L | --deadline D] [--scheme npm|spm|gss|ss1|ss2|as|oracle] \
 [--seed S] [--reps N] [--alpha A] [--gantt] [--out FILE] \
 [--fault-plan FILE.json] [--format chrome|jsonl|csv|summary] [--proc P] \
-[--kinds k1,k2,...]";
+[--kinds k1,k2,...] [--frames N] [--carry] [--metrics] \
+[--check] [--update-baselines] [--bench-dir DIR] [--workloads w1,w2,...]";
 
 /// Parses `args` and executes the selected command, returning the text to
 /// print.
@@ -476,6 +480,180 @@ mod tests {
         assert!(out.contains("fault-injected"), "{out}");
         assert!(out.contains("matches engine total_energy"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_streams_frames_incrementally() {
+        let dir = std::env::temp_dir().join("pas_cli_test_trace_frames");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("stream.jsonl");
+        let path_s = path.to_str().unwrap();
+        let out = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--scheme",
+            "gss",
+            "--seed",
+            "7",
+            "--frames",
+            "6",
+            "--format",
+            "jsonl",
+            "--out",
+            path_s,
+        ])
+        .unwrap();
+        assert!(out.contains("streamed"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let events = pas_obs::export::from_jsonl(&body).expect("round-trips");
+        // Six frames of one run each: strictly more events than one run.
+        let one = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--scheme",
+            "gss",
+            "--seed",
+            "7",
+            "--format",
+            "jsonl",
+        ])
+        .unwrap();
+        assert!(events.len() > pas_obs::export::from_jsonl(&one).unwrap().len());
+        // Streamed summaries report the frame count and bounded window.
+        let summary = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--scheme",
+            "gss",
+            "--seed",
+            "7",
+            "--frames",
+            "6",
+            "--carry",
+        ])
+        .unwrap();
+        assert!(summary.contains("6 frames streamed"), "{summary}");
+        assert!(summary.contains("DVS state carried over"), "{summary}");
+        assert!(summary.contains("bounded ring"), "{summary}");
+        assert!(summary.contains("matches engine total_energy"), "{summary}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_frames_rejects_oracle_and_faults() {
+        let err = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--frames",
+            "2",
+            "--scheme",
+            "oracle",
+        ])
+        .unwrap_err();
+        assert!(err.contains("oracle"), "{err}");
+        let err = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--frames",
+            "2",
+            "--fault-plan",
+            "x.json",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--frames"), "{err}");
+    }
+
+    #[test]
+    fn trace_summary_lists_per_section_slices() {
+        let out = call(&[
+            "trace",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--scheme",
+            "as",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        assert!(out.contains("per-section slices"), "{out}");
+        assert!(out.contains("root"), "{out}");
+    }
+
+    #[test]
+    fn bench_writes_report_checks_baselines_and_flags_drift() {
+        let dir = std::env::temp_dir().join("pas_cli_test_bench");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let baselines = dir.join("baselines");
+        let report = dir.join("bench.json");
+        let base = [
+            "bench",
+            "--reps",
+            "1",
+            "--workloads",
+            "fig4",
+            "--bench-dir",
+            baselines.to_str().unwrap(),
+            "--out",
+            report.to_str().unwrap(),
+        ];
+        // First run refreshes the baselines...
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.push("--update-baselines");
+        let out = call(&argv).unwrap();
+        assert!(out.contains("pas bench"), "{out}");
+        assert!(out.contains("bench_baseline.json"), "{out}");
+        let body = std::fs::read_to_string(&report).unwrap();
+        let doc: serde::Value = serde_json::from_str(&body).expect("valid JSON");
+        assert!(doc.get("records").is_some(), "{body}");
+        // ...then an identical run passes the check...
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.push("--check");
+        let out = call(&argv).unwrap();
+        assert!(out.contains("baseline check passed"), "{out}");
+        // ...and a different seed drifts.
+        let mut argv: Vec<&str> = base.to_vec();
+        argv.extend(["--check", "--seed", "1234"]);
+        let err = call(&argv).unwrap_err();
+        assert!(err.contains("drift"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_rejects_unknown_workload() {
+        let err = call(&["bench", "--reps", "1", "--workloads", "fig9"]).unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+    }
+
+    #[test]
+    fn compare_metrics_aggregates_and_cross_checks() {
+        let out = call(&[
+            "compare",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--reps",
+            "10",
+            "--seed",
+            "3",
+            "--metrics",
+        ])
+        .unwrap();
+        assert!(out.contains("metrics registry aggregated"), "{out}");
+        assert!(out.contains("events/run"), "{out}");
+        assert!(out.contains("60 runs, 0 speed-change mismatches"), "{out}");
     }
 
     #[test]

@@ -113,6 +113,13 @@ mod tests {
             format: "summary".into(),
             proc_filter: None,
             kinds: None,
+            frames: None,
+            carry: false,
+            metrics: false,
+            check: false,
+            update_baselines: false,
+            bench_dir: None,
+            workloads: None,
         }
     }
 

@@ -26,6 +26,8 @@ pub struct Options {
     pub markdown: bool,
     /// Directory for per-scheme reference Chrome traces, if requested.
     pub emit_trace: Option<String>,
+    /// Per-section attribution (honored by the `breakdown` binary).
+    pub per_section: bool,
 }
 
 impl Options {
@@ -37,6 +39,7 @@ impl Options {
         let mut svg = None;
         let mut markdown = false;
         let mut emit_trace = None;
+        let mut per_section = false;
         let mut it = args.into_iter().skip(1);
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -58,10 +61,11 @@ impl Options {
                 "--emit-trace" => {
                     emit_trace = Some(it.next().ok_or("--emit-trace needs a directory")?);
                 }
+                "--per-section" => per_section = true,
                 "--help" | "-h" => {
                     return Err(
                         "usage: <bin> [--reps N] [--seed S] [--csv PATH] [--svg PATH] \
-                         [--markdown] [--emit-trace DIR]"
+                         [--markdown] [--emit-trace DIR] [--per-section]"
                             .into(),
                     )
                 }
@@ -77,6 +81,7 @@ impl Options {
             svg,
             markdown,
             emit_trace,
+            per_section,
         })
     }
 
@@ -180,6 +185,7 @@ mod tests {
             "--markdown",
             "--emit-trace",
             "/tmp/traces",
+            "--per-section",
         ]))
         .unwrap();
         assert_eq!(o.cfg.replications, 50);
@@ -188,6 +194,7 @@ mod tests {
         assert_eq!(o.svg.as_deref(), Some("/tmp/x.svg"));
         assert!(o.markdown);
         assert_eq!(o.emit_trace.as_deref(), Some("/tmp/traces"));
+        assert!(o.per_section);
     }
 
     #[test]

@@ -379,6 +379,66 @@ pub fn energy_breakdown(
     t
 }
 
+/// **Extension E2b** — which OR branch is expensive? Mean per-section
+/// energy per scheme at one operating point, attributed from the event
+/// stream by a [`mp_sim::SectionedLedger`]. The x-axis is the
+/// program-section id (chain order, `s0` = root); a section a
+/// realization never entered contributes 0 to its mean, so each series
+/// sums to that scheme's mean total energy.
+pub fn section_breakdown(
+    platform: Platform,
+    num_procs: usize,
+    load: f64,
+    cfg: &ExperimentConfig,
+) -> Table {
+    use mp_sim::{SectionKey, SectionedLedger};
+
+    let setup = Setup::for_load(atr_app(), platform.model(), num_procs, load).expect("feasible");
+    let num_sections = setup.sections.len();
+    let mut t = Table::new(
+        format!(
+            "Per-section energy — ATR, {} processors, load {}, {}",
+            num_procs,
+            load,
+            platform.name()
+        ),
+        "section",
+        (0..num_sections).map(|i| i as f64).collect(),
+    );
+    for &scheme in &cfg.schemes {
+        let mut sums = vec![0.0_f64; num_sections];
+        for r in 0..cfg.replications {
+            let seed = cfg
+                .base_seed
+                .wrapping_add((r as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let real = setup.sample(&cfg.etm, &mut rng);
+            let mut ledger = SectionedLedger::new();
+            let mut policy = setup.policy(scheme);
+            let res = setup
+                .simulator(false)
+                .run_observed(policy.as_mut(), &real, None, None, Some(&mut ledger))
+                .expect("valid setup simulates");
+            debug_assert!(ledger.verify(res.total_energy()).is_ok());
+            for slice in ledger.merged() {
+                let sid = match slice.key {
+                    SectionKey::Root => setup.sections.root(),
+                    SectionKey::Branch { or, branch } => setup
+                        .sections
+                        .branch_section(or, branch)
+                        .expect("stream keys map to sections"),
+                };
+                sums[sid.index()] += slice.ledger.total();
+            }
+        }
+        t.push_series(
+            scheme.name(),
+            sums.iter().map(|s| s / cfg.replications as f64).collect(),
+        );
+    }
+    t
+}
+
 /// **Extension E4** — streaming frames with DVS state carry-over: the
 /// paper simulates application instances independently (every frame starts
 /// at `f_max`); real hardware keeps its operating point across frames.

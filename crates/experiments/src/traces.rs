@@ -16,8 +16,9 @@ use rand::SeedableRng;
 use std::path::Path;
 
 /// Lower-cases a display name into a file-name-safe slug (`SS(1)` →
-/// `ss1`, `Intel XScale` → `intel-xscale`).
-fn slug(name: &str) -> String {
+/// `ss1`, `Intel XScale` → `intel-xscale`). Shared with the `pas bench`
+/// harness so baseline file names match the reference-trace names.
+pub fn slug(name: &str) -> String {
     let mut out = String::new();
     for c in name.chars() {
         if c.is_ascii_alphanumeric() {

@@ -93,6 +93,114 @@ fn counter_event(name: String, t_ms: f64, key: &str, value: f64) -> Value {
     ])
 }
 
+/// The `thread_name` metadata event naming processor `p`'s lane.
+pub fn thread_metadata(p: usize) -> Value {
+    obj(vec![
+        ("name", Value::Str("thread_name".to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("pid", Value::UInt(0)),
+        ("tid", Value::UInt(p as u64)),
+        ("args", obj(vec![("name", Value::Str(format!("cpu {p}")))])),
+    ])
+}
+
+/// Converts one event into its Chrome trace-event object, or `None` for
+/// kinds the Chrome rendering elides (dispatches, slack reclamation, idle
+/// starts — their information is carried by the matching completion/idle
+/// window). Shared by the buffered [`chrome_trace`] renderer and the
+/// streaming [`crate::ChromeSink`], so the two emit identical objects.
+pub fn chrome_event<F: Fn(NodeId) -> String + ?Sized>(ev: &SimEvent, name_of: &F) -> Option<Value> {
+    match ev {
+        SimEvent::TaskComplete {
+            t,
+            node,
+            proc,
+            start,
+            speed,
+            energy,
+            leakage,
+            ..
+        } => Some(duration_event(
+            name_of(*node),
+            "task",
+            *start,
+            t - start,
+            *proc,
+            vec![
+                ("speed", Value::Float(*speed)),
+                ("energy", Value::Float(energy + leakage)),
+            ],
+        )),
+        SimEvent::IdleEnd {
+            t,
+            proc,
+            duration_ms,
+            energy,
+        } => Some(duration_event(
+            "idle".to_string(),
+            "idle",
+            t - duration_ms,
+            *duration_ms,
+            *proc,
+            vec![("energy", Value::Float(*energy))],
+        )),
+        SimEvent::SpeedChange {
+            t, proc, to_speed, ..
+        } => Some(counter_event(
+            format!("speed.p{proc}"),
+            *t,
+            "speed",
+            *to_speed,
+        )),
+        SimEvent::OrBranchTaken { t, or, branch } => Some(instant_event(
+            format!("{} -> branch {branch}", name_of(*or)),
+            "branch",
+            *t,
+            None,
+        )),
+        SimEvent::SpeculationUpdate { t, spec_speed } => Some(counter_event(
+            "speculation".to_string(),
+            *t,
+            "spec_speed",
+            *spec_speed,
+        )),
+        SimEvent::FaultInjected {
+            t,
+            node,
+            proc,
+            kind,
+        } => {
+            let label = match kind {
+                FaultKind::Overrun { factor } => {
+                    format!("fault: overrun x{factor} @ {}", name_of(*node))
+                }
+                FaultKind::SpeedFailure => {
+                    format!("fault: speed failure @ {}", name_of(*node))
+                }
+                FaultKind::Stall { ms } => {
+                    format!("fault: stall {ms}ms @ {}", name_of(*node))
+                }
+            };
+            Some(instant_event(label, "fault", *t, Some(*proc)))
+        }
+        SimEvent::FaultDetected { t, node, proc } => Some(instant_event(
+            format!("overrun detected @ {}", name_of(*node)),
+            "fault",
+            *t,
+            Some(*proc),
+        )),
+        SimEvent::FaultRecovered { t, proc, .. } => Some(instant_event(
+            "recovery: escalate to f_max".to_string(),
+            "fault",
+            *t,
+            Some(*proc),
+        )),
+        SimEvent::TaskDispatch { .. }
+        | SimEvent::SlackReclaimed { .. }
+        | SimEvent::IdleStart { .. } => None,
+    }
+}
+
 /// Renders a stream as Chrome trace-event JSON, loadable in Perfetto or
 /// `chrome://tracing`. Task executions and idle windows become duration
 /// ("X") events on one thread lane per processor, speed changes become
@@ -108,105 +216,9 @@ pub fn chrome_trace<F: Fn(NodeId) -> String>(events: &[SimEvent], name_of: F) ->
         .max()
         .map(|p| p + 1);
     for p in 0..procs.unwrap_or(0) {
-        trace_events.push(obj(vec![
-            ("name", Value::Str("thread_name".to_string())),
-            ("ph", Value::Str("M".to_string())),
-            ("pid", Value::UInt(0)),
-            ("tid", Value::UInt(p as u64)),
-            ("args", obj(vec![("name", Value::Str(format!("cpu {p}")))])),
-        ]));
+        trace_events.push(thread_metadata(p));
     }
-    for ev in events {
-        match ev {
-            SimEvent::TaskComplete {
-                t,
-                node,
-                proc,
-                start,
-                speed,
-                energy,
-                leakage,
-                ..
-            } => trace_events.push(duration_event(
-                name_of(*node),
-                "task",
-                *start,
-                t - start,
-                *proc,
-                vec![
-                    ("speed", Value::Float(*speed)),
-                    ("energy", Value::Float(energy + leakage)),
-                ],
-            )),
-            SimEvent::IdleEnd {
-                t,
-                proc,
-                duration_ms,
-                energy,
-            } => trace_events.push(duration_event(
-                "idle".to_string(),
-                "idle",
-                t - duration_ms,
-                *duration_ms,
-                *proc,
-                vec![("energy", Value::Float(*energy))],
-            )),
-            SimEvent::SpeedChange {
-                t, proc, to_speed, ..
-            } => trace_events.push(counter_event(
-                format!("speed.p{proc}"),
-                *t,
-                "speed",
-                *to_speed,
-            )),
-            SimEvent::OrBranchTaken { t, or, branch } => trace_events.push(instant_event(
-                format!("{} -> branch {branch}", name_of(*or)),
-                "branch",
-                *t,
-                None,
-            )),
-            SimEvent::SpeculationUpdate { t, spec_speed } => trace_events.push(counter_event(
-                "speculation".to_string(),
-                *t,
-                "spec_speed",
-                *spec_speed,
-            )),
-            SimEvent::FaultInjected {
-                t,
-                node,
-                proc,
-                kind,
-            } => {
-                let label = match kind {
-                    FaultKind::Overrun { factor } => {
-                        format!("fault: overrun x{factor} @ {}", name_of(*node))
-                    }
-                    FaultKind::SpeedFailure => {
-                        format!("fault: speed failure @ {}", name_of(*node))
-                    }
-                    FaultKind::Stall { ms } => {
-                        format!("fault: stall {ms}ms @ {}", name_of(*node))
-                    }
-                };
-                trace_events.push(instant_event(label, "fault", *t, Some(*proc)));
-            }
-            SimEvent::FaultDetected { t, node, proc } => trace_events.push(instant_event(
-                format!("overrun detected @ {}", name_of(*node)),
-                "fault",
-                *t,
-                Some(*proc),
-            )),
-            SimEvent::FaultRecovered { t, proc, .. } => trace_events.push(instant_event(
-                "recovery: escalate to f_max".to_string(),
-                "fault",
-                *t,
-                Some(*proc),
-            )),
-            SimEvent::TaskDispatch { .. }
-            | SimEvent::SlackReclaimed { .. }
-            | SimEvent::IdleStart { .. } => {}
-        }
-    }
+    trace_events.extend(events.iter().filter_map(|ev| chrome_event(ev, &name_of)));
     let doc = obj(vec![
         ("traceEvents", Value::Array(trace_events)),
         ("displayTimeUnit", Value::Str("ms".to_string())),

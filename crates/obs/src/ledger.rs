@@ -4,6 +4,8 @@
 use crate::event::SimEvent;
 use crate::observer::Observer;
 use crate::LEDGER_TOLERANCE;
+use andor_graph::NodeId;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Per-category energy attribution for one run.
@@ -25,7 +27,7 @@ use std::fmt;
 /// The sum equals `RunResult::total_energy()` to within
 /// [`LEDGER_TOLERANCE`]; [`EnergyLedger::verify`] checks it, and the
 /// engine enforces it on every debug-build run.
-#[derive(Debug, Default, Clone, Copy, PartialEq)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EnergyLedger {
     /// Task execution + PMP dynamic energy (recovery premium excluded).
     pub busy: f64,
@@ -155,6 +157,198 @@ impl fmt::Display for EnergyLedger {
     }
 }
 
+/// Identifies one program-section slice of a run.
+///
+/// The stream itself carries the section structure: execution is a chain
+/// of sections (OR-seriality), every boundary emits
+/// [`SimEvent::OrBranchTaken`], and `SectionGraph::branch_section(or,
+/// branch)` maps a key back to its `SectionId`. `Root` is the slice
+/// before the first boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SectionKey {
+    /// The root section (everything before the first OR fires).
+    Root,
+    /// The section entered when `or` resolved to `branch`.
+    Branch {
+        /// The OR node that fired.
+        or: NodeId,
+        /// The branch index it took.
+        branch: usize,
+    },
+}
+
+impl fmt::Display for SectionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SectionKey::Root => write!(f, "root"),
+            SectionKey::Branch { or, branch } => write!(f, "n{}.b{branch}", or.0),
+        }
+    }
+}
+
+/// One section's share of the run: a key plus a full per-category ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SectionSlice {
+    /// Which section (OR branch) the energy below was spent in.
+    pub key: SectionKey,
+    /// Per-category attribution within this section.
+    pub ledger: EnergyLedger,
+}
+
+/// An [`EnergyLedger`] sliced per program section / OR branch taken.
+///
+/// Feeds on the same stream as the flat ledger; every event is charged to
+/// the global totals *and* to the slice of the section it happened in,
+/// segmented by the [`SimEvent::OrBranchTaken`] boundaries. Two
+/// invariants hold (both checked by [`SectionedLedger::verify`], and by
+/// the engine on every debug-build run):
+///
+/// 1. the global totals match `RunResult::total_energy()` within
+///    [`LEDGER_TOLERANCE`];
+/// 2. the slices sum to the global totals within the same tolerance
+///    (they partition the stream, so this is exact up to rounding).
+///
+/// Attribution convention: the engine emits one aggregate idle window per
+/// processor *after* the last section completes (dispatch gaps plus the
+/// tail out to the horizon), so that lump lands in the final slice;
+/// stall-idle inside a section stays in its section. Over a multi-frame
+/// stream the slices keep growing in stream order — use
+/// [`SectionedLedger::merged`] to aggregate equal keys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SectionedLedger {
+    total: EnergyLedger,
+    slices: Vec<SectionSlice>,
+}
+
+impl Default for SectionedLedger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SectionedLedger {
+    /// An empty ledger, positioned in the root section.
+    pub fn new() -> Self {
+        Self {
+            total: EnergyLedger::new(),
+            slices: vec![SectionSlice {
+                key: SectionKey::Root,
+                ledger: EnergyLedger::new(),
+            }],
+        }
+    }
+
+    /// Builds a sectioned ledger from a recorded stream.
+    pub fn from_events(events: &[SimEvent]) -> Self {
+        let mut ledger = Self::new();
+        for ev in events {
+            ledger.on_event(ev);
+        }
+        ledger
+    }
+
+    /// The global per-category totals (equal to the flat
+    /// [`EnergyLedger`] over the same stream).
+    pub fn total(&self) -> &EnergyLedger {
+        &self.total
+    }
+
+    /// The per-section slices, in stream order (root first).
+    pub fn slices(&self) -> &[SectionSlice] {
+        &self.slices
+    }
+
+    /// Slices with equal keys merged (multi-frame streams revisit
+    /// sections), sorted root-first then by `(or, branch)`.
+    pub fn merged(&self) -> Vec<SectionSlice> {
+        let mut out: Vec<SectionSlice> = Vec::new();
+        for slice in &self.slices {
+            match out.iter_mut().find(|s| s.key == slice.key) {
+                Some(existing) => {
+                    existing.ledger.busy += slice.ledger.busy;
+                    existing.ledger.idle += slice.ledger.idle;
+                    existing.ledger.speed_overhead += slice.ledger.speed_overhead;
+                    existing.ledger.leakage += slice.ledger.leakage;
+                    existing.ledger.recovery += slice.ledger.recovery;
+                }
+                None => out.push(slice.clone()),
+            }
+        }
+        out.sort_by_key(|s| s.key);
+        out
+    }
+
+    /// Checks both invariants: the global total against the engine's
+    /// `total_energy()`, and the slice sum against the global total.
+    pub fn verify(&self, expected: f64) -> Result<(), LedgerMismatch> {
+        self.total.verify(expected)?;
+        self.verify_sections()
+    }
+
+    /// Checks that the per-section slices sum to the global total within
+    /// [`LEDGER_TOLERANCE`].
+    pub fn verify_sections(&self) -> Result<(), LedgerMismatch> {
+        let sum: f64 = self.slices.iter().map(|s| s.ledger.total()).sum();
+        let expected = self.total.total();
+        if (sum - expected).abs() <= LEDGER_TOLERANCE * expected.abs().max(1.0) {
+            Ok(())
+        } else {
+            Err(LedgerMismatch {
+                ledger_total: sum,
+                expected,
+            })
+        }
+    }
+}
+
+impl Observer for SectionedLedger {
+    fn on_event(&mut self, event: &SimEvent) {
+        if let SimEvent::OrBranchTaken { or, branch, .. } = event {
+            self.slices.push(SectionSlice {
+                key: SectionKey::Branch {
+                    or: *or,
+                    branch: *branch,
+                },
+                ledger: EnergyLedger::new(),
+            });
+        }
+        self.total.on_event(event);
+        self.slices
+            .last_mut()
+            .expect("slices start non-empty")
+            .ledger
+            .on_event(event);
+    }
+}
+
+impl fmt::Display for SectionedLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.total)?;
+        writeln!(f, "\nper-section slices ({}):", self.slices.len())?;
+        writeln!(
+            f,
+            "  {:<12} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "section", "total", "busy", "idle", "overhead", "leakage", "recovery"
+        )?;
+        for (i, slice) in self.slices.iter().enumerate() {
+            let l = &slice.ledger;
+            let newline = if i + 1 == self.slices.len() { "" } else { "\n" };
+            write!(
+                f,
+                "  {:<12} {:>12.6} {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}{newline}",
+                slice.key.to_string(),
+                l.total(),
+                l.busy,
+                l.idle,
+                l.speed_overhead,
+                l.leakage,
+                l.recovery
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +420,73 @@ mod tests {
         ledger.verify(total).expect("true total verifies");
         let err = ledger.verify(total + 0.01).unwrap_err();
         assert!(err.to_string().contains("diverges"), "{err}");
+    }
+
+    fn sectioned_events() -> Vec<SimEvent> {
+        let mut events = sample_events();
+        events.push(SimEvent::OrBranchTaken {
+            t: 25.0,
+            or: NodeId(7),
+            branch: 1,
+        });
+        events.push(SimEvent::TaskComplete {
+            t: 30.0,
+            node: NodeId(8),
+            proc: 1,
+            start: 25.0,
+            exec_ms: 5.0,
+            speed: 1.0,
+            energy: 1.25,
+            leakage: 0.0,
+            recovery_premium: 0.0,
+        });
+        events
+    }
+
+    #[test]
+    fn sections_partition_the_stream() {
+        let events = sectioned_events();
+        let ledger = SectionedLedger::from_events(&events);
+        let flat = EnergyLedger::from_events(&events);
+        assert_eq!(*ledger.total(), flat);
+        assert_eq!(ledger.slices().len(), 2);
+        assert_eq!(ledger.slices()[0].key, SectionKey::Root);
+        assert_eq!(
+            ledger.slices()[1].key,
+            SectionKey::Branch {
+                or: NodeId(7),
+                branch: 1
+            }
+        );
+        // Everything before the boundary lands in root, the last task in
+        // the branch slice.
+        assert!((ledger.slices()[1].ledger.busy - 1.25).abs() < 1e-12);
+        assert!((ledger.slices()[0].ledger.total() + 1.25 - flat.total()).abs() < 1e-12);
+        ledger.verify_sections().expect("slices sum to total");
+        ledger.verify(flat.total()).expect("both invariants hold");
+        assert!(ledger.verify(flat.total() + 0.5).is_err());
+    }
+
+    #[test]
+    fn merged_aggregates_repeated_keys() {
+        // Two frames back to back: the same branch slice appears twice.
+        let mut events = sectioned_events();
+        events.extend(sectioned_events());
+        let ledger = SectionedLedger::from_events(&events);
+        assert_eq!(ledger.slices().len(), 3); // root, b1, b1 (frame 2 root merges into trailing b1)
+        let merged = ledger.merged();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].key, SectionKey::Root);
+        let sum: f64 = merged.iter().map(|s| s.ledger.total()).sum();
+        assert!((sum - ledger.total().total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sectioned_display_lists_slices() {
+        let text = SectionedLedger::from_events(&sectioned_events()).to_string();
+        assert!(text.contains("per-section slices"), "{text}");
+        assert!(text.contains("root"), "{text}");
+        assert!(text.contains("n7.b1"), "{text}");
     }
 
     #[test]

@@ -24,8 +24,15 @@
 //!   checks the total against `RunResult::total_energy()` to within
 //!   1e-9 relative error. The engine enforces this invariant on every
 //!   debug-build run.
+//! * [`SectionedLedger`] — the same attribution sliced per program
+//!   section / OR branch taken, segmented by the
+//!   [`SimEvent::OrBranchTaken`] boundaries in the stream; slices sum to
+//!   the global total within the same tolerance.
 //! * [`export`] — JSONL event dumps, Chrome trace-event / Perfetto JSON,
 //!   and CSV metrics.
+//! * streaming sinks ([`JsonlSink`], [`ChromeSink`], [`RingLog`],
+//!   [`Fanout`], [`Filtered`]) — incremental consumers with O(1) event
+//!   memory, for runs too long to buffer.
 //!
 //! The crate is deliberately independent of the engine: events are plain
 //! data, so exporters and accounting can run in-process (streaming) or
@@ -35,13 +42,15 @@ mod event;
 mod ledger;
 mod metrics;
 mod observer;
+mod sink;
 
 pub mod export;
 
 pub use event::{EventKind, FaultKind, SimEvent};
-pub use ledger::{EnergyLedger, LedgerMismatch};
+pub use ledger::{EnergyLedger, LedgerMismatch, SectionKey, SectionSlice, SectionedLedger};
 pub use metrics::{MetricsRegistry, TimeWeightedHist};
 pub use observer::{EventLog, NullObserver, Observer};
+pub use sink::{ChromeSink, Fanout, Filtered, JsonlSink, RingLog};
 
 /// Relative tolerance of the ledger-vs-meter invariant: the ledger total
 /// must match the engine's `total_energy()` to within `LEDGER_TOLERANCE *

@@ -1,0 +1,492 @@
+//! Streaming sinks: incremental exporters and bounded live aggregates.
+//!
+//! The [`crate::EventLog`] observer buffers the whole run; everything in
+//! this module instead consumes each [`SimEvent`] as it is emitted and
+//! keeps O(1) event memory:
+//!
+//! * [`JsonlSink`] writes one JSON line per event straight into any
+//!   [`std::io::Write`] — its output is byte-for-byte the buffered
+//!   [`crate::export::to_jsonl`] dump.
+//! * [`ChromeSink`] streams a Chrome trace-event document, emitting each
+//!   renderable event the moment it arrives and the per-processor lane
+//!   metadata at [`ChromeSink::finish`].
+//! * [`RingLog`] is the bounded ring/windowed aggregator behind live
+//!   summaries: the last `capacity` events plus running per-kind counts.
+//! * [`Fanout`] and [`Filtered`] compose observers, so one run can feed a
+//!   file sink, a metrics registry and a ledger simultaneously with the
+//!   CLI's kind/processor filters applied only where wanted.
+//!
+//! I/O errors inside `on_event` (which cannot return them) are latched and
+//! surfaced by `finish()`; after the first error a sink stops writing.
+
+use crate::event::{EventKind, SimEvent};
+use crate::export::{chrome_event, thread_metadata};
+use crate::observer::Observer;
+use andor_graph::NodeId;
+use serde::Value;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// Streams events as JSON Lines into a writer, one line per event.
+///
+/// Feeding it the same stream as [`crate::export::to_jsonl`] produces
+/// byte-identical output (the parity is property-tested).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    w: W,
+    written: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// A sink over `w`. Nothing is written until the first event.
+    pub fn new(w: W) -> Self {
+        Self {
+            w,
+            written: 0,
+            err: None,
+        }
+    }
+
+    /// Events successfully written so far.
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the writer, or the first latched I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write> Observer for JsonlSink<W> {
+    fn on_event(&mut self, event: &SimEvent) {
+        if self.err.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(event).expect("events serialize");
+        match self
+            .w
+            .write_all(line.as_bytes())
+            .and_then(|()| self.w.write_all(b"\n"))
+        {
+            Ok(()) => self.written += 1,
+            Err(e) => self.err = Some(e),
+        }
+    }
+}
+
+/// Streams a Chrome trace-event document into a writer.
+///
+/// Each renderable event is converted (via [`chrome_event`]) and written
+/// as it arrives; [`ChromeSink::finish`] appends the per-processor
+/// `thread_name` metadata (legal anywhere in the trace-event format) and
+/// closes the document. `name_of` labels tasks, as in
+/// [`crate::export::chrome_trace`].
+pub struct ChromeSink<W: Write, F: Fn(NodeId) -> String> {
+    w: W,
+    name_of: F,
+    started: bool,
+    any: bool,
+    procs: usize,
+    written: u64,
+    err: Option<io::Error>,
+}
+
+impl<W: Write, F: Fn(NodeId) -> String> ChromeSink<W, F> {
+    /// A sink over `w`. Nothing is written until the first event (or
+    /// `finish`, which always produces a valid document).
+    pub fn new(w: W, name_of: F) -> Self {
+        Self {
+            w,
+            name_of,
+            started: false,
+            any: false,
+            procs: 0,
+            written: 0,
+            err: None,
+        }
+    }
+
+    /// Trace-event objects successfully written so far (excluding the
+    /// metadata written by `finish`).
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    fn write_value(&mut self, v: &Value) -> io::Result<()> {
+        if !self.started {
+            self.w.write_all(b"{\"traceEvents\":[")?;
+            self.started = true;
+        }
+        if self.any {
+            self.w.write_all(b",")?;
+        }
+        let body = serde_json::to_string(v).expect("trace objects serialize");
+        self.w.write_all(body.as_bytes())?;
+        self.any = true;
+        Ok(())
+    }
+
+    /// Writes the lane metadata and the document tail, flushes, and
+    /// returns the writer (or the first latched I/O error).
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.err.take() {
+            return Err(e);
+        }
+        for p in 0..self.procs {
+            let meta = thread_metadata(p);
+            self.write_value(&meta)?;
+        }
+        if !self.started {
+            self.w.write_all(b"{\"traceEvents\":[")?;
+        }
+        self.w.write_all(b"],\"displayTimeUnit\":\"ms\"}")?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+impl<W: Write, F: Fn(NodeId) -> String> Observer for ChromeSink<W, F> {
+    fn on_event(&mut self, event: &SimEvent) {
+        if self.err.is_some() {
+            return;
+        }
+        if let Some(p) = event.proc() {
+            self.procs = self.procs.max(p + 1);
+        }
+        if let Some(v) = chrome_event(event, &self.name_of) {
+            match self.write_value(&v) {
+                Ok(()) => self.written += 1,
+                Err(e) => self.err = Some(e),
+            }
+        }
+    }
+}
+
+/// A bounded window over the stream: the last `capacity` events verbatim,
+/// plus running per-kind counts and the latest event time over the
+/// *whole* stream. This is the live-summary aggregate for streaming runs
+/// — memory stays O(capacity) however long the run.
+#[derive(Debug, Clone)]
+pub struct RingLog {
+    cap: usize,
+    buf: VecDeque<SimEvent>,
+    counts: Vec<u64>,
+    seen: u64,
+    end_time: f64,
+}
+
+impl RingLog {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            cap: capacity.max(1),
+            buf: VecDeque::with_capacity(capacity.clamp(1, 4096)),
+            counts: vec![0; EventKind::ALL.len()],
+            seen: 0,
+            end_time: 0.0,
+        }
+    }
+
+    /// The configured window size.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no event was seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen == 0
+    }
+
+    /// Total events seen over the whole stream.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The highest buffer occupancy reached — `min(seen, capacity)`, the
+    /// quantity `pas bench` records as the peak event memory of a
+    /// streaming consumer.
+    pub fn peak_occupancy(&self) -> usize {
+        (self.seen.min(self.cap as u64)) as usize
+    }
+
+    /// Count of `kind` over the whole stream (not just the window).
+    pub fn count(&self, kind: EventKind) -> u64 {
+        let idx = EventKind::ALL.iter().position(|k| *k == kind);
+        idx.map_or(0, |i| self.counts[i])
+    }
+
+    /// Latest event time seen.
+    pub fn end_time(&self) -> f64 {
+        self.end_time
+    }
+
+    /// The retained window, oldest first.
+    pub fn window(&self) -> impl Iterator<Item = &SimEvent> {
+        self.buf.iter()
+    }
+}
+
+impl Observer for RingLog {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.seen += 1;
+        self.end_time = self.end_time.max(event.time());
+        if let Some(i) = EventKind::ALL.iter().position(|k| *k == event.kind()) {
+            self.counts[i] += 1;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+/// Fans each event out to several observers, in order.
+#[derive(Default)]
+pub struct Fanout<'a> {
+    sinks: Vec<&'a mut dyn Observer>,
+}
+
+impl<'a> Fanout<'a> {
+    /// An empty fanout.
+    pub fn new() -> Self {
+        Self { sinks: Vec::new() }
+    }
+
+    /// Adds a sink (builder style).
+    pub fn with(mut self, sink: &'a mut dyn Observer) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl Observer for Fanout<'_> {
+    fn on_event(&mut self, event: &SimEvent) {
+        for s in &mut self.sinks {
+            s.on_event(event);
+        }
+    }
+}
+
+/// Forwards only events passing a kind/processor filter, counting both
+/// sides — the CLI's `--kinds`/`--proc` narrowing for streaming exports.
+#[derive(Debug)]
+pub struct Filtered<O: Observer> {
+    inner: O,
+    kinds: Option<Vec<EventKind>>,
+    proc: Option<usize>,
+    seen: u64,
+    passed: u64,
+}
+
+impl<O: Observer> Filtered<O> {
+    /// Wraps `inner`; `None` filters pass everything.
+    pub fn new(inner: O, kinds: Option<Vec<EventKind>>, proc: Option<usize>) -> Self {
+        Self {
+            inner,
+            kinds,
+            proc,
+            seen: 0,
+            passed: 0,
+        }
+    }
+
+    /// Events observed (before filtering).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events forwarded to the inner sink.
+    pub fn passed(&self) -> u64 {
+        self.passed
+    }
+
+    /// Unwraps the inner sink.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Observer> Observer for Filtered<O> {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.seen += 1;
+        let kind_ok = self
+            .kinds
+            .as_ref()
+            .is_none_or(|ks| ks.contains(&event.kind()));
+        let proc_ok = self.proc.is_none_or(|p| event.proc() == Some(p));
+        if kind_ok && proc_ok {
+            self.passed += 1;
+            self.inner.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{chrome_trace, node_label, to_jsonl};
+    use crate::observer::EventLog;
+
+    fn sample_events() -> Vec<SimEvent> {
+        vec![
+            SimEvent::TaskDispatch {
+                t: 0.0,
+                node: NodeId(0),
+                proc: 0,
+                wcet: 10.0,
+                speed: 1.0,
+                pmp_ms: 0.0,
+                pmp_energy: 0.0,
+                pmp_leakage: 0.0,
+            },
+            SimEvent::TaskComplete {
+                t: 20.0,
+                node: NodeId(0),
+                proc: 0,
+                start: 0.0,
+                exec_ms: 20.0,
+                speed: 0.5,
+                energy: 2.5,
+                leakage: 0.0,
+                recovery_premium: 0.0,
+            },
+            SimEvent::OrBranchTaken {
+                t: 20.0,
+                or: NodeId(1),
+                branch: 1,
+            },
+            SimEvent::IdleEnd {
+                t: 26.0,
+                proc: 1,
+                duration_ms: 6.0,
+                energy: 0.3,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_sink_matches_buffered_export() {
+        let events = sample_events();
+        let mut sink = JsonlSink::new(Vec::new());
+        for ev in &events {
+            sink.on_event(ev);
+        }
+        assert_eq!(sink.events_written(), events.len() as u64);
+        let bytes = sink.finish().expect("no I/O error on Vec");
+        assert_eq!(String::from_utf8(bytes).unwrap(), to_jsonl(&events));
+    }
+
+    #[test]
+    fn chrome_sink_emits_the_buffered_objects() {
+        let events = sample_events();
+        let mut sink = ChromeSink::new(Vec::new(), node_label);
+        for ev in &events {
+            sink.on_event(ev);
+        }
+        let streamed = String::from_utf8(sink.finish().expect("finishes")).unwrap();
+        let doc: Value = serde_json::from_str(&streamed).expect("valid JSON");
+        let list = doc
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents");
+        // Same objects as the buffered renderer, metadata at the end
+        // instead of the front (both legal placements).
+        let buffered: Value =
+            serde_json::from_str(&chrome_trace(&events, node_label)).expect("valid JSON");
+        let buffered = buffered
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents");
+        assert_eq!(list.len(), buffered.len());
+        for entry in buffered {
+            assert!(list.contains(entry), "missing {entry:?}");
+        }
+    }
+
+    #[test]
+    fn chrome_sink_with_no_events_is_still_valid_json() {
+        let sink = ChromeSink::new(Vec::new(), node_label);
+        let out = String::from_utf8(sink.finish().expect("finishes")).unwrap();
+        let doc: Value = serde_json::from_str(&out).expect("valid JSON");
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(Value::as_array)
+                .map(<[_]>::len),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn ring_log_is_bounded_but_counts_everything() {
+        let mut ring = RingLog::new(2);
+        for ev in sample_events() {
+            ring.on_event(&ev);
+        }
+        assert_eq!(ring.seen(), 4);
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.peak_occupancy(), 2);
+        assert_eq!(ring.count(EventKind::TaskDispatch), 1);
+        assert_eq!(ring.count(EventKind::IdleEnd), 1);
+        assert!((ring.end_time() - 26.0).abs() < 1e-12);
+        // Only the two newest events remain in the window.
+        let kinds: Vec<EventKind> = ring.window().map(SimEvent::kind).collect();
+        assert_eq!(kinds, vec![EventKind::OrBranchTaken, EventKind::IdleEnd]);
+    }
+
+    #[test]
+    fn fanout_and_filter_compose() {
+        let mut log = EventLog::new();
+        let mut filtered = Filtered::new(
+            EventLog::new(),
+            Some(vec![EventKind::TaskComplete]),
+            Some(0),
+        );
+        {
+            let mut fan = Fanout::new().with(&mut log).with(&mut filtered);
+            for ev in sample_events() {
+                fan.on_event(&ev);
+            }
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(filtered.seen(), 4);
+        assert_eq!(filtered.passed(), 1);
+        assert_eq!(filtered.into_inner().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_latches_write_errors() {
+        /// A writer that fails from the third write call on (one event =
+        /// one line write + one newline write).
+        struct Broken(u32);
+        impl Write for Broken {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0 += 1;
+                if self.0 > 2 {
+                    Err(io::Error::other("disk full"))
+                } else {
+                    Ok(buf.len())
+                }
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(Broken(0));
+        for ev in sample_events() {
+            sink.on_event(&ev);
+        }
+        assert_eq!(sink.events_written(), 1);
+        assert!(sink.finish().is_err());
+    }
+}

@@ -13,8 +13,9 @@ use serde::{Deserialize, Serialize};
 
 /// The engine's internal event tap: fans each [`SimEvent`] out to the
 /// caller's observer (if any), the trace-recording log (if
-/// [`SimConfig::record_trace`]) and — in debug builds — an
-/// [`pas_obs::EnergyLedger`] that cross-checks the meters at run end.
+/// [`SimConfig::record_trace`]) and — in debug builds — a
+/// [`pas_obs::SectionedLedger`] that cross-checks the meters at run end,
+/// both globally and per program section.
 ///
 /// Zero overhead when disabled: in release builds with no observer and
 /// no trace recording, [`Emitter::active`] is `false` and the engine
@@ -23,7 +24,7 @@ struct Emitter<'o> {
     obs: Option<&'o mut dyn Observer>,
     log: Option<Vec<SimEvent>>,
     #[cfg(debug_assertions)]
-    ledger: pas_obs::EnergyLedger,
+    ledger: pas_obs::SectionedLedger,
 }
 
 impl<'o> Emitter<'o> {
@@ -32,7 +33,7 @@ impl<'o> Emitter<'o> {
             obs,
             log: record.then(Vec::new),
             #[cfg(debug_assertions)]
-            ledger: pas_obs::EnergyLedger::new(),
+            ledger: pas_obs::SectionedLedger::new(),
         }
     }
 
@@ -606,8 +607,9 @@ impl<'a> Simulator<'a> {
             }
             energy.merge(meter);
         }
-        // The ledger invariant: every debug-build run cross-checks the
-        // event-attributed energy against the meters.
+        // The ledger invariants: every debug-build run cross-checks the
+        // event-attributed energy against the meters, and the per-section
+        // slices against the global totals.
         #[cfg(debug_assertions)]
         {
             if let Err(mismatch) = em.ledger.verify(energy.total_energy()) {

@@ -42,7 +42,10 @@ pub use fault::{DeadlineStatus, FaultPlan, FaultReport, FaultSet};
 pub use literal::{run_literal, LiteralResult};
 pub use policy::{DispatchCtx, MaxSpeed, Policy, SpeedDecision};
 pub use realization::{ExecTimeModel, Realization};
-pub use stream::{run_stream, StreamResult};
+pub use stream::{run_stream, run_stream_observed, StreamResult};
 pub use trace::trace_from_events;
 // The observability layer the engine streams into (see `run_observed`).
-pub use pas_obs::{EnergyLedger, EventLog, MetricsRegistry, Observer, SimEvent};
+pub use pas_obs::{
+    ChromeSink, EnergyLedger, EventLog, Fanout, Filtered, JsonlSink, MetricsRegistry, Observer,
+    RingLog, SectionKey, SectionSlice, SectionedLedger, SimEvent,
+};

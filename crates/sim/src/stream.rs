@@ -18,6 +18,7 @@ use crate::error::SimError;
 use crate::policy::Policy;
 use crate::realization::Realization;
 use dvfs_power::{EnergyMeter, OperatingPoint};
+use pas_obs::Observer;
 use serde::{Deserialize, Serialize};
 
 /// Aggregate outcome of a frame stream.
@@ -62,12 +63,40 @@ pub fn run_stream(
     frames: &[Realization],
     carry_state: bool,
 ) -> Result<StreamResult, SimError> {
+    run_stream_observed(sim, policy, frames, carry_state, None)
+}
+
+/// Like [`run_stream`], additionally streaming every frame's schedule
+/// actions to `observer` as typed [`pas_obs::SimEvent`]s.
+///
+/// This is the incremental consumption path: the observer sees each event
+/// the moment the engine emits it, across all frames, so a sink such as
+/// `pas_obs::JsonlSink` can export an arbitrarily long stream in O(1)
+/// event memory (no per-frame `EventLog` is ever built). Event times are
+/// frame-local — each frame restarts its clock at its release point, and
+/// the `OrBranchTaken` boundaries keep per-section accounting segmentable
+/// across frames.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] any frame's run produces.
+pub fn run_stream_observed(
+    sim: &Simulator<'_>,
+    policy: &mut dyn Policy,
+    frames: &[Realization],
+    carry_state: bool,
+    mut observer: Option<&mut dyn Observer>,
+) -> Result<StreamResult, SimError> {
     let mut frame_finish = Vec::with_capacity(frames.len());
     let mut misses = 0u64;
     let mut energy = EnergyMeter::new();
     let mut state: Option<Vec<OperatingPoint>> = None;
     for real in frames {
-        let res = sim.run_with_initial(policy, real, state.as_deref())?;
+        // Reborrow rather than move so the observer survives the loop. The
+        // explicit cast keeps the reborrow's lifetime local to this
+        // iteration (a plain `as_deref_mut()` pins it to the outer `'_`).
+        let obs = observer.as_mut().map(|o| &mut **o as &mut dyn Observer);
+        let res = sim.run_observed(policy, real, state.as_deref(), None, obs)?;
         frame_finish.push(res.finish_time);
         misses += res.missed_deadline as u64;
         energy.merge(&res.energy);
@@ -175,6 +204,43 @@ mod tests {
         let warm = run_stream(&sim, &mut MaxSpeed, &fs, true).expect("stream runs");
         assert_eq!(cold.total_energy(), warm.total_energy());
         assert_eq!(cold.speed_changes(), 0);
+    }
+
+    #[test]
+    fn observed_stream_feeds_every_frame_incrementally() {
+        use pas_obs::{JsonlSink, SectionedLedger};
+
+        let (g, sg) = app();
+        let order = DispatchOrder::topological(&g, &sg);
+        let model = ProcessorModel::xscale();
+        let sim = Simulator::new(&g, &sg, &order, &model, cfg(40.0));
+        let fs = frames(&g, &sg, 4);
+        // One JSONL sink + sectioned ledger over the whole stream.
+        let mut sink = JsonlSink::new(Vec::new());
+        let mut ledger = SectionedLedger::new();
+        let res = {
+            let mut fan = pas_obs::Fanout::new().with(&mut sink).with(&mut ledger);
+            run_stream_observed(&sim, &mut MaxSpeed, &fs, false, Some(&mut fan))
+                .expect("stream runs")
+        };
+        // The stream total is exactly the event-attributed total, and the
+        // per-section slices still partition it.
+        ledger
+            .verify(res.total_energy())
+            .expect("ledger sums over all frames");
+        // The streamed dump equals the concatenation of per-frame buffered
+        // dumps (same engine, same realizations).
+        let mut buffered = String::new();
+        for real in &fs {
+            let mut log = pas_obs::EventLog::new();
+            sim.run_observed(&mut MaxSpeed, real, None, None, Some(&mut log))
+                .expect("run succeeds");
+            buffered.push_str(&pas_obs::export::to_jsonl(log.events()));
+        }
+        let streamed = String::from_utf8(sink.finish().expect("vec sink")).unwrap();
+        assert_eq!(streamed, buffered);
+        // One OrBranchTaken per frame -> root + 4 branch slices.
+        assert_eq!(ledger.slices().len(), 1 + fs.len());
     }
 
     #[test]
