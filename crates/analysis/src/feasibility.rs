@@ -1,0 +1,482 @@
+//! Symbolic Theorem-1 feasibility verification (`PAS03xx`).
+//!
+//! Theorem 1 of the paper guarantees the deadline *given* that the
+//! worst-case canonical schedule of every OR-path fits inside `D` at
+//! maximum speed. This module proves (or refutes) that premise without
+//! running the simulator:
+//!
+//! 1. The off-line phase is run once at a deliberately loose probe
+//!    deadline (it cannot fail for well-formed graphs), yielding the
+//!    per-section canonical lengths at WCET/`f_max` — including the
+//!    per-task PMP reservation, so the bound is the one the runtime
+//!    actually schedules against.
+//! 2. The number of OR-paths is counted *without* enumeration (a memoized
+//!    sum/chain recursion over the section DAG, saturating on overflow).
+//! 3. Below [`ENUMERATION_THRESHOLD`] paths, every scenario is enumerated
+//!    and its chain of section lengths summed exactly; the maximizing
+//!    path is reported as a witness. Above the threshold, the offline
+//!    phase's recursive worst-case (`Tw`) is used as a conservative
+//!    bound and PAS0303 notes the downgrade.
+//! 4. `worst > D` (with the offline phase's own relative tolerance) is
+//!    PAS0301, an error; `worst == D` within float noise is PAS0302, a
+//!    zero-static-slack warning — NPM meets the deadline with nothing to
+//!    spare, so any overhead mis-modelling shows up as a miss.
+//!
+//! Soundness: the enumerated per-path sums equal the offline `Tw` by
+//! construction (debug-asserted), and `Tw` is exactly the quantity
+//! Theorem 1's induction needs — see DESIGN.md §3e for the argument.
+
+use crate::diag::{Code, Diagnostic, Loc, Report};
+use andor_graph::{AndOrGraph, NodeId, SectionGraph, SectionId};
+use dvfs_power::{Overheads, ProcessorModel};
+use pas_core::{OfflinePlan, PlanError};
+use std::collections::HashMap;
+
+/// Maximum number of OR-paths enumerated exactly; above this the
+/// verifier falls back to the offline phase's recursive bound (PAS0303).
+pub const ENUMERATION_THRESHOLD: u64 = 4096;
+
+/// How the deadline is specified.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeadlineSpec {
+    /// An explicit deadline in milliseconds.
+    Deadline(f64),
+    /// A system load `Tw / D` in `(0, 1]`; the deadline is derived as
+    /// `worst_case / load` (the CLI's `--load` convention).
+    Load(f64),
+}
+
+/// The verifier's findings, returned alongside the diagnostics so the
+/// CLI can print a feasibility summary for clean inputs too.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feasibility {
+    /// Worst-case canonical finish time over all OR-paths, at `f_max`,
+    /// reservations included (ms).
+    pub worst_case_ms: f64,
+    /// The deadline verified against (ms).
+    pub deadline_ms: f64,
+    /// `deadline_ms - worst_case_ms` (negative when infeasible).
+    pub static_slack_ms: f64,
+    /// Number of distinct OR-paths (saturating).
+    pub scenarios_total: u64,
+    /// True when every path was enumerated; false when the conservative
+    /// bound was used.
+    pub exact: bool,
+    /// The OR choices of the worst path (`"n3 ('detect') -> branch 1"`
+    /// per entry); empty for single-path applications or when inexact.
+    pub witness: Vec<String>,
+}
+
+/// Verifies Theorem-1 feasibility of `(g, model, num_procs)` against
+/// `spec`. `sections` must be the decomposition of `g` (the caller has
+/// already established graph cleanliness).
+pub fn verify_feasibility(
+    g: &AndOrGraph,
+    sections: &SectionGraph,
+    model: &ProcessorModel,
+    overheads: Overheads,
+    num_procs: usize,
+    spec: DeadlineSpec,
+    src: &str,
+) -> (Report, Option<Feasibility>) {
+    let mut r = Report::new();
+    let reserve = pas_core::pmp_reserve(model, overheads);
+    // A deadline loose enough that the offline phase cannot be
+    // infeasible (same construction `Setup::for_load` uses).
+    let probe_deadline = (g.total_wcet().max(1.0) + g.num_tasks() as f64 * reserve + 1.0) * 10.0;
+    let plan = match OfflinePlan::build_with_pmp_reserve(
+        g,
+        sections,
+        num_procs,
+        probe_deadline,
+        reserve,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            push_plan_error(&mut r, e, src);
+            return (r, None);
+        }
+    };
+
+    let scenarios_total = count_scenarios(g, sections);
+    let (worst, exact, witness) = if scenarios_total <= ENUMERATION_THRESHOLD {
+        let (max, witness) = enumerate_worst(g, sections, &plan);
+        debug_assert!(
+            (max - plan.worst_total).abs() <= 1e-6 * plan.worst_total.max(1.0),
+            "enumerated worst {max} disagrees with offline Tw {}",
+            plan.worst_total
+        );
+        (max, true, witness)
+    } else {
+        r.push(Diagnostic::new(
+            Code::Pas0303,
+            Loc::whole(src),
+            format!(
+                "{scenarios_total} OR-paths exceed the enumeration threshold \
+                 {ENUMERATION_THRESHOLD}; using the recursive worst-case bound"
+            ),
+        ));
+        (plan.worst_total, false, Vec::new())
+    };
+
+    let deadline = match spec {
+        DeadlineSpec::Deadline(d) => d,
+        DeadlineSpec::Load(l) => {
+            if !(l.is_finite() && l > 0.0 && l <= 1.0) {
+                r.push(Diagnostic::new(
+                    Code::Pas0107,
+                    Loc::at(src, "load"),
+                    format!("load {l} must be in (0, 1]"),
+                ));
+                return (r, None);
+            }
+            worst / l
+        }
+    };
+    if !(deadline.is_finite() && deadline > 0.0) {
+        r.push(Diagnostic::new(
+            Code::Pas0107,
+            Loc::at(src, "deadline"),
+            format!("deadline {deadline} ms must be finite and positive"),
+        ));
+        return (r, None);
+    }
+
+    let slack = deadline - worst;
+    let feas = Feasibility {
+        worst_case_ms: worst,
+        deadline_ms: deadline,
+        static_slack_ms: slack,
+        scenarios_total,
+        exact,
+        witness: witness.clone(),
+    };
+    // Same relative tolerance as `OfflinePlan`, so `pas check` and the
+    // offline phase never disagree about the same input.
+    if worst > deadline * (1.0 + 1e-12) {
+        let path = if witness.is_empty() {
+            String::new()
+        } else {
+            format!(" on OR-path [{}]", witness.join(", "))
+        };
+        r.push(Diagnostic::new(
+            Code::Pas0301,
+            Loc::whole(src),
+            format!(
+                "statically infeasible: the worst case needs {worst:.3} ms at f_max but \
+                 the deadline is {deadline:.3} ms (over by {:.3} ms){path}",
+                worst - deadline
+            ),
+        ));
+    } else {
+        if slack <= 1e-9 * deadline.max(1.0) {
+            r.push(Diagnostic::new(
+                Code::Pas0302,
+                Loc::whole(src),
+                format!(
+                    "zero static slack: the worst case finishes at {worst:.3} ms, exactly \
+                     at the deadline — any modelling error becomes a miss"
+                ),
+            ));
+        }
+        check_ss2_switch_time(
+            g, sections, model, overheads, num_procs, deadline, reserve, src, &mut r,
+        );
+    }
+    (r, Some(feas))
+}
+
+fn push_plan_error(r: &mut Report, e: PlanError, src: &str) {
+    match e {
+        PlanError::Infeasible {
+            worst_finish,
+            deadline,
+        } => r.push(Diagnostic::new(
+            Code::Pas0301,
+            Loc::whole(src),
+            format!(
+                "statically infeasible: the worst case needs {worst_finish:.3} ms at f_max \
+                 but the deadline is {deadline:.3} ms"
+            ),
+        )),
+        PlanError::BadDeadline(d) => r.push(Diagnostic::new(
+            Code::Pas0107,
+            Loc::at(src, "deadline"),
+            format!("deadline {d} ms must be finite and positive"),
+        )),
+        PlanError::NoProcessors => r.push(Diagnostic::new(
+            Code::Pas0106,
+            Loc::at(src, "procs"),
+            "processor count must be positive",
+        )),
+        PlanError::MissingBranchSection { or, branch } => r.push(Diagnostic::new(
+            Code::Pas0011,
+            Loc::whole(src),
+            format!("OR node {or} branch {branch} has no program section"),
+        )),
+    }
+}
+
+/// Counts OR-paths without enumerating them: a memoized recursion over
+/// the section chain, saturating at `u64::MAX`.
+fn count_scenarios(g: &AndOrGraph, sections: &SectionGraph) -> u64 {
+    let mut memo: HashMap<NodeId, u64> = HashMap::new();
+    count_from_section(g, sections, sections.root(), &mut memo)
+}
+
+fn count_from_section(
+    g: &AndOrGraph,
+    sections: &SectionGraph,
+    s: SectionId,
+    memo: &mut HashMap<NodeId, u64>,
+) -> u64 {
+    match sections.section(s).exit_or {
+        None => 1,
+        Some(or) => count_from_or(g, sections, or, memo),
+    }
+}
+
+fn count_from_or(
+    g: &AndOrGraph,
+    sections: &SectionGraph,
+    or: NodeId,
+    memo: &mut HashMap<NodeId, u64>,
+) -> u64 {
+    if let Some(&c) = memo.get(&or) {
+        return c;
+    }
+    let n_branches = g.node(or).succs.len();
+    let count = if n_branches == 0 {
+        1 // Terminal OR: the application ends at the synchronization point.
+    } else {
+        let mut total: u64 = 0;
+        for k in 0..n_branches {
+            let below = sections
+                .branch_section(or, k)
+                .map(|b| count_from_section(g, sections, b, memo))
+                .unwrap_or(1);
+            total = total.saturating_add(below);
+        }
+        total
+    };
+    memo.insert(or, count);
+    count
+}
+
+/// Exact enumeration: the worst chain-sum of canonical section lengths
+/// over every scenario, plus the maximizing path rendered for humans.
+fn enumerate_worst(
+    g: &AndOrGraph,
+    sections: &SectionGraph,
+    plan: &OfflinePlan,
+) -> (f64, Vec<String>) {
+    let mut worst = f64::NEG_INFINITY;
+    let mut witness = Vec::new();
+    for (scenario, _p) in sections.enumerate_scenarios(g) {
+        let total: f64 = sections
+            .chain(g, &scenario)
+            .iter()
+            .map(|s| {
+                plan.section_worst_len
+                    .get(s.index())
+                    .copied()
+                    .unwrap_or(0.0)
+            })
+            .sum();
+        if total > worst {
+            worst = total;
+            witness = scenario
+                .choices
+                .iter()
+                .map(|&(or, k)| format!("{or} ('{}') -> branch {k}", g.node(or).name))
+                .collect();
+        }
+    }
+    if worst == f64::NEG_INFINITY {
+        (0.0, Vec::new())
+    } else {
+        (worst, witness)
+    }
+}
+
+/// PAS0108: rebuilds the plan at the real deadline and recomputes SS(2)'s
+/// *unclamped* switch time `θ = (s₂·D − Tᵃ)/(s₂ − s₁)`. The policy clamps
+/// θ into `[0, D]`, so an out-of-range value is not unsafe — but it means
+/// the two-speed speculation degenerates to a single speed, which is
+/// worth a warning (the user probably wanted SS(1)).
+#[allow(clippy::too_many_arguments)]
+fn check_ss2_switch_time(
+    g: &AndOrGraph,
+    sections: &SectionGraph,
+    model: &ProcessorModel,
+    _overheads: Overheads,
+    num_procs: usize,
+    deadline: f64,
+    reserve: f64,
+    src: &str,
+    r: &mut Report,
+) {
+    let Ok(plan) = OfflinePlan::build_with_pmp_reserve(g, sections, num_procs, deadline, reserve)
+    else {
+        return;
+    };
+    let ideal = (plan.avg_total / plan.deadline).min(1.0);
+    let high = model.quantize_up(ideal).speed;
+    let low = level_at_or_below(model, ideal).unwrap_or(high);
+    if (high - low).abs() < 1e-12 {
+        return;
+    }
+    let theta = (high * plan.deadline - plan.avg_total) / (high - low);
+    if !(-1e-9..=plan.deadline + 1e-9).contains(&theta) {
+        r.push(Diagnostic::new(
+            Code::Pas0108,
+            Loc::whole(src),
+            format!(
+                "SS(2) switch time θ = {theta:.3} ms falls outside [0, {:.3}] and will be \
+                 clamped (two-speed speculation degenerates)",
+                plan.deadline
+            ),
+        ));
+    }
+}
+
+/// The highest discrete speed at or below `ideal` (the dual of
+/// `quantize_up`; `None` for continuous models or when every level is
+/// above the ideal).
+fn level_at_or_below(model: &ProcessorModel, ideal: f64) -> Option<f64> {
+    let f_max = model.max_freq_mhz();
+    let levels = model.levels()?;
+    levels
+        .iter()
+        .map(|l| l.freq_mhz / f_max)
+        .filter(|s| *s <= ideal + 1e-12)
+        .fold(None, |best: Option<f64>, s| {
+            Some(best.map_or(s, |b| b.max(s)))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andor_graph::Segment;
+
+    fn app() -> AndOrGraph {
+        Segment::seq([
+            Segment::task("A", 8.0, 5.0),
+            Segment::branch([
+                (0.3, Segment::task("B", 5.0, 3.0)),
+                (0.7, Segment::task("C", 4.0, 2.0)),
+            ]),
+        ])
+        .lower()
+        .expect("valid segment lowers")
+    }
+
+    fn verify(g: &AndOrGraph, deadline: f64) -> (Report, Option<Feasibility>) {
+        let sections = SectionGraph::build(g).expect("sections build");
+        verify_feasibility(
+            g,
+            &sections,
+            &ProcessorModel::transmeta5400(),
+            Overheads::paper_defaults(),
+            2,
+            DeadlineSpec::Deadline(deadline),
+            "test",
+        )
+    }
+
+    #[test]
+    fn feasible_deadline_is_clean_with_exact_witness() {
+        let g = app();
+        let (r, feas) = verify(&g, 40.0);
+        assert!(r.is_clean(), "{}", r.render_human());
+        let f = feas.expect("feasibility computed");
+        assert!(f.exact);
+        assert_eq!(f.scenarios_total, 2);
+        assert!(f.static_slack_ms > 0.0);
+        // Worst path takes branch 0 (B, wcet 5 > C, wcet 4).
+        assert_eq!(f.witness.len(), 1);
+        assert!(f.witness[0].contains("branch 0"), "{:?}", f.witness);
+    }
+
+    #[test]
+    fn infeasible_deadline_is_pas0301() {
+        let g = app();
+        let (r, feas) = verify(&g, 10.0);
+        assert!(r.has_errors());
+        assert_eq!(r.diagnostics[0].code, Code::Pas0301);
+        assert!(r.diagnostics[0].message.contains("OR-path"));
+        assert!(feas.expect("feasibility computed").static_slack_ms < 0.0);
+    }
+
+    #[test]
+    fn zero_slack_is_pas0302() {
+        let g = app();
+        let (_, feas) = verify(&g, 40.0);
+        let worst = feas.expect("feasibility computed").worst_case_ms;
+        let (r, _) = verify(&g, worst);
+        assert!(!r.has_errors(), "{}", r.render_human());
+        assert!(
+            r.diagnostics.iter().any(|d| d.code == Code::Pas0302),
+            "{}",
+            r.render_human()
+        );
+    }
+
+    #[test]
+    fn offline_phase_agrees_with_enumeration() {
+        let g = app();
+        let sections = SectionGraph::build(&g).expect("sections build");
+        let model = ProcessorModel::transmeta5400();
+        let reserve = pas_core::pmp_reserve(&model, Overheads::paper_defaults());
+        let plan = OfflinePlan::build_with_pmp_reserve(&g, &sections, 2, 1000.0, reserve)
+            .expect("loose deadline is feasible");
+        let (worst, _) = enumerate_worst(&g, &sections, &plan);
+        assert!((worst - plan.worst_total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_count_matches_enumeration() {
+        let g = app();
+        let sections = SectionGraph::build(&g).expect("sections build");
+        assert_eq!(
+            count_scenarios(&g, &sections),
+            sections.enumerate_scenarios(&g).count() as u64
+        );
+    }
+
+    #[test]
+    fn load_spec_derives_a_feasible_deadline() {
+        let g = app();
+        let sections = SectionGraph::build(&g).expect("sections build");
+        let (r, feas) = verify_feasibility(
+            &g,
+            &sections,
+            &ProcessorModel::transmeta5400(),
+            Overheads::paper_defaults(),
+            2,
+            DeadlineSpec::Load(0.5),
+            "test",
+        );
+        assert!(r.is_clean(), "{}", r.render_human());
+        let f = feas.expect("feasibility computed");
+        assert!((f.deadline_ms - 2.0 * f.worst_case_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_load_warns_zero_slack() {
+        let g = app();
+        let sections = SectionGraph::build(&g).expect("sections build");
+        let (r, _) = verify_feasibility(
+            &g,
+            &sections,
+            &ProcessorModel::transmeta5400(),
+            Overheads::paper_defaults(),
+            2,
+            DeadlineSpec::Load(1.0),
+            "test",
+        );
+        assert!(!r.has_errors());
+        assert!(r.diagnostics.iter().any(|d| d.code == Code::Pas0302));
+    }
+}

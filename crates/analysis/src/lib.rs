@@ -1,0 +1,144 @@
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::indexing_slicing))]
+
+//! Static analysis and feasibility verification for the PAS workspace —
+//! the engine behind `pas check`.
+//!
+//! The crate is a pure front-end: it never mutates its inputs and never
+//! perturbs the numeric simulation path. It turns the mid-simulation
+//! panics and `SimError`s a malformed input would cause into upfront
+//! [`Diagnostic`]s with stable `PAS0xxx` codes:
+//!
+//! | range     | subject |
+//! |-----------|---------|
+//! | `PAS00xx` | graph well-formedness ([`graph_checks`]) |
+//! | `PAS01xx` | platform, overheads, run parameters ([`platform_checks`]) |
+//! | `PAS02xx` | fault plans ([`fault_checks`]) |
+//! | `PAS03xx` | Theorem-1 feasibility ([`feasibility`]) |
+//!
+//! The full catalog with messages and the feasibility-verifier soundness
+//! argument live in DESIGN.md §3e.
+
+pub mod diag;
+pub mod fault_checks;
+pub mod feasibility;
+pub mod graph_checks;
+pub mod platform_checks;
+
+pub use diag::{Code, Diagnostic, Loc, Report, Severity};
+pub use fault_checks::check_fault_plan;
+pub use feasibility::{verify_feasibility, DeadlineSpec, Feasibility, ENUMERATION_THRESHOLD};
+pub use graph_checks::check_graph;
+pub use platform_checks::{check_model, check_overheads, check_run_params};
+
+use andor_graph::{AndOrGraph, SectionGraph};
+use dvfs_power::{Overheads, ProcessorModel};
+
+/// The result of a full application check: all diagnostics, plus the
+/// feasibility summary when the inputs were sound enough to compute one.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Every diagnostic, in check order (graph, platform, parameters,
+    /// feasibility).
+    pub report: Report,
+    /// Feasibility findings; `None` when structural errors prevented the
+    /// verifier from running.
+    pub feasibility: Option<Feasibility>,
+}
+
+/// Runs the complete static-analysis pipeline over one workload/platform
+/// pair: graph well-formedness, platform and parameter validity, then —
+/// only if everything structural is clean — the Theorem-1 feasibility
+/// verifier.
+pub fn check_application(
+    g: &AndOrGraph,
+    graph_src: &str,
+    model: &ProcessorModel,
+    model_src: &str,
+    overheads: Overheads,
+    num_procs: usize,
+    spec: DeadlineSpec,
+) -> Analysis {
+    let mut report = check_graph(g, graph_src);
+    report.merge(check_model(model, model_src));
+    report.merge(check_overheads(&overheads, model_src));
+    report.merge(check_run_params(
+        num_procs,
+        match spec {
+            DeadlineSpec::Deadline(d) => Some(d),
+            DeadlineSpec::Load(_) => None,
+        },
+        graph_src,
+    ));
+    if report.has_errors() {
+        return Analysis {
+            report,
+            feasibility: None,
+        };
+    }
+    let sections = match SectionGraph::build(g) {
+        Ok(s) => s,
+        Err(e) => {
+            // Unreachable after a clean `check_graph`, but kept total.
+            report.push(Diagnostic::new(
+                Code::Pas0011,
+                Loc::whole(graph_src),
+                e.to_string(),
+            ));
+            return Analysis {
+                report,
+                feasibility: None,
+            };
+        }
+    };
+    let (fr, feasibility) =
+        verify_feasibility(g, &sections, model, overheads, num_procs, spec, graph_src);
+    report.merge(fr);
+    Analysis {
+        report,
+        feasibility,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andor_graph::Segment;
+
+    #[test]
+    fn end_to_end_clean_application() {
+        let g = Segment::seq([
+            Segment::task("A", 8.0, 5.0),
+            Segment::par([Segment::task("B", 6.0, 3.0), Segment::task("C", 2.0, 1.0)]),
+        ])
+        .lower()
+        .expect("valid segment lowers");
+        let a = check_application(
+            &g,
+            "app",
+            &ProcessorModel::xscale(),
+            "xscale",
+            Overheads::paper_defaults(),
+            2,
+            DeadlineSpec::Load(0.5),
+        );
+        assert!(a.report.is_clean(), "{}", a.report.render_human());
+        assert!(a.feasibility.expect("computed").static_slack_ms > 0.0);
+    }
+
+    #[test]
+    fn structural_errors_suppress_feasibility() {
+        let g: AndOrGraph = serde_json::from_str(r#"{"nodes": []}"#).expect("parses");
+        let a = check_application(
+            &g,
+            "bad",
+            &ProcessorModel::xscale(),
+            "xscale",
+            Overheads::paper_defaults(),
+            2,
+            DeadlineSpec::Deadline(10.0),
+        );
+        assert!(a.report.has_errors());
+        assert!(a.feasibility.is_none());
+    }
+}

@@ -132,6 +132,7 @@ impl GoldenWorkload {
         match self.name {
             "fig4" | "fig5" => Ok(atr_app()),
             "fig6" => workloads::synthetic_app_alpha(0.5)
+                .map_err(|e| BenchError::Workload(format!("fig6 synthetic app: {e}")))?
                 .lower()
                 .map_err(|e| BenchError::Workload(format!("fig6 synthetic app: {e}"))),
             other => Err(BenchError::Workload(format!("unknown workload: {other}"))),

@@ -23,6 +23,10 @@ pub enum Command {
     /// Golden-workload regression harness: capture wall time, event
     /// counts and ledger slices; diff against committed baselines.
     Bench,
+    /// Static analysis: graph well-formedness, platform/plan validity,
+    /// fault-plan sanity and Theorem-1 feasibility, reported as stable
+    /// `PAS0xxx` diagnostics.
+    Check,
 }
 
 /// Which scheme `pas run` simulates.
@@ -88,6 +92,11 @@ pub struct Args {
     pub bench_dir: Option<String>,
     /// `bench`: comma-separated golden-workload filter (`fig4,fig6`).
     pub workloads: Option<String>,
+    /// `check`: positional sources (workload/platform/fault-plan files or
+    /// builtin names). Empty means check the defaults (`--app`/`--model`).
+    pub sources: Vec<String>,
+    /// `check`: treat warnings as errors.
+    pub deny_warnings: bool,
 }
 
 impl Args {
@@ -104,6 +113,7 @@ impl Args {
             Some("export") => Command::Export,
             Some("trace") => Command::Trace,
             Some("bench") => Command::Bench,
+            Some("check") => Command::Check,
             Some(other) => return Err(format!("unknown command '{other}'")),
             None => return Err("missing command".into()),
         };
@@ -131,6 +141,8 @@ impl Args {
             update_baselines: false,
             bench_dir: None,
             workloads: None,
+            sources: Vec::new(),
+            deny_warnings: false,
         };
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, String> {
@@ -188,7 +200,16 @@ impl Args {
                 "--update-baselines" => parsed.update_baselines = true,
                 "--bench-dir" => parsed.bench_dir = Some(value("--bench-dir")?.clone()),
                 "--workloads" => parsed.workloads = Some(value("--workloads")?.clone()),
-                other => return Err(format!("unknown flag '{other}'")),
+                "--deny-warnings" => parsed.deny_warnings = true,
+                other => {
+                    // `check` takes positional sources; every other
+                    // command rejects stray tokens.
+                    if parsed.command == Command::Check && !other.starts_with('-') {
+                        parsed.sources.push(other.to_string());
+                    } else {
+                        return Err(format!("unknown flag '{other}'"));
+                    }
+                }
             }
         }
         if parsed.load.is_some() && parsed.deadline.is_some() {
@@ -346,6 +367,29 @@ mod tests {
         let a = parse(&["compare", "--metrics", "--reps", "5"]).unwrap();
         assert!(a.metrics);
         assert!(!parse(&["compare"]).unwrap().metrics);
+    }
+
+    #[test]
+    fn check_flags() {
+        let a = parse(&[
+            "check",
+            "w.json",
+            "faults.json",
+            "--deny-warnings",
+            "--format",
+            "json",
+        ])
+        .unwrap();
+        assert_eq!(a.command, Command::Check);
+        assert_eq!(
+            a.sources,
+            vec!["w.json".to_string(), "faults.json".to_string()]
+        );
+        assert!(a.deny_warnings);
+        assert_eq!(a.format, "json");
+        assert!(parse(&["check"]).unwrap().sources.is_empty());
+        // Positional sources are only accepted by `check`.
+        assert!(parse(&["run", "w.json"]).is_err());
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! The `pas check` command: static analysis over workloads, platforms and
+//! fault plans.
+//!
+//! Sources are positional and classified automatically: builtin workload
+//! names (`synthetic`, `atr`, `video`) and platform specs (`transmeta`,
+//! `xscale`, `continuous:<smin>`) are recognized directly; JSON files are
+//! sniffed by their top-level keys (`nodes` → workload, `overrun_prob` →
+//! fault plan, `kind` → platform). With no sources, the `--app`/`--model`
+//! pair is checked — so `pas check` alone vets the default configuration.
+
+use crate::args::Args;
+use andor_graph::AndOrGraph;
+use dvfs_power::{Overheads, ProcessorModel};
+use mp_sim::FaultPlan;
+use pas_analyze::{
+    check_application, check_fault_plan, Code, DeadlineSpec, Diagnostic, Loc, Report,
+};
+
+/// What one positional source turned out to be.
+enum Source {
+    Workload(String, AndOrGraph),
+    Platform(String, ProcessorModel),
+    Fault(String, FaultPlan),
+}
+
+/// Runs `pas check <sources>`. Returns `Ok(report)` when the inputs are
+/// accepted and `Err(report)` when they are rejected (nonzero exit), so
+/// the diagnostics always reach the user either way.
+pub fn check_cmd(args: &Args) -> Result<String, String> {
+    let mut report = Report::new();
+    let mut workloads: Vec<(String, AndOrGraph)> = Vec::new();
+    let mut platforms: Vec<(String, ProcessorModel)> = Vec::new();
+    let mut fault_plans: Vec<(String, FaultPlan)> = Vec::new();
+
+    let specs: Vec<String> = if args.sources.is_empty() {
+        vec![args.app.clone()]
+    } else {
+        args.sources.clone()
+    };
+    for spec in &specs {
+        match classify(spec, args)? {
+            Source::Workload(label, g) => workloads.push((label, g)),
+            Source::Platform(label, m) => platforms.push((label, m)),
+            Source::Fault(label, p) => fault_plans.push((label, p)),
+        }
+    }
+    // Without an explicit platform source, workloads are checked against
+    // the `--model` platform (the same one `run` would use).
+    if platforms.is_empty() && !workloads.is_empty() {
+        match crate::source::load_model(&args.model) {
+            Ok(m) => platforms.push((args.model.clone(), m)),
+            Err(e) => report.push(Diagnostic::new(Code::Pas0101, Loc::whole(&args.model), e)),
+        }
+    }
+
+    let spec = match (args.deadline, args.load) {
+        (Some(d), None) => DeadlineSpec::Deadline(d),
+        (None, Some(l)) => DeadlineSpec::Load(l),
+        (None, None) => DeadlineSpec::Load(0.5),
+        (Some(_), Some(_)) => unreachable!("rejected at parse time"),
+    };
+
+    let mut summaries = Vec::new();
+    for (g_label, g) in &workloads {
+        for (m_label, model) in &platforms {
+            let analysis = check_application(
+                g,
+                g_label,
+                model,
+                m_label,
+                Overheads::paper_defaults(),
+                args.procs,
+                spec,
+            );
+            if let Some(f) = &analysis.feasibility {
+                summaries.push(format!(
+                    "{g_label} on {m_label}: worst case {:.3} ms, deadline {:.3} ms, \
+                     static slack {:.3} ms over {} OR-path(s){}",
+                    f.worst_case_ms,
+                    f.deadline_ms,
+                    f.static_slack_ms,
+                    f.scenarios_total,
+                    if f.exact { "" } else { " (bound)" },
+                ));
+            }
+            report.merge(analysis.report);
+        }
+    }
+    // Platform-only invocations (no workload source) still get the
+    // platform checked on its own.
+    if workloads.is_empty() {
+        for (m_label, model) in &platforms {
+            report.merge(pas_analyze::check_model(model, m_label));
+        }
+    }
+    for (p_label, plan) in &fault_plans {
+        let target = workloads.first().map(|(_, g)| g);
+        report.merge(check_fault_plan(plan, target, p_label));
+    }
+
+    let rejected = report.rejects(args.deny_warnings);
+    let rendered = match args.format.as_str() {
+        "json" => report.render_json(),
+        "human" | "summary" => {
+            let mut out = report.render_human();
+            if !rejected {
+                for s in &summaries {
+                    out.push_str("feasibility: ");
+                    out.push_str(s);
+                    out.push('\n');
+                }
+            }
+            out
+        }
+        other => return Err(format!("unknown check format '{other}' (human|json)")),
+    };
+    if rejected {
+        Err(rendered.trim_end().to_string())
+    } else {
+        Ok(rendered)
+    }
+}
+
+/// Classifies one positional source, loading it without the eager
+/// validation the simulation paths apply (the checks themselves are the
+/// validation here).
+fn classify(spec: &str, args: &Args) -> Result<Source, String> {
+    match spec {
+        "synthetic" | "video" | "atr" => {
+            let g = crate::source::load_builtin_app(spec, args)?;
+            Ok(Source::Workload(spec.to_string(), g))
+        }
+        "transmeta" | "xscale" => Ok(Source::Platform(
+            spec.to_string(),
+            crate::source::load_model(spec)?,
+        )),
+        s if s.starts_with("continuous:") => Ok(Source::Platform(
+            s.to_string(),
+            crate::source::load_model(s)?,
+        )),
+        path => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let value: serde::Value =
+                serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+            if value.get("nodes").is_some() {
+                let g: AndOrGraph =
+                    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+                Ok(Source::Workload(path.to_string(), g))
+            } else if value.get("overrun_prob").is_some() {
+                let p: FaultPlan =
+                    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+                Ok(Source::Fault(path.to_string(), p))
+            } else if value.get("kind").is_some() {
+                let m: ProcessorModel =
+                    serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+                Ok(Source::Platform(path.to_string(), m))
+            } else {
+                Err(format!(
+                    "{path}: cannot classify source (expected a workload with \"nodes\", \
+                     a fault plan with \"overrun_prob\", or a platform with \"kind\")"
+                ))
+            }
+        }
+    }
+}

@@ -27,7 +27,26 @@ pub fn execute(args: &Args) -> Result<String, String> {
         Command::Export => export(args),
         Command::Trace => trace_cmd(args),
         Command::Bench => bench_cmd(args),
+        Command::Check => crate::check::check_cmd(args),
     }
+}
+
+/// Cheap static checks run automatically before `run`, `trace` and
+/// `bench`: graph well-formedness and platform validity. Errors abort
+/// with rendered diagnostics; warnings are ignored here (run `pas check`
+/// for the full report including feasibility).
+fn precheck(args: &Args) -> Result<(), String> {
+    let graph = crate::source::load_app_unvalidated(args)?;
+    let model = load_model(&args.model)?;
+    let mut report = pas_analyze::check_graph(&graph, &args.app);
+    report.merge(pas_analyze::check_model(&model, &args.model));
+    if report.has_errors() {
+        return Err(format!(
+            "pre-run check failed:\n{}",
+            report.render_human().trim_end()
+        ));
+    }
+    Ok(())
 }
 
 fn build_setup(args: &Args) -> Result<Setup, String> {
@@ -173,6 +192,7 @@ fn plan(args: &Args) -> Result<String, String> {
 }
 
 fn run_one(args: &Args) -> Result<String, String> {
+    precheck(args)?;
     let setup = build_setup(args)?;
     let mut rng = StdRng::seed_from_u64(args.seed);
     let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
@@ -539,6 +559,7 @@ fn trace_cmd(args: &Args) -> Result<String, String> {
         ),
         None => None,
     };
+    precheck(args)?;
     let setup = build_setup(args)?;
     let mut rng = StdRng::seed_from_u64(args.seed);
     let etm = ExecTimeModel::paper_defaults();
@@ -800,6 +821,33 @@ fn bench_cmd(args: &Args) -> Result<String, String> {
             .map(str::to_string)
             .collect()
     });
+    // Cheap static checks over the golden workloads and both builtin
+    // platforms before any timing work runs.
+    {
+        let mut report = pas_analyze::Report::new();
+        for w in &pas_bench::GOLDEN_WORKLOADS {
+            if let Some(sel) = &workloads {
+                if !sel.iter().any(|s| s == w.name) {
+                    continue;
+                }
+            }
+            let g = w.graph().map_err(|e| format!("bench: {e}"))?;
+            report.merge(pas_analyze::check_graph(&g, w.name));
+        }
+        for model in [
+            dvfs_power::ProcessorModel::transmeta5400(),
+            dvfs_power::ProcessorModel::xscale(),
+        ] {
+            let name = model.name().to_string();
+            report.merge(pas_analyze::check_model(&model, &name));
+        }
+        if report.has_errors() {
+            return Err(format!(
+                "pre-bench check failed:\n{}",
+                report.render_human().trim_end()
+            ));
+        }
+    }
     let opts = pas_bench::BenchOptions {
         reps: args.reps,
         seed: args.seed,

@@ -17,6 +17,7 @@
 //! pas trace    --app atr --frames 100 --format jsonl \
 //!              --out stream.jsonl                    stream 100 frames incrementally
 //! pas bench    --check                               diff golden workloads vs baselines
+//! pas check    atr xscale faults.json                static analysis & feasibility
 //! ```
 //!
 //! `--app` accepts the built-in workloads `atr`, `synthetic` and `video`,
@@ -26,19 +27,22 @@
 //! `xscale`, or `continuous:<smin>`.
 
 mod args;
+mod check;
 mod commands;
 mod source;
 
 pub use args::{Args, Command};
 
 /// One-line usage summary printed on argument errors.
-pub const USAGE: &str = "usage: pas <inspect|plan|run|compare|dot|optimal|export|trace|bench> \
-[--app atr|synthetic|video|FILE.json] [--model transmeta|xscale|continuous:S] \
+pub const USAGE: &str =
+    "usage: pas <inspect|plan|run|compare|dot|optimal|export|trace|bench|check> \
+[SOURCES...] [--app atr|synthetic|video|FILE.json] [--model transmeta|xscale|continuous:S] \
 [--procs N] [--load L | --deadline D] [--scheme npm|spm|gss|ss1|ss2|as|oracle] \
 [--seed S] [--reps N] [--alpha A] [--gantt] [--out FILE] \
 [--fault-plan FILE.json] [--format chrome|jsonl|csv|summary] [--proc P] \
 [--kinds k1,k2,...] [--frames N] [--carry] [--metrics] \
-[--check] [--update-baselines] [--bench-dir DIR] [--workloads w1,w2,...]";
+[--check] [--update-baselines] [--bench-dir DIR] [--workloads w1,w2,...] \
+[--deny-warnings]";
 
 /// Parses `args` and executes the selected command, returning the text to
 /// print.

@@ -7,8 +7,12 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", pas_cli::USAGE);
+            // Rendered diagnostics reports explain themselves; the usage
+            // line only helps with argument mistakes.
+            if !e.contains("[PAS0") {
+                eprintln!();
+                eprintln!("{}", pas_cli::USAGE);
+            }
             std::process::exit(2);
         }
     }

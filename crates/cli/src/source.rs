@@ -11,10 +11,32 @@ use workloads::{synthetic_app, with_alpha, AtrParams};
 /// override applied before lowering for the built-ins, or left as-is for
 /// JSON files).
 pub fn load_app(args: &Args) -> Result<AndOrGraph, String> {
-    match args.app.as_str() {
+    load_app_named(&args.app, args, true)
+}
+
+/// Like [`load_app`], but JSON workloads skip the eager `validate()` —
+/// for callers that run the full `pas-analyze` check suite instead
+/// (collecting *every* problem rather than failing on the first).
+pub fn load_app_unvalidated(args: &Args) -> Result<AndOrGraph, String> {
+    load_app_named(&args.app, args, false)
+}
+
+/// Builds one of the built-in workloads (`synthetic`, `video`, `atr`) by
+/// name, honouring the `--alpha`/`--seed` overrides in `args`.
+pub fn load_builtin_app(name: &str, args: &Args) -> Result<AndOrGraph, String> {
+    match name {
+        "synthetic" | "video" | "atr" => load_app_named(name, args, true),
+        other => Err(format!("'{other}' is not a built-in workload")),
+    }
+}
+
+fn load_app_named(name: &str, args: &Args, validate: bool) -> Result<AndOrGraph, String> {
+    match name {
         "synthetic" => {
             let seg = match args.alpha {
-                Some(a) => with_alpha(&synthetic_app(), a),
+                Some(a) => {
+                    with_alpha(&synthetic_app(), a).map_err(|e| format!("synthetic app: {e}"))?
+                }
                 None => synthetic_app(),
             };
             seg.lower().map_err(|e| format!("synthetic app: {e}"))
@@ -51,8 +73,10 @@ pub fn load_app(args: &Args) -> Result<AndOrGraph, String> {
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let g: AndOrGraph =
                 serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-            g.validate()
-                .map_err(|e| format!("validating {path}: {e}"))?;
+            if validate {
+                g.validate()
+                    .map_err(|e| format!("validating {path}: {e}"))?;
+            }
             Ok(g)
         }
     }
@@ -120,6 +144,8 @@ mod tests {
             update_baselines: false,
             bench_dir: None,
             workloads: None,
+            sources: Vec::new(),
+            deny_warnings: false,
         }
     }
 

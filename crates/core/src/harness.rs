@@ -101,7 +101,7 @@ pub struct Setup {
 /// speed-*up* case — a task dispatched with (nearly) zero slack on a
 /// processor an earlier task left at a low level must be able to return
 /// to full speed without borrowing time it does not have.
-fn pmp_reserve(model: &ProcessorModel, overheads: Overheads) -> f64 {
+pub fn pmp_reserve(model: &ProcessorModel, overheads: Overheads) -> f64 {
     overheads.compute_time_ms(model.min_speed(), model.max_freq_mhz())
         + overheads.transition_time_ms
 }

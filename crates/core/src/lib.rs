@@ -50,7 +50,7 @@ pub mod oracle;
 pub mod policies;
 
 pub use exhaustive::{optimal_assignment, AssignmentPolicy, OptimalAssignment};
-pub use harness::{Setup, SetupError};
+pub use harness::{pmp_reserve, Setup, SetupError};
 pub use offline::{OfflineError, OfflinePlan, PlanError};
 pub use oracle::OraclePolicy;
 pub use policies::{

@@ -144,7 +144,10 @@ pub fn fig_energy_vs_alpha(platform: Platform, cfg: &ExperimentConfig) -> SweepO
         platform.name()
     );
     sweep(&title, "alpha", &alpha_axis(), cfg, |alpha| {
-        let app = synthetic_app_alpha(alpha).lower().expect("valid");
+        let app = synthetic_app_alpha(alpha)
+            .expect("axis alphas are in (0, 1]")
+            .lower()
+            .expect("valid");
         Setup::for_load(app, platform.model(), 2, 0.5).expect("feasible")
     })
 }
@@ -153,7 +156,10 @@ pub fn fig_energy_vs_alpha(platform: Platform, cfg: &ExperimentConfig) -> SweepO
 /// synthetic tables with 16 levels whose `S_min/S_max` ratio varies.
 pub fn ablation_smin(cfg: &ExperimentConfig) -> SweepOutput {
     let ratios: Vec<f64> = vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
-    let app = synthetic_app_alpha(0.6).lower().expect("valid");
+    let app = synthetic_app_alpha(0.6)
+        .expect("0.6 is in (0, 1]")
+        .lower()
+        .expect("valid");
     sweep(
         "Energy vs S_min/S_max — synthetic app, 2 processors, load 0.5, 16 levels",
         "smin_ratio",
@@ -171,7 +177,10 @@ pub fn ablation_smin(cfg: &ExperimentConfig) -> SweepOutput {
 /// between `S_min` and `S_max`.
 pub fn ablation_levels(cfg: &ExperimentConfig) -> SweepOutput {
     let counts: Vec<f64> = vec![2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 32.0];
-    let app = synthetic_app_alpha(0.6).lower().expect("valid");
+    let app = synthetic_app_alpha(0.6)
+        .expect("0.6 is in (0, 1]")
+        .lower()
+        .expect("valid");
     sweep(
         "Energy vs level count — synthetic app, 2 processors, load 0.5, smin 0.2",
         "levels",
@@ -228,7 +237,10 @@ pub fn ablation_leakage(platform: Platform, cfg: &ExperimentConfig) -> Table {
     use rand::Rng;
 
     let rhos: Vec<f64> = vec![0.0, 0.05, 0.1, 0.2, 0.3, 0.4];
-    let app = workloads::synthetic_app_alpha(0.6).lower().expect("valid");
+    let app = workloads::synthetic_app_alpha(0.6)
+        .expect("0.6 is in (0, 1]")
+        .lower()
+        .expect("valid");
     let labels = ["NPM", "SPM", "GSS", "AS", "GSS+floor", "AS+floor"];
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); labels.len()];
     for &rho in &rhos {

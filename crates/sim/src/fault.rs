@@ -128,28 +128,23 @@ impl FaultPlan {
         );
         let n = g.len();
         let mut set = FaultSet {
-            overrun: vec![None; n],
-            speed_fail: vec![false; n],
-            stall: vec![None; n],
+            overrun: Vec::with_capacity(n),
+            speed_fail: Vec::with_capacity(n),
+            stall: Vec::with_capacity(n),
         };
-        for (i, node) in g.nodes().iter().enumerate() {
+        for node in g.nodes() {
             // Always consume three uniform draws per node, so toggling one
             // fault class never reshuffles the others.
             let u_over: f64 = rng.gen_range(0.0..1.0);
             let u_speed: f64 = rng.gen_range(0.0..1.0);
             let u_stall: f64 = rng.gen_range(0.0..1.0);
-            if !node.kind.is_computation() {
-                continue;
-            }
-            if u_over < self.overrun_prob {
-                set.overrun[i] = Some(self.overrun_factor);
-            }
-            if u_speed < self.speed_fail_prob {
-                set.speed_fail[i] = true;
-            }
-            if u_stall < self.stall_prob && self.stall_ms > 0.0 {
-                set.stall[i] = Some(self.stall_ms);
-            }
+            let comp = node.kind.is_computation();
+            set.overrun
+                .push((comp && u_over < self.overrun_prob).then_some(self.overrun_factor));
+            set.speed_fail.push(comp && u_speed < self.speed_fail_prob);
+            set.stall.push(
+                (comp && u_stall < self.stall_prob && self.stall_ms > 0.0).then_some(self.stall_ms),
+            );
         }
         set
     }

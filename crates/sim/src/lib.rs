@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::indexing_slicing))]
 
 //! Deterministic multi-processor execution engine for AND/OR applications.
 //!

@@ -20,6 +20,11 @@
 //! formulation. It is O(n log n) with much larger constants — use the fast
 //! engine for experiments.
 
+// Same invariant as the fast engine: per-node vectors (`UP` counters,
+// ready flags, section populations) are sized to `g.len()` up front and
+// indexed by validated `NodeId`s, so indexing cannot go out of bounds.
+#![allow(clippy::indexing_slicing)]
+
 use crate::engine::{DispatchOrder, SimConfig};
 use crate::error::SimError;
 use crate::policy::{DispatchCtx, Policy};

@@ -238,14 +238,17 @@ pub fn render_gantt(
                 .filter(char::is_ascii)
                 .unwrap_or('#') as u8;
             let decile = (e.speed * 10.0).round().clamp(0.0, 9.0) as u8;
-            for c in a..=b.min(opts.width - 1) {
-                name_row[c] = ch;
-                speed_row[c] = b'0' + decile;
+            for c in a..=b.min(opts.width.saturating_sub(1)) {
+                if let (Some(n), Some(s)) = (name_row.get_mut(c), speed_row.get_mut(c)) {
+                    *n = ch;
+                    *s = b'0' + decile;
+                }
             }
         }
         if let Some(d) = opts.deadline {
-            let c = col(d);
-            name_row[c] = b'|';
+            if let Some(cell) = name_row.get_mut(col(d)) {
+                *cell = b'|';
+            }
         }
         let _ = writeln!(out, "p{p} {}", String::from_utf8(name_row).expect("ascii"));
         let _ = writeln!(out, "   {}", String::from_utf8(speed_row).expect("ascii"));

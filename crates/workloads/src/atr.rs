@@ -124,15 +124,29 @@ impl AtrParams {
     pub fn build_jittered<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Segment, String> {
         self.validate()?;
         let cv = self.wcet_cv;
-        Ok(self.assemble(&mut |base| {
+        // `assemble` takes an infallible closure; latch the first failure
+        // and surface it afterwards.
+        let mut failure: Option<String> = None;
+        let seg = self.assemble(&mut |base| {
             if cv == 0.0 {
                 return base;
             }
             let lo = base * (1.0 - 3.0 * cv).max(0.1);
             let hi = base * (1.0 + 3.0 * cv);
-            let mut dist = ClippedNormal::new(base, cv * base, lo, hi).expect("valid clip bounds");
-            dist.sample(rng)
-        }))
+            match ClippedNormal::new(base, cv * base, lo, hi) {
+                Some(mut dist) => dist.sample(rng),
+                None => {
+                    failure.get_or_insert_with(|| {
+                        format!("task with wcet = {base}: empty clip interval")
+                    });
+                    base
+                }
+            }
+        });
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(seg),
+        }
     }
 
     fn assemble(&self, wcet_of: &mut impl FnMut(f64) -> f64) -> Segment {

@@ -55,7 +55,9 @@ pub fn synthetic_app() -> Segment {
 
 /// The synthetic application with every task's ACET replaced by
 /// `alpha · wcet` — the workload of the paper's Figure 6 (energy vs α).
-pub fn synthetic_app_alpha(alpha: f64) -> Segment {
+///
+/// Errors unless `0 < alpha <= 1`.
+pub fn synthetic_app_alpha(alpha: f64) -> Result<Segment, String> {
     crate::transform::with_alpha(&synthetic_app(), alpha)
 }
 
@@ -113,7 +115,11 @@ mod tests {
 
     #[test]
     fn alpha_variant_rescales_acets() {
-        let g = synthetic_app_alpha(0.5).lower().unwrap();
+        let g = synthetic_app_alpha(0.5)
+            .expect("alpha in range")
+            .lower()
+            .unwrap();
+        assert!(synthetic_app_alpha(0.0).is_err());
         for (_, n) in g.iter() {
             if n.kind.is_computation() {
                 assert!((n.kind.acet() - 0.5 * n.kind.wcet()).abs() < 1e-12);

@@ -12,33 +12,52 @@ use rand::Rng;
 
 /// Sets every task's ACET to exactly `alpha · wcet`.
 ///
-/// # Panics
-///
-/// Panics unless `0 < alpha <= 1`.
-pub fn with_alpha(seg: &Segment, alpha: f64) -> Segment {
-    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-    map_tasks(seg, &mut |wcet, _acet| alpha * wcet)
+/// Errors unless `0 < alpha <= 1`.
+pub fn with_alpha(seg: &Segment, alpha: f64) -> Result<Segment, String> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(format!("alpha must be in (0, 1], got {alpha}"));
+    }
+    Ok(map_tasks(seg, &mut |wcet, _acet| alpha * wcet))
 }
 
 /// Draws every task's ACET from `N(alpha·wcet, (sd_frac·wcet)²)` clipped to
 /// `(0, wcet]` — the paper's per-task variability around the target α.
 ///
-/// # Panics
-///
-/// Panics unless `0 < alpha <= 1` and `sd_frac >= 0`.
+/// Errors unless `0 < alpha <= 1`, `sd_frac >= 0`, and every task has a
+/// positive WCET (a zero-WCET task leaves the clip interval empty).
 pub fn with_alpha_jitter<R: Rng + ?Sized>(
     seg: &Segment,
     alpha: f64,
     sd_frac: f64,
     rng: &mut R,
-) -> Segment {
-    assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-    assert!(sd_frac >= 0.0, "sd_frac must be non-negative");
-    map_tasks(seg, &mut |wcet, _acet| {
-        let mut dist = ClippedNormal::new(alpha * wcet, sd_frac * wcet, 0.01 * wcet, wcet)
-            .expect("valid clip bounds");
-        dist.sample(rng)
-    })
+) -> Result<Segment, String> {
+    if !(alpha > 0.0 && alpha <= 1.0) {
+        return Err(format!("alpha must be in (0, 1], got {alpha}"));
+    }
+    if sd_frac.is_nan() || sd_frac < 0.0 {
+        return Err(format!("sd_frac must be non-negative, got {sd_frac}"));
+    }
+    // `map_tasks` takes an infallible closure; latch the first failure and
+    // surface it afterwards.
+    let mut failure: Option<String> = None;
+    let mapped = map_tasks(seg, &mut |wcet, acet| match ClippedNormal::new(
+        alpha * wcet,
+        sd_frac * wcet,
+        0.01 * wcet,
+        wcet,
+    ) {
+        Some(mut dist) => dist.sample(rng),
+        None => {
+            failure.get_or_insert_with(|| {
+                format!("task with wcet = {wcet}: empty clip interval (wcet must be positive)")
+            });
+            acet
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(mapped),
+    }
 }
 
 /// The α actually realized by a segment tree: total ACET over total WCET.
@@ -105,7 +124,7 @@ mod tests {
 
     #[test]
     fn with_alpha_sets_exact_ratio() {
-        let app = with_alpha(&sample_app(), 0.6);
+        let app = with_alpha(&sample_app(), 0.6).expect("alpha in range");
         assert!((realized_alpha(&app) - 0.6).abs() < 1e-12);
         // Lowered graph keeps the ratio per task.
         let g = app.lower().unwrap();
@@ -118,7 +137,7 @@ mod tests {
 
     #[test]
     fn alpha_one_means_no_dynamic_slack() {
-        let app = with_alpha(&sample_app(), 1.0);
+        let app = with_alpha(&sample_app(), 1.0).expect("alpha in range");
         let g = app.lower().unwrap();
         for (_, n) in g.iter() {
             if n.kind.is_computation() {
@@ -133,7 +152,11 @@ mod tests {
         // Average over many draws of the realized alpha.
         let k = 300;
         let mean: f64 = (0..k)
-            .map(|_| realized_alpha(&with_alpha_jitter(&sample_app(), 0.5, 0.1, &mut rng)))
+            .map(|_| {
+                let app =
+                    with_alpha_jitter(&sample_app(), 0.5, 0.1, &mut rng).expect("valid params");
+                realized_alpha(&app)
+            })
             .sum::<f64>()
             / k as f64;
         assert!((mean - 0.5).abs() < 0.03, "mean={mean}");
@@ -143,15 +166,18 @@ mod tests {
     fn jitter_respects_bounds() {
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..100 {
-            let app = with_alpha_jitter(&sample_app(), 0.9, 0.3, &mut rng);
+            let app = with_alpha_jitter(&sample_app(), 0.9, 0.3, &mut rng).expect("valid params");
             app.lower().expect("acet stays within (0, wcet]");
         }
     }
 
     #[test]
-    #[should_panic(expected = "alpha must be in")]
     fn with_alpha_rejects_zero() {
-        let _ = with_alpha(&sample_app(), 0.0);
+        let err = with_alpha(&sample_app(), 0.0).unwrap_err();
+        assert!(err.contains("alpha must be in"), "{err}");
+        let err =
+            with_alpha_jitter(&sample_app(), 0.5, -0.1, &mut StdRng::seed_from_u64(1)).unwrap_err();
+        assert!(err.contains("sd_frac must be non-negative"), "{err}");
     }
 
     #[test]

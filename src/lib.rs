@@ -25,7 +25,9 @@
 //! * [`experiments`] ([`pas_experiments`]) — the Monte-Carlo harness and
 //!   per-figure sweeps;
 //! * [`obs`] ([`pas_obs`]) — the structured event stream, metrics
-//!   registry, energy ledger and trace exporters.
+//!   registry, energy ledger and trace exporters;
+//! * [`analyze`] ([`pas_analyze`]) — the `PAS0xxx` static diagnostics and
+//!   the Theorem-1 feasibility verifier behind `pas check`.
 //!
 //! ## Quick start
 //!
@@ -58,6 +60,7 @@
 pub use andor_graph as graph;
 pub use dvfs_power as power;
 pub use mp_sim as sim;
+pub use pas_analyze as analyze;
 pub use pas_core as core;
 pub use pas_experiments as experiments;
 pub use pas_obs as obs;

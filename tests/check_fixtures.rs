@@ -1,0 +1,194 @@
+//! Snapshot tests for `pas check` over the committed fixture corpus.
+//!
+//! Every file under `tests/fixtures/invalid/` must be rejected with the
+//! exact diagnostic codes pinned here (the codes are a public, stable
+//! contract — renumbering one is a breaking change), and every file under
+//! `tests/fixtures/valid/` must pass cleanly even with `--deny-warnings`.
+
+use std::path::PathBuf;
+
+fn fixture(kind: &str, name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join(kind)
+        .join(name)
+        .to_str()
+        .expect("utf-8 path")
+        .to_string()
+}
+
+fn check(extra: &[&str]) -> Result<String, String> {
+    let mut argv: Vec<String> = vec!["check".into()];
+    argv.extend(extra.iter().map(|s| s.to_string()));
+    pas_cli::run(&argv)
+}
+
+/// Extracts the `PAS0xxx` codes from a rendered JSON report, in order.
+fn codes_of(report: &str) -> Vec<String> {
+    let doc: serde::Value = serde_json::from_str(report).expect("JSON report");
+    doc.get("diagnostics")
+        .and_then(|d| d.as_array())
+        .expect("diagnostics array")
+        .iter()
+        .map(|d| {
+            d.get("code")
+                .and_then(|c| c.as_str())
+                .expect("code string")
+                .to_string()
+        })
+        .collect()
+}
+
+/// Every invalid fixture is rejected, with exactly these codes.
+#[test]
+fn invalid_fixtures_pin_their_codes() {
+    let expected: &[(&str, &[&str])] = &[
+        ("graph_empty.json", &["PAS0001"]),
+        ("graph_dangling_edge.json", &["PAS0002"]),
+        ("graph_asymmetric.json", &["PAS0003", "PAS0013"]),
+        ("graph_self_loop.json", &["PAS0004"]),
+        ("graph_duplicate_edge.json", &["PAS0005"]),
+        ("graph_bad_times.json", &["PAS0006"]),
+        ("graph_or_arity.json", &["PAS0007"]),
+        ("graph_prob_range.json", &["PAS0008", "PAS0008"]),
+        ("graph_prob_sum.json", &["PAS0009"]),
+        ("graph_cycle.json", &["PAS0010", "PAS0012", "PAS0012"]),
+        ("graph_seriality.json", &["PAS0011"]),
+        ("platform_empty.json", &["PAS0102"]),
+        ("platform_nonmonotone.json", &["PAS0103"]),
+        ("fault_prob_range.json", &["PAS0201"]),
+        ("fault_overrun_factor.json", &["PAS0202"]),
+        ("fault_stall.json", &["PAS0203"]),
+    ];
+    for (name, want) in expected {
+        let path = fixture("invalid", name);
+        let err =
+            check(&[&path, "--format", "json"]).expect_err(&format!("{name} must be rejected"));
+        let got = codes_of(&err);
+        assert_eq!(&got, want, "{name}: {err}");
+    }
+    // The table above covers the whole directory — a fixture added without
+    // a pinned expectation fails here.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("invalid");
+    let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+        .expect("fixtures dir")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    on_disk.sort();
+    let mut pinned: Vec<String> = expected.iter().map(|(n, _)| n.to_string()).collect();
+    pinned.sort();
+    assert_eq!(on_disk, pinned, "every invalid fixture needs a pinned code");
+}
+
+/// The human rendering pins a few exact messages (they are part of the
+/// diagnostic contract too — downstream tooling greps for them).
+#[test]
+fn invalid_fixtures_pin_key_messages() {
+    let cases: &[(&str, &str)] = &[
+        ("graph_empty.json", "graph has no nodes"),
+        (
+            "graph_bad_times.json",
+            "execution times must satisfy 0 < acet <= wcet and be finite (wcet = 5, acet = 9)",
+        ),
+        (
+            "graph_prob_sum.json",
+            "branch probabilities sum to 0.900000, expected 1 (tolerance 0.000001)",
+        ),
+        (
+            "graph_seriality.json",
+            "OR-seriality violation: a section flows into two OR nodes ('o1' and 'o2')",
+        ),
+        (
+            "fault_prob_range.json",
+            "overrun_prob = 1.5 is not a probability in [0, 1]",
+        ),
+        (
+            "platform_nonmonotone.json",
+            "frequencies must strictly increase and voltages must not decrease",
+        ),
+    ];
+    for (name, needle) in cases {
+        let path = fixture("invalid", name);
+        let err = check(&[&path]).expect_err(&format!("{name} must be rejected"));
+        assert!(err.contains(needle), "{name}: wanted {needle:?} in {err}");
+        assert!(
+            err.contains("error[PAS0"),
+            "{name}: severity prefix in {err}"
+        );
+    }
+}
+
+/// Valid fixtures pass, even under `--deny-warnings`.
+#[test]
+fn valid_fixtures_pass_clean() {
+    for name in [
+        "graph_tiny.json",
+        "platform_xscale.json",
+        "fault_overruns.json",
+    ] {
+        let path = fixture("valid", name);
+        let out =
+            check(&[&path, "--deny-warnings"]).unwrap_or_else(|e| panic!("{name} must pass: {e}"));
+        assert!(out.contains("check passed"), "{name}: {out}");
+    }
+    // And the whole corpus at once: workload + platform + fault plan in a
+    // single invocation, checked against each other.
+    let g = fixture("valid", "graph_tiny.json");
+    let m = fixture("valid", "platform_xscale.json");
+    let f = fixture("valid", "fault_overruns.json");
+    let out = check(&[&g, &m, &f, "--deny-warnings"]).expect("corpus passes");
+    assert!(out.contains("feasibility:"), "{out}");
+}
+
+/// An explicit deadline that cannot be met is a PAS0301 error, and the
+/// message names the worst OR-path.
+#[test]
+fn infeasible_deadline_is_pas0301() {
+    let g = fixture("valid", "graph_tiny.json");
+    let err = check(&[&g, "--deadline", "1.0", "--format", "json"])
+        .expect_err("1 ms deadline is impossible");
+    assert_eq!(codes_of(&err), vec!["PAS0301"]);
+    let err = check(&[&g, "--deadline", "1.0"]).expect_err("same in human form");
+    assert!(err.contains("statically infeasible"), "{err}");
+}
+
+/// The built-in workloads and platforms are clean — `pas check` with no
+/// sources vets the default `--app`/`--model` pair.
+#[test]
+fn builtins_are_clean() {
+    for app in ["synthetic", "atr", "video"] {
+        for model in ["transmeta", "xscale", "continuous:0.2"] {
+            let out = check(&[app, model, "--deny-warnings"])
+                .unwrap_or_else(|e| panic!("{app} on {model}: {e}"));
+            assert!(out.contains("check passed"), "{app} on {model}: {out}");
+        }
+    }
+    let out = check(&["--deny-warnings"]).expect("default pair is clean");
+    assert!(out.contains("feasibility: synthetic on transmeta"), "{out}");
+}
+
+/// Broken inputs that fail classification or parsing surface one-line
+/// errors (not panics).
+#[test]
+fn unclassifiable_and_corrupt_sources_error() {
+    let dir = std::env::temp_dir().join("pas_check_fixture_tests");
+    let _ = std::fs::create_dir_all(&dir);
+    let mystery = dir.join("mystery.json");
+    std::fs::write(&mystery, "{\"foo\": 1}").expect("write fixture");
+    let err = check(&[mystery.to_str().expect("utf-8")]).expect_err("unclassifiable");
+    assert!(err.contains("cannot classify source"), "{err}");
+    let corrupt = dir.join("corrupt.json");
+    std::fs::write(&corrupt, "{not json").expect("write fixture");
+    let err = check(&[corrupt.to_str().expect("utf-8")]).expect_err("corrupt");
+    assert!(err.contains("parsing"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

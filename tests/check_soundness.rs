@@ -1,0 +1,125 @@
+//! Soundness of the `pas check` feasibility verdict: a workload the
+//! analyzer accepts must never miss its deadline in a fault-free run,
+//! under any of the six schemes, on either builtin platform. This is the
+//! end-to-end form of Theorem 1 — the static verifier's "feasible at
+//! f_max" claim is only worth something if the on-line schemes actually
+//! deliver it.
+
+use pas_andor::analyze::{check_application, DeadlineSpec};
+use pas_andor::core::{Scheme, Setup};
+use pas_andor::power::{Overheads, ProcessorModel};
+use pas_andor::sim::{ExecTimeModel, Realization};
+use pas_andor::workloads::RandomAppParams;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn both_platforms() -> [(&'static str, ProcessorModel); 2] {
+    [
+        ("transmeta", ProcessorModel::transmeta5400()),
+        ("xscale", ProcessorModel::xscale()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Accepted by the analyzer ⇒ no fault-free deadline miss, all six
+    /// schemes × both platforms, on sampled and adversarial realizations.
+    #[test]
+    fn clean_check_implies_no_fault_free_miss(
+        app_seed in 0u64..10_000,
+        real_seed in 0u64..10_000,
+        procs in 1usize..4,
+        load in 0.2f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(app_seed);
+        let app = RandomAppParams::default().generate(&mut rng).lower().unwrap();
+        for (name, model) in both_platforms() {
+            let analysis = check_application(
+                &app,
+                "random app",
+                &model,
+                name,
+                Overheads::paper_defaults(),
+                procs,
+                DeadlineSpec::Load(load),
+            );
+            prop_assert!(
+                !analysis.report.has_errors(),
+                "random valid app must be accepted on {name}: {}",
+                analysis.report.render_human()
+            );
+            let feas = analysis.feasibility.as_ref().expect("accepted ⇒ summary");
+            // The same load produces the same plan the runtime uses.
+            let setup = Setup::for_load(app.clone(), model, procs, load)
+                .expect("analyzer accepted ⇒ plan builds");
+            prop_assert!(
+                (feas.worst_case_ms - setup.plan.worst_total).abs()
+                    <= 1e-9 * setup.plan.worst_total.max(1.0),
+                "verifier Tw {} vs offline Tw {} on {name}",
+                feas.worst_case_ms,
+                setup.plan.worst_total
+            );
+            prop_assert!(
+                (feas.deadline_ms - setup.plan.deadline).abs()
+                    <= 1e-9 * setup.plan.deadline.max(1.0)
+            );
+            // Sampled realization.
+            let mut rng = StdRng::seed_from_u64(real_seed);
+            let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+            for scheme in Scheme::ALL {
+                let res = setup.run(scheme, &real).expect("run succeeds");
+                prop_assert!(
+                    !res.missed_deadline,
+                    "{} missed on {name} (app_seed={app_seed}, load={load})",
+                    scheme.name()
+                );
+            }
+            // Adversarial: the worst case of a sampled scenario.
+            let scenario = setup.sections.sample_scenario(&setup.graph, &mut rng);
+            let worst = Realization::worst_case(&setup.graph, scenario);
+            for scheme in Scheme::ALL {
+                let res = setup.run(scheme, &worst).expect("run succeeds");
+                prop_assert!(
+                    !res.missed_deadline,
+                    "{} missed worst case on {name} (app_seed={app_seed}, load={load})",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    /// The analyzer and the offline plan agree on infeasibility: PAS0301
+    /// fires exactly when `Setup::new` rejects the deadline.
+    #[test]
+    fn analyzer_agrees_with_offline_on_feasibility(
+        app_seed in 0u64..10_000,
+        deadline_frac in 0.25f64..2.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(app_seed);
+        let app = RandomAppParams::default().generate(&mut rng).lower().unwrap();
+        let model = ProcessorModel::transmeta5400();
+        // Derive a deadline as a fraction of the true worst case.
+        let probe = Setup::for_load(app.clone(), model.clone(), 2, 1.0)
+            .expect("load 1.0 is always feasible");
+        let deadline = probe.plan.worst_total * deadline_frac;
+        let analysis = check_application(
+            &app,
+            "random app",
+            &model,
+            "transmeta",
+            Overheads::paper_defaults(),
+            2,
+            DeadlineSpec::Deadline(deadline),
+        );
+        let offline = Setup::new(app.clone(), model, 2, deadline);
+        prop_assert_eq!(
+            analysis.report.has_errors(),
+            offline.is_err(),
+            "verifier and offline disagree at deadline {} (Tw {})",
+            deadline,
+            probe.plan.worst_total
+        );
+    }
+}
