@@ -40,7 +40,7 @@ impl Default for ProptestConfig {
 /// A generator of values of type `Value`.
 ///
 /// `generate` returns `None` when the draw was rejected by a filter;
-/// callers retry with fresh randomness up to [`MAX_FILTER_RETRIES`].
+/// callers retry with fresh randomness up to `MAX_FILTER_RETRIES` (256).
 pub trait Strategy {
     /// The type of value this strategy produces.
     type Value;
@@ -313,7 +313,7 @@ pub mod runner {
 
     /// Draws one value from `strategy`, retrying rejected draws.
     ///
-    /// Panics if the filter rejects [`MAX_FILTER_RETRIES`] consecutive
+    /// Panics if the filter rejects `MAX_FILTER_RETRIES` (256) consecutive
     /// draws — that signals an over-restrictive generator, as in real
     /// proptest.
     pub fn draw<S: Strategy>(strategy: &S, rng: &mut StdRng, test_name: &str) -> S::Value {

@@ -78,9 +78,63 @@ pub enum Code {
     Pas0301,
     Pas0302,
     Pas0303,
+    Pas0401,
+    Pas0402,
+    Pas0403,
+    Pas0404,
+    Pas0405,
+    Pas0406,
+    Pas0407,
+    Pas0408,
+    Pas0409,
 }
 
 impl Code {
+    /// Every code in the catalog, in numeric order. Documentation sync
+    /// tests iterate this to ensure `docs/diagnostics.md` covers the
+    /// whole catalog — a new variant that is not added here fails the
+    /// `all_is_exhaustive` test below.
+    pub const ALL: [Code; 39] = [
+        Code::Pas0001,
+        Code::Pas0002,
+        Code::Pas0003,
+        Code::Pas0004,
+        Code::Pas0005,
+        Code::Pas0006,
+        Code::Pas0007,
+        Code::Pas0008,
+        Code::Pas0009,
+        Code::Pas0010,
+        Code::Pas0011,
+        Code::Pas0012,
+        Code::Pas0013,
+        Code::Pas0101,
+        Code::Pas0102,
+        Code::Pas0103,
+        Code::Pas0104,
+        Code::Pas0105,
+        Code::Pas0106,
+        Code::Pas0107,
+        Code::Pas0108,
+        Code::Pas0201,
+        Code::Pas0202,
+        Code::Pas0203,
+        Code::Pas0204,
+        Code::Pas0205,
+        Code::Pas0206,
+        Code::Pas0301,
+        Code::Pas0302,
+        Code::Pas0303,
+        Code::Pas0401,
+        Code::Pas0402,
+        Code::Pas0403,
+        Code::Pas0404,
+        Code::Pas0405,
+        Code::Pas0406,
+        Code::Pas0407,
+        Code::Pas0408,
+        Code::Pas0409,
+    ];
     /// The stable wire form, e.g. `"PAS0009"`.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -114,6 +168,15 @@ impl Code {
             Code::Pas0301 => "PAS0301",
             Code::Pas0302 => "PAS0302",
             Code::Pas0303 => "PAS0303",
+            Code::Pas0401 => "PAS0401",
+            Code::Pas0402 => "PAS0402",
+            Code::Pas0403 => "PAS0403",
+            Code::Pas0404 => "PAS0404",
+            Code::Pas0405 => "PAS0405",
+            Code::Pas0406 => "PAS0406",
+            Code::Pas0407 => "PAS0407",
+            Code::Pas0408 => "PAS0408",
+            Code::Pas0409 => "PAS0409",
         }
     }
 
@@ -141,7 +204,16 @@ impl Code {
             | Code::Pas0201
             | Code::Pas0202
             | Code::Pas0203
-            | Code::Pas0301 => Error,
+            | Code::Pas0301
+            | Code::Pas0401
+            | Code::Pas0402
+            | Code::Pas0403
+            | Code::Pas0404
+            | Code::Pas0405
+            | Code::Pas0406
+            | Code::Pas0407
+            | Code::Pas0408
+            | Code::Pas0409 => Error,
             Code::Pas0012
             | Code::Pas0013
             | Code::Pas0104
@@ -189,6 +261,15 @@ impl Code {
             Code::Pas0303 => {
                 "OR-path count exceeds the enumeration threshold; conservative bound used"
             }
+            Code::Pas0401 => "plan artifact has an unsupported schema version",
+            Code::Pas0402 => "plan artifact does not fit the workload (shape mismatch)",
+            Code::Pas0403 => "plan canonical schedule differs from independent re-derivation",
+            Code::Pas0404 => "plan latest start time differs from independent re-derivation",
+            Code::Pas0405 => "plan timing statistics differ from independent re-derivation",
+            Code::Pas0406 => "plan scheme parameters differ from independent re-derivation",
+            Code::Pas0407 => "SS(2) switch time violates the valid switch window",
+            Code::Pas0408 => "speculative speed undercuts the GSS-guaranteed floor",
+            Code::Pas0409 => "plan deadline is infeasible for the workload",
         }
     }
 }
@@ -397,6 +478,24 @@ impl Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn all_is_exhaustive() {
+        // Strictly ascending wire forms ⇒ no duplicates and numeric order.
+        for pair in Code::ALL.windows(2) {
+            assert!(
+                pair[0].as_str() < pair[1].as_str(),
+                "{} must precede {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // Every code has a nonempty description and a severity.
+        for c in Code::ALL {
+            assert!(!c.description().is_empty(), "{c}");
+            let _ = c.severity();
+        }
+    }
 
     #[test]
     fn codes_round_trip_and_sort() {

@@ -186,7 +186,7 @@ pub fn verify_feasibility(
     (r, Some(feas))
 }
 
-fn push_plan_error(r: &mut Report, e: PlanError, src: &str) {
+pub(crate) fn push_plan_error(r: &mut Report, e: PlanError, src: &str) {
     match e {
         PlanError::Infeasible {
             worst_finish,
@@ -214,12 +214,17 @@ fn push_plan_error(r: &mut Report, e: PlanError, src: &str) {
             Loc::whole(src),
             format!("OR node {or} branch {branch} has no program section"),
         )),
+        PlanError::PlanGraphMismatch { detail } => r.push(Diagnostic::new(
+            Code::Pas0402,
+            Loc::whole(src),
+            format!("plan does not match the application: {detail}"),
+        )),
     }
 }
 
 /// Counts OR-paths without enumerating them: a memoized recursion over
 /// the section chain, saturating at `u64::MAX`.
-fn count_scenarios(g: &AndOrGraph, sections: &SectionGraph) -> u64 {
+pub(crate) fn count_scenarios(g: &AndOrGraph, sections: &SectionGraph) -> u64 {
     let mut memo: HashMap<NodeId, u64> = HashMap::new();
     count_from_section(g, sections, sections.root(), &mut memo)
 }

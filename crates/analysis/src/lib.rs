@@ -15,20 +15,74 @@
 //! | `PAS01xx` | platform, overheads, run parameters ([`platform_checks`]) |
 //! | `PAS02xx` | fault plans ([`fault_checks`]) |
 //! | `PAS03xx` | Theorem-1 feasibility ([`feasibility`]) |
+//! | `PAS04xx` | serialized plan artifacts ([`plan_checks`]) |
 //!
 //! The full catalog with messages and the feasibility-verifier soundness
-//! argument live in DESIGN.md §3e.
+//! argument live in DESIGN.md §3e; `docs/diagnostics.md` is the
+//! user-facing reference (kept in sync by test).
+//!
+//! # Examples
+//!
+//! Checking a workload/platform pair end to end:
+//!
+//! ```
+//! use andor_graph::Segment;
+//! use dvfs_power::{Overheads, ProcessorModel};
+//! use pas_analyze::{check_application, DeadlineSpec};
+//!
+//! let g = Segment::seq([
+//!     Segment::task("A", 8.0, 5.0),
+//!     Segment::task("B", 4.0, 2.0),
+//! ])
+//! .lower()
+//! .unwrap();
+//! let analysis = check_application(
+//!     &g,
+//!     "app",
+//!     &ProcessorModel::xscale(),
+//!     "xscale",
+//!     Overheads::paper_defaults(),
+//!     2,
+//!     DeadlineSpec::Load(0.5),
+//! );
+//! assert!(analysis.report.is_clean());
+//! assert!(analysis.feasibility.unwrap().static_slack_ms > 0.0);
+//! ```
+//!
+//! Verifying a serialized plan artifact against its inputs:
+//!
+//! ```
+//! use andor_graph::Segment;
+//! use dvfs_power::ProcessorModel;
+//! use pas_analyze::check_plan;
+//! use pas_core::{PlanArtifact, Scheme, Setup};
+//!
+//! let g = Segment::seq([
+//!     Segment::task("A", 8.0, 5.0),
+//!     Segment::task("B", 4.0, 2.0),
+//! ])
+//! .lower()
+//! .unwrap();
+//! let setup = Setup::for_load(g.clone(), ProcessorModel::xscale(), 2, 0.5).unwrap();
+//! let artifact = PlanArtifact::from_setup(&setup, Scheme::Gss, "app", "xscale");
+//! let report = check_plan(&artifact, "plan.json", &g, "app", &setup.model);
+//! assert!(report.is_clean());
+//! ```
 
 pub mod diag;
 pub mod fault_checks;
 pub mod feasibility;
+pub mod fixes;
 pub mod graph_checks;
+pub mod plan_checks;
 pub mod platform_checks;
 
 pub use diag::{Code, Diagnostic, Loc, Report, Severity};
 pub use fault_checks::check_fault_plan;
 pub use feasibility::{verify_feasibility, DeadlineSpec, Feasibility, ENUMERATION_THRESHOLD};
+pub use fixes::fix_graph;
 pub use graph_checks::check_graph;
+pub use plan_checks::check_plan;
 pub use platform_checks::{check_model, check_overheads, check_run_params};
 
 use andor_graph::{AndOrGraph, SectionGraph};

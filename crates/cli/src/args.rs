@@ -92,11 +92,17 @@ pub struct Args {
     pub bench_dir: Option<String>,
     /// `bench`: comma-separated golden-workload filter (`fig4,fig6`).
     pub workloads: Option<String>,
-    /// `check`: positional sources (workload/platform/fault-plan files or
-    /// builtin names). Empty means check the defaults (`--app`/`--model`).
+    /// `check`/`plan`: positional sources (workload/platform/fault-plan/
+    /// plan files or builtin names). Empty means use the defaults
+    /// (`--app`/`--model`).
     pub sources: Vec<String>,
     /// `check`: treat warnings as errors.
     pub deny_warnings: bool,
+    /// `check`: reference sources a plan artifact is verified against
+    /// (workload/platform specs, same classification as positionals).
+    pub against: Vec<String>,
+    /// `check`: write mechanically repaired workloads next to the input.
+    pub fix: bool,
 }
 
 impl Args {
@@ -143,7 +149,10 @@ impl Args {
             workloads: None,
             sources: Vec::new(),
             deny_warnings: false,
+            against: Vec::new(),
+            fix: false,
         };
+        let mut in_against = false;
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> Result<&String, String> {
                 it.next().ok_or_else(|| format!("{name} needs a value"))
@@ -201,16 +210,37 @@ impl Args {
                 "--bench-dir" => parsed.bench_dir = Some(value("--bench-dir")?.clone()),
                 "--workloads" => parsed.workloads = Some(value("--workloads")?.clone()),
                 "--deny-warnings" => parsed.deny_warnings = true,
+                "--against" => {
+                    if parsed.command != Command::Check {
+                        return Err("--against is a `check` flag".into());
+                    }
+                    let first = value("--against")?.clone();
+                    if first.starts_with('-') {
+                        return Err("--against needs a value".into());
+                    }
+                    parsed.against.push(first);
+                    in_against = true;
+                    continue;
+                }
+                "--fix" => parsed.fix = true,
                 other => {
-                    // `check` takes positional sources; every other
-                    // command rejects stray tokens.
-                    if parsed.command == Command::Check && !other.starts_with('-') {
+                    // `check` and `plan` take positional sources; every
+                    // other command rejects stray tokens. Bare tokens
+                    // directly after `--against` extend the reference
+                    // list rather than the checked sources.
+                    let positional_ok = matches!(parsed.command, Command::Check | Command::Plan);
+                    if positional_ok && !other.starts_with('-') {
+                        if in_against {
+                            parsed.against.push(other.to_string());
+                            continue; // Stay in --against until the next flag.
+                        }
                         parsed.sources.push(other.to_string());
                     } else {
                         return Err(format!("unknown flag '{other}'"));
                     }
                 }
             }
+            in_against = false;
         }
         if parsed.load.is_some() && parsed.deadline.is_some() {
             return Err("--load and --deadline are mutually exclusive".into());
@@ -390,6 +420,44 @@ mod tests {
         assert!(parse(&["check"]).unwrap().sources.is_empty());
         // Positional sources are only accepted by `check`.
         assert!(parse(&["run", "w.json"]).is_err());
+    }
+
+    #[test]
+    fn against_collects_reference_sources() {
+        let a = parse(&[
+            "check",
+            "p.json",
+            "--against",
+            "w.json",
+            "xscale",
+            "--deny-warnings",
+        ])
+        .unwrap();
+        assert_eq!(a.sources, vec!["p.json".to_string()]);
+        assert_eq!(a.against, vec!["w.json".to_string(), "xscale".to_string()]);
+        assert!(a.deny_warnings);
+        // --against needs at least one value and belongs to `check`.
+        assert!(parse(&["check", "--against"]).is_err());
+        assert!(parse(&["check", "--against", "--deny-warnings"]).is_err());
+        assert!(parse(&["run", "--against", "w.json"]).is_err());
+    }
+
+    #[test]
+    fn plan_takes_positional_sources() {
+        let a = parse(&[
+            "plan", "w.json", "xscale", "--scheme", "ss2", "--out", "p.json",
+        ])
+        .unwrap();
+        assert_eq!(a.command, Command::Plan);
+        assert_eq!(a.sources, vec!["w.json".to_string(), "xscale".to_string()]);
+        assert_eq!(a.out.as_deref(), Some("p.json"));
+    }
+
+    #[test]
+    fn fix_flag() {
+        let a = parse(&["check", "w.json", "--fix"]).unwrap();
+        assert!(a.fix);
+        assert!(!parse(&["check", "w.json"]).unwrap().fix);
     }
 
     #[test]

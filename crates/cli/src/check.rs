@@ -1,12 +1,25 @@
-//! The `pas check` command: static analysis over workloads, platforms and
-//! fault plans.
+//! The `pas check` command: static analysis over workloads, platforms,
+//! fault plans and serialized plan artifacts.
 //!
 //! Sources are positional and classified automatically: builtin workload
 //! names (`synthetic`, `atr`, `video`) and platform specs (`transmeta`,
 //! `xscale`, `continuous:<smin>`) are recognized directly; JSON files are
-//! sniffed by their top-level keys (`nodes` → workload, `overrun_prob` →
-//! fault plan, `kind` → platform). With no sources, the `--app`/`--model`
-//! pair is checked — so `pas check` alone vets the default configuration.
+//! sniffed by their top-level keys (`schema_version` → plan artifact,
+//! `nodes` → workload, `overrun_prob` → fault plan, `kind` → platform).
+//! With no sources, the `--app`/`--model` pair is checked — so
+//! `pas check` alone vets the default configuration.
+//!
+//! Plan artifacts (written by `pas plan --out`) are verified against
+//! reference inputs: `--against <workload> <platform>` names them
+//! explicitly; without it the artifact's recorded workload/platform
+//! labels are re-resolved (falling back to `--model` for the platform).
+//! The verifier re-derives the whole off-line phase independently and
+//! reports any disagreement as a `PAS04xx` diagnostic.
+//!
+//! `--fix` applies the mechanical graph repairs (duplicate edges,
+//! OR-probability renormalization) to every workload *file* source and
+//! writes
+//! the repaired graph to `<stem>.fixed.json` next to the input.
 
 use crate::args::Args;
 use andor_graph::AndOrGraph;
@@ -15,12 +28,14 @@ use mp_sim::FaultPlan;
 use pas_analyze::{
     check_application, check_fault_plan, Code, DeadlineSpec, Diagnostic, Loc, Report,
 };
+use pas_core::PlanArtifact;
 
 /// What one positional source turned out to be.
 enum Source {
     Workload(String, AndOrGraph),
     Platform(String, ProcessorModel),
     Fault(String, FaultPlan),
+    Plan(String, Box<PlanArtifact>),
 }
 
 /// Runs `pas check <sources>`. Returns `Ok(report)` when the inputs are
@@ -31,6 +46,10 @@ pub fn check_cmd(args: &Args) -> Result<String, String> {
     let mut workloads: Vec<(String, AndOrGraph)> = Vec::new();
     let mut platforms: Vec<(String, ProcessorModel)> = Vec::new();
     let mut fault_plans: Vec<(String, FaultPlan)> = Vec::new();
+    let mut plans: Vec<(String, Box<PlanArtifact>)> = Vec::new();
+    // Workload sources that came from files (not builtins) — the only
+    // ones `--fix` can write a repaired sibling for.
+    let mut fix_candidates: Vec<(String, AndOrGraph)> = Vec::new();
 
     let specs: Vec<String> = if args.sources.is_empty() {
         vec![args.app.clone()]
@@ -39,10 +58,34 @@ pub fn check_cmd(args: &Args) -> Result<String, String> {
     };
     for spec in &specs {
         match classify(spec, args)? {
-            Source::Workload(label, g) => workloads.push((label, g)),
+            Source::Workload(label, g) => {
+                if !matches!(spec.as_str(), "synthetic" | "video" | "atr") {
+                    fix_candidates.push((label.clone(), g.clone()));
+                }
+                workloads.push((label, g));
+            }
             Source::Platform(label, m) => platforms.push((label, m)),
             Source::Fault(label, p) => fault_plans.push((label, p)),
+            Source::Plan(label, artifact) => plans.push((label, artifact)),
         }
+    }
+    // `--against` names the reference inputs plan artifacts are verified
+    // against; only workloads and platforms make sense there.
+    let mut ref_workloads: Vec<(String, AndOrGraph)> = Vec::new();
+    let mut ref_platforms: Vec<(String, ProcessorModel)> = Vec::new();
+    for spec in &args.against {
+        match classify(spec, args)? {
+            Source::Workload(label, g) => ref_workloads.push((label, g)),
+            Source::Platform(label, m) => ref_platforms.push((label, m)),
+            Source::Fault(..) | Source::Plan(..) => {
+                return Err(format!(
+                    "--against {spec}: expected a workload or platform reference"
+                ))
+            }
+        }
+    }
+    if !args.against.is_empty() && plans.is_empty() {
+        return Err("--against only applies when a plan artifact is among the sources".into());
     }
     // Without an explicit platform source, workloads are checked against
     // the `--model` platform (the same one `run` would use).
@@ -74,7 +117,7 @@ pub fn check_cmd(args: &Args) -> Result<String, String> {
             );
             if let Some(f) = &analysis.feasibility {
                 summaries.push(format!(
-                    "{g_label} on {m_label}: worst case {:.3} ms, deadline {:.3} ms, \
+                    "feasibility: {g_label} on {m_label}: worst case {:.3} ms, deadline {:.3} ms, \
                      static slack {:.3} ms over {} OR-path(s){}",
                     f.worst_case_ms,
                     f.deadline_ms,
@@ -98,14 +141,86 @@ pub fn check_cmd(args: &Args) -> Result<String, String> {
         report.merge(check_fault_plan(plan, target, p_label));
     }
 
+    // Plan artifacts: resolve the reference inputs, vet them, then run
+    // the independent re-derivation verifier.
+    for (p_label, artifact) in &plans {
+        let (g_label, g) = match ref_workloads.first() {
+            Some((l, g)) => (l.clone(), g.clone()),
+            None => match classify(&artifact.workload, args)? {
+                Source::Workload(l, g) => (l, g),
+                _ => {
+                    return Err(format!(
+                        "{p_label}: recorded workload '{}' did not resolve to a workload \
+                         (name one with --against)",
+                        artifact.workload
+                    ))
+                }
+            },
+        };
+        let (m_label, model) = match ref_platforms.first() {
+            Some((l, m)) => (l.clone(), m.clone()),
+            None => match classify(&artifact.platform, args) {
+                Ok(Source::Platform(l, m)) => (l, m),
+                // The recorded platform label may be a path that no longer
+                // exists; fall back to the session's `--model`.
+                _ => (args.model.clone(), crate::source::load_model(&args.model)?),
+            },
+        };
+        let mut pre = pas_analyze::check_graph(&g, &g_label);
+        pre.merge(pas_analyze::check_model(&model, &m_label));
+        let pre_clean = !pre.has_errors();
+        report.merge(pre);
+        // Only verify against structurally sound references — otherwise
+        // the re-derivation would blame the plan for the workload's sins.
+        if pre_clean {
+            report.merge(pas_analyze::check_plan(
+                artifact, p_label, &g, &g_label, &model,
+            ));
+            summaries.push(format!(
+                "plan {p_label}: scheme {} verified against {g_label} on {m_label} \
+                 (schema v{})",
+                artifact.scheme.name(),
+                artifact.schema_version
+            ));
+        }
+    }
+
+    // `--fix`: write mechanically repaired copies of workload file
+    // sources. Runs even when the report rejects — repairing rejected
+    // inputs is the point.
+    let mut fix_lines: Vec<String> = Vec::new();
+    if args.fix {
+        if fix_candidates.is_empty() {
+            return Err("--fix needs at least one workload JSON file among the sources".into());
+        }
+        for (path, g) in &fix_candidates {
+            let (fixed, applied) = pas_analyze::fix_graph(g)?;
+            if applied.is_empty() {
+                fix_lines.push(format!("fix: {path}: no fixable diagnostics"));
+                continue;
+            }
+            let out_path = fixed_path(path);
+            let json = serde_json::to_string_pretty(&fixed)
+                .map_err(|e| format!("serializing {out_path}: {e}"))?;
+            std::fs::write(&out_path, json).map_err(|e| format!("writing {out_path}: {e}"))?;
+            for line in &applied {
+                fix_lines.push(format!("fix: {path}: {line}"));
+            }
+            fix_lines.push(format!("fix: wrote {out_path}"));
+        }
+    }
+
     let rejected = report.rejects(args.deny_warnings);
     let rendered = match args.format.as_str() {
         "json" => report.render_json(),
         "human" | "summary" => {
             let mut out = report.render_human();
+            for l in &fix_lines {
+                out.push_str(l);
+                out.push('\n');
+            }
             if !rejected {
                 for s in &summaries {
-                    out.push_str("feasibility: ");
                     out.push_str(s);
                     out.push('\n');
                 }
@@ -118,6 +233,15 @@ pub fn check_cmd(args: &Args) -> Result<String, String> {
         Err(rendered.trim_end().to_string())
     } else {
         Ok(rendered)
+    }
+}
+
+/// `w.json` → `w.fixed.json`; non-`.json` paths get `.fixed.json`
+/// appended.
+fn fixed_path(path: &str) -> String {
+    match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.fixed.json"),
+        None => format!("{path}.fixed.json"),
     }
 }
 
@@ -142,7 +266,11 @@ fn classify(spec: &str, args: &Args) -> Result<Source, String> {
             let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
             let value: serde::Value =
                 serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-            if value.get("nodes").is_some() {
+            if value.get("schema_version").is_some() {
+                let artifact =
+                    PlanArtifact::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+                Ok(Source::Plan(path.to_string(), Box::new(artifact)))
+            } else if value.get("nodes").is_some() {
                 let g: AndOrGraph =
                     serde_json::from_str(&text).map_err(|e| format!("parsing {path}: {e}"))?;
                 Ok(Source::Workload(path.to_string(), g))
@@ -156,8 +284,9 @@ fn classify(spec: &str, args: &Args) -> Result<Source, String> {
                 Ok(Source::Platform(path.to_string(), m))
             } else {
                 Err(format!(
-                    "{path}: cannot classify source (expected a workload with \"nodes\", \
-                     a fault plan with \"overrun_prob\", or a platform with \"kind\")"
+                    "{path}: cannot classify source (expected a plan artifact with \
+                     \"schema_version\", a workload with \"nodes\", a fault plan with \
+                     \"overrun_prob\", or a platform with \"kind\")"
                 ))
             }
         }

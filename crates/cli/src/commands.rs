@@ -127,8 +127,57 @@ fn inspect(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
+/// True when a `plan` positional source names a platform rather than a
+/// workload: a builtin model spec, or a JSON file whose top level carries
+/// the `ProcessorModel` `"kind"` tag.
+fn is_platform_spec(spec: &str) -> bool {
+    if matches!(spec, "transmeta" | "xscale") || spec.starts_with("continuous:") {
+        return true;
+    }
+    std::fs::read_to_string(spec)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde::Value>(&text).ok())
+        .is_some_and(|v| v.get("kind").is_some() && v.get("nodes").is_none())
+}
+
 fn plan(args: &Args) -> Result<String, String> {
+    // Positional sources override the `--app`/`--model` defaults, so the
+    // documented invocation `pas plan workload.json xscale --out p.json`
+    // works without flag spelling.
+    let mut eff = args.clone();
+    for spec in &args.sources {
+        if is_platform_spec(spec) {
+            eff.model = spec.clone();
+        } else {
+            eff.app = spec.clone();
+        }
+    }
+    let args = &eff;
     let setup = build_setup(args)?;
+    if let Some(path) = &args.out {
+        let scheme = match args.scheme {
+            SchemeArg::Scheme(s) => s,
+            SchemeArg::Oracle => {
+                return Err(
+                    "the oracle has no serializable plan (its schedule is per-realization); \
+                     pick one of npm|spm|gss|ss1|ss2|as"
+                        .into(),
+                )
+            }
+        };
+        let artifact = pas_core::PlanArtifact::from_setup(&setup, scheme, &args.app, &args.model);
+        let json = artifact
+            .to_json()
+            .map_err(|e| format!("serializing: {e}"))?;
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        return Ok(format!(
+            "wrote {path} (schema v{}, scheme {}, {} nodes, {} sections)\n",
+            pas_core::PLAN_SCHEMA_VERSION,
+            scheme.name(),
+            setup.graph.len(),
+            setup.sections.len()
+        ));
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,

@@ -18,6 +18,10 @@
 //!              --out stream.jsonl                    stream 100 frames incrementally
 //! pas bench    --check                               diff golden workloads vs baselines
 //! pas check    atr xscale faults.json                static analysis & feasibility
+//! pas plan     w.json xscale --scheme ss2 \
+//!              --out plan.json                       serialize the off-line artifact
+//! pas check    plan.json --against w.json xscale     verify a plan artifact
+//! pas check    w.json --fix                          write repaired w.fixed.json
 //! ```
 //!
 //! `--app` accepts the built-in workloads `atr`, `synthetic` and `video`,
@@ -42,7 +46,7 @@ pub const USAGE: &str =
 [--fault-plan FILE.json] [--format chrome|jsonl|csv|summary] [--proc P] \
 [--kinds k1,k2,...] [--frames N] [--carry] [--metrics] \
 [--check] [--update-baselines] [--bench-dir DIR] [--workloads w1,w2,...] \
-[--deny-warnings]";
+[--deny-warnings] [--against REF...] [--fix]";
 
 /// Parses `args` and executes the selected command, returning the text to
 /// print.
@@ -664,5 +668,100 @@ mod tests {
     fn bad_scheme_is_an_error() {
         let err = call(&["run", "--app", "synthetic", "--scheme", "warp-speed"]).unwrap_err();
         assert!(err.contains("unknown scheme"), "{err}");
+    }
+
+    #[test]
+    fn plan_artifact_round_trips_through_check() {
+        let dir = std::env::temp_dir().join("pas_cli_test_plan_artifact");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let w = dir.join("w.json");
+        let w_s = w.to_str().unwrap();
+        call(&["export", "--app", "synthetic", "--out", w_s]).unwrap();
+        let p = dir.join("plan.json");
+        let p_s = p.to_str().unwrap();
+        // Positional sources: workload file + platform builtin.
+        let out = call(&["plan", w_s, "xscale", "--scheme", "ss2", "--out", p_s]).unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        assert!(out.contains("schema v1"), "{out}");
+        // Honest artifact verifies cleanly against explicit references...
+        let out = call(&["check", p_s, "--against", w_s, "xscale", "--deny-warnings"]).unwrap();
+        assert!(out.contains("verified against"), "{out}");
+        // ...and against the labels recorded inside the artifact.
+        let out = call(&["check", p_s, "--deny-warnings"]).unwrap();
+        assert!(out.contains("verified against"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tampered_plan_artifacts_are_rejected() {
+        let dir = std::env::temp_dir().join("pas_cli_test_plan_tamper");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let w = dir.join("w.json");
+        let w_s = w.to_str().unwrap();
+        call(&["export", "--app", "synthetic", "--out", w_s]).unwrap();
+        let p = dir.join("plan.json");
+        let p_s = p.to_str().unwrap();
+        call(&["plan", w_s, "xscale", "--scheme", "ss2", "--out", p_s]).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        // A switch time outside [0, D] violates the SS(2) window bound.
+        let mut a = pas_core::PlanArtifact::from_json(&text).unwrap();
+        match &mut a.params {
+            pas_core::SchemeParams::Ss2 { switch_time, .. } => *switch_time = -5.0,
+            other => panic!("ss2 plan expected, got {other:?}"),
+        }
+        std::fs::write(&p, a.to_json().unwrap()).unwrap();
+        let err = call(&["check", p_s, "--against", w_s, "xscale"]).unwrap_err();
+        assert!(err.contains("PAS0407"), "{err}");
+        // A shifted latest-start-time disagrees with the re-derivation.
+        let mut a = pas_core::PlanArtifact::from_json(&text).unwrap();
+        let slot = a
+            .plan
+            .lst
+            .iter_mut()
+            .find(|s| s.is_some())
+            .expect("some computation node");
+        *slot = Some(slot.unwrap() + 3.0);
+        std::fs::write(&p, a.to_json().unwrap()).unwrap();
+        let err = call(&["check", p_s, "--against", w_s, "xscale"]).unwrap_err();
+        assert!(err.contains("PAS0404"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_fix_writes_repaired_workload() {
+        let dir = std::env::temp_dir().join("pas_cli_test_check_fix");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let bad = dir.join("bad.json");
+        let bad_s = bad.to_str().unwrap();
+        std::fs::write(
+            &bad,
+            r#"{"nodes": [
+                {"name": "A", "kind": {"Computation": {"wcet": 2.0, "acet": 1.0}}, "preds": [], "succs": [1, 1]},
+                {"name": "B", "kind": {"Computation": {"wcet": 3.0, "acet": 1.5}}, "preds": [0, 0], "succs": []}
+            ]}"#,
+        )
+        .unwrap();
+        // Whether or not the duplicate edge rejects the input, the fix
+        // must be written and reported.
+        let text = match call(&["check", bad_s, "--fix", "--deny-warnings"]) {
+            Ok(t) | Err(t) => t,
+        };
+        assert!(text.contains("dropped duplicate edge"), "{text}");
+        assert!(text.contains("fix: wrote"), "{text}");
+        let fixed = dir.join("bad.fixed.json");
+        assert!(fixed.exists(), "repaired sibling written");
+        // The repaired workload passes the strict check.
+        let out = call(&["check", fixed.to_str().unwrap(), "--deny-warnings"]).unwrap();
+        assert!(out.contains("feasibility:"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plan_out_rejects_oracle() {
+        let err = call(&["plan", "--scheme", "oracle", "--out", "/tmp/x.json"]).unwrap_err();
+        assert!(err.contains("oracle"), "{err}");
     }
 }

@@ -146,6 +146,8 @@ mod tests {
             workloads: None,
             sources: Vec::new(),
             deny_warnings: false,
+            against: Vec::new(),
+            fix: false,
         }
     }
 

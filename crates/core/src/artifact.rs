@@ -1,0 +1,263 @@
+//! Serialized offline plans: the versioned on-disk form of the off-line
+//! phase's output, per scheme.
+//!
+//! The paper's Theorem 1 is proved over the *canonical schedule* — the
+//! latest start times, the `Tw`/`Ta` statistics and, for the speculative
+//! schemes, the derived speed parameters. [`PlanArtifact`] makes that
+//! whole object a first-class file: `pas plan --out plan.json` writes it,
+//! `pas check plan.json --against <workload> <platform>` re-derives it
+//! independently and diffs every field (the `PAS04xx` diagnostics in
+//! `pas-analyze`), and [`PlanArtifact::into_setup`] runs the engine *from
+//! the deserialized plan* so a verified artifact is also a runnable one.
+//!
+//! Serialization is deterministic: the offline serde layer emits map
+//! entries in sorted key order, so building the same plan twice yields
+//! byte-identical JSON — which is what makes "serialize → deserialize →
+//! re-derive → byte-identical" a property test rather than a hope.
+
+use crate::harness::{Setup, SetupError};
+use crate::offline::OfflinePlan;
+use crate::policies::{Scheme, SpmPolicy, Ss1Policy, Ss2Policy};
+use andor_graph::AndOrGraph;
+use dvfs_power::{Overheads, ProcessorModel};
+use serde::{Deserialize, Serialize};
+
+/// Version of the plan-artifact JSON schema. Bumped on any breaking
+/// change to [`PlanArtifact`] or the types it embeds; `pas check` rejects
+/// other versions with `PAS0401`.
+pub const PLAN_SCHEMA_VERSION: u32 = 1;
+
+/// The scheme-specific parameters the on-line phase derives from a plan —
+/// the quantities Theorem 1's "never below the GSS speed" argument and the
+/// SS(2) switch-window condition are stated over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchemeParams {
+    /// NPM carries no parameters (always full speed).
+    Npm,
+    /// SPM: the single static operating speed `Tw / (D − t_trans)`,
+    /// quantized up.
+    Spm {
+        /// Normalized static speed every task runs at.
+        static_speed: f64,
+    },
+    /// GSS derives everything per dispatch from the latest start times.
+    Gss,
+    /// SS(1): the single speculative floor `Ta / D`, quantized up.
+    Ss1 {
+        /// Normalized speculative speed floor.
+        spec_speed: f64,
+    },
+    /// SS(2): the level pair bracketing `Ta / D` and the switch time
+    /// `θ = (s₂·D − Tᵃ) / (s₂ − s₁)`, clamped into `[0, D]`.
+    Ss2 {
+        /// The lower level `s₁`.
+        low: f64,
+        /// The upper level `s₂`.
+        high: f64,
+        /// The switch time θ in ms.
+        switch_time: f64,
+    },
+    /// AS: the initial (unquantized) speculation `Ta / D`; the per-OR
+    /// re-speculation table is the plan's `branch_avg`.
+    As {
+        /// Initial speculative speed before any OR fires.
+        initial_spec: f64,
+    },
+}
+
+impl SchemeParams {
+    /// Derives the parameters a scheme's policy would compute from
+    /// `plan` on `model` under `overheads` — the independent
+    /// re-derivation `pas check` compares a stored artifact against.
+    pub fn derive(
+        scheme: Scheme,
+        plan: &OfflinePlan,
+        model: &ProcessorModel,
+        overheads: Overheads,
+    ) -> Self {
+        match scheme {
+            Scheme::Npm => SchemeParams::Npm,
+            Scheme::Gss => SchemeParams::Gss,
+            Scheme::Spm => SchemeParams::Spm {
+                static_speed: SpmPolicy::new(plan, model, overheads).point().speed,
+            },
+            Scheme::Ss1 => SchemeParams::Ss1 {
+                spec_speed: Ss1Policy::new(plan, model, overheads).spec_speed(),
+            },
+            Scheme::Ss2 => {
+                let (low, high, switch_time) = Ss2Policy::new(plan, model, overheads).parameters();
+                SchemeParams::Ss2 {
+                    low,
+                    high,
+                    switch_time,
+                }
+            }
+            Scheme::As => SchemeParams::As {
+                initial_spec: plan.avg_total / plan.deadline,
+            },
+        }
+    }
+
+    /// The scheme these parameters belong to.
+    pub fn scheme(&self) -> Scheme {
+        match self {
+            SchemeParams::Npm => Scheme::Npm,
+            SchemeParams::Spm { .. } => Scheme::Spm,
+            SchemeParams::Gss => Scheme::Gss,
+            SchemeParams::Ss1 { .. } => Scheme::Ss1,
+            SchemeParams::Ss2 { .. } => Scheme::Ss2,
+            SchemeParams::As { .. } => Scheme::As,
+        }
+    }
+}
+
+/// The complete serialized offline artifact for one
+/// (workload, platform, scheme) triple: everything the on-line phase
+/// needs, in a versioned, diffable, independently re-derivable form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanArtifact {
+    /// Schema version ([`PLAN_SCHEMA_VERSION`]); checked by `pas check`
+    /// before anything else (`PAS0401`).
+    pub schema_version: u32,
+    /// Label of the workload the plan was built from (builtin name or
+    /// file path) — informational; verification uses `--against`.
+    pub workload: String,
+    /// Label of the platform the plan was built for.
+    pub platform: String,
+    /// The scheme whose parameters are embedded.
+    pub scheme: Scheme,
+    /// The overhead configuration the plan's PMP reservation assumed.
+    pub overheads: Overheads,
+    /// Scheme-specific derived parameters.
+    pub params: SchemeParams,
+    /// The full off-line phase output: canonical schedule, latest start
+    /// times, `Tw`/`Ta`, per-OR-branch remaining-time tables.
+    pub plan: OfflinePlan,
+}
+
+impl PlanArtifact {
+    /// Builds the artifact for one scheme from a prepared [`Setup`].
+    pub fn from_setup(setup: &Setup, scheme: Scheme, workload: &str, platform: &str) -> Self {
+        PlanArtifact {
+            schema_version: PLAN_SCHEMA_VERSION,
+            workload: workload.to_string(),
+            platform: platform.to_string(),
+            scheme,
+            overheads: setup.overheads,
+            params: SchemeParams::derive(scheme, &setup.plan, &setup.model, setup.overheads),
+            plan: setup.plan.clone(),
+        }
+    }
+
+    /// Serializes to the canonical pretty-JSON form (deterministic: equal
+    /// plans produce byte-identical output).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| format!("serializing plan: {e}"))
+    }
+
+    /// Deserializes an artifact from JSON. Parsing does not check the
+    /// schema version — that is `pas check`'s job (`PAS0401`), so older
+    /// files still produce a diagnostic instead of a parse error.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("parsing plan: {e}"))
+    }
+
+    /// Rebuilds a runnable [`Setup`] around the *deserialized* plan —
+    /// no re-derivation, the engine runs from exactly what the file said
+    /// (shape-checked against `graph` first).
+    pub fn into_setup(self, graph: AndOrGraph, model: ProcessorModel) -> Result<Setup, SetupError> {
+        Setup::from_plan(graph, model, self.plan, self.overheads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use andor_graph::Segment;
+
+    fn setup() -> Setup {
+        let app = Segment::seq([
+            Segment::task("A", 8.0, 5.0),
+            Segment::branch([
+                (0.3, Segment::task("B", 5.0, 3.0)),
+                (0.7, Segment::task("C", 4.0, 2.0)),
+            ]),
+        ]);
+        Setup::for_load(
+            app.lower().expect("fixture lowers"),
+            ProcessorModel::xscale(),
+            2,
+            0.5,
+        )
+        .expect("feasible setup")
+    }
+
+    #[test]
+    fn params_match_policies() {
+        let s = setup();
+        let spm = SpmPolicy::new(&s.plan, &s.model, s.overheads);
+        match SchemeParams::derive(Scheme::Spm, &s.plan, &s.model, s.overheads) {
+            SchemeParams::Spm { static_speed } => {
+                assert!((static_speed - spm.point().speed).abs() < 1e-15)
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let ss2 = Ss2Policy::new(&s.plan, &s.model, s.overheads);
+        match SchemeParams::derive(Scheme::Ss2, &s.plan, &s.model, s.overheads) {
+            SchemeParams::Ss2 {
+                low,
+                high,
+                switch_time,
+            } => {
+                assert_eq!((low, high, switch_time), ss2.parameters());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        for scheme in Scheme::ALL {
+            let p = SchemeParams::derive(scheme, &s.plan, &s.model, s.overheads);
+            assert_eq!(p.scheme(), scheme);
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let s = setup();
+        for scheme in Scheme::ALL {
+            let a = PlanArtifact::from_setup(&s, scheme, "fixture", "xscale");
+            let json = a.to_json().expect("serializes");
+            let back = PlanArtifact::from_json(&json).expect("deserializes");
+            assert_eq!(back.schema_version, PLAN_SCHEMA_VERSION);
+            assert_eq!(back.scheme, scheme);
+            let json2 = back.to_json().expect("re-serializes");
+            assert_eq!(json, json2, "{} round trip", scheme.name());
+        }
+    }
+
+    #[test]
+    fn into_setup_preserves_the_plan_verbatim() {
+        let s = setup();
+        let a = PlanArtifact::from_setup(&s, Scheme::Gss, "fixture", "xscale");
+        let json = a.to_json().expect("serializes");
+        let back = PlanArtifact::from_json(&json).expect("deserializes");
+        let s2 = back
+            .into_setup(s.graph.clone(), s.model.clone())
+            .expect("deserialized plan drives a setup");
+        assert_eq!(s2.plan.num_procs, s.plan.num_procs);
+        assert_eq!(s2.plan.deadline.to_bits(), s.plan.deadline.to_bits());
+        assert_eq!(s2.plan.worst_total.to_bits(), s.plan.worst_total.to_bits());
+        assert_eq!(s2.plan.lst.len(), s.plan.lst.len());
+    }
+
+    #[test]
+    fn mismatched_graph_is_rejected() {
+        let s = setup();
+        let a = PlanArtifact::from_setup(&s, Scheme::Gss, "fixture", "xscale");
+        let other = Segment::task("solo", 2.0, 1.0)
+            .lower()
+            .expect("fixture lowers");
+        let err = a
+            .into_setup(other, ProcessorModel::xscale())
+            .expect_err("wrong graph must be rejected");
+        assert!(err.to_string().contains("plan"), "{err}");
+    }
+}

@@ -201,6 +201,89 @@ impl Setup {
         })
     }
 
+    /// Rebuilds a setup around an *existing* plan — typically one
+    /// deserialized from a `pas plan --out` artifact — without re-running
+    /// the off-line phase. The plan is shape-checked against the graph
+    /// (table lengths vs. node count and section count) so a plan built
+    /// for a different application is rejected up front rather than
+    /// failing inside the engine.
+    pub fn from_plan(
+        graph: AndOrGraph,
+        model: ProcessorModel,
+        plan: OfflinePlan,
+        overheads: Overheads,
+    ) -> Result<Self, SetupError> {
+        let sections = SectionGraph::build(&graph)?;
+        let mismatch = |detail: String| {
+            SetupError::Offline(crate::offline::PlanError::PlanGraphMismatch { detail })
+        };
+        if plan.num_procs == 0 {
+            return Err(SetupError::Offline(crate::offline::PlanError::NoProcessors));
+        }
+        if !(plan.deadline.is_finite() && plan.deadline > 0.0) {
+            return Err(SetupError::Offline(crate::offline::PlanError::BadDeadline(
+                plan.deadline,
+            )));
+        }
+        if plan.lst.len() != graph.len() {
+            return Err(mismatch(format!(
+                "plan has {} latest-start entries but the graph has {} nodes",
+                plan.lst.len(),
+                graph.len()
+            )));
+        }
+        let n_sections = sections.len();
+        if plan.dispatch.per_section.len() != n_sections {
+            return Err(mismatch(format!(
+                "plan dispatches {} section(s) but the graph decomposes into {}",
+                plan.dispatch.per_section.len(),
+                n_sections
+            )));
+        }
+        for (name, len) in [
+            ("canonical_start_rel", plan.canonical_start_rel.len()),
+            ("section_worst_len", plan.section_worst_len.len()),
+            ("section_avg_len", plan.section_avg_len.len()),
+            ("worst_after", plan.worst_after.len()),
+        ] {
+            if len != n_sections {
+                return Err(mismatch(format!(
+                    "plan table '{name}' covers {len} section(s), expected {n_sections}"
+                )));
+            }
+        }
+        for (order, starts) in plan
+            .dispatch
+            .per_section
+            .iter()
+            .zip(plan.canonical_start_rel.iter())
+        {
+            if order.len() != starts.len() {
+                return Err(mismatch(format!(
+                    "a section dispatches {} node(s) but records {} canonical start(s)",
+                    order.len(),
+                    starts.len()
+                )));
+            }
+            if let Some(bad) = order.iter().find(|n| n.index() >= graph.len()) {
+                return Err(mismatch(format!(
+                    "dispatch order names node {} but the graph has {} nodes",
+                    bad.index(),
+                    graph.len()
+                )));
+            }
+        }
+        Ok(Self {
+            graph,
+            sections,
+            plan,
+            model,
+            overheads,
+            idle_fraction: DEFAULT_IDLE_FRACTION,
+            static_fraction: 0.0,
+        })
+    }
+
     /// Replaces the overhead configuration and rebuilds the off-line plan
     /// so its per-task reservation matches. Fails if the inflated worst
     /// case no longer fits the (unchanged) deadline — use

@@ -43,12 +43,14 @@
 //! [`harness::Setup`] bundles graph + plan + platform into a ready-to-run
 //! experiment configuration.
 
+pub mod artifact;
 pub mod exhaustive;
 pub mod harness;
 pub mod offline;
 pub mod oracle;
 pub mod policies;
 
+pub use artifact::{PlanArtifact, SchemeParams, PLAN_SCHEMA_VERSION};
 pub use exhaustive::{optimal_assignment, AssignmentPolicy, OptimalAssignment};
 pub use harness::{pmp_reserve, Setup, SetupError};
 pub use offline::{OfflineError, OfflinePlan, PlanError};

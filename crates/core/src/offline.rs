@@ -31,6 +31,13 @@ pub enum PlanError {
         /// The branch index with no section.
         branch: usize,
     },
+    /// A deserialized plan does not fit the application it is being
+    /// attached to (table lengths disagree with the graph or its section
+    /// decomposition).
+    PlanGraphMismatch {
+        /// What disagreed, in human terms.
+        detail: String,
+    },
 }
 
 /// Former name of [`PlanError`], kept as an alias for downstream code.
@@ -50,6 +57,9 @@ impl std::fmt::Display for PlanError {
             PlanError::NoProcessors => write!(f, "at least one processor required"),
             PlanError::MissingBranchSection { or, branch } => {
                 write!(f, "OR node '{or}' branch {branch} has no program section")
+            }
+            PlanError::PlanGraphMismatch { detail } => {
+                write!(f, "plan does not match the application: {detail}")
             }
         }
     }

@@ -37,6 +37,50 @@
 //! The crate is deliberately independent of the engine: events are plain
 //! data, so exporters and accounting can run in-process (streaming) or
 //! after the fact from a serialized log.
+//!
+//! # Examples
+//!
+//! Events are plain data — any [`Observer`] can be driven by hand, and
+//! the derived views (registry, ledger) are pure summation over the
+//! stream:
+//!
+//! ```
+//! use andor_graph::NodeId;
+//! use pas_obs::{EnergyLedger, MetricsRegistry, Observer, SimEvent};
+//!
+//! let events = [
+//!     SimEvent::TaskDispatch {
+//!         t: 0.0, node: NodeId(0), proc: 0, wcet: 8.0, speed: 1.0,
+//!         pmp_ms: 0.0, pmp_energy: 0.0, pmp_leakage: 0.0,
+//!     },
+//!     SimEvent::TaskComplete {
+//!         t: 5.0, node: NodeId(0), proc: 0, start: 0.0, exec_ms: 5.0,
+//!         speed: 1.0, energy: 5.0, leakage: 0.0, recovery_premium: 0.0,
+//!     },
+//! ];
+//! let mut registry = MetricsRegistry::new();
+//! let mut ledger = EnergyLedger::new();
+//! for e in &events {
+//!     registry.on_event(e);
+//!     ledger.on_event(e);
+//! }
+//! assert_eq!(registry.counter("tasks.dispatched"), 1);
+//! assert_eq!(ledger.total(), 5.0);
+//! assert!(ledger.verify(5.0).is_ok());
+//! ```
+//!
+//! Round-tripping a stream through the JSONL export:
+//!
+//! ```
+//! use pas_obs::export;
+//! # use andor_graph::NodeId;
+//! # use pas_obs::SimEvent;
+//! # let events = vec![SimEvent::SlackReclaimed {
+//! #     t: 0.0, node: NodeId(0), proc: 0, reclaimed_ms: 2.0,
+//! # }];
+//! let text = export::to_jsonl(&events);
+//! assert_eq!(export::from_jsonl(&text).unwrap(), events);
+//! ```
 
 mod event;
 mod ledger;

@@ -1,0 +1,70 @@
+//! The user-facing diagnostics reference must track the catalog: every
+//! `PAS0xxx` code appears exactly once in `docs/diagnostics.md` (its
+//! table row), with its severity label on the same line — so adding a
+//! code without documenting it, or documenting it twice, fails the
+//! build.
+
+use pas_andor::analyze::Code;
+use std::path::PathBuf;
+
+fn doc(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("docs")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("missing {} ({e})", path.display()))
+}
+
+#[test]
+fn every_diagnostic_code_is_documented_exactly_once() {
+    let text = doc("diagnostics.md");
+    for code in Code::ALL {
+        let needle = code.as_str();
+        let count = text.matches(needle).count();
+        assert_eq!(
+            count, 1,
+            "{needle} must appear exactly once in docs/diagnostics.md \
+             (found {count} occurrences)"
+        );
+    }
+}
+
+#[test]
+fn documented_rows_carry_the_catalog_severity() {
+    let text = doc("diagnostics.md");
+    for code in Code::ALL {
+        let line = text
+            .lines()
+            .find(|l| l.contains(code.as_str()))
+            .unwrap_or_else(|| panic!("{} missing from docs/diagnostics.md", code.as_str()));
+        let label = code.severity().label();
+        assert!(
+            line.contains(&format!("| {label} |")),
+            "row for {} must carry severity '{label}': {line}",
+            code.as_str()
+        );
+    }
+}
+
+#[test]
+fn schemas_doc_covers_every_on_disk_contract() {
+    let text = doc("schemas.md");
+    for section in [
+        "Workload",
+        "Platform model",
+        "Fault plan",
+        "Plan artifact",
+        "Bench report",
+        "Metrics CSV",
+        "Event stream",
+    ] {
+        assert!(
+            text.contains(section),
+            "docs/schemas.md must document the {section} format"
+        );
+    }
+    // The plan artifact section must track the current schema version.
+    assert!(
+        text.contains(&format!("`{}`", pas_andor::core::PLAN_SCHEMA_VERSION)),
+        "docs/schemas.md must state the current plan schema version"
+    );
+}

@@ -1,0 +1,177 @@
+//! Structured workload fuzzing: a seeded mutator corrupts valid
+//! applications in targeted ways (bad times, broken probabilities,
+//! dangling/duplicate/self edges, dropped nodes, kind swaps) and feeds
+//! each mutant to the static analyzer. Two properties must hold on
+//! every mutant:
+//!
+//! 1. the analyzer never panics — malformed input produces diagnostics,
+//!    not crashes;
+//! 2. the analyzer never *accepts* a graph the runtime rejects: a clean
+//!    `check_application` implies the graph validates, the plan builds,
+//!    and a seeded run completes.
+
+use pas_andor::analyze::{check_application, DeadlineSpec};
+use pas_andor::core::{Scheme, Setup};
+use pas_andor::graph::{AndOrGraph, Node, NodeId, NodeKind};
+use pas_andor::power::{Overheads, ProcessorModel};
+use pas_andor::sim::ExecTimeModel;
+use pas_andor::workloads::{synthetic_app, RandomAppParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Rebuilds a graph from raw nodes through the same serde path
+/// `pas check` loads files with. Returns `None` when the mutant does
+/// not even parse (non-finite floats and the like) — such inputs are
+/// rejected before the analyzer ever sees them, so they are out of
+/// scope here.
+fn rebuild(nodes: Vec<Node>) -> Option<AndOrGraph> {
+    #[derive(Serialize)]
+    struct Wire {
+        nodes: Vec<Node>,
+    }
+    let json = serde_json::to_string(&Wire { nodes }).ok()?;
+    serde_json::from_str(&json).ok()
+}
+
+/// One random structural corruption, in place.
+fn mutate(nodes: &mut Vec<Node>, rng: &mut StdRng) {
+    if nodes.is_empty() {
+        return;
+    }
+    let i = rng.gen_range(0..nodes.len());
+    let n = nodes.len();
+    match rng.gen_range(0..10u32) {
+        // Execution-time corruption.
+        0 => {
+            if let NodeKind::Computation { wcet, acet } = &mut nodes[i].kind {
+                match rng.gen_range(0..4u32) {
+                    0 => *wcet = -1.0,
+                    1 => *wcet = 0.0,
+                    2 => *acet = *wcet * 2.0,
+                    _ => *wcet = 1e12,
+                }
+            }
+        }
+        // Probability corruption.
+        1 => {
+            if let NodeKind::Or { probs } = &mut nodes[i].kind {
+                if !probs.is_empty() {
+                    let k = rng.gen_range(0..probs.len());
+                    probs[k] = [-0.2, 0.0, 1.7, probs[k] * 1.5][rng.gen_range(0..4usize)];
+                }
+            }
+        }
+        // Arity corruption: extra or missing probability entry.
+        2 => {
+            if let NodeKind::Or { probs } = &mut nodes[i].kind {
+                if rng.gen_bool(0.5) {
+                    probs.push(0.5);
+                } else {
+                    probs.pop();
+                }
+            }
+        }
+        // Dangling edge.
+        3 => nodes[i].succs.push(NodeId((n + 3) as u32)),
+        // Duplicate edge.
+        4 => {
+            if let Some(&s) = nodes[i].succs.first() {
+                nodes[i].succs.push(s);
+            }
+        }
+        // Self loop.
+        5 => nodes[i].preds.push(NodeId(i as u32)),
+        // One-sided edge (adjacency disagreement).
+        6 => {
+            let j = rng.gen_range(0..n);
+            nodes[i].succs.push(NodeId(j as u32));
+        }
+        // Disconnect a node.
+        7 => {
+            nodes[i].preds.clear();
+            nodes[i].succs.clear();
+        }
+        // Kind swap: task becomes a zero-time sync node (or back).
+        8 => {
+            nodes[i].kind = match nodes[i].kind {
+                NodeKind::Computation { .. } => NodeKind::And,
+                _ => NodeKind::Computation {
+                    wcet: 2.0,
+                    acet: 1.0,
+                },
+            };
+        }
+        // Drop the last node, leaving its edges dangling elsewhere.
+        _ => {
+            nodes.pop();
+        }
+    }
+}
+
+fn seed_corpus() -> Vec<AndOrGraph> {
+    let mut corpus = vec![synthetic_app().lower().expect("synthetic lowers")];
+    for seed in 0..4u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        corpus.push(
+            RandomAppParams::default()
+                .generate(&mut rng)
+                .lower()
+                .expect("random app lowers"),
+        );
+    }
+    corpus
+}
+
+#[test]
+fn analyzer_survives_and_stays_sound_on_mutated_workloads() {
+    let corpus = seed_corpus();
+    let model = ProcessorModel::transmeta5400();
+    let mut rng = StdRng::seed_from_u64(0xF022);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    for case in 0..400 {
+        let base = &corpus[case % corpus.len()];
+        let mut nodes = base.nodes().to_vec();
+        for _ in 0..rng.gen_range(1..4u32) {
+            mutate(&mut nodes, &mut rng);
+        }
+        let Some(g) = rebuild(nodes) else { continue };
+        // Property 1: the analyzer must not panic on any mutant.
+        let analysis = check_application(
+            &g,
+            "mutant",
+            &model,
+            "transmeta",
+            Overheads::paper_defaults(),
+            2,
+            DeadlineSpec::Load(0.5),
+        );
+        if analysis.report.has_errors() {
+            rejected += 1;
+            continue;
+        }
+        accepted += 1;
+        // Property 2: accepted ⇒ the runtime agrees end to end.
+        g.validate().unwrap_or_else(|e| {
+            panic!("analyzer accepted but validate() rejected (case {case}): {e}")
+        });
+        let setup = Setup::for_load(g, model.clone(), 2, 0.5).unwrap_or_else(|e| {
+            panic!("analyzer accepted but the offline phase rejected (case {case}): {e}")
+        });
+        let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        for scheme in Scheme::ALL {
+            let res = setup
+                .run(scheme, &real)
+                .unwrap_or_else(|e| panic!("accepted mutant fails to run (case {case}): {e}"));
+            assert!(
+                !res.missed_deadline,
+                "accepted mutant missed fault-free under {} (case {case})",
+                scheme.name()
+            );
+        }
+    }
+    // The mutator must actually exercise both sides of the verdict.
+    assert!(rejected > 50, "mutator too tame: only {rejected} rejected");
+    assert!(accepted > 10, "mutator too harsh: only {accepted} accepted");
+}

@@ -1,0 +1,155 @@
+//! The serialized offline plan is a faithful, verifiable stand-in for
+//! the in-memory one:
+//!
+//! * serialize → deserialize → serialize is byte-identical, and
+//!   re-deriving the artifact from the same inputs reproduces the same
+//!   bytes (the JSON form is canonical);
+//! * an engine run *from the deserialized plan* renders byte-identical
+//!   traces to a run from the directly-built [`Setup`], for all six
+//!   schemes on both builtin platforms;
+//! * a plan the verifier accepts never misses its deadline fault-free
+//!   (the plan-level form of the Theorem-1 soundness argument).
+
+use pas_andor::analyze::check_plan;
+use pas_andor::core::{PlanArtifact, Scheme, Setup};
+use pas_andor::power::ProcessorModel;
+use pas_andor::sim::ExecTimeModel;
+use pas_andor::workloads::{synthetic_app, RandomAppParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GOLDEN_SEED: u64 = 0x60_1DE2;
+
+fn both_platforms() -> [(&'static str, ProcessorModel); 2] {
+    [
+        ("transmeta", ProcessorModel::transmeta5400()),
+        ("xscale", ProcessorModel::xscale()),
+    ]
+}
+
+/// Renders one traced run as stable JSON text (same idea as the golden
+/// trace suite): equal bits ⇔ equal text.
+fn render(setup: &Setup, scheme: Scheme, real: &pas_andor::sim::Realization) -> String {
+    let mut policy = setup.policy(scheme);
+    let res = setup
+        .simulator(true)
+        .run(policy.as_mut(), real)
+        .expect("fault-free run succeeds");
+    let trace = serde_json::to_string(res.trace.as_ref().expect("trace recorded"))
+        .expect("trace serializes");
+    format!(
+        "{};{};{};{};{};{}",
+        res.finish_time,
+        res.missed_deadline,
+        res.total_energy(),
+        res.energy.speed_changes(),
+        scheme.name(),
+        trace
+    )
+}
+
+/// All six schemes on both platforms: the deserialized plan drives the
+/// engine to byte-identical traces.
+#[test]
+fn deserialized_plan_drives_byte_identical_traces() {
+    let app = synthetic_app().lower().expect("synthetic app lowers");
+    for (platform, model) in both_platforms() {
+        let direct = Setup::for_load(app.clone(), model.clone(), 2, 0.6).expect("feasible");
+        let mut rng = StdRng::seed_from_u64(GOLDEN_SEED);
+        let real = direct.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+        for scheme in Scheme::ALL {
+            let artifact = PlanArtifact::from_setup(&direct, scheme, "synthetic", platform);
+            let json = artifact.to_json().expect("serializes");
+            let from_disk = PlanArtifact::from_json(&json)
+                .expect("parses")
+                .into_setup(app.clone(), model.clone())
+                .expect("shape-checks against its own graph");
+            assert_eq!(
+                render(&direct, scheme, &real),
+                render(&from_disk, scheme, &real),
+                "{} on {platform}: run from deserialized plan diverged",
+                scheme.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serialization is canonical on arbitrary valid applications:
+    /// round-tripping reproduces the bytes, and so does independently
+    /// re-deriving the artifact from the same setup.
+    #[test]
+    fn round_trip_is_byte_identical(
+        app_seed in 0u64..10_000,
+        scheme_ix in 0usize..Scheme::ALL.len(),
+        procs in 1usize..4,
+        load in 0.2f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(app_seed);
+        let app = RandomAppParams::default().generate(&mut rng).lower().unwrap();
+        let scheme = Scheme::ALL[scheme_ix];
+        for (platform, model) in both_platforms() {
+            let setup = Setup::for_load(app.clone(), model, procs, load)
+                .expect("load <= 1 keeps the plan feasible");
+            let artifact = PlanArtifact::from_setup(&setup, scheme, "random", platform);
+            let json = artifact.to_json().expect("serializes");
+            let reparsed = PlanArtifact::from_json(&json).expect("parses");
+            prop_assert_eq!(
+                &json,
+                &reparsed.to_json().expect("re-serializes"),
+                "round trip changed bytes for {} on {}", scheme.name(), platform
+            );
+            let rederived = PlanArtifact::from_setup(&setup, scheme, "random", platform);
+            prop_assert_eq!(
+                &json,
+                &rederived.to_json().expect("serializes"),
+                "re-derivation changed bytes for {} on {}", scheme.name(), platform
+            );
+        }
+    }
+
+    /// A verified plan is sound: `check_plan` accepting the artifact
+    /// implies the engine, running *from the deserialized plan*, meets
+    /// the deadline fault-free under every scheme.
+    #[test]
+    fn verified_plan_implies_no_fault_free_miss(
+        app_seed in 0u64..10_000,
+        real_seed in 0u64..10_000,
+        procs in 1usize..4,
+        load in 0.2f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(app_seed);
+        let app = RandomAppParams::default().generate(&mut rng).lower().unwrap();
+        for (platform, model) in both_platforms() {
+            let setup = Setup::for_load(app.clone(), model.clone(), procs, load)
+                .expect("load <= 1 keeps the plan feasible");
+            for scheme in Scheme::ALL {
+                let artifact = PlanArtifact::from_setup(&setup, scheme, "random", platform);
+                let report = check_plan(&artifact, "plan", &app, "random", &model);
+                prop_assert!(
+                    !report.has_errors(),
+                    "honest artifact rejected ({} on {platform}): {}",
+                    scheme.name(),
+                    report.render_human()
+                );
+                let json = artifact.to_json().expect("serializes");
+                let run_setup = PlanArtifact::from_json(&json)
+                    .expect("parses")
+                    .into_setup(app.clone(), model.clone())
+                    .expect("verified plan fits its graph");
+                let mut rng = StdRng::seed_from_u64(real_seed);
+                let real = run_setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+                let res = run_setup.run(scheme, &real).expect("run succeeds");
+                prop_assert!(
+                    !res.missed_deadline,
+                    "{} missed from verified plan on {platform} \
+                     (app_seed={app_seed}, load={load})",
+                    scheme.name()
+                );
+            }
+        }
+    }
+}
