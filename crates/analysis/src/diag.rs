@@ -42,7 +42,10 @@ impl fmt::Display for Severity {
 ///
 /// The numeric ranges partition by subject: `PAS00xx` graph
 /// well-formedness, `PAS01xx` platform/plan parameters, `PAS02xx` fault
-/// plans, `PAS03xx` feasibility. Codes are append-only: once published a
+/// plans, `PAS03xx` feasibility, `PAS04xx` plan-artifact verification,
+/// `PAS05xx` service request lifecycle (`pas serve`: ingest rejection,
+/// back-pressure shedding, deadline/panic containment, stale-plan
+/// degradation). Codes are append-only: once published a
 /// code keeps its meaning forever (tests snapshot them), and retired
 /// checks leave holes rather than renumbering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -87,6 +90,14 @@ pub enum Code {
     Pas0407,
     Pas0408,
     Pas0409,
+    Pas0501,
+    Pas0502,
+    Pas0503,
+    Pas0504,
+    Pas0505,
+    Pas0506,
+    Pas0507,
+    Pas0508,
 }
 
 impl Code {
@@ -94,7 +105,7 @@ impl Code {
     /// tests iterate this to ensure `docs/diagnostics.md` covers the
     /// whole catalog — a new variant that is not added here fails the
     /// `all_is_exhaustive` test below.
-    pub const ALL: [Code; 39] = [
+    pub const ALL: [Code; 47] = [
         Code::Pas0001,
         Code::Pas0002,
         Code::Pas0003,
@@ -134,6 +145,14 @@ impl Code {
         Code::Pas0407,
         Code::Pas0408,
         Code::Pas0409,
+        Code::Pas0501,
+        Code::Pas0502,
+        Code::Pas0503,
+        Code::Pas0504,
+        Code::Pas0505,
+        Code::Pas0506,
+        Code::Pas0507,
+        Code::Pas0508,
     ];
     /// The stable wire form, e.g. `"PAS0009"`.
     pub fn as_str(self) -> &'static str {
@@ -177,6 +196,14 @@ impl Code {
             Code::Pas0407 => "PAS0407",
             Code::Pas0408 => "PAS0408",
             Code::Pas0409 => "PAS0409",
+            Code::Pas0501 => "PAS0501",
+            Code::Pas0502 => "PAS0502",
+            Code::Pas0503 => "PAS0503",
+            Code::Pas0504 => "PAS0504",
+            Code::Pas0505 => "PAS0505",
+            Code::Pas0506 => "PAS0506",
+            Code::Pas0507 => "PAS0507",
+            Code::Pas0508 => "PAS0508",
         }
     }
 
@@ -213,14 +240,22 @@ impl Code {
             | Code::Pas0406
             | Code::Pas0407
             | Code::Pas0408
-            | Code::Pas0409 => Error,
+            | Code::Pas0409
+            | Code::Pas0501
+            | Code::Pas0502
+            | Code::Pas0503
+            | Code::Pas0505
+            | Code::Pas0506
+            | Code::Pas0508 => Error,
             Code::Pas0012
             | Code::Pas0013
             | Code::Pas0104
             | Code::Pas0108
             | Code::Pas0204
             | Code::Pas0205
-            | Code::Pas0302 => Warning,
+            | Code::Pas0302
+            | Code::Pas0504
+            | Code::Pas0507 => Warning,
             Code::Pas0206 | Code::Pas0303 => Info,
         }
     }
@@ -270,6 +305,14 @@ impl Code {
             Code::Pas0407 => "SS(2) switch time violates the valid switch window",
             Code::Pas0408 => "speculative speed undercuts the GSS-guaranteed floor",
             Code::Pas0409 => "plan deadline is infeasible for the workload",
+            Code::Pas0501 => "service request is not valid JSON",
+            Code::Pas0502 => "service request has an unknown kind",
+            Code::Pas0503 => "service request is missing a field or has an invalid parameter",
+            Code::Pas0504 => "service queue is full; request shed with a retry-after hint",
+            Code::Pas0505 => "service request exceeded its deadline and was cancelled",
+            Code::Pas0506 => "service request handler panicked; the worker recovered",
+            Code::Pas0507 => "service served a stale cached plan after re-derivation failed",
+            Code::Pas0508 => "service request failed during planning or simulation",
         }
     }
 }

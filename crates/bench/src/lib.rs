@@ -1,3 +1,5 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! Shared fixtures for the benchmark suite plus the `pas bench`
 //! regression harness.
 //!

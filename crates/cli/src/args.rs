@@ -27,6 +27,10 @@ pub enum Command {
     /// fault-plan sanity and Theorem-1 feasibility, reported as stable
     /// `PAS0xxx` diagnostics.
     Check,
+    /// Long-running plan/simulation daemon: newline-delimited JSON over
+    /// TCP, a Unix socket, or a watched drop directory, behind a
+    /// fault-isolated worker pool with a content-addressed plan cache.
+    Serve,
 }
 
 /// Which scheme `pas run` simulates.
@@ -103,6 +107,20 @@ pub struct Args {
     pub against: Vec<String>,
     /// `check`: write mechanically repaired workloads next to the input.
     pub fix: bool,
+    /// `serve`: TCP listen address (`host:port`).
+    pub listen: Option<String>,
+    /// `serve`: Unix-domain socket path.
+    pub socket: Option<String>,
+    /// `serve`: drop directory answered with `.response.json` files.
+    pub watch: Option<String>,
+    /// `serve`: worker threads in the pool.
+    pub workers: usize,
+    /// `serve`: bounded queue capacity (beyond it, requests shed).
+    pub queue: usize,
+    /// `serve`: default per-request deadline in ms.
+    pub timeout_ms: u64,
+    /// `serve`: enable the `debug-*` fault-injection request kinds.
+    pub debug_faults: bool,
 }
 
 impl Args {
@@ -120,6 +138,7 @@ impl Args {
             Some("trace") => Command::Trace,
             Some("bench") => Command::Bench,
             Some("check") => Command::Check,
+            Some("serve") => Command::Serve,
             Some(other) => return Err(format!("unknown command '{other}'")),
             None => return Err("missing command".into()),
         };
@@ -151,6 +170,13 @@ impl Args {
             deny_warnings: false,
             against: Vec::new(),
             fix: false,
+            listen: None,
+            socket: None,
+            watch: None,
+            workers: 4,
+            queue: 64,
+            timeout_ms: 10_000,
+            debug_faults: false,
         };
         let mut in_against = false;
         while let Some(flag) = it.next() {
@@ -223,6 +249,28 @@ impl Args {
                     continue;
                 }
                 "--fix" => parsed.fix = true,
+                "--listen" => parsed.listen = Some(value("--listen")?.clone()),
+                "--socket" => parsed.socket = Some(value("--socket")?.clone()),
+                "--watch" => parsed.watch = Some(value("--watch")?.clone()),
+                "--workers" => {
+                    parsed.workers = parse_num(value("--workers")?, "--workers")?;
+                    if parsed.workers == 0 {
+                        return Err("--workers must be positive".into());
+                    }
+                }
+                "--queue" => {
+                    parsed.queue = parse_num(value("--queue")?, "--queue")?;
+                    if parsed.queue == 0 {
+                        return Err("--queue must be positive".into());
+                    }
+                }
+                "--timeout-ms" => {
+                    parsed.timeout_ms = parse_num(value("--timeout-ms")?, "--timeout-ms")?;
+                    if parsed.timeout_ms == 0 {
+                        return Err("--timeout-ms must be positive".into());
+                    }
+                }
+                "--debug-faults" => parsed.debug_faults = true,
                 other => {
                     // `check` and `plan` take positional sources; every
                     // other command rejects stray tokens. Bare tokens
@@ -247,6 +295,13 @@ impl Args {
         }
         if parsed.carry && parsed.frames.is_none() {
             return Err("--carry requires --frames".into());
+        }
+        if parsed.command == Command::Serve
+            && parsed.listen.is_none()
+            && parsed.socket.is_none()
+            && parsed.watch.is_none()
+        {
+            return Err("serve needs at least one of --listen, --socket or --watch".into());
         }
         Ok(parsed)
     }
@@ -458,6 +513,37 @@ mod tests {
         let a = parse(&["check", "w.json", "--fix"]).unwrap();
         assert!(a.fix);
         assert!(!parse(&["check", "w.json"]).unwrap().fix);
+    }
+
+    #[test]
+    fn serve_flags() {
+        let a = parse(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:7453",
+            "--workers",
+            "8",
+            "--queue",
+            "128",
+            "--timeout-ms",
+            "2500",
+            "--debug-faults",
+        ])
+        .unwrap();
+        assert_eq!(a.command, Command::Serve);
+        assert_eq!(a.listen.as_deref(), Some("127.0.0.1:7453"));
+        assert_eq!(a.workers, 8);
+        assert_eq!(a.queue, 128);
+        assert_eq!(a.timeout_ms, 2500);
+        assert!(a.debug_faults);
+        // At least one endpoint is required, and sizes must be positive.
+        assert!(parse(&["serve"]).is_err());
+        assert!(parse(&["serve", "--listen", "x", "--workers", "0"]).is_err());
+        assert!(parse(&["serve", "--listen", "x", "--queue", "0"]).is_err());
+        assert!(parse(&["serve", "--listen", "x", "--timeout-ms", "0"]).is_err());
+        let b = parse(&["serve", "--watch", "drops/"]).unwrap();
+        assert_eq!(b.watch.as_deref(), Some("drops/"));
+        assert_eq!(b.workers, 4);
     }
 
     #[test]

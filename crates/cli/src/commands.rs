@@ -28,6 +28,7 @@ pub fn execute(args: &Args) -> Result<String, String> {
         Command::Trace => trace_cmd(args),
         Command::Bench => bench_cmd(args),
         Command::Check => crate::check::check_cmd(args),
+        Command::Serve => serve_cmd(args),
     }
 }
 
@@ -140,6 +141,22 @@ fn is_platform_spec(spec: &str) -> bool {
         .is_some_and(|v| v.get("kind").is_some() && v.get("nodes").is_none())
 }
 
+fn serve_cmd(args: &Args) -> Result<String, String> {
+    let cfg = pas_serve::ServeConfig {
+        workers: args.workers,
+        queue_cap: args.queue,
+        default_timeout_ms: args.timeout_ms,
+        debug_faults: args.debug_faults,
+        ..pas_serve::ServeConfig::default()
+    };
+    let eps = pas_serve::Endpoints {
+        tcp: args.listen.clone(),
+        unix: args.socket.clone(),
+        watch: args.watch.clone(),
+    };
+    pas_serve::run_server(cfg, &eps).map(|summary| format!("{summary}\n"))
+}
+
 fn plan(args: &Args) -> Result<String, String> {
     // Positional sources override the `--app`/`--model` defaults, so the
     // documented invocation `pas plan workload.json xscale --out p.json`
@@ -169,9 +186,10 @@ fn plan(args: &Args) -> Result<String, String> {
         let json = artifact
             .to_json()
             .map_err(|e| format!("serializing: {e}"))?;
+        let digest = artifact.digest().map_err(|e| format!("digesting: {e}"))?;
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
         return Ok(format!(
-            "wrote {path} (schema v{}, scheme {}, {} nodes, {} sections)\n",
+            "wrote {path} (schema v{}, scheme {}, {} nodes, {} sections)\ndigest sha256:{digest}\n",
             pas_core::PLAN_SCHEMA_VERSION,
             scheme.name(),
             setup.graph.len(),
@@ -197,6 +215,11 @@ fn plan(args: &Args) -> Result<String, String> {
         setup.plan.load(),
         setup.plan.static_slack()
     );
+    if let SchemeArg::Scheme(scheme) = args.scheme {
+        let artifact = pas_core::PlanArtifact::from_setup(&setup, scheme, &args.app, &args.model);
+        let digest = artifact.digest().map_err(|e| format!("digesting: {e}"))?;
+        let _ = writeln!(out, "  plan digest ({}) = sha256:{digest}", scheme.name());
+    }
     let mut pmps: Vec<_> = setup.plan.branch_worst.iter().collect();
     pmps.sort_by_key(|((or, k), _)| (*or, *k));
     let _ = writeln!(out, "\nPMP statistics (per OR branch):");

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! `pas` — a command-line tool over the power-aware AND/OR scheduling
 //! stack.
@@ -22,6 +23,7 @@
 //!              --out plan.json                       serialize the off-line artifact
 //! pas check    plan.json --against w.json xscale     verify a plan artifact
 //! pas check    w.json --fix                          write repaired w.fixed.json
+//! pas serve    --listen 127.0.0.1:7453 --workers 4   long-running plan/sim daemon
 //! ```
 //!
 //! `--app` accepts the built-in workloads `atr`, `synthetic` and `video`,
@@ -39,14 +41,16 @@ pub use args::{Args, Command};
 
 /// One-line usage summary printed on argument errors.
 pub const USAGE: &str =
-    "usage: pas <inspect|plan|run|compare|dot|optimal|export|trace|bench|check> \
+    "usage: pas <inspect|plan|run|compare|dot|optimal|export|trace|bench|check|serve> \
 [SOURCES...] [--app atr|synthetic|video|FILE.json] [--model transmeta|xscale|continuous:S] \
 [--procs N] [--load L | --deadline D] [--scheme npm|spm|gss|ss1|ss2|as|oracle] \
 [--seed S] [--reps N] [--alpha A] [--gantt] [--out FILE] \
 [--fault-plan FILE.json] [--format chrome|jsonl|csv|summary] [--proc P] \
 [--kinds k1,k2,...] [--frames N] [--carry] [--metrics] \
 [--check] [--update-baselines] [--bench-dir DIR] [--workloads w1,w2,...] \
-[--deny-warnings] [--against REF...] [--fix]";
+[--deny-warnings] [--against REF...] [--fix] \
+[--listen HOST:PORT] [--socket PATH] [--watch DIR] [--workers N] [--queue N] \
+[--timeout-ms T] [--debug-faults]";
 
 /// Parses `args` and executes the selected command, returning the text to
 /// print.

@@ -1,3 +1,5 @@
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 //! `pas` — the command-line front end. All logic lives in the library so
 //! it can be unit-tested; this binary only wires stdin/stdout.
 

@@ -142,6 +142,13 @@ mod tests {
             metrics: false,
             check: false,
             update_baselines: false,
+            listen: None,
+            socket: None,
+            watch: None,
+            workers: 4,
+            queue: 64,
+            timeout_ms: 10_000,
+            debug_faults: false,
             bench_dir: None,
             workloads: None,
             sources: Vec::new(),

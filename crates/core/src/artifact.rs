@@ -162,6 +162,19 @@ impl PlanArtifact {
         serde_json::from_str(text).map_err(|e| format!("parsing plan: {e}"))
     }
 
+    /// The content digest of this artifact: SHA-256 over the canonical
+    /// JSON serialization (workload and platform labels, scheme,
+    /// overheads, derived parameters and the full offline plan).
+    ///
+    /// Because [`PlanArtifact::to_json`] is deterministic, equal plans
+    /// digest identically across runs and machines, and *any* field
+    /// change produces a different digest — which is what lets `pas
+    /// serve` use the digest as a content-addressed cache key and `pas
+    /// plan` print it as a verifiable receipt.
+    pub fn digest(&self) -> Result<String, String> {
+        Ok(crate::digest::sha256_hex(self.to_json()?.as_bytes()))
+    }
+
     /// Rebuilds a runnable [`Setup`] around the *deserialized* plan —
     /// no re-derivation, the engine runs from exactly what the file said
     /// (shape-checked against `graph` first).
@@ -246,6 +259,55 @@ mod tests {
         assert_eq!(s2.plan.deadline.to_bits(), s.plan.deadline.to_bits());
         assert_eq!(s2.plan.worst_total.to_bits(), s.plan.worst_total.to_bits());
         assert_eq!(s2.plan.lst.len(), s.plan.lst.len());
+    }
+
+    #[test]
+    fn digest_is_deterministic_across_builds() {
+        // Building the same artifact twice from scratch (fresh Setup,
+        // fresh serialization) must produce the same digest — the
+        // property the `pas serve` content-addressed cache rests on.
+        for scheme in Scheme::ALL {
+            let a = PlanArtifact::from_setup(&setup(), scheme, "fixture", "xscale");
+            let b = PlanArtifact::from_setup(&setup(), scheme, "fixture", "xscale");
+            let da = a.digest().expect("digests");
+            assert_eq!(da, b.digest().expect("digests"), "{}", scheme.name());
+            assert_eq!(da.len(), 64);
+            assert!(da.chars().all(|c| c.is_ascii_hexdigit()));
+            // Deserialization preserves the digest too.
+            let back =
+                PlanArtifact::from_json(&a.to_json().expect("serializes")).expect("deserializes");
+            assert_eq!(back.digest().expect("digests"), da);
+        }
+    }
+
+    #[test]
+    fn digest_changes_when_any_field_changes() {
+        let base = PlanArtifact::from_setup(&setup(), Scheme::Ss2, "fixture", "xscale");
+        let d0 = base.digest().expect("digests");
+        // Label fields.
+        let mut m = base.clone();
+        m.workload = "other".into();
+        assert_ne!(m.digest().expect("digests"), d0, "workload label");
+        let mut m = base.clone();
+        m.platform = "transmeta".into();
+        assert_ne!(m.digest().expect("digests"), d0, "platform label");
+        // Scheme and derived parameters.
+        let mut m = base.clone();
+        m.scheme = Scheme::Gss;
+        m.params = SchemeParams::Gss;
+        assert_ne!(m.digest().expect("digests"), d0, "scheme");
+        let mut m = base.clone();
+        if let SchemeParams::Ss2 { switch_time, .. } = &mut m.params {
+            *switch_time += 0.001;
+        }
+        assert_ne!(m.digest().expect("digests"), d0, "switch time");
+        // Deep plan fields and the schema version.
+        let mut m = base.clone();
+        m.plan.deadline += 1.0;
+        assert_ne!(m.digest().expect("digests"), d0, "plan deadline");
+        let mut m = base.clone();
+        m.schema_version += 1;
+        assert_ne!(m.digest().expect("digests"), d0, "schema version");
     }
 
     #[test]

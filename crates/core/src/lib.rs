@@ -44,6 +44,7 @@
 //! experiment configuration.
 
 pub mod artifact;
+pub mod digest;
 pub mod exhaustive;
 pub mod harness;
 pub mod offline;
@@ -51,6 +52,7 @@ pub mod oracle;
 pub mod policies;
 
 pub use artifact::{PlanArtifact, SchemeParams, PLAN_SCHEMA_VERSION};
+pub use digest::sha256_hex;
 pub use exhaustive::{optimal_assignment, AssignmentPolicy, OptimalAssignment};
 pub use harness::{pmp_reserve, Setup, SetupError};
 pub use offline::{OfflineError, OfflinePlan, PlanError};

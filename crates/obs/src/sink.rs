@@ -18,6 +18,12 @@
 //!
 //! I/O errors inside `on_event` (which cannot return them) are latched and
 //! surfaced by `finish()`; after the first error a sink stops writing.
+//! The latch keeps the *first* error only, annotated with the 1-based
+//! stream position of the event that failed — later failures (including
+//! flush errors at `finish`) never overwrite it, so the surfaced error
+//! always names the point where the output actually diverged. A latched
+//! sink inside a [`Fanout`] goes quiet without disturbing its siblings:
+//! healthy sinks keep streaming every event.
 
 use crate::event::{EventKind, SimEvent};
 use crate::export::{chrome_event, thread_metadata};
@@ -27,6 +33,38 @@ use serde::Value;
 use std::collections::VecDeque;
 use std::io::{self, Write};
 
+/// First-error latch shared by the streaming sinks: records the first
+/// I/O failure with the stream position it happened at and ignores every
+/// later one.
+#[derive(Debug, Default)]
+struct ErrorLatch {
+    err: Option<io::Error>,
+}
+
+impl ErrorLatch {
+    /// True once an error has been latched (the sink should go quiet).
+    fn is_latched(&self) -> bool {
+        self.err.is_some()
+    }
+
+    /// Latches `e` with context, unless an earlier error already won.
+    /// `event_no` is the 1-based position of the event whose write
+    /// failed.
+    fn latch(&mut self, event_no: u64, e: io::Error) {
+        if self.err.is_none() {
+            self.err = Some(io::Error::new(
+                e.kind(),
+                format!("streaming event #{event_no}: {e}"),
+            ));
+        }
+    }
+
+    /// Takes the latched error, if any.
+    fn take(&mut self) -> Option<io::Error> {
+        self.err.take()
+    }
+}
+
 /// Streams events as JSON Lines into a writer, one line per event.
 ///
 /// Feeding it the same stream as [`crate::export::to_jsonl`] produces
@@ -35,7 +73,7 @@ use std::io::{self, Write};
 pub struct JsonlSink<W: Write> {
     w: W,
     written: u64,
-    err: Option<io::Error>,
+    err: ErrorLatch,
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -44,7 +82,7 @@ impl<W: Write> JsonlSink<W> {
         Self {
             w,
             written: 0,
-            err: None,
+            err: ErrorLatch::default(),
         }
     }
 
@@ -53,7 +91,9 @@ impl<W: Write> JsonlSink<W> {
         self.written
     }
 
-    /// Flushes and returns the writer, or the first latched I/O error.
+    /// Flushes and returns the writer, or the first latched I/O error
+    /// (annotated with the stream position of the event whose write
+    /// failed).
     pub fn finish(mut self) -> io::Result<W> {
         if let Some(e) = self.err.take() {
             return Err(e);
@@ -65,7 +105,7 @@ impl<W: Write> JsonlSink<W> {
 
 impl<W: Write> Observer for JsonlSink<W> {
     fn on_event(&mut self, event: &SimEvent) {
-        if self.err.is_some() {
+        if self.err.is_latched() {
             return;
         }
         let line = serde_json::to_string(event).expect("events serialize");
@@ -75,7 +115,7 @@ impl<W: Write> Observer for JsonlSink<W> {
             .and_then(|()| self.w.write_all(b"\n"))
         {
             Ok(()) => self.written += 1,
-            Err(e) => self.err = Some(e),
+            Err(e) => self.err.latch(self.written + 1, e),
         }
     }
 }
@@ -94,7 +134,7 @@ pub struct ChromeSink<W: Write, F: Fn(NodeId) -> String> {
     any: bool,
     procs: usize,
     written: u64,
-    err: Option<io::Error>,
+    err: ErrorLatch,
 }
 
 impl<W: Write, F: Fn(NodeId) -> String> ChromeSink<W, F> {
@@ -108,7 +148,7 @@ impl<W: Write, F: Fn(NodeId) -> String> ChromeSink<W, F> {
             any: false,
             procs: 0,
             written: 0,
-            err: None,
+            err: ErrorLatch::default(),
         }
     }
 
@@ -153,7 +193,7 @@ impl<W: Write, F: Fn(NodeId) -> String> ChromeSink<W, F> {
 
 impl<W: Write, F: Fn(NodeId) -> String> Observer for ChromeSink<W, F> {
     fn on_event(&mut self, event: &SimEvent) {
-        if self.err.is_some() {
+        if self.err.is_latched() {
             return;
         }
         if let Some(p) = event.proc() {
@@ -162,7 +202,7 @@ impl<W: Write, F: Fn(NodeId) -> String> Observer for ChromeSink<W, F> {
         if let Some(v) = chrome_event(event, &self.name_of) {
             match self.write_value(&v) {
                 Ok(()) => self.written += 1,
-                Err(e) => self.err = Some(e),
+                Err(e) => self.err.latch(self.written + 1, e),
             }
         }
     }
@@ -464,29 +504,115 @@ mod tests {
         assert_eq!(filtered.into_inner().len(), 1);
     }
 
-    #[test]
-    fn jsonl_sink_latches_write_errors() {
-        /// A writer that fails from the third write call on (one event =
-        /// one line write + one newline write).
-        struct Broken(u32);
-        impl Write for Broken {
-            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-                self.0 += 1;
-                if self.0 > 2 {
-                    Err(io::Error::other("disk full"))
-                } else {
-                    Ok(buf.len())
-                }
-            }
-            fn flush(&mut self) -> io::Result<()> {
-                Ok(())
+    /// A fallible-writer test double: every write call consults a script
+    /// of planned failures `(call_no, message)` — call numbers are
+    /// 1-based over `write` invocations — and succeeds otherwise.
+    /// Successful bytes are retained so partial output stays inspectable.
+    #[derive(Debug)]
+    struct FlakyWriter {
+        calls: u32,
+        failures: Vec<(u32, &'static str)>,
+        ok_bytes: Vec<u8>,
+    }
+
+    impl FlakyWriter {
+        fn failing_at(failures: Vec<(u32, &'static str)>) -> Self {
+            Self {
+                calls: 0,
+                failures,
+                ok_bytes: Vec::new(),
             }
         }
-        let mut sink = JsonlSink::new(Broken(0));
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.calls += 1;
+            if let Some((_, msg)) = self.failures.iter().find(|(n, _)| *n == self.calls) {
+                Err(io::Error::other(*msg))
+            } else {
+                self.ok_bytes.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_latches_write_errors() {
+        // One event = one line write + one newline write; failing from
+        // call 3 on kills event #2.
+        let mut sink = JsonlSink::new(FlakyWriter::failing_at(vec![
+            (3, "disk full"),
+            (4, "disk full"),
+            (5, "disk full"),
+        ]));
         for ev in sample_events() {
             sink.on_event(&ev);
         }
         assert_eq!(sink.events_written(), 1);
         assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn latch_reports_the_first_error_with_context() {
+        // Two distinct transient failures: only the FIRST must surface,
+        // annotated with the stream position of the event that failed.
+        let mut sink = JsonlSink::new(FlakyWriter::failing_at(vec![
+            (3, "transient EIO"),
+            (5, "disk full"),
+        ]));
+        for ev in sample_events() {
+            sink.on_event(&ev);
+        }
+        // Event 1 streamed (calls 1+2); event 2's line write (call 3)
+        // latched; events 3 and 4 were dropped without touching the
+        // writer again.
+        assert_eq!(sink.events_written(), 1);
+        let err = sink.finish().expect_err("latched");
+        let msg = err.to_string();
+        assert!(msg.contains("event #2"), "context names the event: {msg}");
+        assert!(msg.contains("transient EIO"), "first error wins: {msg}");
+        assert!(!msg.contains("disk full"), "later error suppressed: {msg}");
+    }
+
+    #[test]
+    fn chrome_sink_latch_reports_first_error_with_context() {
+        // Call 1 writes the document head, call 2 the first trace
+        // object; failing call 2 kills trace object #1.
+        let mut sink = ChromeSink::new(
+            FlakyWriter::failing_at(vec![(2, "quota exceeded")]),
+            node_label,
+        );
+        for ev in sample_events() {
+            sink.on_event(&ev);
+        }
+        assert_eq!(sink.events_written(), 0);
+        let err = sink.finish().expect_err("latched");
+        let msg = err.to_string();
+        assert!(msg.contains("event #1"), "{msg}");
+        assert!(msg.contains("quota exceeded"), "{msg}");
+    }
+
+    #[test]
+    fn fanout_keeps_healthy_sinks_streaming_when_a_sibling_latches() {
+        let events = sample_events();
+        let mut broken = JsonlSink::new(FlakyWriter::failing_at(vec![(1, "gone")]));
+        let mut healthy = JsonlSink::new(Vec::new());
+        {
+            let mut fan = Fanout::new().with(&mut broken).with(&mut healthy);
+            for ev in &events {
+                fan.on_event(ev);
+            }
+        }
+        // The broken sibling latched on its very first write...
+        assert_eq!(broken.events_written(), 0);
+        assert!(broken.finish().is_err());
+        // ...while the healthy sink streamed the entire run unharmed.
+        assert_eq!(healthy.events_written(), events.len() as u64);
+        let bytes = healthy.finish().expect("no I/O error on Vec");
+        assert_eq!(String::from_utf8(bytes).unwrap(), to_jsonl(&events));
     }
 }

@@ -1,0 +1,170 @@
+//! The content-addressed plan cache.
+//!
+//! Keys are SHA-256 digests over the *inputs* of a plan — the resolved
+//! graph, platform, processor count, deadline spec and scheme — so two
+//! requests that describe the same problem hit the same entry no matter
+//! how they spelled it (builtin name, inline graph, file path). The
+//! cached value carries the [`pas_core::PlanArtifact`] receipt digest
+//! and its serialized JSON, which doubles as the last-known-good plan
+//! for graceful degradation: when re-derivation fails, the service
+//! serves the cached entry flagged `stale: true` (`PAS0507`).
+
+use pas_core::sha256_hex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// One cached plan: the artifact's receipt digest and its exact JSON.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// `PlanArtifact::digest()` of the stored artifact.
+    pub digest: String,
+    /// The artifact's canonical JSON (what `pas plan --out` writes).
+    pub artifact_json: String,
+    /// Scheme name, for the status snapshot.
+    pub scheme: &'static str,
+}
+
+struct Inner {
+    map: HashMap<String, CachedPlan>,
+    // Recency order, most recent at the back. Touched on every hit.
+    order: VecDeque<String>,
+}
+
+/// A bounded LRU of plans keyed by input digest. All methods take `&self`
+/// and are safe to call from any worker.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    cap: usize,
+}
+
+impl PlanCache {
+    /// A cache holding at most `cap` plans (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The content-addressed key for one plan request: a SHA-256 over
+    /// the canonical input description. `graph_json` must be the
+    /// serialized *resolved* graph so builtin/inline/path spellings of
+    /// the same workload collide (that is the point).
+    pub fn key(
+        graph_json: &str,
+        platform: &str,
+        procs: usize,
+        load: Option<f64>,
+        deadline_ms: Option<f64>,
+        scheme: &str,
+    ) -> String {
+        let spec = match (load, deadline_ms) {
+            (Some(l), _) => format!("load={l}"),
+            (None, Some(d)) => format!("deadline_ms={d}"),
+            (None, None) => "default".to_string(),
+        };
+        sha256_hex(
+            format!("pas-plan-v1\n{graph_json}\n{platform}\n{procs}\n{spec}\n{scheme}\n")
+                .as_bytes(),
+        )
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<CachedPlan> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let hit = inner.map.get(key).cloned();
+        if hit.is_some() {
+            inner.order.retain(|k| k != key);
+            inner.order.push_back(key.to_string());
+        }
+        hit
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least-recently-used
+    /// entry beyond capacity.
+    pub fn put(&self, key: &str, plan: CachedPlan) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.map.insert(key.to_string(), plan).is_some() {
+            inner.order.retain(|k| k != key);
+        }
+        inner.order.push_back(key.to_string());
+        while inner.map.len() > self.cap {
+            match inner.order.pop_front() {
+                Some(oldest) => {
+                    inner.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(tag: &str) -> CachedPlan {
+        CachedPlan {
+            digest: tag.to_string(),
+            artifact_json: format!("{{\"tag\":\"{tag}\"}}"),
+            scheme: "gss",
+        }
+    }
+
+    #[test]
+    fn key_is_stable_and_input_sensitive() {
+        let k = |g: &str, p: &str, n, l, d, s: &str| PlanCache::key(g, p, n, l, d, s);
+        let base = k("{}", "transmeta", 2, Some(0.5), None, "gss");
+        assert_eq!(base, k("{}", "transmeta", 2, Some(0.5), None, "gss"));
+        assert_eq!(base.len(), 64);
+        for other in [
+            k("{\"x\":1}", "transmeta", 2, Some(0.5), None, "gss"),
+            k("{}", "xscale", 2, Some(0.5), None, "gss"),
+            k("{}", "transmeta", 4, Some(0.5), None, "gss"),
+            k("{}", "transmeta", 2, Some(0.6), None, "gss"),
+            k("{}", "transmeta", 2, None, Some(40.0), "gss"),
+            k("{}", "transmeta", 2, Some(0.5), None, "as"),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let c = PlanCache::new(2);
+        c.put("a", plan("a"));
+        c.put("b", plan("b"));
+        assert!(c.get("a").is_some()); // refresh a; b is now LRU
+        c.put("c", plan("c"));
+        assert!(c.get("b").is_none());
+        assert!(c.get("a").is_some());
+        assert!(c.get("c").is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_grow_the_cache() {
+        let c = PlanCache::new(2);
+        c.put("a", plan("a1"));
+        c.put("a", plan("a2"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("a").expect("hit").digest, "a2");
+    }
+}

@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+//! `pas serve` — a fault-isolated, back-pressured plan/simulation
+//! service with a content-addressed plan cache.
+//!
+//! The paper's offline/online split (expensive Theorem-1 analysis once,
+//! cheap per-frame serving forever after) only pays off if the offline
+//! half can run somewhere long-lived. This crate is that somewhere: a
+//! daemon that accepts plan/check/run/trace requests as
+//! newline-delimited JSON over TCP, a Unix socket, or a watched drop
+//! directory, and answers every single one with a structured response —
+//! whatever the request did.
+//!
+//! Robustness is the design center:
+//!
+//! - **Back-pressure, never unbounded queueing** — a fixed worker pool
+//!   drains a bounded queue ([`queue::Bounded`]); beyond capacity,
+//!   requests shed immediately with a retry-after hint (`PAS0504`).
+//! - **Deadlines with cancellation** — every request carries a deadline;
+//!   on expiry the submitter answers `PAS0505` and flips a cooperative
+//!   cancellation flag that workers poll.
+//! - **Panic isolation** — handlers run under `catch_unwind`; a panic
+//!   becomes a `PAS0506` response and the worker keeps serving
+//!   ([`pool::WorkerPool`]).
+//! - **Bounded retries** — transient I/O reading workload files retries
+//!   with backoff, tallied as `serve.io_retries`.
+//! - **Graceful degradation** — plans are cached content-addressed by an
+//!   input digest ([`cache::PlanCache`], [`pas_core::sha256_hex`]); when
+//!   re-derivation fails, the last known-good plan is served flagged
+//!   `stale: true` (`PAS0507`).
+//! - **Validation on ingest** — every request runs through `pas-analyze`
+//!   before touching the simulator; failures are structured `PAS05xx`
+//!   error responses, the service-side equivalent of `pas check`
+//!   exiting 2.
+//! - **Observable lifecycle** — queue depth, shed/timeout/retry/panic
+//!   counters, cache hit rate and per-kind latency flow through
+//!   [`pas_obs::MetricsRegistry`] and surface in `status` responses.
+//! - **Graceful shutdown** — `SIGTERM`/`SIGINT` or an in-band `shutdown`
+//!   request stops accepting and drains in-flight work under a deadline.
+//!
+//! The wire schema is documented in `docs/service.md`; the `PAS0501` –
+//! `PAS0508` diagnostics in `docs/diagnostics.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use pas_serve::{ServeConfig, Service};
+//!
+//! let svc = Service::start(ServeConfig {
+//!     workers: 2,
+//!     ..ServeConfig::default()
+//! });
+//! let resp = svc.handle_line(r#"{"id":"1","kind":"status"}"#);
+//! assert!(resp.contains("\"status\":\"ok\""));
+//! assert_eq!(svc.shutdown(), 0);
+//! ```
+
+pub mod cache;
+pub mod handlers;
+pub mod net;
+pub mod pool;
+pub mod proto;
+pub mod queue;
+pub mod service;
+
+pub use cache::{CachedPlan, PlanCache};
+pub use net::{run_server, Endpoints};
+pub use pool::{Executor, Job, SubmitError, WorkerPool};
+pub use proto::{parse_request, Rejection, ReqKind, Request, PROTO_VERSION};
+pub use queue::Bounded;
+pub use service::{ServeConfig, Service};

@@ -1,0 +1,139 @@
+//! A bounded MPMC queue with explicit back-pressure.
+//!
+//! The service never queues unboundedly: when the queue is at capacity,
+//! [`Bounded::try_push`] refuses immediately and the caller sheds the
+//! request with a retry-after hint (`PAS0504`). Workers block on
+//! [`Bounded::pop`] and drain naturally when the queue is closed.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; the payload carries the current depth.
+    Full(usize),
+    /// The queue was closed (service shutting down).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity FIFO shared between submitters and workers.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> Bounded<T> {
+    /// An open queue holding at most `cap` items (`cap >= 1`).
+    pub fn new(cap: usize) -> Self {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Enqueues without blocking. Returns the depth *after* the push, or
+    /// refuses when full/closed — the back-pressure decision point.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.items.len() >= self.cap {
+            return Err(PushError::Full(st.items.len()));
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        drop(st);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; `None` means a worker should exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: pushes are refused, workers drain what is left
+    /// and then exit.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        drop(st);
+        self.ready.notify_all();
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn refuses_when_full_and_reports_depth() {
+        let q = Bounded::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full(2)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let q = Bounded::new(4);
+        q.try_push("a").expect("push");
+        q.close();
+        assert_eq!(q.try_push("b"), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(Bounded::new(1));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(7).expect("push");
+        assert_eq!(h.join().expect("join"), Some(7));
+    }
+}

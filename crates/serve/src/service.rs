@@ -1,0 +1,346 @@
+//! The service front-end: one request line in, one response line out.
+//!
+//! [`Service::handle_line`] is the whole synchronous round trip — parse,
+//! admission (back-pressure), dispatch to the pool, deadline enforcement
+//! — and is transport-agnostic: the TCP, Unix-socket and drop-directory
+//! front-ends in [`crate::net`] all funnel through it, as do the tests.
+
+use crate::cache::PlanCache;
+use crate::handlers;
+use crate::pool::{Executor, Job, SubmitError, WorkerPool};
+use crate::proto::{
+    error_response, ok_response, parse_request, shed_response, timeout_response, Rejection, ReqKind,
+};
+use pas_analyze::Code;
+use pas_obs::MetricsRegistry;
+use serde::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for one service instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue capacity; beyond it requests shed (`PAS0504`).
+    pub queue_cap: usize,
+    /// Per-request deadline when the request names none (ms).
+    pub default_timeout_ms: u64,
+    /// Plans kept in the content-addressed LRU.
+    pub cache_cap: usize,
+    /// Enables the `debug-*` fault-injection kinds and `fail_build`.
+    pub debug_faults: bool,
+    /// The hint sent with shed responses (ms).
+    pub retry_after_ms: u64,
+    /// How long shutdown waits for in-flight work (ms).
+    pub drain_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_cap: 64,
+            default_timeout_ms: 10_000,
+            cache_cap: 32,
+            debug_faults: false,
+            retry_after_ms: 50,
+            drain_ms: 5_000,
+        }
+    }
+}
+
+/// A running service: worker pool, plan cache, metrics, shutdown flag.
+pub struct Service {
+    cfg: ServeConfig,
+    pool: WorkerPool,
+    metrics: Arc<Mutex<MetricsRegistry>>,
+    cache: Arc<PlanCache>,
+    shutdown_requested: Arc<AtomicBool>,
+    started: Instant,
+}
+
+impl Service {
+    /// Spawns the worker pool and returns a ready service.
+    pub fn start(cfg: ServeConfig) -> Self {
+        let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
+        {
+            // Pre-seed every lifecycle counter at zero so the health
+            // snapshot always reports the full set — an operator can
+            // tell "never shed" from "not instrumented".
+            let mut m = metrics.lock().unwrap_or_else(|e| e.into_inner());
+            for name in [
+                "serve.requests",
+                "serve.responses.ok",
+                "serve.responses.error",
+                "serve.responses.shed",
+                "serve.responses.timeout",
+                "serve.responses.panic",
+                "serve.shed",
+                "serve.timeouts",
+                "serve.panics",
+                "serve.worker_recoveries",
+                "serve.cancelled_in_queue",
+                "serve.io_retries",
+                "serve.cache.hits",
+                "serve.cache.misses",
+                "serve.stale_served",
+            ] {
+                m.inc(name, 0);
+            }
+        }
+        let cache = Arc::new(PlanCache::new(cfg.cache_cap));
+        let handler_cfg = cfg.clone();
+        let handler_cache = Arc::clone(&cache);
+        let handler_metrics = Arc::clone(&metrics);
+        let handler: crate::pool::Handler = Arc::new(move |req, cancelled| {
+            handlers::handle(
+                &handler_cfg,
+                &handler_cache,
+                &handler_metrics,
+                req,
+                cancelled,
+            )
+        });
+        let pool = WorkerPool::new(cfg.workers, cfg.queue_cap, Arc::clone(&metrics), handler);
+        Service {
+            cfg,
+            pool,
+            metrics,
+            cache,
+            shutdown_requested: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
+        }
+    }
+
+    /// The full round trip for one request line: always returns exactly
+    /// one single-line JSON response, whatever the input did.
+    pub fn handle_line(&self, line: &str) -> String {
+        let t0 = Instant::now();
+        {
+            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            m.inc("serve.requests", 1);
+        }
+        let req = match parse_request(line) {
+            Ok(req) => req,
+            Err(rej) => {
+                let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                m.inc("serve.responses.error", 1);
+                return error_response("-", &rej);
+            }
+        };
+
+        // Control-plane kinds bypass the queue: health must stay
+        // observable under full load, and shutdown must always land.
+        match req.kind {
+            ReqKind::Status => {
+                let body = self.status_body();
+                let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                m.inc("serve.responses.ok", 1);
+                return ok_response(&req.id, ReqKind::Status, body);
+            }
+            ReqKind::Shutdown => {
+                self.shutdown_requested.store(true, Ordering::SeqCst);
+                let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                m.inc("serve.responses.ok", 1);
+                return ok_response(
+                    &req.id,
+                    ReqKind::Shutdown,
+                    crate::proto::object(vec![("draining", Value::Bool(true))]),
+                );
+            }
+            _ => {}
+        }
+
+        let timeout_ms = req.timeout_ms.unwrap_or(self.cfg.default_timeout_ms);
+        let id = req.id.clone();
+        let kind = req.kind;
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            req,
+            cancelled: Arc::clone(&cancelled),
+            reply: tx,
+        };
+        let response = match self.pool.submit(job) {
+            Err(SubmitError::QueueFull { depth }) => {
+                let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                m.inc("serve.shed", 1);
+                m.inc("serve.responses.shed", 1);
+                shed_response(&id, self.cfg.retry_after_ms, depth)
+            }
+            Err(SubmitError::ShuttingDown) => {
+                let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                m.inc("serve.responses.error", 1);
+                error_response(
+                    &id,
+                    &Rejection::new(Code::Pas0504, "service is draining for shutdown"),
+                )
+            }
+            Ok(_) => match rx.recv_timeout(Duration::from_millis(timeout_ms)) {
+                Ok(line) => line,
+                Err(_) => {
+                    // Deadline expired: cancel cooperatively. A worker
+                    // mid-job abandons at its next check; a job still
+                    // queued is skipped entirely.
+                    cancelled.store(true, Ordering::SeqCst);
+                    let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                    m.inc("serve.timeouts", 1);
+                    m.inc("serve.responses.timeout", 1);
+                    timeout_response(&id, timeout_ms)
+                }
+            },
+        };
+        {
+            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+            m.add_gauge(&format!("serve.stage_ms.{}", kind.name()), elapsed_ms);
+            m.inc(&format!("serve.handled.{}", kind.name()), 1);
+            m.set_gauge("serve.queue_depth", self.pool.queue_depth() as f64);
+        }
+        response
+    }
+
+    /// The `/health`-style snapshot served for `status` requests.
+    pub fn status_body(&self) -> Value {
+        let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        let hits = m.counter("serve.cache.hits");
+        let misses = m.counter("serve.cache.misses");
+        let hit_rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+        let counters: Vec<(String, Value)> = m
+            .counters()
+            .filter(|(name, _)| name.starts_with("serve."))
+            .map(|(name, v)| (name.to_string(), Value::UInt(v)))
+            .collect();
+        let gauges: Vec<(String, Value)> = m
+            .gauges()
+            .filter(|(name, _)| name.starts_with("serve."))
+            .map(|(name, v)| (name.to_string(), Value::Float(v)))
+            .collect();
+        crate::proto::object(vec![
+            (
+                "uptime_ms",
+                Value::Float(self.started.elapsed().as_secs_f64() * 1e3),
+            ),
+            (
+                "queue",
+                crate::proto::object(vec![
+                    ("depth", Value::UInt(self.pool.queue_depth() as u64)),
+                    ("capacity", Value::UInt(self.pool.queue_capacity() as u64)),
+                    ("busy_workers", Value::UInt(self.pool.busy_workers() as u64)),
+                    ("workers", Value::UInt(self.cfg.workers as u64)),
+                ]),
+            ),
+            (
+                "cache",
+                crate::proto::object(vec![
+                    ("size", Value::UInt(self.cache.len() as u64)),
+                    ("capacity", Value::UInt(self.cfg.cache_cap as u64)),
+                    ("hits", Value::UInt(hits)),
+                    ("misses", Value::UInt(misses)),
+                    ("hit_rate", Value::Float(hit_rate)),
+                ]),
+            ),
+            ("counters", Value::Object(counters)),
+            ("gauges", Value::Object(gauges)),
+        ])
+    }
+
+    /// True once a `shutdown` request (or signal) asked us to drain.
+    pub fn is_shutdown_requested(&self) -> bool {
+        self.shutdown_requested.load(Ordering::SeqCst)
+    }
+
+    /// Marks the service as draining (the signal handler's entry point).
+    pub fn request_shutdown(&self) {
+        self.shutdown_requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Drains the pool under the configured deadline; returns the number
+    /// of workers abandoned mid-job (0 on a clean drain).
+    pub fn shutdown(&self) -> usize {
+        self.pool.shutdown(Duration::from_millis(self.cfg.drain_ms))
+    }
+
+    /// A snapshot of counter `name` (test and summary helper).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .counter(name)
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_cap: 4,
+            default_timeout_ms: 30_000,
+            debug_faults: true,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn malformed_lines_get_an_error_response_not_a_crash() {
+        let svc = Service::start(quick_cfg());
+        let resp = svc.handle_line("{oops");
+        assert!(resp.contains("PAS0501"), "{resp}");
+        assert_eq!(svc.counter("serve.responses.error"), 1);
+        assert_eq!(svc.shutdown(), 0);
+    }
+
+    #[test]
+    fn status_bypasses_the_queue_and_reports_counters() {
+        let svc = Service::start(quick_cfg());
+        let ok = svc.handle_line(r#"{"id":"r","kind":"run","workload":"synthetic"}"#);
+        assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+        let status = svc.handle_line(r#"{"id":"s","kind":"status"}"#);
+        let v: Value = serde_json::from_str(&status).expect("valid JSON");
+        let body = v.get("body").expect("body");
+        assert!(body.get("queue").is_some());
+        assert!(body.get("cache").is_some());
+        let counters = body.get("counters").expect("counters");
+        assert_eq!(
+            counters.get("serve.responses.ok"),
+            Some(&Value::UInt(1)),
+            "{status}"
+        );
+        assert_eq!(svc.shutdown(), 0);
+    }
+
+    #[test]
+    fn timeout_cancels_and_answers_pas0505() {
+        let svc = Service::start(quick_cfg());
+        let resp =
+            svc.handle_line(r#"{"id":"t","kind":"debug-sleep","sleep_ms":60000,"timeout_ms":50}"#);
+        assert!(resp.contains("PAS0505"), "{resp}");
+        assert_eq!(svc.counter("serve.timeouts"), 1);
+        // The cancelled flag stops the sleeper, so the drain is clean.
+        assert_eq!(svc.shutdown(), 0);
+    }
+
+    #[test]
+    fn shutdown_request_sets_the_drain_flag() {
+        let svc = Service::start(quick_cfg());
+        assert!(!svc.is_shutdown_requested());
+        let resp = svc.handle_line(r#"{"id":"x","kind":"shutdown"}"#);
+        assert!(resp.contains("\"draining\":true"), "{resp}");
+        assert!(svc.is_shutdown_requested());
+        assert_eq!(svc.shutdown(), 0);
+    }
+}

@@ -68,3 +68,31 @@ fn schemas_doc_covers_every_on_disk_contract() {
         "docs/schemas.md must state the current plan schema version"
     );
 }
+
+#[test]
+fn service_doc_covers_the_wire_contract() {
+    let text = doc("service.md");
+    // Every response status and request kind the daemon speaks must be
+    // documented, as must the degradation vocabulary.
+    for term in [
+        "`ok`",
+        "`error`",
+        "`shed`",
+        "`timeout`",
+        "`panic`",
+        "retry_after_ms",
+        "stale: true",
+        "Failure-mode table",
+        "newline-delimited JSON",
+    ] {
+        assert!(text.contains(term), "docs/service.md must document {term}");
+    }
+    // The service diagnostics live in the PAS05xx range; the doc must
+    // reference each one (the full rows live in diagnostics.md).
+    for code in Code::ALL {
+        let name = code.as_str();
+        if name.starts_with("PAS05") {
+            assert!(text.contains(name), "docs/service.md must mention {name}");
+        }
+    }
+}
