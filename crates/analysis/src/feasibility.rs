@@ -84,6 +84,7 @@ pub fn verify_feasibility(
     // A deadline loose enough that the offline phase cannot be
     // infeasible (same construction `Setup::for_load` uses).
     let probe_deadline = (g.total_wcet().max(1.0) + g.num_tasks() as f64 * reserve + 1.0) * 10.0;
+    let probe_span = pas_obs::profile::span(pas_obs::profile::names::OFFLINE_PROBE);
     let plan = match OfflinePlan::build_with_pmp_reserve(
         g,
         sections,
@@ -97,9 +98,14 @@ pub fn verify_feasibility(
             return (r, None);
         }
     };
+    drop(probe_span);
 
     let scenarios_total = count_scenarios(g, sections);
     let (worst, exact, witness) = if scenarios_total <= ENUMERATION_THRESHOLD {
+        let _enum_span =
+            pas_obs::profile::span_with(pas_obs::profile::names::OFFLINE_ENUMERATE, || {
+                format!("{scenarios_total} paths")
+            });
         let (max, witness) = enumerate_worst(g, sections, &plan);
         debug_assert!(
             (max - plan.worst_total).abs() <= 1e-6 * plan.worst_total.max(1.0),

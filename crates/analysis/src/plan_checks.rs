@@ -94,6 +94,9 @@ pub fn check_plan(
     graph_src: &str,
     model: &ProcessorModel,
 ) -> Report {
+    let _span = pas_obs::profile::span_with(pas_obs::profile::names::CHECK_VERIFY_PLAN, || {
+        plan_src.to_string()
+    });
     let mut r = Report::new();
     if artifact.schema_version != PLAN_SCHEMA_VERSION {
         r.push(Diagnostic::new(
@@ -475,6 +478,10 @@ fn scheme_bounds(
     let deadline = rederived.deadline;
     let scenarios = count_scenarios(g, sections);
     let (worst, avg) = if scenarios <= ENUMERATION_THRESHOLD {
+        let _enum_span =
+            pas_obs::profile::span_with(pas_obs::profile::names::OFFLINE_ENUMERATE, || {
+                format!("{scenarios} paths")
+            });
         enumerate_stats(g, sections, rederived)
     } else {
         r.push(Diagnostic::new(

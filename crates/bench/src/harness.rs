@@ -13,7 +13,10 @@
 //!   count, peak bounded-ring occupancy, finish time, total energy,
 //!   speed changes, the per-category [`EnergyLedger`], and per-section
 //!   slices from a [`SectionedLedger`];
-//! * the run's full [`MetricsRegistry`] rendered as CSV.
+//! * the run's full [`MetricsRegistry`] rendered as CSV;
+//! * a per-(workload, platform) wall-time breakdown of the off-line
+//!   phase from the [`pas_obs::profile`] span profiler (informational —
+//!   the span *shape* is deterministic, the times are not).
 //!
 //! [`write_baselines`] commits the deterministic portion under
 //! `results/baselines/`; [`check_against_baselines`] re-runs the golden
@@ -193,8 +196,34 @@ impl BenchRecord {
     }
 }
 
-/// The full report `pas bench` writes as `BENCH_<rev>.json`.
+/// One span family's aggregate inside an [`OfflineBreakdown`]: every
+/// profiler span recorded under the name, summed.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfflineSpanStat {
+    /// Span name from [`pas_obs::profile::names`].
+    pub name: String,
+    /// Spans recorded under the name (deterministic shape).
+    pub calls: u64,
+    /// Total wall time across those spans (ms; informational,
+    /// machine-dependent, never compared).
+    pub total_ms: f64,
+}
+
+/// Per-(workload, platform) wall-time breakdown of the off-line phase,
+/// captured by the span profiler around the `Setup` construction the
+/// schemes share.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfflineBreakdown {
+    /// Golden workload name (`fig4`, ...).
+    pub workload: String,
+    /// Platform slug (`transmeta-tm5400`, `intel-xscale`).
+    pub platform: String,
+    /// Aggregated spans, sorted by name.
+    pub spans: Vec<OfflineSpanStat>,
+}
+
+/// The full report `pas bench` writes as `BENCH_<rev>.json`.
+#[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
     /// Source revision the numbers were captured at.
     pub rev: String,
@@ -202,6 +231,31 @@ pub struct BenchReport {
     pub tolerance: f64,
     /// One record per (workload, platform, scheme).
     pub records: Vec<BenchRecord>,
+    /// Off-line phase wall-time breakdown, one entry per
+    /// (workload, platform). Informational: [`write_baselines`] strips
+    /// it and [`check_against_baselines`] never compares it.
+    pub offline: Vec<OfflineBreakdown>,
+}
+
+// Hand-written so reports without `offline` — the committed baselines,
+// and any `BENCH_<rev>.json` captured before the field existed — still
+// parse; the derived impl would reject the missing field.
+impl Deserialize for BenchReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::Error::custom(format!("BenchReport: missing field `{name}`")))
+        };
+        Ok(Self {
+            rev: Deserialize::from_value(field("rev")?)?,
+            tolerance: Deserialize::from_value(field("tolerance")?)?,
+            records: Deserialize::from_value(field("records")?)?,
+            offline: match v.get("offline") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 /// A rendered `MetricsRegistry` CSV destined for the baseline directory.
@@ -289,6 +343,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchOutput, BenchError> {
     }
     let mut records = Vec::new();
     let mut metrics = Vec::new();
+    let mut offline = Vec::new();
     for wl in GOLDEN_WORKLOADS {
         if let Some(filter) = &opts.workloads {
             if !filter.iter().any(|n| n == wl.name) {
@@ -296,7 +351,30 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchOutput, BenchError> {
             }
         }
         for platform in [Platform::Transmeta, Platform::XScale] {
-            let setup = Setup::for_load(wl.graph()?, platform.model(), wl.num_procs, wl.load)?;
+            let graph = wl.graph()?;
+            // Span-profile the off-line phase the schemes share. The
+            // exclusive session keeps concurrent in-process profiler
+            // users (tests, `--profile` commands) out of our spans.
+            let (setup, offline_spans) = {
+                let _session = pas_obs::profile::exclusive();
+                pas_obs::profile::enable();
+                let result = Setup::for_load(graph, platform.model(), wl.num_procs, wl.load);
+                pas_obs::profile::disable();
+                (result, pas_obs::profile::take())
+            };
+            let setup = setup?;
+            offline.push(OfflineBreakdown {
+                workload: wl.name.to_string(),
+                platform: slug(platform.name()),
+                spans: pas_obs::profile::aggregate(&offline_spans)
+                    .into_iter()
+                    .map(|(name, calls, total_ms)| OfflineSpanStat {
+                        name,
+                        calls,
+                        total_ms,
+                    })
+                    .collect(),
+            });
             // One seeded realization shared by every scheme and the
             // timing loop, so numbers are comparable across schemes.
             let mut rng = StdRng::seed_from_u64(opts.seed);
@@ -372,6 +450,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchOutput, BenchError> {
             rev: opts.rev.clone(),
             tolerance: DEFAULT_TOLERANCE,
             records,
+            offline,
         },
         metrics,
     })
@@ -404,7 +483,11 @@ pub fn write_baselines(out: &BenchOutput, dir: &Path) -> Result<Vec<String>, Ben
     std::fs::create_dir_all(dir)?;
     let mut written = Vec::new();
     let path = dir.join(BASELINE_FILE);
-    std::fs::write(&path, report_json(&out.report))?;
+    // Baselines hold only compared quantities: the machine-dependent
+    // off-line breakdown stays out so refreshes don't churn the diff.
+    let mut stripped = out.report.clone();
+    stripped.offline.clear();
+    std::fs::write(&path, report_json(&stripped))?;
     written.push(path.display().to_string());
     for m in &out.metrics {
         let path = dir.join(&m.name);
@@ -696,6 +779,53 @@ mod tests {
             assert!((a.energy_mj - b.energy_mj).abs() < 1e-12);
             assert_eq!(a.sections.len(), b.sections.len());
         }
+        assert_eq!(back.offline.len(), out.report.offline.len());
+    }
+
+    #[test]
+    fn bench_captures_an_offline_breakdown() {
+        let out = run_bench(&quick_opts()).expect("bench runs");
+        // fig4 only: one breakdown per platform.
+        assert_eq!(out.report.offline.len(), 2);
+        for b in &out.report.offline {
+            assert_eq!(b.workload, "fig4");
+            assert!(!b.spans.is_empty(), "{}: no spans", b.platform);
+            let names: Vec<&str> = b.spans.iter().map(|s| s.name.as_str()).collect();
+            for expected in [
+                pas_obs::profile::names::OFFLINE_SETUP,
+                pas_obs::profile::names::OFFLINE_BUILD,
+                pas_obs::profile::names::OFFLINE_CANONICAL,
+            ] {
+                assert!(names.contains(&expected), "{names:?} missing {expected}");
+            }
+            for s in &b.spans {
+                assert!(s.calls > 0, "{}: zero calls", s.name);
+                assert!(s.total_ms >= 0.0, "{}: negative time", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn reports_without_offline_breakdown_still_parse() {
+        // The committed baselines predate the `offline` field (and
+        // `write_baselines` keeps stripping it).
+        let out = run_bench(&quick_opts()).expect("bench runs");
+        let mut stripped = out.report.clone();
+        stripped.offline.clear();
+        let json = report_json(&stripped);
+        let legacy = {
+            // Drop the `offline` key entirely to model a pre-field file.
+            let v: serde::Value = serde_json::from_str(&json).expect("parses");
+            let serde::Value::Object(fields) = v else {
+                panic!("object expected")
+            };
+            let v =
+                serde::Value::Object(fields.into_iter().filter(|(k, _)| k != "offline").collect());
+            serde_json::to_string(&v).expect("serializes")
+        };
+        let back: BenchReport = serde_json::from_str(&legacy).expect("legacy report parses");
+        assert!(back.offline.is_empty());
+        assert_eq!(back.records.len(), out.report.records.len());
     }
 
     #[test]

@@ -28,7 +28,8 @@ pub mod harness;
 pub use harness::{
     check_against_baselines, detect_rev, run_bench, write_baselines, write_report, BenchError,
     BenchOptions, BenchOutput, BenchRecord, BenchReport, GoldenWorkload, MetricsFile,
-    SectionRecord, BASELINE_FILE, DEFAULT_TOLERANCE, GOLDEN_WORKLOADS,
+    OfflineBreakdown, OfflineSpanStat, SectionRecord, BASELINE_FILE, DEFAULT_TOLERANCE,
+    GOLDEN_WORKLOADS,
 };
 
 use pas_core::Setup;

@@ -121,6 +121,11 @@ pub struct Args {
     pub timeout_ms: u64,
     /// `serve`: enable the `debug-*` fault-injection request kinds.
     pub debug_faults: bool,
+    /// `plan`/`check`: profile the offline phase and print a span tree.
+    pub profile: bool,
+    /// `plan`/`check`: write the profile as Chrome trace JSON instead of
+    /// printing the span tree (implies `--profile`).
+    pub profile_out: Option<String>,
 }
 
 impl Args {
@@ -177,6 +182,8 @@ impl Args {
             queue: 64,
             timeout_ms: 10_000,
             debug_faults: false,
+            profile: false,
+            profile_out: None,
         };
         let mut in_against = false;
         while let Some(flag) = it.next() {
@@ -271,6 +278,11 @@ impl Args {
                     }
                 }
                 "--debug-faults" => parsed.debug_faults = true,
+                "--profile" => parsed.profile = true,
+                "--profile-out" => {
+                    parsed.profile_out = Some(value("--profile-out")?.clone());
+                    parsed.profile = true;
+                }
                 other => {
                     // `check` and `plan` take positional sources; every
                     // other command rejects stray tokens. Bare tokens
@@ -302,6 +314,9 @@ impl Args {
             && parsed.watch.is_none()
         {
             return Err("serve needs at least one of --listen, --socket or --watch".into());
+        }
+        if parsed.profile && !matches!(parsed.command, Command::Plan | Command::Check) {
+            return Err("--profile is a `plan`/`check` flag".into());
         }
         Ok(parsed)
     }
@@ -544,6 +559,22 @@ mod tests {
         let b = parse(&["serve", "--watch", "drops/"]).unwrap();
         assert_eq!(b.watch.as_deref(), Some("drops/"));
         assert_eq!(b.workers, 4);
+    }
+
+    #[test]
+    fn profile_flags() {
+        let a = parse(&["plan", "--profile"]).unwrap();
+        assert!(a.profile);
+        assert!(a.profile_out.is_none());
+        // --profile-out implies --profile.
+        let b = parse(&["check", "w.json", "--profile-out", "spans.json"]).unwrap();
+        assert!(b.profile);
+        assert_eq!(b.profile_out.as_deref(), Some("spans.json"));
+        assert!(!parse(&["plan"]).unwrap().profile);
+        // Profiling belongs to the offline commands.
+        assert!(parse(&["run", "--profile"]).is_err());
+        assert!(parse(&["trace", "--profile-out", "x.json"]).is_err());
+        assert!(parse(&["plan", "--profile-out"]).is_err());
     }
 
     #[test]

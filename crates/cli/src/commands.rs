@@ -19,7 +19,7 @@ pub fn execute(args: &Args) -> Result<String, String> {
     }
     match args.command {
         Command::Inspect => inspect(args),
-        Command::Plan => plan(args),
+        Command::Plan => with_profile(args, pas_obs::profile::names::CLI_PLAN, || plan(args)),
         Command::Run => run_one(args),
         Command::Compare => compare(args),
         Command::Dot => dot(args),
@@ -27,9 +27,57 @@ pub fn execute(args: &Args) -> Result<String, String> {
         Command::Export => export(args),
         Command::Trace => trace_cmd(args),
         Command::Bench => bench_cmd(args),
-        Command::Check => crate::check::check_cmd(args),
+        Command::Check => with_profile(args, pas_obs::profile::names::CLI_CHECK, || {
+            crate::check::check_cmd(args)
+        }),
         Command::Serve => serve_cmd(args),
     }
+}
+
+/// Runs `body` under the span profiler when `--profile` was given: the
+/// whole command becomes the root span, and the collected tree is either
+/// appended to the command output or written to `--profile-out` as a
+/// Chrome trace (open in Perfetto / `chrome://tracing`). Profiling only
+/// observes the wall clock — command output and artifacts are
+/// byte-identical with it on or off.
+fn with_profile(
+    args: &Args,
+    root: &'static str,
+    body: impl FnOnce() -> Result<String, String>,
+) -> Result<String, String> {
+    use pas_obs::profile;
+    if !args.profile {
+        return body();
+    }
+    // Other in-process profiler users (the bench harness, parallel
+    // tests) must not drain our spans mid-command.
+    let _session = profile::exclusive();
+    profile::enable();
+    let result = {
+        let _root = profile::span(root);
+        body()
+    };
+    profile::disable();
+    let spans = profile::take();
+    let mut out = result?;
+    match &args.profile_out {
+        Some(path) => {
+            std::fs::write(path, profile::chrome_trace(&spans))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "profile: wrote {path} ({} spans)", spans.len());
+        }
+        None => {
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "\nprofile (offline-phase wall clock):");
+            out.push_str(&profile::render_tree(&spans));
+        }
+    }
+    Ok(out)
 }
 
 /// Cheap static checks run automatically before `run`, `trace` and
@@ -809,6 +857,7 @@ fn trace_cmd(args: &Args) -> Result<String, String> {
             let mut ledger = SectionedLedger::new();
             let mut ring = RingLog::new(4096);
             let mut filt = Filtered::new(NullObserver, kind_filter, args.proc_filter);
+            let started = std::time::Instant::now();
             let digest = {
                 let mut fan = Fanout::new()
                     .with(&mut reg)
@@ -817,6 +866,7 @@ fn trace_cmd(args: &Args) -> Result<String, String> {
                     .with(&mut filt);
                 run_into(&mut fan)?
             };
+            let wall = started.elapsed();
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -839,9 +889,17 @@ fn trace_cmd(args: &Args) -> Result<String, String> {
                     let _ = writeln!(out, "  {:<16} {count}", kind.name());
                 }
             }
+            // Field names match `BENCH_<rev>.json` records so the two
+            // throughput views line up.
             let _ = writeln!(
                 out,
-                "live window: {} of {} events buffered (bounded ring)",
+                "throughput: events_per_sec = {:.1} ({:.3} ms wall, observed)",
+                ring.seen() as f64 / wall.as_secs_f64().max(1e-9),
+                wall.as_secs_f64() * 1e3
+            );
+            let _ = writeln!(
+                out,
+                "live window: peak_ring_occupancy = {} of {} events buffered (bounded ring)",
                 ring.peak_occupancy(),
                 ring.capacity()
             );
@@ -958,6 +1016,27 @@ fn bench_cmd(args: &Args) -> Result<String, String> {
             rec.energy_mj,
             rec.sections.len()
         );
+    }
+    if !out.report.offline.is_empty() {
+        let _ = writeln!(text, "off-line phase wall time (span profiler):");
+        for b in &out.report.offline {
+            let total: f64 = b.spans.iter().map(|s| s.total_ms).sum();
+            let _ = writeln!(
+                text,
+                "  {} on {} ({:.3} ms across {} span names):",
+                b.workload,
+                b.platform,
+                total,
+                b.spans.len()
+            );
+            for s in &b.spans {
+                let _ = writeln!(
+                    text,
+                    "    {:<28} {:>4} call(s) {:>10.3} ms",
+                    s.name, s.calls, s.total_ms
+                );
+            }
+        }
     }
     if args.update_baselines {
         let written = pas_bench::write_baselines(&out, &dir).map_err(|e| format!("bench: {e}"))?;

@@ -17,6 +17,8 @@
 //!              --out trace.json                      export the event stream
 //! pas trace    --app atr --frames 100 --format jsonl \
 //!              --out stream.jsonl                    stream 100 frames incrementally
+//! pas plan     --app atr --procs 2 --load 0.5 \
+//!              --profile                             span-profiled off-line phase
 //! pas bench    --check                               diff golden workloads vs baselines
 //! pas check    atr xscale faults.json                static analysis & feasibility
 //! pas plan     w.json xscale --scheme ss2 \
@@ -49,6 +51,7 @@ pub const USAGE: &str =
 [--kinds k1,k2,...] [--frames N] [--carry] [--metrics] \
 [--check] [--update-baselines] [--bench-dir DIR] [--workloads w1,w2,...] \
 [--deny-warnings] [--against REF...] [--fix] \
+[--profile] [--profile-out FILE] \
 [--listen HOST:PORT] [--socket PATH] [--watch DIR] [--workers N] [--queue N] \
 [--timeout-ms T] [--debug-faults]";
 
@@ -365,6 +368,10 @@ mod tests {
         .unwrap();
         assert!(out.contains("events:"), "{out}");
         assert!(out.contains("dispatch"), "{out}");
+        // Throughput fields are spelled like the BENCH_<rev>.json record
+        // fields so the two views correlate.
+        assert!(out.contains("events_per_sec = "), "{out}");
+        assert!(out.contains("peak_ring_occupancy = "), "{out}");
         assert!(out.contains("energy ledger"), "{out}");
         assert!(out.contains("matches engine total_energy"), "{out}");
         assert!(out.contains("event-derived"), "{out}");
@@ -760,6 +767,67 @@ mod tests {
         // The repaired workload passes the strict check.
         let out = call(&["check", fixed.to_str().unwrap(), "--deny-warnings"]).unwrap();
         assert!(out.contains("feasibility:"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // One test covers every profiled invocation: the profiler is a
+    // process-wide singleton, so concurrent `--profile` tests would
+    // steal each other's spans.
+    #[test]
+    fn plan_and_check_profile_the_offline_phase() {
+        let out = call(&[
+            "plan",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--profile",
+        ])
+        .unwrap();
+        assert!(out.contains("profile (offline-phase wall clock)"), "{out}");
+        assert!(out.contains(pas_obs::profile::names::CLI_PLAN), "{out}");
+        assert!(
+            out.contains(pas_obs::profile::names::OFFLINE_BUILD),
+            "{out}"
+        );
+        assert!(
+            out.contains(pas_obs::profile::names::OFFLINE_CANONICAL),
+            "{out}"
+        );
+        // The root span's duration covers its direct children: the tree
+        // renderer annotates parents with their children's total.
+        assert!(out.contains("(children"), "{out}");
+
+        let out = call(&["check", "--app", "synthetic", "--profile"]).unwrap();
+        assert!(out.contains(pas_obs::profile::names::CLI_CHECK), "{out}");
+
+        // `--profile-out` writes a Chrome trace instead of the tree.
+        let dir = std::env::temp_dir().join("pas_cli_test_profile_out");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("trace.json");
+        let path_s = path.to_str().unwrap();
+        let out = call(&[
+            "plan",
+            "--app",
+            "synthetic",
+            "--procs",
+            "2",
+            "--load",
+            "0.5",
+            "--profile-out",
+            path_s,
+        ])
+        .unwrap();
+        assert!(out.contains("profile: wrote"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let doc: serde::Value = serde_json::from_str(&body).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -155,6 +155,8 @@ mod tests {
             deny_warnings: false,
             against: Vec::new(),
             fix: false,
+            profile: false,
+            profile_out: None,
         }
     }
 

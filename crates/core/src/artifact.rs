@@ -75,6 +75,9 @@ impl SchemeParams {
         model: &ProcessorModel,
         overheads: Overheads,
     ) -> Self {
+        let _span = pas_obs::profile::span_with(pas_obs::profile::names::ARTIFACT_SPEEDS, || {
+            scheme.name().to_string()
+        });
         match scheme {
             Scheme::Npm => SchemeParams::Npm,
             Scheme::Gss => SchemeParams::Gss,
@@ -152,6 +155,7 @@ impl PlanArtifact {
     /// Serializes to the canonical pretty-JSON form (deterministic: equal
     /// plans produce byte-identical output).
     pub fn to_json(&self) -> Result<String, String> {
+        let _span = pas_obs::profile::span(pas_obs::profile::names::ARTIFACT_SERIALIZE);
         serde_json::to_string_pretty(self).map_err(|e| format!("serializing plan: {e}"))
     }
 
@@ -172,7 +176,9 @@ impl PlanArtifact {
     /// serve` use the digest as a content-addressed cache key and `pas
     /// plan` print it as a verifiable receipt.
     pub fn digest(&self) -> Result<String, String> {
-        Ok(crate::digest::sha256_hex(self.to_json()?.as_bytes()))
+        let json = self.to_json()?;
+        let _span = pas_obs::profile::span(pas_obs::profile::names::ARTIFACT_DIGEST);
+        Ok(crate::digest::sha256_hex(json.as_bytes()))
     }
 
     /// Rebuilds a runnable [`Setup`] around the *deserialized* plan —

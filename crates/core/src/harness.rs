@@ -132,6 +132,10 @@ impl Setup {
         deadline: f64,
         overheads: Overheads,
     ) -> Result<Self, SetupError> {
+        let _setup_span =
+            pas_obs::profile::span_with(pas_obs::profile::names::OFFLINE_SETUP, || {
+                format!("{num_procs} procs, deadline {deadline} ms")
+            });
         let sections = SectionGraph::build(&graph)?;
         let plan = OfflinePlan::build_with_pmp_reserve(
             &graph,
@@ -175,11 +179,16 @@ impl Setup {
         overheads: Overheads,
     ) -> Result<Self, SetupError> {
         assert!(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
+        let _setup_span =
+            pas_obs::profile::span_with(pas_obs::profile::names::OFFLINE_SETUP, || {
+                format!("{num_procs} procs, load {load}")
+            });
         let reserve = pmp_reserve(&model, overheads);
         let sections = SectionGraph::build(&graph)?;
         // Probe with a certainly-feasible deadline to learn Tw.
         let probe_deadline =
             (graph.total_wcet().max(1.0) + graph.num_tasks() as f64 * reserve + 1.0) * 10.0;
+        let probe_span = pas_obs::profile::span(pas_obs::profile::names::OFFLINE_PROBE);
         let probe = OfflinePlan::build_with_pmp_reserve(
             &graph,
             &sections,
@@ -187,6 +196,7 @@ impl Setup {
             probe_deadline,
             reserve,
         )?;
+        drop(probe_span);
         let deadline = probe.worst_total / load;
         let plan =
             OfflinePlan::build_with_pmp_reserve(&graph, &sections, num_procs, deadline, reserve)?;

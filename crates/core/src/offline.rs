@@ -3,6 +3,7 @@
 
 use andor_graph::{AndOrGraph, NodeId, SectionGraph, SectionId};
 use mp_sim::DispatchOrder;
+use pas_obs::profile;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -132,6 +133,7 @@ impl OfflinePlan {
         deadline: f64,
         pmp_reserve_ms: f64,
     ) -> Result<Self, PlanError> {
+        let _build_span = profile::span(profile::names::OFFLINE_BUILD);
         if num_procs == 0 {
             return Err(PlanError::NoProcessors);
         }
@@ -142,6 +144,9 @@ impl OfflinePlan {
         // Round 1: canonical LTF schedule per section (WCET, full speed)
         // plus an average-case replay of the same order.
         let n_sections = sections.len();
+        let canonical_span = profile::span_with(profile::names::OFFLINE_CANONICAL, || {
+            format!("{n_sections} sections")
+        });
         let mut per_section_order = Vec::with_capacity(n_sections);
         let mut canon: Vec<SectionSchedule> = Vec::with_capacity(n_sections);
         for sid in 0..n_sections {
@@ -152,11 +157,13 @@ impl OfflinePlan {
             per_section_order.push(order);
             canon.push(SectionSchedule { worst, avg });
         }
+        drop(canonical_span);
 
         // Remaining-time recursion over the section chain. Sections are
         // created in topological order of the chain (entry OR processed
         // before its branch sections), so a reverse scan sees every
         // continuation before the sections that lead to it.
+        let remaining_span = profile::span(profile::names::OFFLINE_REMAINING);
         let mut worst_after = vec![0.0_f64; n_sections];
         let mut avg_after = vec![0.0_f64; n_sections];
         let mut branch_worst = HashMap::new();
@@ -191,6 +198,7 @@ impl OfflinePlan {
         let root = sections.root().index();
         let worst_total = canon[root].worst.makespan + worst_after[root];
         let avg_total = canon[root].avg.makespan + avg_after[root];
+        drop(remaining_span);
         if worst_total > deadline * (1.0 + 1e-12) {
             return Err(PlanError::Infeasible {
                 worst_finish: worst_total,
@@ -200,6 +208,7 @@ impl OfflinePlan {
 
         // Round 2: shift — latest start times. For task i in section s:
         // LST_i = D − [(Lʷ(s) − start_rel_i) + worst_after(s)].
+        let _lst_span = profile::span(profile::names::OFFLINE_LST);
         let mut lst = vec![None; g.len()];
         for sid in 0..n_sections {
             let lw = canon[sid].worst.makespan;

@@ -30,6 +30,8 @@
 //!   the global total within the same tolerance.
 //! * [`export`] — JSONL event dumps, Chrome trace-event / Perfetto JSON,
 //!   and CSV metrics.
+//! * [`profile`] — a span-based wall-clock profiler for the offline
+//!   phase (`pas plan --profile`), with its own Chrome-trace exporter.
 //! * streaming sinks ([`JsonlSink`], [`ChromeSink`], [`RingLog`],
 //!   [`Fanout`], [`Filtered`]) — incremental consumers with O(1) event
 //!   memory, for runs too long to buffer.
@@ -89,6 +91,7 @@ mod observer;
 mod sink;
 
 pub mod export;
+pub mod profile;
 
 pub use event::{EventKind, FaultKind, SimEvent};
 pub use ledger::{EnergyLedger, LedgerMismatch, SectionKey, SectionSlice, SectionedLedger};

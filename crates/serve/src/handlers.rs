@@ -187,12 +187,12 @@ pub fn handle(
         ReqKind::DebugPanic | ReqKind::DebugSleep | ReqKind::DebugFail => {
             handle_debug(cfg, req, cancelled)
         }
-        // Status/Shutdown are answered by the service front-end without
-        // queueing; reaching here is a dispatch bug worth surfacing.
-        ReqKind::Status | ReqKind::Shutdown => Err(Rejection::bad_param(format!(
-            "kind '{}' is not a pooled request",
-            req.kind.name()
-        ))),
+        // Status/Metrics/Shutdown are answered by the service front-end
+        // without queueing; reaching here is a dispatch bug worth
+        // surfacing.
+        ReqKind::Status | ReqKind::Metrics | ReqKind::Shutdown => Err(Rejection::bad_param(
+            format!("kind '{}' is not a pooled request", req.kind.name()),
+        )),
     }
 }
 

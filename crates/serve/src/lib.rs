@@ -36,6 +36,12 @@
 //! - **Observable lifecycle** — queue depth, shed/timeout/retry/panic
 //!   counters, cache hit rate and per-kind latency flow through
 //!   [`pas_obs::MetricsRegistry`] and surface in `status` responses.
+//!   Per-kind latency histograms (queue wait, execution, end-to-end,
+//!   plan execution split by cache hit/miss) report p50/p95/p99 in
+//!   `status`, and the `metrics` kind renders the whole surface in
+//!   Prometheus text exposition format ([`telemetry`]). Every request
+//!   carries a correlation id — client-chosen, or minted `auto-<seq>`
+//!   at ingest — echoed in its response.
 //! - **Graceful shutdown** — `SIGTERM`/`SIGINT` or an in-band `shutdown`
 //!   request stops accepting and drains in-flight work under a deadline.
 //!
@@ -63,6 +69,7 @@ pub mod pool;
 pub mod proto;
 pub mod queue;
 pub mod service;
+pub mod telemetry;
 
 pub use cache::{CachedPlan, PlanCache};
 pub use net::{run_server, Endpoints};
@@ -70,3 +77,7 @@ pub use pool::{Executor, Job, SubmitError, WorkerPool};
 pub use proto::{parse_request, Rejection, ReqKind, Request, PROTO_VERSION};
 pub use queue::Bounded;
 pub use service::{ServeConfig, Service};
+pub use telemetry::{
+    prometheus_exposition, LatencySnapshot, LatencyStore, SeriesKey, LATENCY_KINDS, LATENCY_STAGES,
+    PRE_SEEDED_COUNTERS,
+};

@@ -7,8 +7,9 @@
 //! submitter flips the job's `cancelled` flag on deadline expiry, and
 //! workers skip cancelled jobs still sitting in the queue.
 
-use crate::proto::{error_response, ok_response, panic_response, Rejection, Request};
+use crate::proto::{error_response, ok_response, panic_response, Rejection, ReqKind, Request};
 use crate::queue::{Bounded, PushError};
+use crate::telemetry::{LatencyStore, SeriesKey};
 use pas_obs::MetricsRegistry;
 use serde::Value;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -28,6 +29,9 @@ pub struct Job {
     /// Where the response line is delivered. A closed receiver (the
     /// submitter already timed out) is not an error.
     pub reply: mpsc::Sender<String>,
+    /// When the job was pushed onto the queue; the dequeuing worker
+    /// records the difference as `serve.latency.<kind>.queue`.
+    pub enqueued: Instant,
 }
 
 /// Why a submission was refused at the queue boundary.
@@ -66,11 +70,13 @@ impl WorkerPool {
     /// Spawns `workers` threads draining a queue of capacity `queue_cap`.
     /// Panic containment and cancellation skips are tallied into
     /// `metrics` (`serve.panics`, `serve.worker_recoveries`,
-    /// `serve.cancelled_in_queue`, `serve.responses.*`).
+    /// `serve.cancelled_in_queue`, `serve.responses.*`); queue-wait and
+    /// execution latencies are recorded into `latencies`.
     pub fn new(
         workers: usize,
         queue_cap: usize,
         metrics: Arc<Mutex<MetricsRegistry>>,
+        latencies: Arc<LatencyStore>,
         handler: Handler,
     ) -> Self {
         let queue = Arc::new(Bounded::new(queue_cap));
@@ -80,10 +86,11 @@ impl WorkerPool {
             let queue = Arc::clone(&queue);
             let busy = Arc::clone(&busy);
             let metrics = Arc::clone(&metrics);
+            let latencies = Arc::clone(&latencies);
             let handler = Arc::clone(&handler);
             let h = std::thread::Builder::new()
                 .name(format!("pas-serve-worker-{i}"))
-                .spawn(move || worker_loop(&queue, &busy, &metrics, &handler))
+                .spawn(move || worker_loop(&queue, &busy, &metrics, &latencies, &handler))
                 .unwrap_or_else(|e| panic!("spawning worker {i}: {e}"));
             handles.push(h);
         }
@@ -146,6 +153,7 @@ fn worker_loop(
     queue: &Bounded<Job>,
     busy: &AtomicUsize,
     metrics: &Mutex<MetricsRegistry>,
+    latencies: &LatencyStore,
     handler: &Handler,
 ) {
     while let Some(job) = queue.pop() {
@@ -156,9 +164,28 @@ fn worker_loop(
             m.inc("serve.cancelled_in_queue", 1);
             continue;
         }
+        let kind = job.req.kind.name();
+        latencies.record(
+            SeriesKey::new(kind, "queue"),
+            job.enqueued.elapsed().as_secs_f64() * 1e3,
+        );
         busy.fetch_add(1, Ordering::SeqCst);
+        let exec_t0 = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| (handler)(&job.req, &job.cancelled)));
+        let exec_ms = exec_t0.elapsed().as_secs_f64() * 1e3;
         busy.fetch_sub(1, Ordering::SeqCst);
+        latencies.record(SeriesKey::new(kind, "exec"), exec_ms);
+        if job.req.kind == ReqKind::Plan {
+            // The plan body carries its cache outcome; split the exec
+            // series so hit (cache fetch) and miss (full re-derivation)
+            // latencies don't average into one meaningless number.
+            if let Ok(Ok(body)) = &outcome {
+                if let Some(Value::Bool(cached)) = body.get("cached") {
+                    let split = if *cached { "hit" } else { "miss" };
+                    latencies.record(SeriesKey::with_cache(kind, "exec", split), exec_ms);
+                }
+            }
+        }
         let (line, counter) = match outcome {
             Ok(Ok(body)) => (
                 ok_response(&job.req.id, job.req.kind, body),
@@ -208,7 +235,8 @@ mod tests {
 
     fn pool_with(handler: Handler) -> (WorkerPool, Arc<Mutex<MetricsRegistry>>) {
         let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
-        let pool = WorkerPool::new(2, 8, Arc::clone(&metrics), handler);
+        let latencies = Arc::new(LatencyStore::new());
+        let pool = WorkerPool::new(2, 8, Arc::clone(&metrics), latencies, handler);
         (pool, metrics)
     }
 
@@ -220,6 +248,7 @@ mod tests {
                 req,
                 cancelled: Arc::new(AtomicBool::new(false)),
                 reply: tx,
+                enqueued: Instant::now(),
             },
             rx,
         )
@@ -261,6 +290,26 @@ mod tests {
     }
 
     #[test]
+    fn workers_record_queue_and_exec_latencies() {
+        let handler: Handler = Arc::new(|_, _| Ok(Value::Null));
+        let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
+        let latencies = Arc::new(LatencyStore::new());
+        let pool = WorkerPool::new(1, 8, metrics, Arc::clone(&latencies), handler);
+        let (job, rx) = job_for(r#"{"id":"l","kind":"run"}"#);
+        pool.submit(job).expect("submit");
+        rx.recv_timeout(Duration::from_secs(5)).expect("reply");
+        assert_eq!(pool.shutdown(Duration::from_secs(5)), 0);
+        let snaps = latencies.snapshot();
+        for stage in ["queue", "exec"] {
+            let (_, s) = snaps
+                .iter()
+                .find(|(k, _)| *k == SeriesKey::new("run", stage))
+                .expect("series exists");
+            assert_eq!(s.count, 1, "{stage}");
+        }
+    }
+
+    #[test]
     fn cancelled_jobs_are_skipped_in_queue() {
         let handler: Handler = Arc::new(|_, _| Ok(Value::Null));
         let (pool, metrics) = pool_with(handler);
@@ -287,7 +336,8 @@ mod tests {
             Ok(Value::Null)
         });
         let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
-        let pool = WorkerPool::new(1, 1, Arc::clone(&metrics), handler);
+        let latencies = Arc::new(LatencyStore::new());
+        let pool = WorkerPool::new(1, 1, Arc::clone(&metrics), latencies, handler);
         let (j1, _r1) = job_for(r#"{"id":"slow","kind":"debug-sleep","sleep_ms":1000}"#);
         let stop = Arc::clone(&j1.cancelled);
         pool.submit(j1).expect("submit slow");

@@ -35,6 +35,9 @@ pub enum ReqKind {
     Trace,
     /// Health snapshot: queue depth, counters, cache stats, latencies.
     Status,
+    /// The full `serve.*` metric surface rendered in Prometheus text
+    /// exposition format (see `docs/observability.md`).
+    Metrics,
     /// Ask the daemon to drain and exit cleanly.
     Shutdown,
     /// Debug-only (requires `--debug-faults`): panic inside the handler.
@@ -54,6 +57,7 @@ impl ReqKind {
             ReqKind::Run => "run",
             ReqKind::Trace => "trace",
             ReqKind::Status => "status",
+            ReqKind::Metrics => "metrics",
             ReqKind::Shutdown => "shutdown",
             ReqKind::DebugPanic => "debug-panic",
             ReqKind::DebugSleep => "debug-sleep",
@@ -68,6 +72,7 @@ impl ReqKind {
             "run" => ReqKind::Run,
             "trace" => ReqKind::Trace,
             "status" => ReqKind::Status,
+            "metrics" => ReqKind::Metrics,
             "shutdown" => ReqKind::Shutdown,
             "debug-panic" => ReqKind::DebugPanic,
             "debug-sleep" => ReqKind::DebugSleep,

@@ -11,10 +11,11 @@ use crate::pool::{Executor, Job, SubmitError, WorkerPool};
 use crate::proto::{
     error_response, ok_response, parse_request, shed_response, timeout_response, Rejection, ReqKind,
 };
+use crate::telemetry::{self, LatencyStore, SeriesKey};
 use pas_analyze::Code;
 use pas_obs::MetricsRegistry;
 use serde::Value;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -56,8 +57,10 @@ pub struct Service {
     cfg: ServeConfig,
     pool: WorkerPool,
     metrics: Arc<Mutex<MetricsRegistry>>,
+    latencies: Arc<LatencyStore>,
     cache: Arc<PlanCache>,
     shutdown_requested: Arc<AtomicBool>,
+    next_auto_id: AtomicU64,
     started: Instant,
 }
 
@@ -68,28 +71,14 @@ impl Service {
         {
             // Pre-seed every lifecycle counter at zero so the health
             // snapshot always reports the full set — an operator can
-            // tell "never shed" from "not instrumented".
+            // tell "never shed" from "not instrumented". The catalog
+            // lives in `telemetry` so the docs-sync tests police it.
             let mut m = metrics.lock().unwrap_or_else(|e| e.into_inner());
-            for name in [
-                "serve.requests",
-                "serve.responses.ok",
-                "serve.responses.error",
-                "serve.responses.shed",
-                "serve.responses.timeout",
-                "serve.responses.panic",
-                "serve.shed",
-                "serve.timeouts",
-                "serve.panics",
-                "serve.worker_recoveries",
-                "serve.cancelled_in_queue",
-                "serve.io_retries",
-                "serve.cache.hits",
-                "serve.cache.misses",
-                "serve.stale_served",
-            ] {
+            for name in telemetry::PRE_SEEDED_COUNTERS {
                 m.inc(name, 0);
             }
         }
+        let latencies = Arc::new(LatencyStore::new());
         let cache = Arc::new(PlanCache::new(cfg.cache_cap));
         let handler_cfg = cfg.clone();
         let handler_cache = Arc::clone(&cache);
@@ -103,15 +92,32 @@ impl Service {
                 cancelled,
             )
         });
-        let pool = WorkerPool::new(cfg.workers, cfg.queue_cap, Arc::clone(&metrics), handler);
+        let pool = WorkerPool::new(
+            cfg.workers,
+            cfg.queue_cap,
+            Arc::clone(&metrics),
+            Arc::clone(&latencies),
+            handler,
+        );
         Service {
             cfg,
             pool,
             metrics,
+            latencies,
             cache,
             shutdown_requested: Arc::new(AtomicBool::new(false)),
+            next_auto_id: AtomicU64::new(0),
             started: Instant::now(),
         }
+    }
+
+    /// Mints a fresh request id (`auto-<seq>`) for requests that arrive
+    /// without one, so every response and log line stays correlatable.
+    fn generate_request_id(&self) -> String {
+        let seq = self.next_auto_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        m.inc("serve.request_ids.generated", 1);
+        format!("auto-{seq:06}")
     }
 
     /// The full round trip for one request line: always returns exactly
@@ -122,14 +128,23 @@ impl Service {
             let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
             m.inc("serve.requests", 1);
         }
-        let req = match parse_request(line) {
+        let mut req = match parse_request(line) {
             Ok(req) => req,
             Err(rej) => {
+                // Even an unparseable line gets a minted id, so the
+                // error response is correlatable in client logs.
+                let id = self.generate_request_id();
                 let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
                 m.inc("serve.responses.error", 1);
-                return error_response("-", &rej);
+                return error_response(&id, &rej);
             }
         };
+        if req.id == "-" {
+            req.id = self.generate_request_id();
+        } else {
+            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            m.inc("serve.request_ids.client", 1);
+        }
 
         // Control-plane kinds bypass the queue: health must stay
         // observable under full load, and shutdown must always land.
@@ -139,6 +154,12 @@ impl Service {
                 let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
                 m.inc("serve.responses.ok", 1);
                 return ok_response(&req.id, ReqKind::Status, body);
+            }
+            ReqKind::Metrics => {
+                let body = self.metrics_body();
+                let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                m.inc("serve.responses.ok", 1);
+                return ok_response(&req.id, ReqKind::Metrics, body);
             }
             ReqKind::Shutdown => {
                 self.shutdown_requested.store(true, Ordering::SeqCst);
@@ -162,6 +183,7 @@ impl Service {
             req,
             cancelled: Arc::clone(&cancelled),
             reply: tx,
+            enqueued: Instant::now(),
         };
         let response = match self.pool.submit(job) {
             Err(SubmitError::QueueFull { depth }) => {
@@ -192,9 +214,11 @@ impl Service {
                 }
             },
         };
+        let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
+        self.latencies
+            .record(SeriesKey::new(kind.name(), "total"), elapsed_ms);
         {
             let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
-            let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
             m.add_gauge(&format!("serve.stage_ms.{}", kind.name()), elapsed_ms);
             m.inc(&format!("serve.handled.{}", kind.name()), 1);
             m.set_gauge("serve.queue_depth", self.pool.queue_depth() as f64);
@@ -222,6 +246,26 @@ impl Service {
             .filter(|(name, _)| name.starts_with("serve."))
             .map(|(name, v)| (name.to_string(), Value::Float(v)))
             .collect();
+        fn opt_ms(x: Option<f64>) -> Value {
+            x.map(Value::Float).unwrap_or(Value::Null)
+        }
+        let latency: Vec<(String, Value)> = self
+            .latencies
+            .snapshot()
+            .into_iter()
+            .map(|(key, snap)| {
+                (
+                    key.dotted(),
+                    crate::proto::object(vec![
+                        ("count", Value::UInt(snap.count)),
+                        ("sum_ms", Value::Float(snap.sum_ms)),
+                        ("p50_ms", opt_ms(snap.p50_ms)),
+                        ("p95_ms", opt_ms(snap.p95_ms)),
+                        ("p99_ms", opt_ms(snap.p99_ms)),
+                    ]),
+                )
+            })
+            .collect();
         crate::proto::object(vec![
             (
                 "uptime_ms",
@@ -248,6 +292,25 @@ impl Service {
             ),
             ("counters", Value::Object(counters)),
             ("gauges", Value::Object(gauges)),
+            ("latency", Value::Object(latency)),
+        ])
+    }
+
+    /// The body served for `metrics` requests: the full `serve.*`
+    /// surface rendered in Prometheus text exposition format. The text
+    /// is carried inside the usual JSON envelope (the transport is
+    /// line-delimited JSON, not HTTP); a scraper unwraps `exposition`.
+    pub fn metrics_body(&self) -> Value {
+        let text = {
+            let m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            telemetry::prometheus_exposition(&m, &self.latencies)
+        };
+        crate::proto::object(vec![
+            (
+                "content_type",
+                Value::Str("text/plain; version=0.0.4".to_string()),
+            ),
+            ("exposition", Value::Str(text)),
         ])
     }
 
@@ -331,6 +394,95 @@ mod tests {
         assert!(resp.contains("PAS0505"), "{resp}");
         assert_eq!(svc.counter("serve.timeouts"), 1);
         // The cancelled flag stops the sleeper, so the drain is clean.
+        assert_eq!(svc.shutdown(), 0);
+    }
+
+    #[test]
+    fn requests_without_an_id_get_a_minted_one() {
+        let svc = Service::start(quick_cfg());
+        let resp = svc.handle_line(r#"{"kind":"run","workload":"synthetic"}"#);
+        let v: Value = serde_json::from_str(&resp).expect("valid JSON");
+        let id = v.get("id").and_then(Value::as_str).expect("id");
+        assert!(id.starts_with("auto-"), "{resp}");
+        assert_eq!(svc.counter("serve.request_ids.generated"), 1);
+        assert_eq!(svc.counter("serve.request_ids.client"), 0);
+
+        // A client-chosen id is echoed verbatim and tallied separately.
+        let resp = svc.handle_line(r#"{"id":"mine","kind":"status"}"#);
+        let v: Value = serde_json::from_str(&resp).expect("valid JSON");
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("mine"));
+        assert_eq!(svc.counter("serve.request_ids.client"), 1);
+
+        // Malformed lines still answer with a minted id, not "-".
+        let resp = svc.handle_line("{oops");
+        let v: Value = serde_json::from_str(&resp).expect("valid JSON");
+        let id = v.get("id").and_then(Value::as_str).expect("id");
+        assert!(id.starts_with("auto-"), "{resp}");
+        assert_eq!(svc.counter("serve.request_ids.generated"), 2);
+        assert_eq!(svc.shutdown(), 0);
+    }
+
+    #[test]
+    fn metrics_requests_render_the_prometheus_exposition() {
+        let svc = Service::start(quick_cfg());
+        let ok = svc.handle_line(r#"{"id":"r","kind":"run","workload":"synthetic"}"#);
+        assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+        let resp = svc.handle_line(r#"{"id":"m","kind":"metrics"}"#);
+        let v: Value = serde_json::from_str(&resp).expect("valid JSON");
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        let body = v.get("body").expect("body");
+        assert_eq!(
+            body.get("content_type").and_then(Value::as_str),
+            Some("text/plain; version=0.0.4")
+        );
+        let text = body
+            .get("exposition")
+            .and_then(Value::as_str)
+            .expect("exposition");
+        assert!(text.contains("# TYPE serve_requests counter"), "{text}");
+        assert!(text.contains("# TYPE serve_latency summary"), "{text}");
+        assert!(
+            text.contains("serve_latency_count{kind=\"run\",stage=\"total\"} 1"),
+            "{text}"
+        );
+        // Pre-seeded series are present before any traffic of that kind.
+        assert!(text.contains("serve_cache_hits 0"), "{text}");
+        assert!(
+            text.contains("serve_latency_count{kind=\"check\",stage=\"queue\"} 0"),
+            "{text}"
+        );
+        assert_eq!(svc.shutdown(), 0);
+    }
+
+    #[test]
+    fn status_reports_latency_quantiles_per_kind() {
+        let svc = Service::start(quick_cfg());
+        let ok = svc.handle_line(r#"{"id":"r","kind":"run","workload":"synthetic"}"#);
+        assert!(ok.contains("\"status\":\"ok\""), "{ok}");
+        let status = svc.handle_line(r#"{"id":"s","kind":"status"}"#);
+        let v: Value = serde_json::from_str(&status).expect("valid JSON");
+        let latency = v
+            .get("body")
+            .and_then(|b| b.get("latency"))
+            .expect("latency block");
+        let total = latency
+            .get("serve.latency.run.total")
+            .expect("run total series");
+        assert_eq!(total.get("count"), Some(&Value::UInt(1)), "{status}");
+        assert!(
+            matches!(total.get("p50_ms"), Some(Value::Float(x)) if *x >= 0.0),
+            "{status}"
+        );
+        assert!(
+            matches!(total.get("p99_ms"), Some(Value::Float(_))),
+            "{status}"
+        );
+        // Untouched kinds stay visible with empty quantiles.
+        let idle = latency
+            .get("serve.latency.check.exec")
+            .expect("pre-seeded series");
+        assert_eq!(idle.get("count"), Some(&Value::UInt(0)), "{status}");
+        assert_eq!(idle.get("p50_ms"), Some(&Value::Null), "{status}");
         assert_eq!(svc.shutdown(), 0);
     }
 

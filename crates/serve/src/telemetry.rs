@@ -1,0 +1,368 @@
+//! Request telemetry: per-kind latency histograms and the Prometheus
+//! text exposition behind the `metrics` request kind.
+//!
+//! Latencies are recorded in three stages per request kind — `queue`
+//! (wait in the bounded queue), `exec` (handler wall time) and `total`
+//! (end-to-end, ingest to response) — on fixed-bin [`Histogram`]s so the
+//! store stays bounded no matter how long the daemon runs. `plan`
+//! execution is additionally split by cache outcome (`hit`/`miss`),
+//! because a cached plan and a full Theorem-1 re-derivation are
+//! different operations that happen to share a request kind.
+//!
+//! The exposition contract is documented in `docs/observability.md` and
+//! policed by `tests/docs_sync.rs`.
+
+use pas_obs::MetricsRegistry;
+use pas_stats::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Lower edge of every latency histogram (ms).
+const LATENCY_LO_MS: f64 = 0.0;
+/// Upper edge of every latency histogram (ms); slower observations clamp
+/// into the top bin rather than being dropped.
+const LATENCY_HI_MS: f64 = 10_000.0;
+/// Bin count: 1 ms resolution across the range.
+const LATENCY_BINS: usize = 10_000;
+
+/// Lifecycle counters pre-seeded at zero when the service starts, so the
+/// health snapshot and the exposition always report the full set — an
+/// operator can tell "never shed" from "not instrumented".
+pub const PRE_SEEDED_COUNTERS: &[&str] = &[
+    "serve.requests",
+    "serve.responses.ok",
+    "serve.responses.error",
+    "serve.responses.shed",
+    "serve.responses.timeout",
+    "serve.responses.panic",
+    "serve.shed",
+    "serve.timeouts",
+    "serve.panics",
+    "serve.worker_recoveries",
+    "serve.cancelled_in_queue",
+    "serve.io_retries",
+    "serve.cache.hits",
+    "serve.cache.misses",
+    "serve.stale_served",
+    "serve.request_ids.generated",
+    "serve.request_ids.client",
+];
+
+/// Request kinds whose latency series are pre-seeded at zero. Debug
+/// kinds get series on demand but are not part of the stable surface.
+pub const LATENCY_KINDS: &[&str] = &["plan", "check", "run", "trace"];
+
+/// The pipeline stages recorded per kind: `queue` is time spent waiting
+/// in the bounded queue, `exec` is handler wall time on a worker, and
+/// `total` is end-to-end from ingest to response.
+pub const LATENCY_STAGES: &[&str] = &["queue", "exec", "total"];
+
+/// Identifies one latency series: request kind, pipeline stage, and the
+/// optional cache-outcome split (`plan` execution only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Wire name of the request kind (`plan`, `check`, ...).
+    pub kind: &'static str,
+    /// One of [`LATENCY_STAGES`].
+    pub stage: &'static str,
+    /// `Some("hit")` / `Some("miss")` for the plan-exec cache split.
+    pub cache: Option<&'static str>,
+}
+
+impl SeriesKey {
+    /// A plain kind/stage series.
+    pub fn new(kind: &'static str, stage: &'static str) -> Self {
+        SeriesKey {
+            kind,
+            stage,
+            cache: None,
+        }
+    }
+
+    /// A cache-split series (plan execution by hit/miss).
+    pub fn with_cache(kind: &'static str, stage: &'static str, cache: &'static str) -> Self {
+        SeriesKey {
+            kind,
+            stage,
+            cache: Some(cache),
+        }
+    }
+
+    /// The dotted metric name used in `status` bodies:
+    /// `serve.latency.<kind>.<stage>[.<hit|miss>]`.
+    pub fn dotted(&self) -> String {
+        match self.cache {
+            Some(c) => format!("serve.latency.{}.{}.{c}", self.kind, self.stage),
+            None => format!("serve.latency.{}.{}", self.kind, self.stage),
+        }
+    }
+}
+
+/// One latency series: a fixed-bin histogram plus the exact running sum
+/// (the histogram alone would only bound the sum to bin resolution).
+#[derive(Debug, Clone)]
+struct LatencySeries {
+    hist: Histogram,
+    sum_ms: f64,
+}
+
+impl LatencySeries {
+    fn empty() -> Self {
+        LatencySeries {
+            hist: Histogram::new(LATENCY_LO_MS, LATENCY_HI_MS, LATENCY_BINS)
+                .expect("static latency histogram geometry is valid"),
+            sum_ms: 0.0,
+        }
+    }
+}
+
+/// A point-in-time summary of one latency series. Quantiles are `None`
+/// while the series is empty (rendered `NaN` in the exposition, the
+/// Prometheus convention for observation-free summaries).
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact sum of all observations (ms).
+    pub sum_ms: f64,
+    /// Median estimate (ms).
+    pub p50_ms: Option<f64>,
+    /// 95th-percentile estimate (ms).
+    pub p95_ms: Option<f64>,
+    /// 99th-percentile estimate (ms).
+    pub p99_ms: Option<f64>,
+}
+
+/// Thread-safe store of per-kind request-latency series.
+///
+/// The stable surface ([`LATENCY_KINDS`] × [`LATENCY_STAGES`], plus the
+/// plan-exec hit/miss split) is pre-seeded at construction; debug kinds
+/// create series on first observation.
+#[derive(Debug)]
+pub struct LatencyStore {
+    series: Mutex<BTreeMap<SeriesKey, LatencySeries>>,
+}
+
+impl Default for LatencyStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyStore {
+    /// Creates the store with the stable series pre-seeded at zero.
+    pub fn new() -> Self {
+        let mut series = BTreeMap::new();
+        for kind in LATENCY_KINDS {
+            for stage in LATENCY_STAGES {
+                series.insert(SeriesKey::new(kind, stage), LatencySeries::empty());
+            }
+        }
+        for cache in ["hit", "miss"] {
+            series.insert(
+                SeriesKey::with_cache("plan", "exec", cache),
+                LatencySeries::empty(),
+            );
+        }
+        LatencyStore {
+            series: Mutex::new(series),
+        }
+    }
+
+    /// Records one observation (ms; clamped into the histogram range).
+    pub fn record(&self, key: SeriesKey, ms: f64) {
+        let mut series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        let s = series.entry(key).or_insert_with(LatencySeries::empty);
+        s.hist.add(ms);
+        s.sum_ms += ms;
+    }
+
+    /// Snapshots every series (sorted by key) with p50/p95/p99.
+    pub fn snapshot(&self) -> Vec<(SeriesKey, LatencySnapshot)> {
+        let series = self.series.lock().unwrap_or_else(|e| e.into_inner());
+        series
+            .iter()
+            .map(|(key, s)| {
+                (
+                    *key,
+                    LatencySnapshot {
+                        count: s.hist.total(),
+                        sum_ms: s.sum_ms,
+                        p50_ms: s.hist.quantile(0.5),
+                        p95_ms: s.hist.quantile(0.95),
+                        p99_ms: s.hist.quantile(0.99),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus identifier charset:
+/// every character outside `[a-zA-Z0-9]` becomes `_`
+/// (`serve.cache.hits` → `serve_cache_hits`).
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn fmt_opt_ms(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{v}"),
+        None => "NaN".to_string(),
+    }
+}
+
+/// Renders the full `serve.*` metric surface in Prometheus text
+/// exposition format (version 0.0.4):
+///
+/// - every counter and gauge becomes its own family (dotted name mapped
+///   onto the Prometheus charset), with exactly one `# HELP` and `# TYPE`
+///   line each;
+/// - all latency series share the single summary family `serve_latency`,
+///   labelled by `kind`, `stage` and (for the plan-exec split) `cache`,
+///   with `quantile="0.5" | "0.95" | "0.99"` sample lines plus
+///   `serve_latency_sum` / `serve_latency_count`.
+pub fn prometheus_exposition(metrics: &MetricsRegistry, latencies: &LatencyStore) -> String {
+    let mut out = String::new();
+    for (name, v) in metrics.counters().filter(|(n, _)| n.starts_with("serve.")) {
+        let fam = prom_name(name);
+        let _ = writeln!(out, "# HELP {fam} Counter {name}.");
+        let _ = writeln!(out, "# TYPE {fam} counter");
+        let _ = writeln!(out, "{fam} {v}");
+    }
+    for (name, v) in metrics.gauges().filter(|(n, _)| n.starts_with("serve.")) {
+        let fam = prom_name(name);
+        let _ = writeln!(out, "# HELP {fam} Gauge {name}.");
+        let _ = writeln!(out, "# TYPE {fam} gauge");
+        let _ = writeln!(out, "{fam} {v}");
+    }
+    let _ = writeln!(
+        out,
+        "# HELP serve_latency Request latency in milliseconds by kind and stage."
+    );
+    let _ = writeln!(out, "# TYPE serve_latency summary");
+    for (key, snap) in latencies.snapshot() {
+        let labels = match key.cache {
+            Some(c) => format!(
+                "kind=\"{}\",stage=\"{}\",cache=\"{c}\"",
+                key.kind, key.stage
+            ),
+            None => format!("kind=\"{}\",stage=\"{}\"", key.kind, key.stage),
+        };
+        for (q, val) in [
+            ("0.5", snap.p50_ms),
+            ("0.95", snap.p95_ms),
+            ("0.99", snap.p99_ms),
+        ] {
+            let _ = writeln!(
+                out,
+                "serve_latency{{{labels},quantile=\"{q}\"}} {}",
+                fmt_opt_ms(val)
+            );
+        }
+        let _ = writeln!(out, "serve_latency_sum{{{labels}}} {}", snap.sum_ms);
+        let _ = writeln!(out, "serve_latency_count{{{labels}}} {}", snap.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn store_pre_seeds_the_stable_surface_at_zero() {
+        let store = LatencyStore::new();
+        let snaps = store.snapshot();
+        // 4 kinds × 3 stages + plan-exec hit/miss.
+        assert_eq!(snaps.len(), LATENCY_KINDS.len() * LATENCY_STAGES.len() + 2);
+        for (key, snap) in &snaps {
+            assert_eq!(snap.count, 0, "{}", key.dotted());
+            assert!(snap.p50_ms.is_none(), "{}", key.dotted());
+        }
+        let dotted: BTreeSet<String> = snaps.iter().map(|(k, _)| k.dotted()).collect();
+        assert!(dotted.contains("serve.latency.plan.exec.hit"));
+        assert!(dotted.contains("serve.latency.trace.total"));
+    }
+
+    #[test]
+    fn recorded_latencies_surface_in_quantiles_and_sums() {
+        let store = LatencyStore::new();
+        let key = SeriesKey::new("plan", "exec");
+        for ms in [1.0, 2.0, 3.0, 4.0, 100.0] {
+            store.record(key, ms);
+        }
+        let snaps = store.snapshot();
+        let (_, snap) = snaps
+            .iter()
+            .find(|(k, _)| *k == key)
+            .expect("series exists");
+        assert_eq!(snap.count, 5);
+        assert!((snap.sum_ms - 110.0).abs() < 1e-9);
+        let p50 = snap.p50_ms.expect("non-empty");
+        let p99 = snap.p99_ms.expect("non-empty");
+        assert!(p50 < 10.0, "p50={p50}");
+        assert!(p99 >= p50, "p99={p99} p50={p50}");
+    }
+
+    #[test]
+    fn unknown_series_are_created_on_demand() {
+        let store = LatencyStore::new();
+        store.record(SeriesKey::new("debug-sleep", "exec"), 7.0);
+        let snaps = store.snapshot();
+        assert!(snaps
+            .iter()
+            .any(|(k, s)| k.dotted() == "serve.latency.debug-sleep.exec" && s.count == 1));
+    }
+
+    #[test]
+    fn exposition_has_one_type_line_per_family() {
+        let mut m = MetricsRegistry::new();
+        for name in PRE_SEEDED_COUNTERS {
+            m.inc(name, 0);
+        }
+        m.inc("serve.requests", 3);
+        m.set_gauge("serve.queue_depth", 2.0);
+        let store = LatencyStore::new();
+        store.record(SeriesKey::new("run", "total"), 5.0);
+        let text = prometheus_exposition(&m, &store);
+
+        let type_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE ")).collect();
+        let unique: BTreeSet<&str> = type_lines.iter().copied().collect();
+        assert_eq!(type_lines.len(), unique.len(), "duplicate # TYPE family");
+        assert!(text.contains("# TYPE serve_requests counter"), "{text}");
+        assert!(text.contains("serve_requests 3"), "{text}");
+        assert!(text.contains("# TYPE serve_queue_depth gauge"), "{text}");
+        assert!(text.contains("# TYPE serve_latency summary"), "{text}");
+        assert!(
+            text.contains("serve_latency_count{kind=\"run\",stage=\"total\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_latency{kind=\"plan\",stage=\"queue\",quantile=\"0.5\"} NaN"),
+            "{text}"
+        );
+        assert!(
+            text.contains("serve_latency_count{kind=\"plan\",stage=\"exec\",cache=\"hit\"} 0"),
+            "{text}"
+        );
+        // Dotted names never leak into sample lines.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap_or("");
+            assert!(!name.contains('.'), "unmangled name in: {line}");
+        }
+    }
+
+    #[test]
+    fn pre_seeded_catalog_matches_the_legacy_fifteen_plus_request_ids() {
+        assert_eq!(PRE_SEEDED_COUNTERS.len(), 17);
+        assert!(PRE_SEEDED_COUNTERS.contains(&"serve.request_ids.generated"));
+        assert!(PRE_SEEDED_COUNTERS.contains(&"serve.request_ids.client"));
+        let unique: BTreeSet<&str> = PRE_SEEDED_COUNTERS.iter().copied().collect();
+        assert_eq!(unique.len(), PRE_SEEDED_COUNTERS.len());
+    }
+}

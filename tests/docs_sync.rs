@@ -1,8 +1,9 @@
-//! The user-facing diagnostics reference must track the catalog: every
+//! The user-facing references must track their catalogs: every
 //! `PAS0xxx` code appears exactly once in `docs/diagnostics.md` (its
-//! table row), with its severity label on the same line — so adding a
-//! code without documenting it, or documenting it twice, fails the
-//! build.
+//! table row) with its severity label on the same line, and every
+//! profiler span name and pre-seeded service counter appears exactly
+//! once in `docs/observability.md` — so adding a code or an instrument
+//! without documenting it, or documenting it twice, fails the build.
 
 use pas_andor::analyze::Code;
 use std::path::PathBuf;
@@ -70,6 +71,85 @@ fn schemas_doc_covers_every_on_disk_contract() {
 }
 
 #[test]
+fn every_span_name_is_documented_exactly_once() {
+    let text = doc("observability.md");
+    for name in pas_andor::obs::profile::names::ALL {
+        let count = text.matches(name).count();
+        assert_eq!(
+            count, 1,
+            "span `{name}` must appear exactly once in docs/observability.md \
+             (found {count} occurrences)"
+        );
+    }
+}
+
+#[test]
+fn every_pre_seeded_serve_counter_is_documented_exactly_once() {
+    let text = doc("observability.md");
+    for name in pas_serve::telemetry::PRE_SEEDED_COUNTERS {
+        let count = text.matches(name).count();
+        assert_eq!(
+            count, 1,
+            "counter `{name}` must appear exactly once in docs/observability.md \
+             (found {count} occurrences)"
+        );
+    }
+}
+
+#[test]
+fn observability_doc_states_the_telemetry_and_exposition_contract() {
+    let text = doc("observability.md");
+    // The latency surface: every stable kind and stage must be named,
+    // as must the cache split and the summary quantiles.
+    for kind in pas_serve::telemetry::LATENCY_KINDS {
+        assert!(
+            text.contains(&format!("`{kind}`")),
+            "docs/observability.md must name latency kind {kind}"
+        );
+    }
+    for stage in pas_serve::telemetry::LATENCY_STAGES {
+        assert!(
+            text.contains(&format!("**{stage}**")),
+            "docs/observability.md must define latency stage {stage}"
+        );
+    }
+    for term in [
+        "serve.latency.<kind>.<stage>",
+        ".hit",
+        ".miss",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "text/plain; version=0.0.4",
+        "# TYPE",
+        "# HELP",
+        "serve_latency_sum",
+        "serve_latency_count",
+        "quantile",
+        "NaN",
+        "--profile",
+        "--profile-out",
+        "chrome://tracing",
+        "auto-<seq>",
+    ] {
+        assert!(
+            text.contains(term),
+            "docs/observability.md must document {term}"
+        );
+    }
+    // Cross-links both ways: the service doc points at the catalog and
+    // the catalog points back at the wire protocol.
+    assert!(
+        text.contains("service.md"),
+        "docs/observability.md must link back to docs/service.md"
+    );
+    assert!(
+        doc("service.md").contains("observability.md"),
+        "docs/service.md must link to docs/observability.md"
+    );
+}
+
+#[test]
 fn service_doc_covers_the_wire_contract() {
     let text = doc("service.md");
     // Every response status and request kind the daemon speaks must be
@@ -84,6 +164,8 @@ fn service_doc_covers_the_wire_contract() {
         "stale: true",
         "Failure-mode table",
         "newline-delimited JSON",
+        "`metrics` body",
+        "auto-<seq>",
     ] {
         assert!(text.contains(term), "docs/service.md must document {term}");
     }

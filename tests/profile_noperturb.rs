@@ -1,0 +1,127 @@
+//! Observability must never perturb behavior.
+//!
+//! The span profiler records wall-clock timings on the side; enabling it
+//! must not change a single byte of any deterministic artifact — the
+//! serialized [`PlanArtifact`] JSON and the fault-free schedule traces
+//! are compared byte-for-byte with profiling on and off. And the latency
+//! quantile estimator behind the `pas serve` telemetry must be monotone
+//! in the requested quantile for arbitrary fills, or the reported
+//! p50/p95/p99 triple could invert.
+
+use pas_andor::core::{PlanArtifact, Scheme, Setup};
+use pas_andor::obs::profile;
+use pas_andor::power::ProcessorModel;
+use pas_andor::sim::ExecTimeModel;
+use pas_andor::stats::Histogram;
+use pas_andor::workloads::synthetic_app;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 0x60_1DE2;
+
+fn fresh_setup() -> Setup {
+    let app = synthetic_app().lower().expect("synthetic app lowers");
+    Setup::for_load(app, ProcessorModel::transmeta5400(), 2, 0.6).expect("feasible setup")
+}
+
+/// Serialized plan artifacts for all six schemes from a freshly built
+/// setup (so the profiled run re-executes the whole offline phase).
+fn artifact_jsons() -> Vec<String> {
+    let setup = fresh_setup();
+    Scheme::ALL
+        .iter()
+        .map(|scheme| {
+            PlanArtifact::from_setup(&setup, *scheme, "synthetic", "transmeta")
+                .to_json()
+                .expect("artifact serializes")
+        })
+        .collect()
+}
+
+/// One fault-free traced run rendered as stable text: equal bits ⇔
+/// equal text (same idea as the golden trace suite).
+fn traced_run() -> String {
+    let setup = fresh_setup();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let real = setup.sample(&ExecTimeModel::paper_defaults(), &mut rng);
+    let mut policy = setup.policy(Scheme::Gss);
+    let res = setup
+        .simulator(true)
+        .run(policy.as_mut(), &real)
+        .expect("fault-free run succeeds");
+    let trace = serde_json::to_string(res.trace.as_ref().expect("trace recorded"))
+        .expect("trace serializes");
+    format!(
+        "{};{};{};{}",
+        res.finish_time,
+        res.missed_deadline,
+        res.total_energy(),
+        trace
+    )
+}
+
+#[test]
+fn profiling_does_not_perturb_artifacts_or_traces() {
+    let baseline_artifacts = artifact_jsons();
+    let baseline_trace = traced_run();
+
+    let (profiled_artifacts, profiled_trace, spans) = {
+        // Hold the profiler session lock so concurrent tests cannot
+        // enable/drain the process-global recorder mid-comparison.
+        let _session = profile::exclusive();
+        profile::enable();
+        let artifacts = artifact_jsons();
+        let trace = traced_run();
+        profile::disable();
+        (artifacts, trace, profile::take())
+    };
+
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.name == profile::names::OFFLINE_BUILD),
+        "the profiled run must actually exercise the instrumented offline phase"
+    );
+    assert_eq!(
+        baseline_artifacts, profiled_artifacts,
+        "plan artifact JSON must be byte-identical with profiling enabled"
+    );
+    assert_eq!(
+        baseline_trace, profiled_trace,
+        "fault-free traces must be byte-identical with profiling enabled"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Histogram::quantile` is monotone in `q`: for any fill and any
+    /// ordered set of probes (endpoints included), the estimates never
+    /// decrease.
+    #[test]
+    fn histogram_quantile_is_monotone_in_q(
+        values in proptest::collection::vec(-50f64..550.0, 1..200),
+        probes in proptest::collection::vec(0f64..1.0, 2..16),
+    ) {
+        // Range narrower than the fill so clamping paths are exercised.
+        let mut h = Histogram::new(0.0, 400.0, 64).expect("valid geometry");
+        for v in &values {
+            h.add(*v);
+        }
+        let mut qs = probes;
+        qs.push(0.0);
+        qs.push(1.0);
+        qs.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for q in qs {
+            let x = h.quantile(q).expect("non-empty histogram");
+            prop_assert!(
+                x >= prev,
+                "quantile({q}) = {x} dropped below {prev} for {} values",
+                values.len()
+            );
+            prev = x;
+        }
+    }
+}
