@@ -121,6 +121,15 @@ pub struct Args {
     pub timeout_ms: u64,
     /// `serve`: enable the `debug-*` fault-injection request kinds.
     pub debug_faults: bool,
+    /// `serve`: structured JSONL log destination (`stderr` or a path).
+    pub log: Option<String>,
+    /// `serve`: minimum level for `--log`
+    /// (`trace|debug|info|warn|error`; default `info`).
+    pub log_level: String,
+    /// `serve`: directory for flight-recorder crash reports.
+    pub crash_dir: Option<String>,
+    /// `serve`: directory for per-request Chrome-trace files.
+    pub trace_out: Option<String>,
     /// `plan`/`check`: profile the offline phase and print a span tree.
     pub profile: bool,
     /// `plan`/`check`: write the profile as Chrome trace JSON instead of
@@ -182,6 +191,10 @@ impl Args {
             queue: 64,
             timeout_ms: 10_000,
             debug_faults: false,
+            log: None,
+            log_level: "info".into(),
+            crash_dir: None,
+            trace_out: None,
             profile: false,
             profile_out: None,
         };
@@ -278,6 +291,18 @@ impl Args {
                     }
                 }
                 "--debug-faults" => parsed.debug_faults = true,
+                "--log" => parsed.log = Some(value("--log")?.clone()),
+                "--log-level" => {
+                    let level = value("--log-level")?.clone();
+                    if pas_obs::log::Level::parse(&level).is_none() {
+                        return Err(format!(
+                            "bad value for --log-level: {level} (trace|debug|info|warn|error)"
+                        ));
+                    }
+                    parsed.log_level = level;
+                }
+                "--crash-dir" => parsed.crash_dir = Some(value("--crash-dir")?.clone()),
+                "--trace-out" => parsed.trace_out = Some(value("--trace-out")?.clone()),
                 "--profile" => parsed.profile = true,
                 "--profile-out" => {
                     parsed.profile_out = Some(value("--profile-out")?.clone());
@@ -317,6 +342,17 @@ impl Args {
         }
         if parsed.profile && !matches!(parsed.command, Command::Plan | Command::Check) {
             return Err("--profile is a `plan`/`check` flag".into());
+        }
+        if parsed.command != Command::Serve {
+            if parsed.log.is_some() || parsed.log_level != "info" {
+                return Err("--log/--log-level are `serve` flags".into());
+            }
+            if parsed.crash_dir.is_some() {
+                return Err("--crash-dir is a `serve` flag".into());
+            }
+            if parsed.trace_out.is_some() {
+                return Err("--trace-out is a `serve` flag".into());
+            }
         }
         Ok(parsed)
     }
@@ -559,6 +595,37 @@ mod tests {
         let b = parse(&["serve", "--watch", "drops/"]).unwrap();
         assert_eq!(b.watch.as_deref(), Some("drops/"));
         assert_eq!(b.workers, 4);
+    }
+
+    #[test]
+    fn serve_observability_flags() {
+        let a = parse(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:7453",
+            "--log",
+            "serve.log",
+            "--log-level",
+            "debug",
+            "--crash-dir",
+            "crashes",
+            "--trace-out",
+            "traces",
+        ])
+        .unwrap();
+        assert_eq!(a.log.as_deref(), Some("serve.log"));
+        assert_eq!(a.log_level, "debug");
+        assert_eq!(a.crash_dir.as_deref(), Some("crashes"));
+        assert_eq!(a.trace_out.as_deref(), Some("traces"));
+        // Level defaults to info and is validated.
+        let b = parse(&["serve", "--log", "stderr", "--listen", "x"]).unwrap();
+        assert_eq!(b.log_level, "info");
+        assert!(parse(&["serve", "--listen", "x", "--log-level", "loud"]).is_err());
+        // The observability flags belong to `serve`.
+        assert!(parse(&["run", "--log", "stderr"]).is_err());
+        assert!(parse(&["plan", "--log-level", "debug"]).is_err());
+        assert!(parse(&["run", "--crash-dir", "c"]).is_err());
+        assert!(parse(&["trace", "--trace-out", "t"]).is_err());
     }
 
     #[test]

@@ -190,11 +190,27 @@ fn is_platform_spec(spec: &str) -> bool {
 }
 
 fn serve_cmd(args: &Args) -> Result<String, String> {
+    use pas_obs::log;
+    if let Some(dest) = &args.log {
+        let level = log::Level::parse(&args.log_level)
+            .ok_or_else(|| format!("bad --log-level '{}'", args.log_level))?;
+        let sink: Box<dyn std::io::Write + Send> = if dest == "stderr" {
+            Box::new(std::io::stderr())
+        } else {
+            Box::new(
+                std::fs::File::create(dest)
+                    .map_err(|e| format!("pas serve: opening log {dest}: {e}"))?,
+            )
+        };
+        log::init(Some(sink), level, log::DEFAULT_RING_CAP);
+    }
     let cfg = pas_serve::ServeConfig {
         workers: args.workers,
         queue_cap: args.queue,
         default_timeout_ms: args.timeout_ms,
         debug_faults: args.debug_faults,
+        crash_dir: args.crash_dir.clone(),
+        trace_dir: args.trace_out.clone(),
         ..pas_serve::ServeConfig::default()
     };
     let eps = pas_serve::Endpoints {
@@ -202,7 +218,11 @@ fn serve_cmd(args: &Args) -> Result<String, String> {
         unix: args.socket.clone(),
         watch: args.watch.clone(),
     };
-    pas_serve::run_server(cfg, &eps).map(|summary| format!("{summary}\n"))
+    let out = pas_serve::run_server(cfg, &eps).map(|summary| format!("{summary}\n"));
+    // Flush and close the log file even when the server exits with a
+    // configuration error.
+    log::shutdown();
+    out
 }
 
 fn plan(args: &Args) -> Result<String, String> {

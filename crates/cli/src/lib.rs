@@ -53,7 +53,8 @@ pub const USAGE: &str =
 [--deny-warnings] [--against REF...] [--fix] \
 [--profile] [--profile-out FILE] \
 [--listen HOST:PORT] [--socket PATH] [--watch DIR] [--workers N] [--queue N] \
-[--timeout-ms T] [--debug-faults]";
+[--timeout-ms T] [--debug-faults] [--log FILE|stderr] [--log-level L] \
+[--crash-dir DIR] [--trace-out DIR]";
 
 /// Parses `args` and executes the selected command, returning the text to
 /// print.

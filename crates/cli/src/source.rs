@@ -157,6 +157,10 @@ mod tests {
             fix: false,
             profile: false,
             profile_out: None,
+            log: None,
+            log_level: "info".into(),
+            crash_dir: None,
+            trace_out: None,
         }
     }
 

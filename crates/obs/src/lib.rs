@@ -32,9 +32,14 @@
 //!   and CSV metrics.
 //! * [`profile`] — a span-based wall-clock profiler for the offline
 //!   phase (`pas plan --profile`), with its own Chrome-trace exporter.
+//! * [`log`] — a process-global structured JSONL logger (levels,
+//!   correlation ids, bounded in-memory ring) behind the same
+//!   disabled-by-default gate as the profiler; `pas serve --log` wires
+//!   it.
 //! * streaming sinks ([`JsonlSink`], [`ChromeSink`], [`RingLog`],
 //!   [`Fanout`], [`Filtered`]) — incremental consumers with O(1) event
-//!   memory, for runs too long to buffer.
+//!   memory, for runs too long to buffer — all sharing the bounded
+//!   [`Window`] ring.
 //!
 //! The crate is deliberately independent of the engine: events are plain
 //! data, so exporters and accounting can run in-process (streaming) or
@@ -91,13 +96,14 @@ mod observer;
 mod sink;
 
 pub mod export;
+pub mod log;
 pub mod profile;
 
 pub use event::{EventKind, FaultKind, SimEvent};
 pub use ledger::{EnergyLedger, LedgerMismatch, SectionKey, SectionSlice, SectionedLedger};
 pub use metrics::{MetricsRegistry, TimeWeightedHist};
 pub use observer::{EventLog, NullObserver, Observer};
-pub use sink::{ChromeSink, Fanout, Filtered, JsonlSink, RingLog};
+pub use sink::{ChromeSink, Fanout, Filtered, JsonlSink, RingLog, Window};
 
 /// Relative tolerance of the ledger-vs-meter invariant: the ledger total
 /// must match the engine's `total_energy()` to within `LEDGER_TOLERANCE *

@@ -1,0 +1,441 @@
+//! Process-global structured logger for long-lived processes.
+//!
+//! The span profiler ([`crate::profile`]) answers "where did the
+//! millisecond go"; this module answers "what was the process *doing*" —
+//! one JSON object per line, machine-parseable, with severity levels,
+//! monotonic + wall-clock timestamps, free-form key=value fields and a
+//! correlation id threaded through every record emitted while a request
+//! is being served.
+//!
+//! Design constraints mirror the profiler's:
+//!
+//! * **Near-zero cost when disabled.** Logging is off by default;
+//!   [`emit`] is one relaxed atomic load on the disabled path, and
+//!   nothing in the workspace writes a byte unless [`init`] ran. The
+//!   logger is a pure side channel: enabling it never changes a
+//!   `PlanArtifact` byte or a golden trace (enforced by property tests
+//!   at the workspace root).
+//! * **Allocation-bounded.** Besides the optional sink, records land in
+//!   a bounded in-memory ring (a [`Window`], the same windowing that
+//!   backs [`crate::RingLog`]) whose tail feeds crash reports — memory
+//!   stays O(ring capacity) however long the process runs.
+//! * **Torn-line-free.** Each record is serialized to one line and
+//!   written with a single `write_all` while holding the logger mutex,
+//!   so concurrent emitters can never interleave bytes mid-line
+//!   (property-tested at the workspace root).
+//!
+//! Usage (the `pas serve --log` wiring):
+//!
+//! ```
+//! use pas_obs::log::{self, Level};
+//! use serde::Value;
+//!
+//! let _session = log::exclusive();
+//! log::init(None, Level::Debug, 16); // ring only, no sink
+//! log::emit(
+//!     Level::Info,
+//!     "doc.example",
+//!     "listening",
+//!     vec![("transport", Value::Str("tcp".into()))],
+//! );
+//! assert_eq!(log::recent().len(), 1);
+//! log::shutdown();
+//! ```
+
+use crate::sink::Window;
+use serde::Value;
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered `Trace < Debug < Info < Warn < Error`. Records
+/// below the level passed to [`init`] are dropped at the emit site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Finest-grained diagnostics (per-event noise).
+    Trace,
+    /// Per-request diagnostics (cache hits, answered requests).
+    Debug,
+    /// Lifecycle milestones (endpoints up, shutdown).
+    Info,
+    /// Degraded-but-handled conditions (sheds, timeouts, stale serves).
+    Warn,
+    /// Contained failures (worker panics, crash-report dumps).
+    Error,
+}
+
+impl Level {
+    /// Every level, most to least verbose.
+    pub const ALL: &'static [Level] = &[
+        Level::Trace,
+        Level::Debug,
+        Level::Info,
+        Level::Warn,
+        Level::Error,
+    ];
+
+    /// The wire name (`"trace"` … `"error"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a wire name back into a level (the `--log-level` values).
+    pub fn parse(s: &str) -> Option<Level> {
+        Level::ALL.iter().copied().find(|l| l.as_str() == s)
+    }
+
+    fn rank(self) -> u8 {
+        match self {
+            Level::Trace => 0,
+            Level::Debug => 1,
+            Level::Info => 2,
+            Level::Warn => 3,
+            Level::Error => 4,
+        }
+    }
+}
+
+/// One structured log record — what a JSONL line deserializes back into,
+/// and what the in-memory ring retains for crash reports.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    /// Process-global sequence number (1-based, gap-free per session).
+    pub seq: u64,
+    /// Wall-clock time, integer milliseconds since the Unix epoch.
+    pub t_wall_ms: u64,
+    /// Monotonic milliseconds since the logger session started.
+    pub t_mono_ms: f64,
+    /// Severity.
+    pub level: Level,
+    /// Emitting subsystem (`"serve.net"`, `"serve.pool"`, ...).
+    pub target: &'static str,
+    /// Human-readable message.
+    pub msg: String,
+    /// Correlation id of the request being served, when one is bound
+    /// (see [`with_corr`]).
+    pub corr_id: Option<String>,
+    /// Free-form key=value fields, in emit order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl LogRecord {
+    /// The record as a JSON value — the exact object written as one
+    /// JSONL line (keys in fixed order; `corr_id` omitted when absent).
+    pub fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = vec![
+            ("seq".to_string(), Value::UInt(self.seq)),
+            ("t_wall_ms".to_string(), Value::UInt(self.t_wall_ms)),
+            ("t_mono_ms".to_string(), Value::Float(self.t_mono_ms)),
+            (
+                "level".to_string(),
+                Value::Str(self.level.as_str().to_string()),
+            ),
+            ("target".to_string(), Value::Str(self.target.to_string())),
+            ("msg".to_string(), Value::Str(self.msg.clone())),
+        ];
+        if let Some(id) = &self.corr_id {
+            entries.push(("corr_id".to_string(), Value::Str(id.clone())));
+        }
+        entries.push(("fields".to_string(), Value::Object(self.fields.clone())));
+        Value::Object(entries)
+    }
+}
+
+struct LoggerState {
+    sink: Option<Box<dyn Write + Send>>,
+    ring: Window<LogRecord>,
+    next_seq: u64,
+    epoch: Instant,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static MIN_RANK: AtomicU8 = AtomicU8::new(2);
+static STATE: Mutex<Option<LoggerState>> = Mutex::new(None);
+
+thread_local! {
+    static CORR: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Default capacity of the bounded in-memory record ring.
+pub const DEFAULT_RING_CAP: usize = 256;
+
+fn state() -> MutexGuard<'static, Option<LoggerState>> {
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Claims the logger for one session. Like [`crate::profile::exclusive`]:
+/// the logger is process-global, so concurrent users (parallel tests)
+/// would interleave sessions. Hold the guard across the whole
+/// `init()` … `shutdown()` window; single-session processes may skip it.
+pub fn exclusive() -> MutexGuard<'static, ()> {
+    static SESSION: Mutex<()> = Mutex::new(());
+    SESSION.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Turns the logger on. `sink` is where JSONL lines go (`None` keeps
+/// records in the ring only), `level` is the minimum severity emitted,
+/// `ring_cap` bounds the in-memory tail that crash reports snapshot.
+pub fn init(sink: Option<Box<dyn Write + Send>>, level: Level, ring_cap: usize) {
+    let mut st = state();
+    *st = Some(LoggerState {
+        sink,
+        ring: Window::new(ring_cap),
+        next_seq: 0,
+        epoch: Instant::now(),
+    });
+    MIN_RANK.store(level.rank(), Ordering::Release);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns the logger off, flushing and dropping the sink. Idempotent.
+pub fn shutdown() {
+    ENABLED.store(false, Ordering::Release);
+    let mut st = state();
+    if let Some(mut s) = st.take() {
+        if let Some(w) = s.sink.as_mut() {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Whether the logger is on at all.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether a record at `level` would be emitted — the cheap guard for
+/// call sites that build expensive fields.
+pub fn enabled_at(level: Level) -> bool {
+    is_enabled() && level.rank() >= MIN_RANK.load(Ordering::Relaxed)
+}
+
+/// Binds `id` as the current thread's correlation id until the returned
+/// guard drops. Nested binds shadow (innermost wins); every record
+/// emitted on this thread meanwhile carries the id.
+pub fn with_corr(id: &str) -> CorrGuard {
+    CORR.with(|c| c.borrow_mut().push(id.to_string()));
+    CorrGuard { _priv: () }
+}
+
+/// The correlation id currently bound on this thread, if any.
+pub fn current_corr() -> Option<String> {
+    CORR.with(|c| c.borrow().last().cloned())
+}
+
+/// RAII guard returned by [`with_corr`]: unbinds the id on drop.
+#[must_use = "the correlation id unbinds when the guard drops"]
+pub struct CorrGuard {
+    _priv: (),
+}
+
+impl Drop for CorrGuard {
+    fn drop(&mut self) {
+        CORR.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// Emits one record. On the disabled (or below-level) path this is at
+/// most two relaxed atomic loads; enabled, the record is serialized to
+/// one JSON line and written with a single `write_all` under the logger
+/// mutex — concurrent emitters serialize whole lines, never bytes.
+pub fn emit(level: Level, target: &'static str, msg: &str, fields: Vec<(&str, Value)>) {
+    if !enabled_at(level) {
+        return;
+    }
+    let corr_id = current_corr();
+    let t_wall_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let mut st = state();
+    let Some(s) = st.as_mut() else {
+        return;
+    };
+    s.next_seq += 1;
+    let record = LogRecord {
+        seq: s.next_seq,
+        t_wall_ms,
+        t_mono_ms: s.epoch.elapsed().as_secs_f64() * 1e3,
+        level,
+        target,
+        msg: msg.to_string(),
+        corr_id,
+        fields: fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    };
+    if let Some(w) = s.sink.as_mut() {
+        let mut line = serde_json::to_string(&record.to_value()).expect("records serialize");
+        line.push('\n');
+        if w.write_all(line.as_bytes()).is_err() {
+            // A dead sink stops receiving lines; the ring keeps the
+            // tail so crash reports still have context.
+            s.sink = None;
+        }
+    }
+    s.ring.push(record);
+}
+
+/// Snapshot of the bounded ring, oldest first — the "last N records"
+/// tail that crash reports embed. Empty when the logger is off.
+pub fn recent() -> Vec<LogRecord> {
+    let st = state();
+    st.as_ref()
+        .map(|s| s.ring.iter().cloned().collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Cloneable in-memory sink for capturing emitted bytes.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(
+                self.0
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            )
+            .expect("utf-8")
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn disabled_logger_emits_nothing() {
+        let _session = exclusive();
+        shutdown();
+        emit(Level::Error, "test", "dropped", vec![]);
+        assert!(!is_enabled());
+        assert!(recent().is_empty());
+    }
+
+    #[test]
+    fn levels_order_parse_and_roundtrip() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Warn < Level::Error);
+        for l in Level::ALL {
+            assert_eq!(Level::parse(l.as_str()), Some(*l));
+        }
+        assert_eq!(Level::parse("loud"), None);
+    }
+
+    #[test]
+    fn records_serialize_with_required_fields_and_filter_by_level() {
+        let _session = exclusive();
+        let buf = SharedBuf::default();
+        init(Some(Box::new(buf.clone())), Level::Info, 8);
+        emit(Level::Debug, "test", "below threshold", vec![]);
+        emit(
+            Level::Warn,
+            "test",
+            "shed",
+            vec![("queue_depth", Value::UInt(4))],
+        );
+        shutdown();
+        let text = buf.contents();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "{text}");
+        let v: Value = serde_json::from_str(lines[0]).expect("line parses");
+        assert_eq!(v.get("seq").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("level").and_then(Value::as_str), Some("warn"));
+        assert_eq!(v.get("target").and_then(Value::as_str), Some("test"));
+        assert_eq!(v.get("msg").and_then(Value::as_str), Some("shed"));
+        assert!(v.get("t_wall_ms").and_then(Value::as_u64).is_some());
+        assert!(v.get("t_mono_ms").and_then(Value::as_f64).is_some());
+        assert_eq!(
+            v.get("fields")
+                .and_then(|f| f.get("queue_depth"))
+                .and_then(Value::as_u64),
+            Some(4)
+        );
+        assert!(v.get("corr_id").is_none(), "no corr bound");
+    }
+
+    #[test]
+    fn correlation_ids_thread_and_nest() {
+        let _session = exclusive();
+        init(None, Level::Trace, 8);
+        assert_eq!(current_corr(), None);
+        {
+            let _outer = with_corr("req-1");
+            emit(Level::Info, "test", "outer", vec![]);
+            {
+                let _inner = with_corr("req-2");
+                assert_eq!(current_corr().as_deref(), Some("req-2"));
+                emit(Level::Info, "test", "inner", vec![]);
+            }
+            assert_eq!(current_corr().as_deref(), Some("req-1"));
+        }
+        assert_eq!(current_corr(), None);
+        let tail = recent();
+        shutdown();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].corr_id.as_deref(), Some("req-1"));
+        assert_eq!(tail[1].corr_id.as_deref(), Some("req-2"));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_seq_is_gap_free() {
+        let _session = exclusive();
+        init(None, Level::Trace, 3);
+        for i in 0..7u64 {
+            emit(Level::Info, "test", &format!("m{i}"), vec![]);
+        }
+        let tail = recent();
+        shutdown();
+        assert_eq!(tail.len(), 3);
+        let seqs: Vec<u64> = tail.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![5, 6, 7]);
+        assert_eq!(tail[2].msg, "m6");
+    }
+
+    #[test]
+    fn dead_sink_goes_quiet_but_ring_survives() {
+        struct Dead;
+        impl Write for Dead {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("gone"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let _session = exclusive();
+        init(Some(Box::new(Dead)), Level::Trace, 8);
+        emit(Level::Info, "test", "first", vec![]);
+        emit(Level::Info, "test", "second", vec![]);
+        let tail = recent();
+        shutdown();
+        assert_eq!(tail.len(), 2, "ring keeps records after sink death");
+    }
+}

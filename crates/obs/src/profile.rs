@@ -78,6 +78,24 @@ pub mod names {
     /// The full PAS04xx plan re-derivation and comparison in
     /// `pas-analyze`.
     pub const CHECK_VERIFY_PLAN: &str = "check.verify_plan";
+    /// `pas serve` request lifecycle: raw-line parse and request-id
+    /// minting at ingest.
+    pub const REQ_INGEST: &str = "req.ingest";
+    /// `pas serve` request lifecycle: time spent queued before a worker
+    /// picked the job up.
+    pub const REQ_QUEUE_WAIT: &str = "req.queue_wait";
+    /// `pas serve` request lifecycle: parameter validation and workload
+    /// ingest inside the handler.
+    pub const REQ_VALIDATE: &str = "req.validate";
+    /// `pas serve` request lifecycle: the content-addressed plan-cache
+    /// probe.
+    pub const REQ_CACHE_LOOKUP: &str = "req.cache_lookup";
+    /// `pas serve` request lifecycle: handler execution (plan derivation,
+    /// simulation, or debug fault).
+    pub const REQ_EXEC: &str = "req.exec";
+    /// `pas serve` request lifecycle: response envelope construction and
+    /// reply delivery.
+    pub const REQ_RESPOND: &str = "req.respond";
 
     /// Every span name the workspace emits.
     pub const ALL: &[&str] = &[
@@ -94,6 +112,12 @@ pub mod names {
         ARTIFACT_SERIALIZE,
         ARTIFACT_DIGEST,
         CHECK_VERIFY_PLAN,
+        REQ_INGEST,
+        REQ_QUEUE_WAIT,
+        REQ_VALIDATE,
+        REQ_CACHE_LOOKUP,
+        REQ_EXEC,
+        REQ_RESPOND,
     ];
 }
 

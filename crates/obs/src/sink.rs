@@ -208,28 +208,26 @@ impl<W: Write, F: Fn(NodeId) -> String> Observer for ChromeSink<W, F> {
     }
 }
 
-/// A bounded window over the stream: the last `capacity` events verbatim,
-/// plus running per-kind counts and the latest event time over the
-/// *whole* stream. This is the live-summary aggregate for streaming runs
-/// — memory stays O(capacity) however long the run.
+/// A fixed-capacity sliding window over any stream of items: the last
+/// `capacity` items verbatim, plus a running count of everything ever
+/// pushed. This is the allocation-bounded core shared by [`RingLog`]
+/// (simulation events), the structured logger's in-memory tail
+/// ([`crate::log`]) and `pas serve`'s flight recorder — memory stays
+/// O(capacity) however long the stream.
 #[derive(Debug, Clone)]
-pub struct RingLog {
+pub struct Window<T> {
     cap: usize,
-    buf: VecDeque<SimEvent>,
-    counts: Vec<u64>,
+    buf: VecDeque<T>,
     seen: u64,
-    end_time: f64,
 }
 
-impl RingLog {
-    /// A ring holding at most `capacity` events (at least 1).
+impl<T> Window<T> {
+    /// A window holding at most `capacity` items (at least 1).
     pub fn new(capacity: usize) -> Self {
         Self {
             cap: capacity.max(1),
             buf: VecDeque::with_capacity(capacity.clamp(1, 4096)),
-            counts: vec![0; EventKind::ALL.len()],
             seen: 0,
-            end_time: 0.0,
         }
     }
 
@@ -238,26 +236,87 @@ impl RingLog {
         self.cap
     }
 
-    /// Events currently held (≤ capacity).
+    /// Items currently held (≤ capacity).
     pub fn len(&self) -> usize {
         self.buf.len()
     }
 
-    /// True when no event was seen yet.
+    /// True when no item was pushed yet.
     pub fn is_empty(&self) -> bool {
         self.seen == 0
     }
 
-    /// Total events seen over the whole stream.
+    /// Total items pushed over the whole stream.
     pub fn seen(&self) -> u64 {
         self.seen
+    }
+
+    /// The highest buffer occupancy reached — `min(seen, capacity)`.
+    pub fn peak_occupancy(&self) -> usize {
+        (self.seen.min(self.cap as u64)) as usize
+    }
+
+    /// Pushes an item, evicting the oldest when the window is full.
+    pub fn push(&mut self, item: T) {
+        self.seen += 1;
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(item);
+    }
+
+    /// The retained items, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+}
+
+/// A bounded window over the stream: the last `capacity` events verbatim,
+/// plus running per-kind counts and the latest event time over the
+/// *whole* stream. This is the live-summary aggregate for streaming runs
+/// — a [`Window`] of events plus the per-kind tallies.
+#[derive(Debug, Clone)]
+pub struct RingLog {
+    win: Window<SimEvent>,
+    counts: Vec<u64>,
+    end_time: f64,
+}
+
+impl RingLog {
+    /// A ring holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            win: Window::new(capacity),
+            counts: vec![0; EventKind::ALL.len()],
+            end_time: 0.0,
+        }
+    }
+
+    /// The configured window size.
+    pub fn capacity(&self) -> usize {
+        self.win.capacity()
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.win.len()
+    }
+
+    /// True when no event was seen yet.
+    pub fn is_empty(&self) -> bool {
+        self.win.is_empty()
+    }
+
+    /// Total events seen over the whole stream.
+    pub fn seen(&self) -> u64 {
+        self.win.seen()
     }
 
     /// The highest buffer occupancy reached — `min(seen, capacity)`, the
     /// quantity `pas bench` records as the peak event memory of a
     /// streaming consumer.
     pub fn peak_occupancy(&self) -> usize {
-        (self.seen.min(self.cap as u64)) as usize
+        self.win.peak_occupancy()
     }
 
     /// Count of `kind` over the whole stream (not just the window).
@@ -273,21 +332,17 @@ impl RingLog {
 
     /// The retained window, oldest first.
     pub fn window(&self) -> impl Iterator<Item = &SimEvent> {
-        self.buf.iter()
+        self.win.iter()
     }
 }
 
 impl Observer for RingLog {
     fn on_event(&mut self, event: &SimEvent) {
-        self.seen += 1;
         self.end_time = self.end_time.max(event.time());
         if let Some(i) = EventKind::ALL.iter().position(|k| *k == event.kind()) {
             self.counts[i] += 1;
         }
-        if self.buf.len() == self.cap {
-            self.buf.pop_front();
-        }
-        self.buf.push_back(event.clone());
+        self.win.push(event.clone());
     }
 }
 
@@ -482,6 +537,26 @@ mod tests {
         // Only the two newest events remain in the window.
         let kinds: Vec<EventKind> = ring.window().map(SimEvent::kind).collect();
         assert_eq!(kinds, vec![EventKind::OrBranchTaken, EventKind::IdleEnd]);
+    }
+
+    #[test]
+    fn window_evicts_oldest_but_counts_everything() {
+        let mut w = Window::new(3);
+        assert!(w.is_empty());
+        for i in 0..5u32 {
+            w.push(i);
+        }
+        assert_eq!(w.seen(), 5);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.capacity(), 3);
+        assert_eq!(w.peak_occupancy(), 3);
+        assert_eq!(w.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        // Degenerate capacity still holds one item.
+        let mut one = Window::new(0);
+        one.push('a');
+        one.push('b');
+        assert_eq!(one.capacity(), 1);
+        assert_eq!(one.iter().copied().collect::<Vec<_>>(), vec!['b']);
     }
 
     #[test]

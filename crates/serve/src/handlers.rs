@@ -8,6 +8,7 @@
 //! exists, the stale plan is served flagged `stale: true` (`PAS0507`).
 
 use crate::cache::{CachedPlan, PlanCache};
+use crate::pool::JobCtx;
 use crate::proto::{object, report_value, Rejection, ReqKind, Request, WorkloadSpec};
 use crate::service::ServeConfig;
 use andor_graph::AndOrGraph;
@@ -15,7 +16,8 @@ use dvfs_power::{Overheads, ProcessorModel};
 use mp_sim::ExecTimeModel;
 use pas_analyze::{check_application, check_graph, check_model, Code, DeadlineSpec};
 use pas_core::{PlanArtifact, Scheme, Setup};
-use pas_obs::MetricsRegistry;
+use pas_obs::profile::names;
+use pas_obs::{log, MetricsRegistry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Value;
@@ -177,15 +179,15 @@ pub fn handle(
     cache: &PlanCache,
     metrics: &Mutex<MetricsRegistry>,
     req: &Request,
-    cancelled: &AtomicBool,
+    ctx: &JobCtx,
 ) -> Result<Value, Rejection> {
     match req.kind {
-        ReqKind::Plan => handle_plan(cfg, cache, metrics, req, cancelled),
-        ReqKind::Check => handle_check(metrics, req, cancelled),
-        ReqKind::Run => handle_run(metrics, req, cancelled, false),
-        ReqKind::Trace => handle_run(metrics, req, cancelled, true),
+        ReqKind::Plan => handle_plan(cfg, cache, metrics, req, ctx),
+        ReqKind::Check => handle_check(metrics, req, ctx),
+        ReqKind::Run => handle_run(metrics, req, ctx, false),
+        ReqKind::Trace => handle_run(metrics, req, ctx, true),
         ReqKind::DebugPanic | ReqKind::DebugSleep | ReqKind::DebugFail => {
-            handle_debug(cfg, req, cancelled)
+            handle_debug(cfg, req, &ctx.cancelled)
         }
         // Status/Metrics/Shutdown are answered by the service front-end
         // without queueing; reaching here is a dispatch bug worth
@@ -201,12 +203,16 @@ fn handle_plan(
     cache: &PlanCache,
     metrics: &Mutex<MetricsRegistry>,
     req: &Request,
-    cancelled: &AtomicBool,
+    ctx: &JobCtx,
 ) -> Result<Value, Rejection> {
-    let (g, graph_src) = resolve_graph(req, metrics)?;
-    let model = resolve_model(&req.platform)?;
-    ingest_check(&g, &graph_src, &model, &req.platform)?;
-    cancelled_check(cancelled)?;
+    let (g, graph_src, model) = {
+        let _v = ctx.span(names::REQ_VALIDATE);
+        let (g, graph_src) = resolve_graph(req, metrics)?;
+        let model = resolve_model(&req.platform)?;
+        ingest_check(&g, &graph_src, &model, &req.platform)?;
+        (g, graph_src, model)
+    };
+    cancelled_check(&ctx.cancelled)?;
 
     let graph_json = serde_json::to_string(&g)
         .map_err(|e| Rejection::bad_param(format!("serializing graph: {e}")))?;
@@ -223,13 +229,28 @@ fn handle_plan(
         req.scheme.name(),
     );
 
-    let cached = cache.get(&key);
+    let cached = {
+        let _c = ctx.span(names::REQ_CACHE_LOOKUP);
+        cache.get(&key)
+    };
     if let (Some(hit), false) = (&cached, req.revalidate) {
         inc(metrics, "serve.cache.hits");
+        log::emit(
+            log::Level::Debug,
+            "serve.handlers",
+            "plan cache hit",
+            vec![("digest", Value::Str(hit.digest.clone()))],
+        );
         return plan_body(&key, hit, true, false);
     }
     if cached.is_none() {
         inc(metrics, "serve.cache.misses");
+        log::emit(
+            log::Level::Debug,
+            "serve.handlers",
+            "plan cache miss",
+            vec![("scheme", Value::Str(req.scheme.name().to_string()))],
+        );
     }
 
     // Re-derivation runs under its own unwind guard so a crash here can
@@ -243,14 +264,25 @@ fn handle_plan(
                 "injected plan re-derivation failure (debug-faults)",
             ));
         }
-        let setup = build_setup(g, model, req)?;
-        let artifact = PlanArtifact::from_setup(&setup, scheme, &graph_src, &req.platform);
-        let artifact_json = artifact
-            .to_json()
-            .map_err(|e| Rejection::new(Code::Pas0508, format!("serializing plan: {e}")))?;
-        let digest = artifact
-            .digest()
-            .map_err(|e| Rejection::new(Code::Pas0508, format!("digesting plan: {e}")))?;
+        // Cache misses record the offline catalog names, so a request
+        // trace joins directly against `pas plan --profile` output.
+        let artifact = {
+            let _b = ctx.span(names::OFFLINE_BUILD);
+            let setup = build_setup(g, model, req)?;
+            PlanArtifact::from_setup(&setup, scheme, &graph_src, &req.platform)
+        };
+        let artifact_json = {
+            let _s = ctx.span(names::ARTIFACT_SERIALIZE);
+            artifact
+                .to_json()
+                .map_err(|e| Rejection::new(Code::Pas0508, format!("serializing plan: {e}")))?
+        };
+        let digest = {
+            let _d = ctx.span(names::ARTIFACT_DIGEST);
+            artifact
+                .digest()
+                .map_err(|e| Rejection::new(Code::Pas0508, format!("digesting plan: {e}")))?
+        };
         Ok(CachedPlan {
             digest,
             artifact_json,
@@ -266,6 +298,7 @@ fn handle_plan(
         Ok(Err(rej)) => match cached {
             Some(stale) => {
                 inc(metrics, "serve.stale_served");
+                warn_stale(&stale);
                 plan_body(&key, &stale, true, true)
             }
             None => Err(rej),
@@ -273,6 +306,7 @@ fn handle_plan(
         Err(payload) => match cached {
             Some(stale) => {
                 inc(metrics, "serve.stale_served");
+                warn_stale(&stale);
                 plan_body(&key, &stale, true, true)
             }
             // No known-good plan to degrade to: let the pool's unwind
@@ -280,6 +314,15 @@ fn handle_plan(
             None => resume_unwind(payload),
         },
     }
+}
+
+fn warn_stale(stale: &CachedPlan) {
+    log::emit(
+        log::Level::Warn,
+        "serve.handlers",
+        "re-derivation failed; serving stale plan",
+        vec![("digest", Value::Str(stale.digest.clone()))],
+    );
 }
 
 fn plan_body(key: &str, plan: &CachedPlan, cached: bool, stale: bool) -> Result<Value, Rejection> {
@@ -308,11 +351,15 @@ fn plan_body(key: &str, plan: &CachedPlan, cached: bool, stale: bool) -> Result<
 fn handle_check(
     metrics: &Mutex<MetricsRegistry>,
     req: &Request,
-    cancelled: &AtomicBool,
+    ctx: &JobCtx,
 ) -> Result<Value, Rejection> {
-    let (g, graph_src) = resolve_graph(req, metrics)?;
-    let model = resolve_model(&req.platform)?;
-    cancelled_check(cancelled)?;
+    let (g, graph_src, model) = {
+        let _v = ctx.span(names::REQ_VALIDATE);
+        let (g, graph_src) = resolve_graph(req, metrics)?;
+        let model = resolve_model(&req.platform)?;
+        (g, graph_src, model)
+    };
+    cancelled_check(&ctx.cancelled)?;
     let analysis = check_application(
         &g,
         &graph_src,
@@ -344,18 +391,22 @@ fn handle_check(
 fn handle_run(
     metrics: &Mutex<MetricsRegistry>,
     req: &Request,
-    cancelled: &AtomicBool,
+    ctx: &JobCtx,
     traced: bool,
 ) -> Result<Value, Rejection> {
-    let (g, graph_src) = resolve_graph(req, metrics)?;
-    let model = resolve_model(&req.platform)?;
-    ingest_check(&g, &graph_src, &model, &req.platform)?;
-    cancelled_check(cancelled)?;
+    let (g, model) = {
+        let _v = ctx.span(names::REQ_VALIDATE);
+        let (g, graph_src) = resolve_graph(req, metrics)?;
+        let model = resolve_model(&req.platform)?;
+        ingest_check(&g, &graph_src, &model, &req.platform)?;
+        (g, model)
+    };
+    cancelled_check(&ctx.cancelled)?;
     let setup = build_setup(g, model, req)?;
     let etm = ExecTimeModel::paper_defaults();
     let mut rng = StdRng::seed_from_u64(req.seed);
     let real = setup.sample(&etm, &mut rng);
-    cancelled_check(cancelled)?;
+    cancelled_check(&ctx.cancelled)?;
 
     let scheme: Scheme = req.scheme;
     if traced {
@@ -453,7 +504,7 @@ mod tests {
         line: &str,
     ) -> Result<Value, Rejection> {
         let req = parse_request(line).expect("request parses");
-        handle(cfg, cache, metrics, &req, &AtomicBool::new(false))
+        handle(cfg, cache, metrics, &req, &JobCtx::detached())
     }
 
     #[test]

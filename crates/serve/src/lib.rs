@@ -42,6 +42,18 @@
 //!   Prometheus text exposition format ([`telemetry`]). Every request
 //!   carries a correlation id — client-chosen, or minted `auto-<seq>`
 //!   at ingest — echoed in its response.
+//! - **Structured logs** — `--log FILE|stderr` routes every service
+//!   event through [`pas_obs::log`] as single-line JSON records, with
+//!   the request's correlation id threaded through queue and workers.
+//! - **Per-request timelines** — `"trace": true` echoes the request's
+//!   span timeline (queue wait, validation, cache lookup, execution) in
+//!   the response ([`reqtrace::Timeline`]); `--trace-out DIR` writes a
+//!   Chrome-trace file per request, joinable against `pas plan
+//!   --profile` output on cache misses.
+//! - **Flight recorder** — a bounded black box of recent lifecycle
+//!   events ([`flight::FlightRecorder`]) dumps a versioned crash report
+//!   to `--crash-dir` on panic, deadline cancellation, or (under
+//!   `--debug-faults`) shed; `status` reports the count and last path.
 //! - **Graceful shutdown** — `SIGTERM`/`SIGINT` or an in-band `shutdown`
 //!   request stops accepting and drains in-flight work under a deadline.
 //!
@@ -63,19 +75,23 @@
 //! ```
 
 pub mod cache;
+pub mod flight;
 pub mod handlers;
 pub mod net;
 pub mod pool;
 pub mod proto;
 pub mod queue;
+pub mod reqtrace;
 pub mod service;
 pub mod telemetry;
 
 pub use cache::{CachedPlan, PlanCache};
+pub use flight::{FlightEvent, FlightRecorder, CRASH_SCHEMA_VERSION};
 pub use net::{run_server, Endpoints};
-pub use pool::{Executor, Job, SubmitError, WorkerPool};
+pub use pool::{Executor, Job, JobCtx, SubmitError, WorkerPool};
 pub use proto::{parse_request, Rejection, ReqKind, Request, PROTO_VERSION};
 pub use queue::Bounded;
+pub use reqtrace::Timeline;
 pub use service::{ServeConfig, Service};
 pub use telemetry::{
     prometheus_exposition, LatencySnapshot, LatencyStore, SeriesKey, LATENCY_KINDS, LATENCY_STAGES,

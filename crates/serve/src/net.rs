@@ -7,6 +7,8 @@
 //! exits 0.
 
 use crate::service::{ServeConfig, Service};
+use pas_obs::log;
+use serde::Value;
 use std::io::{Read, Write};
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
@@ -223,7 +225,15 @@ pub fn run_server(cfg: ServeConfig, eps: &Endpoints) -> Result<String, String> {
             .local_addr()
             .map(|a| a.to_string())
             .unwrap_or_else(|_| addr.clone());
-        eprintln!("pas serve: listening on tcp {local}");
+        log::emit(
+            log::Level::Info,
+            "serve.net",
+            "listening",
+            vec![
+                ("transport", Value::Str("tcp".to_string())),
+                ("addr", Value::Str(local.clone())),
+            ],
+        );
         let svc = Arc::clone(&svc);
         let stopping = Arc::clone(&stopping);
         joins.push(std::thread::spawn(move || {
@@ -235,7 +245,15 @@ pub fn run_server(cfg: ServeConfig, eps: &Endpoints) -> Result<String, String> {
         let _ = std::fs::remove_file(path); // stale socket from a crash
         let listener = std::os::unix::net::UnixListener::bind(path)
             .map_err(|e| format!("pas serve: binding {path}: {e}"))?;
-        eprintln!("pas serve: listening on unix {path}");
+        log::emit(
+            log::Level::Info,
+            "serve.net",
+            "listening",
+            vec![
+                ("transport", Value::Str("unix".to_string())),
+                ("addr", Value::Str(path.clone())),
+            ],
+        );
         let svc = Arc::clone(&svc);
         let stopping = Arc::clone(&stopping);
         joins.push(std::thread::spawn(move || {
@@ -250,7 +268,12 @@ pub fn run_server(cfg: ServeConfig, eps: &Endpoints) -> Result<String, String> {
         let dir = PathBuf::from(dir);
         std::fs::create_dir_all(&dir)
             .map_err(|e| format!("pas serve: creating watch dir {}: {e}", dir.display()))?;
-        eprintln!("pas serve: watching {}", dir.display());
+        log::emit(
+            log::Level::Info,
+            "serve.net",
+            "watching",
+            vec![("dir", Value::Str(dir.display().to_string()))],
+        );
         let svc = Arc::clone(&svc);
         let stopping = Arc::clone(&stopping);
         joins.push(std::thread::spawn(move || watcher_loop(dir, svc, stopping)));

@@ -7,10 +7,13 @@
 //! submitter flips the job's `cancelled` flag on deadline expiry, and
 //! workers skip cancelled jobs still sitting in the queue.
 
+use crate::flight::FlightRecorder;
 use crate::proto::{error_response, ok_response, panic_response, Rejection, ReqKind, Request};
 use crate::queue::{Bounded, PushError};
+use crate::reqtrace::{Timeline, TimelineSpan};
 use crate::telemetry::{LatencyStore, SeriesKey};
-use pas_obs::MetricsRegistry;
+use pas_obs::profile::names;
+use pas_obs::{log, MetricsRegistry};
 use serde::Value;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -18,14 +21,46 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One unit of queued work: the parsed request, its cancellation flag,
+/// Per-request execution context handed to the handler: the cooperative
+/// cancellation flag plus the request's trace timeline, when one is
+/// active.
+#[derive(Clone)]
+pub struct JobCtx {
+    /// Set by the submitter when the request's deadline expires; workers
+    /// and handlers poll it and abandon work cooperatively.
+    pub cancelled: Arc<AtomicBool>,
+    /// The request's span timeline (`"trace": true` or `--trace-out`);
+    /// `None` when the request is untraced.
+    pub timeline: Option<Arc<Timeline>>,
+}
+
+impl JobCtx {
+    /// A context with a fresh cancellation flag and no timeline — the
+    /// common untraced case (and the test default).
+    pub fn detached() -> Self {
+        JobCtx {
+            cancelled: Arc::new(AtomicBool::new(false)),
+            timeline: None,
+        }
+    }
+
+    /// Opens a timeline span, when a timeline is active. Bind the result
+    /// (`let _s = ctx.span(...)`) so the guard lives across the work.
+    pub fn span(&self, name: &'static str) -> Option<TimelineSpan<'_>> {
+        self.timeline.as_deref().map(|tl| tl.span(name))
+    }
+}
+
+/// One unit of queued work: the parsed request, its execution context,
 /// and the channel the single-line response goes back on.
 pub struct Job {
     /// The validated request.
     pub req: Request,
-    /// Set by the submitter when the request's deadline expires; workers
-    /// poll it and abandon work cooperatively.
-    pub cancelled: Arc<AtomicBool>,
+    /// The raw request line as received — embedded verbatim in crash
+    /// reports so the offending input is reproducible.
+    pub raw: String,
+    /// Cancellation flag + optional trace timeline.
+    pub ctx: JobCtx,
     /// Where the response line is delivered. A closed receiver (the
     /// submitter already timed out) is not an error.
     pub reply: mpsc::Sender<String>,
@@ -57,7 +92,7 @@ pub trait Executor: Send + Sync {
 /// The handler a worker runs for each job. Returns the response body on
 /// success or a structured [`Rejection`]; panics are contained by the
 /// pool.
-pub type Handler = Arc<dyn Fn(&Request, &AtomicBool) -> Result<Value, Rejection> + Send + Sync>;
+pub type Handler = Arc<dyn Fn(&Request, &JobCtx) -> Result<Value, Rejection> + Send + Sync>;
 
 /// A fixed pool of workers over a bounded queue.
 pub struct WorkerPool {
@@ -71,12 +106,15 @@ impl WorkerPool {
     /// Panic containment and cancellation skips are tallied into
     /// `metrics` (`serve.panics`, `serve.worker_recoveries`,
     /// `serve.cancelled_in_queue`, `serve.responses.*`); queue-wait and
-    /// execution latencies are recorded into `latencies`.
+    /// execution latencies are recorded into `latencies`; lifecycle
+    /// events (dispatch, panic) land in `flight`, which dumps a crash
+    /// report on `PAS0506`.
     pub fn new(
         workers: usize,
         queue_cap: usize,
         metrics: Arc<Mutex<MetricsRegistry>>,
         latencies: Arc<LatencyStore>,
+        flight: Arc<FlightRecorder>,
         handler: Handler,
     ) -> Self {
         let queue = Arc::new(Bounded::new(queue_cap));
@@ -87,10 +125,11 @@ impl WorkerPool {
             let busy = Arc::clone(&busy);
             let metrics = Arc::clone(&metrics);
             let latencies = Arc::clone(&latencies);
+            let flight = Arc::clone(&flight);
             let handler = Arc::clone(&handler);
             let h = std::thread::Builder::new()
                 .name(format!("pas-serve-worker-{i}"))
-                .spawn(move || worker_loop(&queue, &busy, &metrics, &latencies, &handler))
+                .spawn(move || worker_loop(&queue, &busy, &metrics, &latencies, &flight, &handler))
                 .unwrap_or_else(|e| panic!("spawning worker {i}: {e}"));
             handles.push(h);
         }
@@ -149,15 +188,31 @@ impl Executor for WorkerPool {
     }
 }
 
+/// Records one latency observation, tallying `serve.latency.overflow`
+/// when the sample fell beyond the histogram range (it still lands,
+/// clamped, in the top bin — but no longer silently).
+fn record_latency(
+    latencies: &LatencyStore,
+    metrics: &Mutex<MetricsRegistry>,
+    key: SeriesKey,
+    ms: f64,
+) {
+    if latencies.record(key, ms) {
+        let mut m = metrics.lock().unwrap_or_else(|e| e.into_inner());
+        m.inc("serve.latency.overflow", 1);
+    }
+}
+
 fn worker_loop(
     queue: &Bounded<Job>,
     busy: &AtomicUsize,
     metrics: &Mutex<MetricsRegistry>,
     latencies: &LatencyStore,
+    flight: &FlightRecorder,
     handler: &Handler,
 ) {
     while let Some(job) = queue.pop() {
-        if job.cancelled.load(Ordering::SeqCst) {
+        if job.ctx.cancelled.load(Ordering::SeqCst) {
             // The submitter already answered with PAS0505; don't burn a
             // worker on a response nobody is waiting for.
             let mut m = metrics.lock().unwrap_or_else(|e| e.into_inner());
@@ -165,16 +220,25 @@ fn worker_loop(
             continue;
         }
         let kind = job.req.kind.name();
-        latencies.record(
+        let _corr = log::with_corr(&job.req.id);
+        flight.record("dispatch", &job.req.id, kind);
+        if let Some(tl) = job.ctx.timeline.as_deref() {
+            tl.record_since(names::REQ_QUEUE_WAIT, job.enqueued);
+        }
+        record_latency(
+            latencies,
+            metrics,
             SeriesKey::new(kind, "queue"),
             job.enqueued.elapsed().as_secs_f64() * 1e3,
         );
         busy.fetch_add(1, Ordering::SeqCst);
+        let exec_span = job.ctx.span(names::REQ_EXEC);
         let exec_t0 = Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| (handler)(&job.req, &job.cancelled)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| (handler)(&job.req, &job.ctx)));
         let exec_ms = exec_t0.elapsed().as_secs_f64() * 1e3;
+        drop(exec_span);
         busy.fetch_sub(1, Ordering::SeqCst);
-        latencies.record(SeriesKey::new(kind, "exec"), exec_ms);
+        record_latency(latencies, metrics, SeriesKey::new(kind, "exec"), exec_ms);
         if job.req.kind == ReqKind::Plan {
             // The plan body carries its cache outcome; split the exec
             // series so hit (cache fetch) and miss (full re-derivation)
@@ -182,7 +246,12 @@ fn worker_loop(
             if let Ok(Ok(body)) = &outcome {
                 if let Some(Value::Bool(cached)) = body.get("cached") {
                     let split = if *cached { "hit" } else { "miss" };
-                    latencies.record(SeriesKey::with_cache(kind, "exec", split), exec_ms);
+                    record_latency(
+                        latencies,
+                        metrics,
+                        SeriesKey::with_cache(kind, "exec", split),
+                        exec_ms,
+                    );
                 }
             }
         }
@@ -200,6 +269,23 @@ fn worker_loop(
                     // catch_unwind recovers the worker in place — the
                     // same accounting slot a respawn would fill.
                     m.inc("serve.worker_recoveries", 1);
+                }
+                log::emit(
+                    log::Level::Error,
+                    "serve.pool",
+                    "worker panic contained",
+                    vec![
+                        ("kind", Value::Str(kind.to_string())),
+                        ("detail", Value::Str(detail.clone())),
+                    ],
+                );
+                flight.record("panic", &job.req.id, &detail);
+                if flight
+                    .dump("PAS0506", &job.req.id, &job.raw, metrics)
+                    .is_some()
+                {
+                    let mut m = metrics.lock().unwrap_or_else(|e| e.into_inner());
+                    m.inc("serve.crash_reports", 1);
                 }
                 (
                     panic_response(&job.req.id, &detail),
@@ -236,7 +322,8 @@ mod tests {
     fn pool_with(handler: Handler) -> (WorkerPool, Arc<Mutex<MetricsRegistry>>) {
         let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
         let latencies = Arc::new(LatencyStore::new());
-        let pool = WorkerPool::new(2, 8, Arc::clone(&metrics), latencies, handler);
+        let flight = Arc::new(FlightRecorder::new(64, None));
+        let pool = WorkerPool::new(2, 8, Arc::clone(&metrics), latencies, flight, handler);
         (pool, metrics)
     }
 
@@ -246,7 +333,8 @@ mod tests {
         (
             Job {
                 req,
-                cancelled: Arc::new(AtomicBool::new(false)),
+                raw: line.to_string(),
+                ctx: JobCtx::detached(),
                 reply: tx,
                 enqueued: Instant::now(),
             },
@@ -294,7 +382,8 @@ mod tests {
         let handler: Handler = Arc::new(|_, _| Ok(Value::Null));
         let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
         let latencies = Arc::new(LatencyStore::new());
-        let pool = WorkerPool::new(1, 8, metrics, Arc::clone(&latencies), handler);
+        let flight = Arc::new(FlightRecorder::new(64, None));
+        let pool = WorkerPool::new(1, 8, metrics, Arc::clone(&latencies), flight, handler);
         let (job, rx) = job_for(r#"{"id":"l","kind":"run"}"#);
         pool.submit(job).expect("submit");
         rx.recv_timeout(Duration::from_secs(5)).expect("reply");
@@ -314,7 +403,7 @@ mod tests {
         let handler: Handler = Arc::new(|_, _| Ok(Value::Null));
         let (pool, metrics) = pool_with(handler);
         let (job, rx) = job_for(r#"{"id":"late","kind":"run"}"#);
-        job.cancelled.store(true, Ordering::SeqCst);
+        job.ctx.cancelled.store(true, Ordering::SeqCst);
         pool.submit(job).expect("submit");
         assert!(rx.recv_timeout(Duration::from_millis(300)).is_err());
         assert_eq!(pool.shutdown(Duration::from_secs(5)), 0);
@@ -327,9 +416,9 @@ mod tests {
     fn shed_when_queue_full() {
         // One worker parked on a slow job + capacity-1 queue: the third
         // submission must shed, not block or queue unboundedly.
-        let handler: Handler = Arc::new(|req, cancelled| {
+        let handler: Handler = Arc::new(|req, ctx| {
             if req.kind == ReqKind::DebugSleep {
-                while !cancelled.load(Ordering::SeqCst) {
+                while !ctx.cancelled.load(Ordering::SeqCst) {
                     std::thread::sleep(Duration::from_millis(5));
                 }
             }
@@ -337,9 +426,10 @@ mod tests {
         });
         let metrics = Arc::new(Mutex::new(MetricsRegistry::new()));
         let latencies = Arc::new(LatencyStore::new());
-        let pool = WorkerPool::new(1, 1, Arc::clone(&metrics), latencies, handler);
+        let flight = Arc::new(FlightRecorder::new(64, None));
+        let pool = WorkerPool::new(1, 1, Arc::clone(&metrics), latencies, flight, handler);
         let (j1, _r1) = job_for(r#"{"id":"slow","kind":"debug-sleep","sleep_ms":1000}"#);
-        let stop = Arc::clone(&j1.cancelled);
+        let stop = Arc::clone(&j1.ctx.cancelled);
         pool.submit(j1).expect("submit slow");
         // Wait for the worker to pick the slow job up.
         let t0 = Instant::now();

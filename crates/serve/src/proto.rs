@@ -125,6 +125,9 @@ pub struct Request {
     /// `plan` + `--debug-faults`: simulate a re-derivation failure (the
     /// deterministic trigger for the stale-plan degradation path).
     pub fail_build: bool,
+    /// Echo the request's span timeline (queue wait, validation, cache
+    /// lookup, execution, ...) in the response as a `timeline` array.
+    pub trace: bool,
 }
 
 /// A structured refusal: the `PAS05xx` code, a message, and optionally
@@ -270,6 +273,7 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
         revalidate: bool_field(&v, "revalidate")?,
         sleep_ms: u64_field(&v, "sleep_ms")?.unwrap_or(0),
         fail_build: bool_field(&v, "fail_build")?,
+        trace: bool_field(&v, "trace")?,
     })
 }
 
@@ -414,6 +418,15 @@ mod tests {
         assert_eq!(r.seed, 42);
         assert!(r.timeout_ms.is_none());
         assert!(!r.revalidate);
+        assert!(!r.trace);
+    }
+
+    #[test]
+    fn trace_flag_parses_and_rejects_non_booleans() {
+        let r = parse_request(r#"{"id":"t","kind":"run","trace":true}"#).expect("parses");
+        assert!(r.trace);
+        let rej = parse_request(r#"{"kind":"run","trace":1}"#).expect_err("rejected");
+        assert_eq!(rej.code, Code::Pas0503);
     }
 
     #[test]

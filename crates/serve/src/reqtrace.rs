@@ -1,0 +1,204 @@
+//! Per-request trace timelines.
+//!
+//! A [`Timeline`] collects [`SpanRecord`]s for one request's trip through
+//! the service — ingest, queue wait, validation, cache lookup, handler
+//! execution, response — using the same record type and span-name
+//! catalog as the offline profiler ([`pas_obs::profile`]). Cache-miss
+//! plan derivations additionally record the offline catalog names
+//! (`offline.build`, `artifact.serialize`, `artifact.digest`), so a
+//! per-request trace joins directly against `pas plan --profile` output.
+//!
+//! A timeline exists only when the request asked for one (`"trace":
+//! true`) or the daemon writes Chrome-trace files (`--trace-out DIR`);
+//! otherwise every span helper is a no-op on a `None`. Its spans are
+//! echoed in the response (`timeline` array) and/or rendered through
+//! [`pas_obs::profile::chrome_trace`] into one file per request.
+
+use pas_obs::profile::SpanRecord;
+use serde::Value;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Span collector for one request. Threads hand spans in from both the
+/// submitter (ingest, respond) and the worker (queue wait, validation,
+/// execution), so the record list is behind a mutex.
+#[derive(Debug)]
+pub struct Timeline {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timeline {
+    /// A fresh timeline; the epoch (t=0 of every span) is now.
+    pub fn new() -> Self {
+        Timeline {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Opens a span named `name` starting now; it is recorded when the
+    /// returned guard drops.
+    pub fn span(&self, name: &'static str) -> TimelineSpan<'_> {
+        TimelineSpan {
+            timeline: self,
+            name,
+            opened: Instant::now(),
+        }
+    }
+
+    /// Records a span that ran from `start` until now — for stages whose
+    /// start predates the code that can observe them (queue wait starts
+    /// at enqueue time, ingest at line arrival).
+    pub fn record_since(&self, name: &'static str, start: Instant) {
+        let now = Instant::now();
+        let start_ms = start
+            .checked_duration_since(self.epoch)
+            .map_or(0.0, |d| d.as_secs_f64() * 1e3);
+        let dur_ms = now.saturating_duration_since(start).as_secs_f64() * 1e3;
+        self.push(name, start_ms, dur_ms);
+    }
+
+    fn push(&self, name: &'static str, start_ms: f64, dur_ms: f64) {
+        self.spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(SpanRecord {
+                name,
+                detail: None,
+                thread: 0,
+                depth: 0,
+                start_ms,
+                dur_ms,
+            });
+    }
+
+    /// The collected spans, ordered by start time.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let mut spans = self
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone();
+        spans.sort_by(|a, b| a.start_ms.total_cmp(&b.start_ms));
+        spans
+    }
+
+    /// The timeline as the JSON array echoed in traced responses: one
+    /// `{name, start_ms, dur_ms}` object per span, ordered by start.
+    pub fn to_value(&self) -> Value {
+        Value::Array(
+            self.spans()
+                .into_iter()
+                .map(|s| {
+                    Value::Object(vec![
+                        ("name".to_string(), Value::Str(s.name.to_string())),
+                        ("start_ms".to_string(), Value::Float(s.start_ms)),
+                        ("dur_ms".to_string(), Value::Float(s.dur_ms)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// The timeline rendered as a Chrome trace-event document (what
+    /// `--trace-out` writes, one file per request) — the same renderer
+    /// the offline profiler uses, so request and offline traces open
+    /// side by side.
+    pub fn chrome_trace(&self) -> String {
+        pas_obs::profile::chrome_trace(&self.spans())
+    }
+}
+
+/// RAII guard returned by [`Timeline::span`]: records the span on drop.
+#[must_use = "a span measures nothing unless the guard lives across the work"]
+pub struct TimelineSpan<'a> {
+    timeline: &'a Timeline,
+    name: &'static str,
+    opened: Instant,
+}
+
+impl Drop for TimelineSpan<'_> {
+    fn drop(&mut self) {
+        let start_ms = self
+            .opened
+            .checked_duration_since(self.timeline.epoch)
+            .map_or(0.0, |d| d.as_secs_f64() * 1e3);
+        let dur_ms = self.opened.elapsed().as_secs_f64() * 1e3;
+        self.timeline.push(self.name, start_ms, dur_ms);
+    }
+}
+
+/// Reduces a request id to a filesystem-safe stem for `--trace-out` and
+/// crash-report file names: `[A-Za-z0-9._-]` pass through, everything
+/// else becomes `_`.
+pub fn sanitize_id(id: &str) -> String {
+    let mut out: String = id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '.' || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pas_obs::profile::names;
+
+    #[test]
+    fn spans_record_and_sort_by_start() {
+        let tl = Timeline::new();
+        let early = Instant::now();
+        {
+            let _v = tl.span(names::REQ_VALIDATE);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        tl.record_since(names::REQ_INGEST, early);
+        let spans = tl.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, names::REQ_INGEST);
+        assert_eq!(spans[1].name, names::REQ_VALIDATE);
+        assert!(spans[0].dur_ms >= spans[1].dur_ms);
+    }
+
+    #[test]
+    fn value_and_chrome_renderings_carry_every_span() {
+        let tl = Timeline::new();
+        {
+            let _e = tl.span(names::REQ_EXEC);
+        }
+        let v = tl.to_value();
+        let arr = v.as_array().expect("array");
+        assert_eq!(arr.len(), 1);
+        assert_eq!(
+            arr[0].get("name").and_then(Value::as_str),
+            Some(names::REQ_EXEC)
+        );
+        assert!(arr[0].get("dur_ms").and_then(Value::as_f64).is_some());
+        let doc = tl.chrome_trace();
+        let parsed: Value = serde_json::from_str(&doc).expect("valid chrome trace");
+        assert!(parsed.get("traceEvents").is_some());
+    }
+
+    #[test]
+    fn ids_sanitize_to_safe_stems() {
+        assert_eq!(sanitize_id("auto-000001"), "auto-000001");
+        assert_eq!(sanitize_id("a/b:c"), "a_b_c");
+        assert_eq!(sanitize_id(""), "_");
+    }
+}

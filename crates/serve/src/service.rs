@@ -6,15 +6,19 @@
 //! front-ends in [`crate::net`] all funnel through it, as do the tests.
 
 use crate::cache::PlanCache;
+use crate::flight::FlightRecorder;
 use crate::handlers;
-use crate::pool::{Executor, Job, SubmitError, WorkerPool};
+use crate::pool::{Executor, Job, JobCtx, SubmitError, WorkerPool};
 use crate::proto::{
     error_response, ok_response, parse_request, shed_response, timeout_response, Rejection, ReqKind,
 };
+use crate::reqtrace::{sanitize_id, Timeline};
 use crate::telemetry::{self, LatencyStore, SeriesKey};
 use pas_analyze::Code;
-use pas_obs::MetricsRegistry;
+use pas_obs::profile::names;
+use pas_obs::{log, MetricsRegistry};
 use serde::Value;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -36,6 +40,14 @@ pub struct ServeConfig {
     pub retry_after_ms: u64,
     /// How long shutdown waits for in-flight work (ms).
     pub drain_ms: u64,
+    /// Directory for flight-recorder crash reports (`--crash-dir`);
+    /// `None` disables report files (the ring still records).
+    pub crash_dir: Option<String>,
+    /// Directory for per-request Chrome-trace files (`--trace-out`);
+    /// `None` means timelines exist only for `"trace": true` requests.
+    pub trace_dir: Option<String>,
+    /// Flight-recorder ring capacity (lifecycle events retained).
+    pub flight_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +60,9 @@ impl Default for ServeConfig {
             debug_faults: false,
             retry_after_ms: 50,
             drain_ms: 5_000,
+            crash_dir: None,
+            trace_dir: None,
+            flight_cap: 64,
         }
     }
 }
@@ -59,6 +74,7 @@ pub struct Service {
     metrics: Arc<Mutex<MetricsRegistry>>,
     latencies: Arc<LatencyStore>,
     cache: Arc<PlanCache>,
+    flight: Arc<FlightRecorder>,
     shutdown_requested: Arc<AtomicBool>,
     next_auto_id: AtomicU64,
     started: Instant,
@@ -80,23 +96,19 @@ impl Service {
         }
         let latencies = Arc::new(LatencyStore::new());
         let cache = Arc::new(PlanCache::new(cfg.cache_cap));
+        let flight = Arc::new(FlightRecorder::new(cfg.flight_cap, cfg.crash_dir.clone()));
         let handler_cfg = cfg.clone();
         let handler_cache = Arc::clone(&cache);
         let handler_metrics = Arc::clone(&metrics);
-        let handler: crate::pool::Handler = Arc::new(move |req, cancelled| {
-            handlers::handle(
-                &handler_cfg,
-                &handler_cache,
-                &handler_metrics,
-                req,
-                cancelled,
-            )
+        let handler: crate::pool::Handler = Arc::new(move |req, ctx| {
+            handlers::handle(&handler_cfg, &handler_cache, &handler_metrics, req, ctx)
         });
         let pool = WorkerPool::new(
             cfg.workers,
             cfg.queue_cap,
             Arc::clone(&metrics),
             Arc::clone(&latencies),
+            Arc::clone(&flight),
             handler,
         );
         Service {
@@ -105,6 +117,7 @@ impl Service {
             metrics,
             latencies,
             cache,
+            flight,
             shutdown_requested: Arc::new(AtomicBool::new(false)),
             next_auto_id: AtomicU64::new(0),
             started: Instant::now(),
@@ -134,6 +147,16 @@ impl Service {
                 // Even an unparseable line gets a minted id, so the
                 // error response is correlatable in client logs.
                 let id = self.generate_request_id();
+                log::emit(
+                    log::Level::Warn,
+                    "serve.service",
+                    "request rejected at parse",
+                    vec![
+                        ("corr_id", Value::Str(id.clone())),
+                        ("code", Value::Str(rej.code.as_str().to_string())),
+                        ("message", Value::Str(rej.message.clone())),
+                    ],
+                );
                 let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
                 m.inc("serve.responses.error", 1);
                 return error_response(&id, &rej);
@@ -177,16 +200,54 @@ impl Service {
         let timeout_ms = req.timeout_ms.unwrap_or(self.cfg.default_timeout_ms);
         let id = req.id.clone();
         let kind = req.kind;
+        let _corr = log::with_corr(&id);
+        let want_echo = req.trace;
+        self.flight.record("ingest", &id, kind.name());
+        // A timeline exists only when someone will read it: the client
+        // asked for the echo, or the daemon writes per-request traces.
+        let timeline = if want_echo || self.cfg.trace_dir.is_some() {
+            let tl = Arc::new(Timeline::new());
+            tl.record_since(names::REQ_INGEST, t0);
+            Some(tl)
+        } else {
+            None
+        };
         let cancelled = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel();
         let job = Job {
             req,
-            cancelled: Arc::clone(&cancelled),
+            raw: line.to_string(),
+            ctx: JobCtx {
+                cancelled: Arc::clone(&cancelled),
+                timeline: timeline.clone(),
+            },
             reply: tx,
             enqueued: Instant::now(),
         };
         let response = match self.pool.submit(job) {
             Err(SubmitError::QueueFull { depth }) => {
+                self.flight
+                    .record("shed", &id, &format!("queue depth {depth}"));
+                log::emit(
+                    log::Level::Warn,
+                    "serve.service",
+                    "request shed",
+                    vec![
+                        ("kind", Value::Str(kind.name().to_string())),
+                        ("depth", Value::UInt(depth as u64)),
+                    ],
+                );
+                // Sheds are load signals, not faults; they dump a black
+                // box only when the operator opted into fault debugging.
+                if self.cfg.debug_faults
+                    && self
+                        .flight
+                        .dump("PAS0504", &id, line, &self.metrics)
+                        .is_some()
+                {
+                    let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                    m.inc("serve.crash_reports", 1);
+                }
                 let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
                 m.inc("serve.shed", 1);
                 m.inc("serve.responses.shed", 1);
@@ -207,6 +268,25 @@ impl Service {
                     // mid-job abandons at its next check; a job still
                     // queued is skipped entirely.
                     cancelled.store(true, Ordering::SeqCst);
+                    self.flight
+                        .record("timeout", &id, &format!("{timeout_ms} ms deadline"));
+                    log::emit(
+                        log::Level::Warn,
+                        "serve.service",
+                        "request deadline expired",
+                        vec![
+                            ("kind", Value::Str(kind.name().to_string())),
+                            ("timeout_ms", Value::UInt(timeout_ms)),
+                        ],
+                    );
+                    if self
+                        .flight
+                        .dump("PAS0505", &id, line, &self.metrics)
+                        .is_some()
+                    {
+                        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+                        m.inc("serve.crash_reports", 1);
+                    }
                     let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
                     m.inc("serve.timeouts", 1);
                     m.inc("serve.responses.timeout", 1);
@@ -214,16 +294,66 @@ impl Service {
                 }
             },
         };
+        let respond_t0 = Instant::now();
+        self.flight.record("respond", &id, kind.name());
+        let response = match &timeline {
+            Some(tl) => {
+                tl.record_since(names::REQ_RESPOND, respond_t0);
+                if let Some(dir) = &self.cfg.trace_dir {
+                    self.write_trace_file(dir, &id, tl);
+                }
+                if want_echo {
+                    echo_timeline(&response, tl)
+                } else {
+                    response
+                }
+            }
+            None => response,
+        };
         let elapsed_ms = t0.elapsed().as_secs_f64() * 1e3;
-        self.latencies
-            .record(SeriesKey::new(kind.name(), "total"), elapsed_ms);
+        if self
+            .latencies
+            .record(SeriesKey::new(kind.name(), "total"), elapsed_ms)
+        {
+            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            m.inc("serve.latency.overflow", 1);
+        }
         {
             let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
             m.add_gauge(&format!("serve.stage_ms.{}", kind.name()), elapsed_ms);
             m.inc(&format!("serve.handled.{}", kind.name()), 1);
             m.set_gauge("serve.queue_depth", self.pool.queue_depth() as f64);
         }
+        log::emit(
+            log::Level::Debug,
+            "serve.service",
+            "request answered",
+            vec![
+                ("kind", Value::Str(kind.name().to_string())),
+                ("elapsed_ms", Value::Float(elapsed_ms)),
+            ],
+        );
         response
+    }
+
+    /// Writes one Chrome-trace file per request under `--trace-out`; a
+    /// failed write is logged and dropped, never fatal.
+    fn write_trace_file(&self, dir: &str, id: &str, tl: &Timeline) {
+        let dir = Path::new(dir);
+        let write = std::fs::create_dir_all(dir).and_then(|()| {
+            std::fs::write(
+                dir.join(format!("{}.trace.json", sanitize_id(id))),
+                tl.chrome_trace(),
+            )
+        });
+        if let Err(e) = write {
+            log::emit(
+                log::Level::Warn,
+                "serve.service",
+                "trace file write failed",
+                vec![("error", Value::Str(e.to_string()))],
+            );
+        }
     }
 
     /// The `/health`-style snapshot served for `status` requests.
@@ -290,6 +420,19 @@ impl Service {
                     ("hit_rate", Value::Float(hit_rate)),
                 ]),
             ),
+            (
+                "crashes",
+                crate::proto::object(vec![
+                    ("count", Value::UInt(self.flight.crash_count())),
+                    (
+                        "last_path",
+                        self.flight
+                            .last_crash_path()
+                            .map(Value::Str)
+                            .unwrap_or(Value::Null),
+                    ),
+                ]),
+            ),
             ("counters", Value::Object(counters)),
             ("gauges", Value::Object(gauges)),
             ("latency", Value::Object(latency)),
@@ -342,6 +485,23 @@ impl Service {
     pub fn config(&self) -> &ServeConfig {
         &self.cfg
     }
+
+    /// The flight recorder (test and summary helper).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+}
+
+/// Appends the request's span timeline to an already-rendered response
+/// line as a top-level `timeline` array. A response that somehow isn't a
+/// JSON object (unreachable for pool responses) passes through untouched
+/// rather than being mangled.
+fn echo_timeline(response: &str, tl: &Timeline) -> String {
+    let Ok(Value::Object(mut pairs)) = serde_json::from_str::<Value>(response) else {
+        return response.to_string();
+    };
+    pairs.push(("timeline".to_string(), tl.to_value()));
+    serde_json::to_string(&Value::Object(pairs)).unwrap_or_else(|_| response.to_string())
 }
 
 #[cfg(test)]
@@ -483,6 +643,56 @@ mod tests {
             .expect("pre-seeded series");
         assert_eq!(idle.get("count"), Some(&Value::UInt(0)), "{status}");
         assert_eq!(idle.get("p50_ms"), Some(&Value::Null), "{status}");
+        assert_eq!(svc.shutdown(), 0);
+    }
+
+    #[test]
+    fn trace_requests_echo_a_full_timeline() {
+        let svc = Service::start(quick_cfg());
+        let resp =
+            svc.handle_line(r#"{"id":"tr","kind":"plan","workload":"synthetic","trace":true}"#);
+        let v: Value = serde_json::from_str(&resp).expect("valid JSON");
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        let tl = v
+            .get("timeline")
+            .and_then(Value::as_array)
+            .expect("timeline echoed");
+        let seen: Vec<&str> = tl
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Value::as_str))
+            .collect();
+        for required in [
+            "req.ingest",
+            "req.queue_wait",
+            "req.validate",
+            "req.cache_lookup",
+            "req.exec",
+            "req.respond",
+        ] {
+            assert!(seen.contains(&required), "missing {required} in {seen:?}");
+        }
+        // A cache miss runs the real derivation, so the offline catalog
+        // names appear too — the join point with `pas plan --profile`.
+        assert!(seen.contains(&"offline.build"), "{seen:?}");
+
+        // Untraced requests stay untouched.
+        let resp = svc.handle_line(r#"{"id":"plain","kind":"run"}"#);
+        let v: Value = serde_json::from_str(&resp).expect("valid JSON");
+        assert!(v.get("timeline").is_none(), "{resp}");
+        assert_eq!(svc.shutdown(), 0);
+    }
+
+    #[test]
+    fn status_reports_crash_bookkeeping() {
+        let svc = Service::start(quick_cfg());
+        let status = svc.handle_line(r#"{"id":"s","kind":"status"}"#);
+        let v: Value = serde_json::from_str(&status).expect("valid JSON");
+        let crashes = v
+            .get("body")
+            .and_then(|b| b.get("crashes"))
+            .expect("crashes block");
+        assert_eq!(crashes.get("count"), Some(&Value::UInt(0)), "{status}");
+        assert_eq!(crashes.get("last_path"), Some(&Value::Null), "{status}");
         assert_eq!(svc.shutdown(), 0);
     }
 

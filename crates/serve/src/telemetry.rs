@@ -21,7 +21,8 @@ use std::sync::Mutex;
 /// Lower edge of every latency histogram (ms).
 const LATENCY_LO_MS: f64 = 0.0;
 /// Upper edge of every latency histogram (ms); slower observations clamp
-/// into the top bin rather than being dropped.
+/// into the top bin rather than being dropped, and [`LatencyStore::record`]
+/// reports them so callers can tally `serve.latency.overflow`.
 const LATENCY_HI_MS: f64 = 10_000.0;
 /// Bin count: 1 ms resolution across the range.
 const LATENCY_BINS: usize = 10_000;
@@ -47,6 +48,8 @@ pub const PRE_SEEDED_COUNTERS: &[&str] = &[
     "serve.stale_served",
     "serve.request_ids.generated",
     "serve.request_ids.client",
+    "serve.latency.overflow",
+    "serve.crash_reports",
 ];
 
 /// Request kinds whose latency series are pre-seeded at zero. Debug
@@ -171,11 +174,15 @@ impl LatencyStore {
     }
 
     /// Records one observation (ms; clamped into the histogram range).
-    pub fn record(&self, key: SeriesKey, ms: f64) {
+    /// Returns `true` when the sample fell outside the range — callers
+    /// increment `serve.latency.overflow` so clamping is never silent.
+    pub fn record(&self, key: SeriesKey, ms: f64) -> bool {
         let mut series = self.series.lock().unwrap_or_else(|e| e.into_inner());
         let s = series.entry(key).or_insert_with(LatencySeries::empty);
+        let overflow = s.hist.out_of_range(ms);
         s.hist.add(ms);
         s.sum_ms += ms;
+        overflow
     }
 
     /// Snapshots every series (sorted by key) with p50/p95/p99.
@@ -221,6 +228,9 @@ fn fmt_opt_ms(x: Option<f64>) -> String {
 /// - every counter and gauge becomes its own family (dotted name mapped
 ///   onto the Prometheus charset), with exactly one `# HELP` and `# TYPE`
 ///   line each;
+/// - a constant `serve_build_info` gauge carries the crate version and
+///   the plan/protocol schema versions as labels (the Prometheus
+///   build-info idiom: sample value is always 1);
 /// - all latency series share the single summary family `serve_latency`,
 ///   labelled by `kind`, `stage` and (for the plan-exec split) `cache`,
 ///   with `quantile="0.5" | "0.95" | "0.99"` sample lines plus
@@ -241,7 +251,15 @@ pub fn prometheus_exposition(metrics: &MetricsRegistry, latencies: &LatencyStore
     }
     let _ = writeln!(
         out,
-        "# HELP serve_latency Request latency in milliseconds by kind and stage."
+        "# HELP serve_build_info Build and schema version information."
+    );
+    let _ = writeln!(out, "# TYPE serve_build_info gauge");
+    let _ = writeln!(
+        out,
+        "serve_build_info{{version=\"{}\",plan_schema=\"{}\",proto=\"{}\"}} 1",
+        env!("CARGO_PKG_VERSION"),
+        pas_core::PLAN_SCHEMA_VERSION,
+        crate::proto::PROTO_VERSION
     );
     let _ = writeln!(out, "# TYPE serve_latency summary");
     for (key, snap) in latencies.snapshot() {
@@ -359,10 +377,44 @@ mod tests {
 
     #[test]
     fn pre_seeded_catalog_matches_the_legacy_fifteen_plus_request_ids() {
-        assert_eq!(PRE_SEEDED_COUNTERS.len(), 17);
+        assert_eq!(PRE_SEEDED_COUNTERS.len(), 19);
         assert!(PRE_SEEDED_COUNTERS.contains(&"serve.request_ids.generated"));
         assert!(PRE_SEEDED_COUNTERS.contains(&"serve.request_ids.client"));
+        assert!(PRE_SEEDED_COUNTERS.contains(&"serve.latency.overflow"));
+        assert!(PRE_SEEDED_COUNTERS.contains(&"serve.crash_reports"));
         let unique: BTreeSet<&str> = PRE_SEEDED_COUNTERS.iter().copied().collect();
         assert_eq!(unique.len(), PRE_SEEDED_COUNTERS.len());
+    }
+
+    #[test]
+    fn record_reports_out_of_range_samples() {
+        let store = LatencyStore::new();
+        let key = SeriesKey::new("run", "exec");
+        assert!(!store.record(key, 5.0));
+        assert!(store.record(key, 10_001.0));
+        assert!(store.record(key, -1.0));
+        // Overflowing samples still land (clamped) in the series.
+        let snaps = store.snapshot();
+        let (_, snap) = snaps
+            .iter()
+            .find(|(k, _)| *k == key)
+            .expect("series exists");
+        assert_eq!(snap.count, 3);
+    }
+
+    #[test]
+    fn exposition_carries_the_build_info_gauge() {
+        let m = MetricsRegistry::new();
+        let store = LatencyStore::new();
+        let text = prometheus_exposition(&m, &store);
+        assert!(text.contains("# TYPE serve_build_info gauge"), "{text}");
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("serve_build_info{"))
+            .expect("build info sample");
+        assert!(line.contains(concat!("version=\"", env!("CARGO_PKG_VERSION"), "\"")));
+        assert!(line.contains("plan_schema=\"1\""), "{line}");
+        assert!(line.contains("proto=\"1\""), "{line}");
+        assert!(line.ends_with("} 1"), "{line}");
     }
 }

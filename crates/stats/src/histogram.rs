@@ -42,6 +42,14 @@ impl Histogram {
         self.total += 1;
     }
 
+    /// True when `x` falls outside `[lo, hi]` — callers that must not
+    /// lose the information that [`Histogram::add`] will clamp check
+    /// this first (NaN never compares outside, so it reports `false`
+    /// and clamps silently, as before).
+    pub fn out_of_range(&self, x: f64) -> bool {
+        x < self.lo || x > self.hi
+    }
+
     /// Number of observations recorded.
     pub fn total(&self) -> u64 {
         self.total
@@ -139,6 +147,11 @@ mod tests {
     #[test]
     fn out_of_range_clamps() {
         let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        assert!(h.out_of_range(-5.0));
+        assert!(h.out_of_range(99.0));
+        assert!(!h.out_of_range(0.5));
+        assert!(!h.out_of_range(0.0));
+        assert!(!h.out_of_range(1.0));
         h.add(-5.0);
         h.add(99.0);
         assert_eq!(h.counts()[0], 1);

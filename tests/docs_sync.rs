@@ -57,6 +57,7 @@ fn schemas_doc_covers_every_on_disk_contract() {
         "Bench report",
         "Metrics CSV",
         "Event stream",
+        "Crash report",
     ] {
         assert!(
             text.contains(section),
@@ -68,6 +69,30 @@ fn schemas_doc_covers_every_on_disk_contract() {
         text.contains(&format!("`{}`", pas_andor::core::PLAN_SCHEMA_VERSION)),
         "docs/schemas.md must state the current plan schema version"
     );
+    // So must the crash-report section, along with its full key set.
+    assert!(
+        text.contains(&format!(
+            "`pas_serve::CRASH_SCHEMA_VERSION`, currently `{}`",
+            pas_serve::CRASH_SCHEMA_VERSION
+        )),
+        "docs/schemas.md must state the current crash-report schema version"
+    );
+    for key in [
+        "crash_schema",
+        "\"trigger\"",
+        "\"corr_id\"",
+        "\"request\"",
+        "\"t_wall_ms\"",
+        "\"events\"",
+        "\"log_tail\"",
+        "\"counters\"",
+        "\"gauges\"",
+    ] {
+        assert!(
+            text.contains(key),
+            "docs/schemas.md must document the crash-report key {key}"
+        );
+    }
 }
 
 #[test]
@@ -150,6 +175,44 @@ fn observability_doc_states_the_telemetry_and_exposition_contract() {
 }
 
 #[test]
+fn observability_doc_covers_the_log_and_timeline_surface() {
+    let text = doc("observability.md");
+    // Every structured-log record field is documented exactly once (its
+    // table row), mirroring the span-name and counter gates.
+    for field in [
+        "`seq`",
+        "`t_wall_ms`",
+        "`t_mono_ms`",
+        "`level`",
+        "`target`",
+        "`msg`",
+        "`corr_id`",
+        "`fields`",
+    ] {
+        let count = text.matches(field).count();
+        assert_eq!(
+            count, 1,
+            "log field {field} must appear exactly once in docs/observability.md \
+             (found {count} occurrences)"
+        );
+    }
+    for term in [
+        "--log FILE|stderr",
+        "--log-level",
+        "--trace-out",
+        "--crash-dir",
+        "\"trace\": true",
+        "{name, start_ms, dur_ms}",
+        "serve_build_info",
+    ] {
+        assert!(
+            text.contains(term),
+            "docs/observability.md must document {term}"
+        );
+    }
+}
+
+#[test]
 fn service_doc_covers_the_wire_contract() {
     let text = doc("service.md");
     // Every response status and request kind the daemon speaks must be
@@ -166,6 +229,14 @@ fn service_doc_covers_the_wire_contract() {
         "newline-delimited JSON",
         "`metrics` body",
         "auto-<seq>",
+        "\"trace\": true",
+        "`timeline`",
+        "--log FILE|stderr",
+        "--log-level",
+        "--trace-out",
+        "--crash-dir",
+        "`crashes`",
+        "`last_path`",
     ] {
         assert!(text.contains(term), "docs/service.md must document {term}");
     }

@@ -8,15 +8,17 @@
 //! in the requested quantile for arbitrary fills, or the reported
 //! p50/p95/p99 triple could invert.
 
-use pas_andor::core::{PlanArtifact, Scheme, Setup};
-use pas_andor::obs::profile;
+use pas_andor::core::{sha256_hex, PlanArtifact, Scheme, Setup};
+use pas_andor::obs::{log, profile};
 use pas_andor::power::ProcessorModel;
 use pas_andor::sim::ExecTimeModel;
 use pas_andor::stats::Histogram;
 use pas_andor::workloads::synthetic_app;
+use pas_serve::{ServeConfig, Service};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::Value;
 
 const SEED: u64 = 0x60_1DE2;
 
@@ -90,6 +92,97 @@ fn profiling_does_not_perturb_artifacts_or_traces() {
     assert_eq!(
         baseline_trace, profiled_trace,
         "fault-free traces must be byte-identical with profiling enabled"
+    );
+}
+
+/// The same invariant for the whole observability surface at once:
+/// with structured logging at its most verbose level *and* per-request
+/// tracing enabled, plan artifacts and fault-free traces stay
+/// byte-identical to the all-disabled path — across all six schemes,
+/// both through the library and through a `pas serve` round trip.
+#[test]
+fn logging_and_tracing_do_not_perturb_artifacts_or_traces() {
+    let baseline_artifacts = artifact_jsons();
+    let baseline_trace = traced_run();
+    let baseline_digests: Vec<String> = baseline_artifacts
+        .iter()
+        .map(|json| sha256_hex(json.as_bytes()))
+        .collect();
+
+    // Everything on: profiler recording, logger at `trace` level into a
+    // discard sink, and a service answering `"trace": true` requests.
+    let _profile_session = profile::exclusive();
+    let _log_session = log::exclusive();
+    log::init(
+        Some(Box::new(std::io::sink())),
+        log::Level::Trace,
+        log::DEFAULT_RING_CAP,
+    );
+    profile::enable();
+
+    let enabled_artifacts = artifact_jsons();
+    let enabled_trace = traced_run();
+
+    let svc = Service::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let mut served_digests = Vec::with_capacity(Scheme::ALL.len());
+    for scheme in Scheme::ALL {
+        let resp = svc.handle_line(&format!(
+            r#"{{"id":"np-{name}","kind":"plan","workload":"synthetic","platform":"transmeta","procs":2,"load":0.6,"scheme":"{name}","trace":true}}"#,
+            name = scheme.name()
+        ));
+        let v: Value = serde_json::from_str(&resp).expect("valid JSON response");
+        assert_eq!(
+            v.get("status").and_then(Value::as_str),
+            Some("ok"),
+            "{resp}"
+        );
+        let digest = v
+            .get("body")
+            .and_then(|b| b.get("digest"))
+            .and_then(Value::as_str)
+            .expect("plan digest");
+        served_digests.push(digest.to_string());
+        // The echoed timeline covers the queue → cache → exec stages.
+        let timeline = v
+            .get("timeline")
+            .and_then(Value::as_array)
+            .expect("timeline");
+        let names: Vec<&str> = timeline
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Value::as_str))
+            .collect();
+        for required in ["req.queue_wait", "req.cache_lookup", "req.exec"] {
+            assert!(names.contains(&required), "missing {required}: {names:?}");
+        }
+    }
+    assert_eq!(svc.shutdown(), 0);
+
+    profile::disable();
+    let spans = profile::take();
+    log::shutdown();
+
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.name == profile::names::OFFLINE_BUILD),
+        "the enabled pass must exercise the instrumented offline phase"
+    );
+    assert_eq!(
+        baseline_artifacts, enabled_artifacts,
+        "plan artifact JSON must be byte-identical with logging + tracing enabled"
+    );
+    assert_eq!(
+        baseline_trace, enabled_trace,
+        "fault-free traces must be byte-identical with logging + tracing enabled"
+    );
+    // The digest is the SHA-256 of the artifact's serialized bytes, so
+    // digest equality proves the served artifacts match byte-for-byte.
+    assert_eq!(
+        baseline_digests, served_digests,
+        "served plan artifacts must be byte-identical with logging + tracing enabled"
     );
 }
 
