@@ -45,7 +45,8 @@ impl fmt::Display for Severity {
 /// plans, `PAS03xx` feasibility, `PAS04xx` plan-artifact verification,
 /// `PAS05xx` service request lifecycle (`pas serve`: ingest rejection,
 /// back-pressure shedding, deadline/panic containment, stale-plan
-/// degradation). Codes are append-only: once published a
+/// degradation), `PAS06xx` symbolic energy/timing bounds
+/// (`pas check --bounds`). Codes are append-only: once published a
 /// code keeps its meaning forever (tests snapshot them), and retired
 /// checks leave holes rather than renumbering.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
@@ -98,6 +99,11 @@ pub enum Code {
     Pas0506,
     Pas0507,
     Pas0508,
+    Pas0601,
+    Pas0602,
+    Pas0603,
+    Pas0604,
+    Pas0605,
 }
 
 impl Code {
@@ -105,7 +111,7 @@ impl Code {
     /// tests iterate this to ensure `docs/diagnostics.md` covers the
     /// whole catalog — a new variant that is not added here fails the
     /// `all_is_exhaustive` test below.
-    pub const ALL: [Code; 47] = [
+    pub const ALL: [Code; 52] = [
         Code::Pas0001,
         Code::Pas0002,
         Code::Pas0003,
@@ -153,6 +159,11 @@ impl Code {
         Code::Pas0506,
         Code::Pas0507,
         Code::Pas0508,
+        Code::Pas0601,
+        Code::Pas0602,
+        Code::Pas0603,
+        Code::Pas0604,
+        Code::Pas0605,
     ];
     /// The stable wire form, e.g. `"PAS0009"`.
     pub fn as_str(self) -> &'static str {
@@ -204,6 +215,11 @@ impl Code {
             Code::Pas0506 => "PAS0506",
             Code::Pas0507 => "PAS0507",
             Code::Pas0508 => "PAS0508",
+            Code::Pas0601 => "PAS0601",
+            Code::Pas0602 => "PAS0602",
+            Code::Pas0603 => "PAS0603",
+            Code::Pas0604 => "PAS0604",
+            Code::Pas0605 => "PAS0605",
         }
     }
 
@@ -246,7 +262,8 @@ impl Code {
             | Code::Pas0503
             | Code::Pas0505
             | Code::Pas0506
-            | Code::Pas0508 => Error,
+            | Code::Pas0508
+            | Code::Pas0601 => Error,
             Code::Pas0012
             | Code::Pas0013
             | Code::Pas0104
@@ -255,8 +272,9 @@ impl Code {
             | Code::Pas0205
             | Code::Pas0302
             | Code::Pas0504
-            | Code::Pas0507 => Warning,
-            Code::Pas0206 | Code::Pas0303 => Info,
+            | Code::Pas0507
+            | Code::Pas0605 => Warning,
+            Code::Pas0206 | Code::Pas0303 | Code::Pas0602 | Code::Pas0603 | Code::Pas0604 => Info,
         }
     }
 
@@ -313,6 +331,15 @@ impl Code {
             Code::Pas0506 => "service request handler panicked; the worker recovered",
             Code::Pas0507 => "service served a stale cached plan after re-derivation failed",
             Code::Pas0508 => "service request failed during planning or simulation",
+            Code::Pas0601 => "symbolic bounds derivation failed its internal soundness self-check",
+            Code::Pas0602 => {
+                "OR-path count exceeds the enumeration threshold; bounds use the DAG fallback"
+            }
+            Code::Pas0603 => "symbolic energy/makespan interval for one scheme (with witnesses)",
+            Code::Pas0604 => "optimality gap: scheme worst case vs. the theoretical minimum energy",
+            Code::Pas0605 => {
+                "under the fault envelope the worst-case makespan exceeds the deadline"
+            }
         }
     }
 }

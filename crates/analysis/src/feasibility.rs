@@ -27,14 +27,12 @@
 //! Theorem 1's induction needs — see DESIGN.md §3e for the argument.
 
 use crate::diag::{Code, Diagnostic, Loc, Report};
-use andor_graph::{AndOrGraph, NodeId, SectionGraph, SectionId};
+use crate::enumeration::{self, count_scenarios};
+use andor_graph::{AndOrGraph, SectionGraph};
 use dvfs_power::{Overheads, ProcessorModel};
 use pas_core::{OfflinePlan, PlanError};
-use std::collections::HashMap;
 
-/// Maximum number of OR-paths enumerated exactly; above this the
-/// verifier falls back to the offline phase's recursive bound (PAS0303).
-pub const ENUMERATION_THRESHOLD: u64 = 4096;
+pub use crate::enumeration::ENUMERATION_THRESHOLD;
 
 /// How the deadline is specified.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -228,52 +226,6 @@ pub(crate) fn push_plan_error(r: &mut Report, e: PlanError, src: &str) {
     }
 }
 
-/// Counts OR-paths without enumerating them: a memoized recursion over
-/// the section chain, saturating at `u64::MAX`.
-pub(crate) fn count_scenarios(g: &AndOrGraph, sections: &SectionGraph) -> u64 {
-    let mut memo: HashMap<NodeId, u64> = HashMap::new();
-    count_from_section(g, sections, sections.root(), &mut memo)
-}
-
-fn count_from_section(
-    g: &AndOrGraph,
-    sections: &SectionGraph,
-    s: SectionId,
-    memo: &mut HashMap<NodeId, u64>,
-) -> u64 {
-    match sections.section(s).exit_or {
-        None => 1,
-        Some(or) => count_from_or(g, sections, or, memo),
-    }
-}
-
-fn count_from_or(
-    g: &AndOrGraph,
-    sections: &SectionGraph,
-    or: NodeId,
-    memo: &mut HashMap<NodeId, u64>,
-) -> u64 {
-    if let Some(&c) = memo.get(&or) {
-        return c;
-    }
-    let n_branches = g.node(or).succs.len();
-    let count = if n_branches == 0 {
-        1 // Terminal OR: the application ends at the synchronization point.
-    } else {
-        let mut total: u64 = 0;
-        for k in 0..n_branches {
-            let below = sections
-                .branch_section(or, k)
-                .map(|b| count_from_section(g, sections, b, memo))
-                .unwrap_or(1);
-            total = total.saturating_add(below);
-        }
-        total
-    };
-    memo.insert(or, count);
-    count
-}
-
 /// Exact enumeration: the worst chain-sum of canonical section lengths
 /// over every scenario, plus the maximizing path rendered for humans.
 fn enumerate_worst(
@@ -283,26 +235,13 @@ fn enumerate_worst(
 ) -> (f64, Vec<String>) {
     let mut worst = f64::NEG_INFINITY;
     let mut witness = Vec::new();
-    for (scenario, _p) in sections.enumerate_scenarios(g) {
-        let total: f64 = sections
-            .chain(g, &scenario)
-            .iter()
-            .map(|s| {
-                plan.section_worst_len
-                    .get(s.index())
-                    .copied()
-                    .unwrap_or(0.0)
-            })
-            .sum();
+    enumeration::for_each_path(g, sections, |scenario, _p, chain| {
+        let total = enumeration::chain_sum(chain, &plan.section_worst_len);
         if total > worst {
             worst = total;
-            witness = scenario
-                .choices
-                .iter()
-                .map(|&(or, k)| format!("{or} ('{}') -> branch {k}", g.node(or).name))
-                .collect();
+            witness = enumeration::witness(g, scenario);
         }
-    }
+    });
     if worst == f64::NEG_INFINITY {
         (0.0, Vec::new())
     } else {
@@ -444,16 +383,6 @@ mod tests {
             .expect("loose deadline is feasible");
         let (worst, _) = enumerate_worst(&g, &sections, &plan);
         assert!((worst - plan.worst_total).abs() < 1e-9);
-    }
-
-    #[test]
-    fn scenario_count_matches_enumeration() {
-        let g = app();
-        let sections = SectionGraph::build(&g).expect("sections build");
-        assert_eq!(
-            count_scenarios(&g, &sections),
-            sections.enumerate_scenarios(&g).count() as u64
-        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | `PAS02xx` | fault plans ([`fault_checks`]) |
 //! | `PAS03xx` | Theorem-1 feasibility ([`feasibility`]) |
 //! | `PAS04xx` | serialized plan artifacts ([`plan_checks`]) |
+//! | `PAS06xx` | symbolic energy/timing bounds ([`bounds`]) |
 //!
 //! The full catalog with messages and the feasibility-verifier soundness
 //! argument live in DESIGN.md §3e; `docs/diagnostics.md` is the
@@ -69,7 +70,9 @@
 //! assert!(report.is_clean());
 //! ```
 
+pub mod bounds;
 pub mod diag;
+mod enumeration;
 pub mod fault_checks;
 pub mod feasibility;
 pub mod fixes;
@@ -77,9 +80,14 @@ pub mod graph_checks;
 pub mod plan_checks;
 pub mod platform_checks;
 
+pub use bounds::{
+    analyze_bounds, BoundsAnalysis, BoundsConfig, EnergySplit, FaultEnvelope, Interval,
+    SchemeBounds,
+};
 pub use diag::{Code, Diagnostic, Loc, Report, Severity};
+pub use enumeration::ENUMERATION_THRESHOLD;
 pub use fault_checks::check_fault_plan;
-pub use feasibility::{verify_feasibility, DeadlineSpec, Feasibility, ENUMERATION_THRESHOLD};
+pub use feasibility::{verify_feasibility, DeadlineSpec, Feasibility};
 pub use fixes::fix_graph;
 pub use graph_checks::check_graph;
 pub use plan_checks::check_plan;

@@ -34,7 +34,8 @@
 //! disk still means what the off-line phase meant.
 
 use crate::diag::{Code, Diagnostic, Loc, Report};
-use crate::feasibility::{count_scenarios, push_plan_error, ENUMERATION_THRESHOLD};
+use crate::enumeration::{self, count_scenarios, ENUMERATION_THRESHOLD};
+use crate::feasibility::push_plan_error;
 use andor_graph::{AndOrGraph, SectionGraph};
 use dvfs_power::ProcessorModel;
 use pas_core::{
@@ -57,24 +58,10 @@ fn approx_eq(a: f64, b: f64) -> bool {
 fn enumerate_stats(g: &AndOrGraph, sections: &SectionGraph, plan: &OfflinePlan) -> (f64, f64) {
     let mut worst = f64::NEG_INFINITY;
     let mut avg = 0.0_f64;
-    for (scenario, p) in sections.enumerate_scenarios(g) {
-        let chain = sections.chain(g, &scenario);
-        let w: f64 = chain
-            .iter()
-            .map(|s| {
-                plan.section_worst_len
-                    .get(s.index())
-                    .copied()
-                    .unwrap_or(0.0)
-            })
-            .sum();
-        let a: f64 = chain
-            .iter()
-            .map(|s| plan.section_avg_len.get(s.index()).copied().unwrap_or(0.0))
-            .sum();
-        worst = worst.max(w);
-        avg += p * a;
-    }
+    enumeration::for_each_path(g, sections, |_scenario, p, chain| {
+        worst = worst.max(enumeration::chain_sum(chain, &plan.section_worst_len));
+        avg += p * enumeration::chain_sum(chain, &plan.section_avg_len);
+    });
     if worst == f64::NEG_INFINITY {
         (0.0, 0.0)
     } else {

@@ -16,7 +16,10 @@
 //! * the run's full [`MetricsRegistry`] rendered as CSV;
 //! * a per-(workload, platform) wall-time breakdown of the off-line
 //!   phase from the [`pas_obs::profile`] span profiler (informational —
-//!   the span *shape* is deterministic, the times are not).
+//!   the span *shape* is deterministic, the times are not). The symbolic
+//!   bounds derivation ([`pas_analyze::analyze_bounds`]) runs inside the
+//!   same profiled window, so its `check.bounds` span is recorded next
+//!   to the setup spans.
 //!
 //! [`write_baselines`] commits the deterministic portion under
 //! `results/baselines/`; [`check_against_baselines`] re-runs the golden
@@ -359,6 +362,21 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchOutput, BenchError> {
                 let _session = pas_obs::profile::exclusive();
                 pas_obs::profile::enable();
                 let result = Setup::for_load(graph, platform.model(), wl.num_procs, wl.load);
+                // The symbolic bounds derivation rides in the same
+                // profiled window so its `check.bounds` wall time lands
+                // in the off-line breakdown next to the setup spans.
+                if let Ok(setup) = &result {
+                    let bounds = pas_analyze::analyze_bounds(
+                        setup,
+                        &pas_analyze::BoundsConfig::default(),
+                        wl.name,
+                    );
+                    debug_assert!(
+                        !bounds.report.has_errors(),
+                        "{}: bounds self-check failed",
+                        wl.name
+                    );
+                }
                 pas_obs::profile::disable();
                 (result, pas_obs::profile::take())
             };
@@ -795,6 +813,7 @@ mod tests {
                 pas_obs::profile::names::OFFLINE_SETUP,
                 pas_obs::profile::names::OFFLINE_BUILD,
                 pas_obs::profile::names::OFFLINE_CANONICAL,
+                pas_obs::profile::names::CHECK_BOUNDS,
             ] {
                 assert!(names.contains(&expected), "{names:?} missing {expected}");
             }

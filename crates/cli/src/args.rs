@@ -107,6 +107,9 @@ pub struct Args {
     pub against: Vec<String>,
     /// `check`: write mechanically repaired workloads next to the input.
     pub fix: bool,
+    /// `check`: derive symbolic `[best, worst]` energy/makespan bounds
+    /// (`PAS06xx`) for every scheme over each workload/platform pair.
+    pub bounds: bool,
     /// `serve`: TCP listen address (`host:port`).
     pub listen: Option<String>,
     /// `serve`: Unix-domain socket path.
@@ -184,6 +187,7 @@ impl Args {
             deny_warnings: false,
             against: Vec::new(),
             fix: false,
+            bounds: false,
             listen: None,
             socket: None,
             watch: None,
@@ -269,6 +273,7 @@ impl Args {
                     continue;
                 }
                 "--fix" => parsed.fix = true,
+                "--bounds" => parsed.bounds = true,
                 "--listen" => parsed.listen = Some(value("--listen")?.clone()),
                 "--socket" => parsed.socket = Some(value("--socket")?.clone()),
                 "--watch" => parsed.watch = Some(value("--watch")?.clone()),
@@ -342,6 +347,9 @@ impl Args {
         }
         if parsed.profile && !matches!(parsed.command, Command::Plan | Command::Check) {
             return Err("--profile is a `plan`/`check` flag".into());
+        }
+        if parsed.bounds && parsed.command != Command::Check {
+            return Err("--bounds is a `check` flag".into());
         }
         if parsed.command != Command::Serve {
             if parsed.log.is_some() || parsed.log_level != "info" {
@@ -557,6 +565,17 @@ mod tests {
         assert_eq!(a.command, Command::Plan);
         assert_eq!(a.sources, vec!["w.json".to_string(), "xscale".to_string()]);
         assert_eq!(a.out.as_deref(), Some("p.json"));
+    }
+
+    #[test]
+    fn bounds_flag() {
+        let a = parse(&["check", "synthetic", "--bounds", "--format", "json"]).unwrap();
+        assert!(a.bounds);
+        assert_eq!(a.format, "json");
+        assert!(!parse(&["check", "synthetic"]).unwrap().bounds);
+        // Bounds derivation belongs to `check`.
+        assert!(parse(&["run", "--bounds"]).is_err());
+        assert!(parse(&["plan", "--bounds"]).is_err());
     }
 
     #[test]

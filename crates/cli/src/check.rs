@@ -20,15 +20,25 @@
 //! OR-probability renormalization) to every workload *file* source and
 //! writes
 //! the repaired graph to `<stem>.fixed.json` next to the input.
+//!
+//! `--bounds` runs the symbolic energy/timing bounds analyzer
+//! ([`pas_analyze::analyze_bounds`]) over every workload/platform pair
+//! that passed the structural checks: per scheme, a guaranteed
+//! `[best, worst]` interval for frame energy and makespan, witness
+//! OR-paths for each extreme, and an optimality-gap lower bound,
+//! reported as `PAS06xx` diagnostics. When a fault plan is among the
+//! sources, its overrun/stall envelope widens the intervals
+//! accordingly.
 
 use crate::args::Args;
 use andor_graph::AndOrGraph;
 use dvfs_power::{Overheads, ProcessorModel};
 use mp_sim::FaultPlan;
 use pas_analyze::{
-    check_application, check_fault_plan, Code, DeadlineSpec, Diagnostic, Loc, Report,
+    analyze_bounds, check_application, check_fault_plan, BoundsAnalysis, BoundsConfig, Code,
+    DeadlineSpec, Diagnostic, FaultEnvelope, Loc, Report,
 };
-use pas_core::PlanArtifact;
+use pas_core::{PlanArtifact, Setup};
 
 /// What one positional source turned out to be.
 enum Source {
@@ -104,6 +114,7 @@ pub fn check_cmd(args: &Args) -> Result<String, String> {
     };
 
     let mut summaries = Vec::new();
+    let mut bounds_analyses: Vec<BoundsAnalysis> = Vec::new();
     for (g_label, g) in &workloads {
         for (m_label, model) in &platforms {
             let analysis = check_application(
@@ -126,7 +137,76 @@ pub fn check_cmd(args: &Args) -> Result<String, String> {
                     if f.exact { "" } else { " (bound)" },
                 ));
             }
+            let pair_sound = !analysis.report.has_errors();
             report.merge(analysis.report);
+            // Bounds need a buildable offline plan, so only pairs that
+            // passed the structural checks are analyzed.
+            if args.bounds && pair_sound {
+                let setup = match spec {
+                    DeadlineSpec::Deadline(d) => Setup::with_deadline_and_overheads(
+                        g.clone(),
+                        model.clone(),
+                        args.procs,
+                        d,
+                        Overheads::paper_defaults(),
+                    ),
+                    DeadlineSpec::Load(l) => {
+                        Setup::for_load(g.clone(), model.clone(), args.procs, l)
+                    }
+                };
+                match setup {
+                    Ok(setup) => {
+                        let cfg = BoundsConfig {
+                            fault: fault_plans
+                                .first()
+                                .and_then(|(_, p)| FaultEnvelope::from_plan(p)),
+                            ..BoundsConfig::default()
+                        };
+                        let ba = analyze_bounds(&setup, &cfg, g_label);
+                        summaries.push(format!(
+                            "bounds: {g_label} on {m_label}: {} OR-path(s){}, \
+                             optimum >= {:.3}",
+                            ba.paths,
+                            if ba.exact { "" } else { " (DAG join)" },
+                            ba.opt_lower_bound,
+                        ));
+                        for s in &ba.schemes {
+                            summaries.push(format!(
+                                "bounds: {g_label} on {m_label}: {} energy \
+                                 [{:.3}, {:.3}], makespan [{:.3}, {:.3}] ms, gap {:.3}{}",
+                                s.scheme,
+                                s.energy.lo,
+                                s.energy.hi,
+                                s.makespan.lo,
+                                s.makespan.hi,
+                                s.optimality_gap,
+                                if s.deadline_safe {
+                                    ""
+                                } else {
+                                    " (deadline at risk)"
+                                },
+                            ));
+                            if !s.witness_hi.is_empty() {
+                                summaries.push(format!(
+                                    "bounds:   worst path: {}",
+                                    s.witness_hi.join(" -> ")
+                                ));
+                            }
+                            if !s.witness_lo.is_empty() && s.witness_lo != s.witness_hi {
+                                summaries.push(format!(
+                                    "bounds:   best path: {}",
+                                    s.witness_lo.join(" -> ")
+                                ));
+                            }
+                        }
+                        report.merge(ba.report.clone());
+                        bounds_analyses.push(ba);
+                    }
+                    Err(e) => summaries.push(format!(
+                        "bounds: {g_label} on {m_label}: unavailable ({e})"
+                    )),
+                }
+            }
         }
     }
     // Platform-only invocations (no workload source) still get the
@@ -212,6 +292,18 @@ pub fn check_cmd(args: &Args) -> Result<String, String> {
 
     let rejected = report.rejects(args.deny_warnings);
     let rendered = match args.format.as_str() {
+        // With `--bounds` the JSON document gains a top-level "bounds"
+        // array (one `BoundsAnalysis` per analyzed workload/platform
+        // pair) next to the usual diagnostics under "report".
+        "json" if args.bounds => {
+            let bounds_json = serde_json::to_string_pretty(&bounds_analyses)
+                .map_err(|e| format!("serializing bounds: {e}"))?;
+            format!(
+                "{{\n\"report\": {},\n\"bounds\": {}\n}}\n",
+                report.render_json().trim_end(),
+                bounds_json
+            )
+        }
         "json" => report.render_json(),
         "human" | "summary" => {
             let mut out = report.render_human();

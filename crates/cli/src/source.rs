@@ -155,6 +155,7 @@ mod tests {
             deny_warnings: false,
             against: Vec::new(),
             fix: false,
+            bounds: false,
             profile: false,
             profile_out: None,
             log: None,

@@ -101,6 +101,22 @@ impl SchemeParams {
         }
     }
 
+    /// The lowest normalized speed any task can execute at under these
+    /// parameters: the scheme's speculative/static floor, or the
+    /// platform's `S_min` for the purely dynamic schemes. Every operating
+    /// point the on-line phase selects is at least this fast (quantization
+    /// only rounds *up*), so static analyses may divide by it to bound
+    /// execution times from above.
+    pub fn speed_floor(&self, model: &ProcessorModel) -> f64 {
+        match self {
+            SchemeParams::Npm => 1.0,
+            SchemeParams::Spm { static_speed } => *static_speed,
+            SchemeParams::Gss | SchemeParams::As { .. } => model.min_speed(),
+            SchemeParams::Ss1 { spec_speed } => spec_speed.max(model.min_speed()),
+            SchemeParams::Ss2 { low, .. } => low.max(model.min_speed()),
+        }
+    }
+
     /// The scheme these parameters belong to.
     pub fn scheme(&self) -> Scheme {
         match self {

@@ -78,6 +78,9 @@ pub mod names {
     /// The full PAS04xx plan re-derivation and comparison in
     /// `pas-analyze`.
     pub const CHECK_VERIFY_PLAN: &str = "check.verify_plan";
+    /// The PAS06xx symbolic energy/timing bounds derivation
+    /// (`pas check --bounds`), all six schemes over one workload.
+    pub const CHECK_BOUNDS: &str = "check.bounds";
     /// `pas serve` request lifecycle: raw-line parse and request-id
     /// minting at ingest.
     pub const REQ_INGEST: &str = "req.ingest";
@@ -112,6 +115,7 @@ pub mod names {
         ARTIFACT_SERIALIZE,
         ARTIFACT_DIGEST,
         CHECK_VERIFY_PLAN,
+        CHECK_BOUNDS,
         REQ_INGEST,
         REQ_QUEUE_WAIT,
         REQ_VALIDATE,

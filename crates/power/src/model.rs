@@ -290,6 +290,23 @@ impl ProcessorModel {
             power: 1.0,
         }
     }
+
+    /// Every operating point a *discrete* model can run at, slowest first,
+    /// or `None` for the continuous model. This is the exact image of
+    /// [`Self::quantize_up`] — static analyses enumerate it to bound
+    /// quantities over all reachable speeds.
+    pub fn discrete_points(&self) -> Option<Vec<OperatingPoint>> {
+        let f_max = self.max_freq_mhz();
+        self.levels().map(|levels| {
+            levels
+                .iter()
+                .map(|l| OperatingPoint {
+                    speed: l.freq_mhz / f_max,
+                    power: self.level_power(l),
+                })
+                .collect()
+        })
+    }
 }
 
 #[cfg(test)]

@@ -47,6 +47,40 @@ fn documented_rows_carry_the_catalog_severity() {
 }
 
 #[test]
+fn algorithms_doc_covers_symbolic_bounds() {
+    let text = doc("algorithms.md");
+    assert!(
+        text.contains("## Symbolic energy bounds"),
+        "docs/algorithms.md must carry the symbolic bounds section"
+    );
+    // The section must state the three load-bearing pieces of the
+    // semantics: the OR join rule, the exact-enumeration threshold with
+    // its DAG fallback, and the deadline-cap premise.
+    for term in [
+        "OR join rule",
+        "4096",
+        "DAG join",
+        "PAS0602",
+        "PAS0603",
+        "PAS0605",
+        "witness",
+        "Deadline premise",
+    ] {
+        assert!(
+            text.contains(term),
+            "docs/algorithms.md symbolic-bounds section must mention {term}"
+        );
+    }
+    // The threshold named in prose is the one the analyzer uses.
+    assert_eq!(pas_andor::analyze::ENUMERATION_THRESHOLD, 4096);
+    // And diagnostics.md links into the section.
+    assert!(
+        doc("diagnostics.md").contains("algorithms.md#symbolic-energy-bounds"),
+        "docs/diagnostics.md must link to the symbolic bounds section"
+    );
+}
+
+#[test]
 fn schemas_doc_covers_every_on_disk_contract() {
     let text = doc("schemas.md");
     for section in [

@@ -10,7 +10,9 @@
 //!    `check_application` implies the graph validates, the plan builds,
 //!    and a seeded run completes.
 
-use pas_andor::analyze::{check_application, DeadlineSpec};
+use pas_andor::analyze::{
+    analyze_bounds, check_application, BoundsConfig, Code, DeadlineSpec, FaultEnvelope,
+};
 use pas_andor::core::{Scheme, Setup};
 use pas_andor::graph::{AndOrGraph, Node, NodeId, NodeKind};
 use pas_andor::power::{Overheads, ProcessorModel};
@@ -174,4 +176,83 @@ fn analyzer_survives_and_stays_sound_on_mutated_workloads() {
     // The mutator must actually exercise both sides of the verdict.
     assert!(rejected > 50, "mutator too tame: only {rejected} rejected");
     assert!(accepted > 10, "mutator too harsh: only {accepted} accepted");
+}
+
+/// The symbolic bounds analyzer must survive the same mutant corpus:
+/// for every mutant whose offline phase still builds, `analyze_bounds`
+/// must not panic, must keep every interval ordered (`lo <= hi`), and
+/// must never trip its own `PAS0601` self-check — fault-free and under
+/// a fault envelope alike.
+#[test]
+fn bounds_analyzer_survives_mutated_workloads() {
+    let corpus = seed_corpus();
+    let model = ProcessorModel::transmeta5400();
+    let mut rng = StdRng::seed_from_u64(0xF022);
+    let envelope = FaultEnvelope {
+        overrun_factor: 1.5,
+        stall_ms: 2.0,
+    };
+    let mut analyzed = 0u32;
+    for case in 0..400 {
+        let base = &corpus[case % corpus.len()];
+        let mut nodes = base.nodes().to_vec();
+        for _ in 0..rng.gen_range(1..4u32) {
+            mutate(&mut nodes, &mut rng);
+        }
+        let Some(g) = rebuild(nodes) else { continue };
+        // Bounds are only defined over inputs the structural checks
+        // accept (`pas check --bounds` gates the same way); everything
+        // else is rejected upstream with PAS00xx diagnostics.
+        let analysis = check_application(
+            &g,
+            "mutant",
+            &model,
+            "transmeta",
+            Overheads::paper_defaults(),
+            2,
+            DeadlineSpec::Load(0.5),
+        );
+        if analysis.report.has_errors() {
+            continue;
+        }
+        let Ok(setup) = Setup::for_load(g, model.clone(), 2, 0.5) else {
+            continue;
+        };
+        analyzed += 1;
+        for fault in [None, Some(envelope)] {
+            let cfg = BoundsConfig {
+                fault,
+                ..BoundsConfig::default()
+            };
+            let ba = analyze_bounds(&setup, &cfg, "mutant");
+            for d in &ba.report.diagnostics {
+                assert!(
+                    d.code != Code::Pas0601,
+                    "bounds self-check failed on case {case} (fault={}): {}",
+                    fault.is_some(),
+                    d.message
+                );
+            }
+            for s in &ba.schemes {
+                for (what, iv) in [("energy", s.energy), ("makespan", s.makespan)] {
+                    let slack = 1e-9 * (1.0 + iv.lo.abs().max(iv.hi.abs()));
+                    assert!(
+                        iv.lo.is_finite() && iv.hi.is_finite() && iv.lo <= iv.hi + slack,
+                        "case {case}: {}: inverted {what} interval [{}, {}]",
+                        s.scheme,
+                        iv.lo,
+                        iv.hi
+                    );
+                }
+                assert!(
+                    s.optimality_gap >= -1e-6,
+                    "case {case}: {}: negative optimality gap {}",
+                    s.scheme,
+                    s.optimality_gap
+                );
+            }
+        }
+    }
+    // The corpus must actually reach the analyzer.
+    assert!(analyzed > 10, "corpus too harsh: only {analyzed} analyzed");
 }
