@@ -644,10 +644,7 @@ fn section_costs(
                 let wcet = kind.wcet();
                 let acet = kind.acet();
                 // Mirrors the realization sampler's clamp.
-                let w_lo = (ctx.min_frac * wcet)
-                    .min(acet)
-                    .max(wcet * 1e-12)
-                    .min(wcet);
+                let w_lo = (ctx.min_frac * wcet).min(acet).max(wcet * 1e-12).min(wcet);
                 let w_hi = wcet * ctx.factor;
                 c.n += 1.0;
                 c.w_lo += w_lo;
@@ -676,12 +673,12 @@ fn section_costs(
 }
 
 fn chain_total(chain: &[SectionId], costs: &[SectionCost]) -> SectionCost {
-    chain
-        .iter()
-        .fold(SectionCost::default(), |acc, s| match costs.get(s.index()) {
+    chain.iter().fold(SectionCost::default(), |acc, s| {
+        match costs.get(s.index()) {
             Some(c) => acc.plus(c),
             None => acc,
-        })
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -721,14 +718,30 @@ fn assemble(lo_t: &SectionCost, hi_t: &SectionCost, sh: &SchemeShape, ctx: &Ctx)
     // Identity terms.
     let pmp_e_lo = ctx.base
         * sh.pmp.g_min
-        * if sh.pmp.g_min < 0.0 { pmp_n_hi } else { pmp_n_lo };
+        * if sh.pmp.g_min < 0.0 {
+            pmp_n_hi
+        } else {
+            pmp_n_lo
+        };
     let pmp_e_hi = ctx.base
         * sh.pmp.g_max
-        * if sh.pmp.g_max > 0.0 { pmp_n_hi } else { pmp_n_lo };
+        * if sh.pmp.g_max > 0.0 {
+            pmp_n_hi
+        } else {
+            pmp_n_lo
+        };
     let te_lo = ctx.dt * (sh.p_floor + ctx.rho - ctx.iota);
     let te_hi = ctx.dt * (1.0 + ctx.rho - ctx.iota);
-    let trans_lo = if te_lo >= 0.0 { c_lo * te_lo } else { c_hi * te_lo };
-    let trans_hi = if te_hi >= 0.0 { c_hi * te_hi } else { c_lo * te_hi };
+    let trans_lo = if te_lo >= 0.0 {
+        c_lo * te_lo
+    } else {
+        c_hi * te_lo
+    };
+    let trans_hi = if te_hi >= 0.0 {
+        c_hi * te_hi
+    } else {
+        c_lo * te_hi
+    };
     // Charged windows can spill past the horizon only under faults
     // (trailing escalations, overlapping stall accounting).
     let excess_hi = if ctx.faulty {
@@ -1186,16 +1199,8 @@ mod tests {
         assert!(npm.witness_hi.iter().any(|w| w.contains("branch 0")));
         assert!(npm.witness_lo.iter().any(|w| w.contains("branch 1")));
         assert!(npm.energy.lo < npm.energy.hi);
-        assert!(b
-            .report
-            .diagnostics
-            .iter()
-            .any(|d| d.code == Code::Pas0603));
-        assert!(b
-            .report
-            .diagnostics
-            .iter()
-            .all(|d| d.code != Code::Pas0601));
+        assert!(b.report.diagnostics.iter().any(|d| d.code == Code::Pas0603));
+        assert!(b.report.diagnostics.iter().all(|d| d.code != Code::Pas0601));
     }
 
     #[test]
@@ -1212,11 +1217,7 @@ mod tests {
         let b = analyze_bounds(&s, &BoundsConfig::default(), "test");
         assert!(!b.exact);
         assert_eq!(b.paths, 8192);
-        assert!(b
-            .report
-            .diagnostics
-            .iter()
-            .any(|d| d.code == Code::Pas0602));
+        assert!(b.report.diagnostics.iter().any(|d| d.code == Code::Pas0602));
         for sb in &b.schemes {
             assert!(sb.witness_lo.is_empty() && sb.witness_hi.is_empty());
             assert!(sb.energy.lo <= sb.energy.hi);
@@ -1244,11 +1245,7 @@ mod tests {
         );
         let npm = b.schemes.first().expect("NPM");
         assert!(!npm.deadline_safe);
-        assert!(b
-            .report
-            .diagnostics
-            .iter()
-            .any(|d| d.code == Code::Pas0605));
+        assert!(b.report.diagnostics.iter().any(|d| d.code == Code::Pas0605));
     }
 
     #[test]

@@ -151,8 +151,12 @@ mod tests {
         for_each_path(&g, &sections, |scenario, _, _| {
             seen.push(witness(&g, scenario));
         });
-        assert!(seen.iter().any(|w| w.len() == 1 && w[0].contains("branch 0")));
-        assert!(seen.iter().any(|w| w.len() == 1 && w[0].contains("branch 1")));
+        assert!(seen
+            .iter()
+            .any(|w| w.len() == 1 && w[0].contains("branch 0")));
+        assert!(seen
+            .iter()
+            .any(|w| w.len() == 1 && w[0].contains("branch 1")));
     }
 
     #[test]

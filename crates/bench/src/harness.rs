@@ -225,6 +225,38 @@ pub struct OfflineBreakdown {
     pub spans: Vec<OfflineSpanStat>,
 }
 
+/// One batched Monte-Carlo throughput measurement: the batched engine
+/// ([`mp_sim::run_batch`]) against the sequential observed loop (fresh
+/// policy, fresh registry, one `run_observed` per realization — the
+/// shape `pas compare --metrics` has without `--batch`). Informational:
+/// wall-clock based, machine-dependent, never compared by
+/// [`check_against_baselines`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchCell {
+    /// Golden workload name (`fig4`, ...).
+    pub workload: String,
+    /// Platform slug (`transmeta-tm5400`, `intel-xscale`).
+    pub platform: String,
+    /// Scheme slug the cell was measured under.
+    pub scheme: String,
+    /// Realizations per engine (both engines run the same count from
+    /// the same derived seeds).
+    pub realizations: usize,
+    /// Batched engine wall time (ms).
+    pub wall_ms: f64,
+    /// Batched engine throughput.
+    pub realizations_per_sec: f64,
+    /// Equivalent event throughput: mean events per realization (from
+    /// the sampled observer) times `realizations_per_sec`.
+    pub events_per_sec: f64,
+    /// Sequential observed-loop wall time (ms).
+    pub sequential_wall_ms: f64,
+    /// Sequential observed-loop throughput.
+    pub sequential_realizations_per_sec: f64,
+    /// `realizations_per_sec / sequential_realizations_per_sec`.
+    pub speedup: f64,
+}
+
 /// The full report `pas bench` writes as `BENCH_<rev>.json`.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -238,11 +270,15 @@ pub struct BenchReport {
     /// (workload, platform). Informational: [`write_baselines`] strips
     /// it and [`check_against_baselines`] never compares it.
     pub offline: Vec<OfflineBreakdown>,
+    /// Batched-engine throughput cells, one per (workload, platform).
+    /// Informational: stripped from baselines, never compared.
+    pub batch: Vec<BatchCell>,
 }
 
-// Hand-written so reports without `offline` — the committed baselines,
-// and any `BENCH_<rev>.json` captured before the field existed — still
-// parse; the derived impl would reject the missing field.
+// Hand-written so reports without `offline`/`batch` — the committed
+// baselines, and any `BENCH_<rev>.json` captured before those fields
+// existed — still parse; the derived impl would reject the missing
+// fields.
 impl Deserialize for BenchReport {
     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
         let field = |name: &str| {
@@ -254,6 +290,10 @@ impl Deserialize for BenchReport {
             tolerance: Deserialize::from_value(field("tolerance")?)?,
             records: Deserialize::from_value(field("records")?)?,
             offline: match v.get("offline") {
+                Some(x) => Deserialize::from_value(x)?,
+                None => Vec::new(),
+            },
+            batch: match v.get("batch") {
                 Some(x) => Deserialize::from_value(x)?,
                 None => Vec::new(),
             },
@@ -291,6 +331,8 @@ pub struct BenchOptions {
     pub rev: String,
     /// Restrict to these workload names (`None` = all golden workloads).
     pub workloads: Option<Vec<String>>,
+    /// Realizations per [`BatchCell`] (0 skips the batch cells).
+    pub batch_realizations: usize,
 }
 
 impl Default for BenchOptions {
@@ -300,6 +342,7 @@ impl Default for BenchOptions {
             seed: 0x1CC_2002,
             rev: "dev".to_string(),
             workloads: None,
+            batch_realizations: 512,
         }
     }
 }
@@ -347,6 +390,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchOutput, BenchError> {
     let mut records = Vec::new();
     let mut metrics = Vec::new();
     let mut offline = Vec::new();
+    let mut batch = Vec::new();
     for wl in GOLDEN_WORKLOADS {
         if let Some(filter) = &opts.workloads {
             if !filter.iter().any(|n| n == wl.name) {
@@ -461,6 +505,9 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchOutput, BenchError> {
                     sections,
                 });
             }
+            if opts.batch_realizations > 0 {
+                batch.push(measure_batch_cell(&setup, wl, platform, opts)?);
+            }
         }
     }
     Ok(BenchOutput {
@@ -469,8 +516,62 @@ pub fn run_bench(opts: &BenchOptions) -> Result<BenchOutput, BenchError> {
             tolerance: DEFAULT_TOLERANCE,
             records,
             offline,
+            batch,
         },
         metrics,
+    })
+}
+
+/// Measures one [`BatchCell`]: `opts.batch_realizations` seeded
+/// realizations through [`mp_sim::run_batch`], then the same derived
+/// seeds through the sequential observed loop. The GSS scheme stands in
+/// for the managed schemes — it exercises every policy hook (speed
+/// selection, shifting, greedy reclamation) so its cost is
+/// representative.
+fn measure_batch_cell(
+    setup: &Setup,
+    wl: GoldenWorkload,
+    platform: Platform,
+    opts: &BenchOptions,
+) -> Result<BatchCell, BenchError> {
+    let scheme = Scheme::Gss;
+    let etm = ExecTimeModel::paper_defaults();
+    let sim = setup.simulator(false);
+    let n = opts.batch_realizations;
+
+    // Batched engine, observability sampled every 64th realization —
+    // the same stride `pas compare --batch` uses.
+    let mut cfg = mp_sim::BatchConfig::new(n, opts.seed);
+    cfg.observe_stride = 64;
+    let start = Instant::now();
+    let out = mp_sim::run_batch(&sim, &etm, None, || setup.policy(scheme), &cfg)?;
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+
+    // Sequential observed loop over the same derived seeds: fresh
+    // policy, fresh registry, one `run_observed` per realization.
+    let start = Instant::now();
+    for i in 0..n as u64 {
+        let mut rng = StdRng::seed_from_u64(mp_sim::realization_seed(opts.seed, i));
+        let real = setup.sample(&etm, &mut rng);
+        let mut registry = MetricsRegistry::new();
+        let mut policy = setup.policy(scheme);
+        sim.run_observed(policy.as_mut(), &real, None, None, Some(&mut registry))?;
+    }
+    let seq_wall = start.elapsed().as_secs_f64().max(1e-9);
+
+    let realizations_per_sec = n as f64 / wall;
+    let sequential_realizations_per_sec = n as f64 / seq_wall;
+    Ok(BatchCell {
+        workload: wl.name.to_string(),
+        platform: slug(platform.name()),
+        scheme: slug(scheme.name()),
+        realizations: n,
+        wall_ms: wall * 1e3,
+        realizations_per_sec,
+        events_per_sec: out.events_per_realization().unwrap_or(0.0) * realizations_per_sec,
+        sequential_wall_ms: seq_wall * 1e3,
+        sequential_realizations_per_sec,
+        speedup: realizations_per_sec / sequential_realizations_per_sec,
     })
 }
 
@@ -502,9 +603,11 @@ pub fn write_baselines(out: &BenchOutput, dir: &Path) -> Result<Vec<String>, Ben
     let mut written = Vec::new();
     let path = dir.join(BASELINE_FILE);
     // Baselines hold only compared quantities: the machine-dependent
-    // off-line breakdown stays out so refreshes don't churn the diff.
+    // off-line breakdown and batch throughput cells stay out so
+    // refreshes don't churn the diff.
     let mut stripped = out.report.clone();
     stripped.offline.clear();
+    stripped.batch.clear();
     std::fs::write(&path, report_json(&stripped))?;
     written.push(path.display().to_string());
     for m in &out.metrics {
@@ -731,6 +834,7 @@ mod tests {
         BenchOptions {
             reps: 1,
             workloads: Some(vec!["fig4".to_string()]),
+            batch_realizations: 64,
             ..BenchOptions::default()
         }
     }
@@ -825,6 +929,40 @@ mod tests {
     }
 
     #[test]
+    fn bench_captures_a_batch_cell_per_platform() {
+        let out = run_bench(&quick_opts()).expect("bench runs");
+        // fig4 only: one cell per platform.
+        assert_eq!(out.report.batch.len(), 2);
+        for cell in &out.report.batch {
+            assert_eq!(cell.workload, "fig4");
+            assert_eq!(cell.realizations, 64);
+            assert!(
+                cell.realizations_per_sec > 0.0,
+                "{}: zero batch throughput",
+                cell.platform
+            );
+            assert!(
+                cell.events_per_sec > 0.0,
+                "{}: zero event throughput",
+                cell.platform
+            );
+            assert!(
+                cell.sequential_realizations_per_sec > 0.0,
+                "{}: zero sequential throughput",
+                cell.platform
+            );
+            assert!(cell.speedup > 0.0, "{}: no speedup recorded", cell.platform);
+        }
+        // Opting out skips the cells entirely.
+        let none = run_bench(&BenchOptions {
+            batch_realizations: 0,
+            ..quick_opts()
+        })
+        .expect("bench runs");
+        assert!(none.report.batch.is_empty());
+    }
+
+    #[test]
     fn reports_without_offline_breakdown_still_parse() {
         // The committed baselines predate the `offline` field (and
         // `write_baselines` keeps stripping it).
@@ -833,17 +971,23 @@ mod tests {
         stripped.offline.clear();
         let json = report_json(&stripped);
         let legacy = {
-            // Drop the `offline` key entirely to model a pre-field file.
+            // Drop the `offline`/`batch` keys entirely to model a
+            // pre-field file.
             let v: serde::Value = serde_json::from_str(&json).expect("parses");
             let serde::Value::Object(fields) = v else {
                 panic!("object expected")
             };
-            let v =
-                serde::Value::Object(fields.into_iter().filter(|(k, _)| k != "offline").collect());
+            let v = serde::Value::Object(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "offline" && k != "batch")
+                    .collect(),
+            );
             serde_json::to_string(&v).expect("serializes")
         };
         let back: BenchReport = serde_json::from_str(&legacy).expect("legacy report parses");
         assert!(back.offline.is_empty());
+        assert!(back.batch.is_empty());
         assert_eq!(back.records.len(), out.report.records.len());
     }
 

@@ -87,6 +87,11 @@ pub struct Args {
     /// `compare`: additionally aggregate a [`pas_obs::MetricsRegistry`]
     /// across replications and cross-check engine counters.
     pub metrics: bool,
+    /// `compare --metrics`: run this many realizations per scheme
+    /// through the batched Monte-Carlo engine and report distribution
+    /// summaries (energy/makespan quantiles, miss-rate CI, per-section
+    /// ledger quantiles) instead of the sequential replication loop.
+    pub batch: Option<usize>,
     /// `bench`: diff against the committed baselines, nonzero exit on
     /// drift.
     pub check: bool,
@@ -179,6 +184,7 @@ impl Args {
             frames: None,
             carry: false,
             metrics: false,
+            batch: None,
             check: false,
             update_baselines: false,
             bench_dir: None,
@@ -255,6 +261,12 @@ impl Args {
                 }
                 "--carry" => parsed.carry = true,
                 "--metrics" => parsed.metrics = true,
+                "--batch" => {
+                    parsed.batch = Some(parse_num(value("--batch")?, "--batch")?);
+                    if parsed.batch == Some(0) {
+                        return Err("--batch must be positive".into());
+                    }
+                }
                 "--check" => parsed.check = true,
                 "--update-baselines" => parsed.update_baselines = true,
                 "--bench-dir" => parsed.bench_dir = Some(value("--bench-dir")?.clone()),
@@ -350,6 +362,9 @@ impl Args {
         }
         if parsed.bounds && parsed.command != Command::Check {
             return Err("--bounds is a `check` flag".into());
+        }
+        if parsed.batch.is_some() && !(parsed.command == Command::Compare && parsed.metrics) {
+            return Err("--batch requires `compare --metrics`".into());
         }
         if parsed.command != Command::Serve {
             if parsed.log.is_some() || parsed.log_level != "info" {
@@ -511,6 +526,18 @@ mod tests {
         let a = parse(&["compare", "--metrics", "--reps", "5"]).unwrap();
         assert!(a.metrics);
         assert!(!parse(&["compare"]).unwrap().metrics);
+    }
+
+    #[test]
+    fn compare_batch_flag() {
+        let a = parse(&["compare", "--metrics", "--batch", "4096"]).unwrap();
+        assert_eq!(a.batch, Some(4096));
+        assert_eq!(parse(&["compare", "--metrics"]).unwrap().batch, None);
+        // The batched engine rides on the metrics path of `compare`.
+        assert!(parse(&["compare", "--batch", "64"]).is_err());
+        assert!(parse(&["run", "--batch", "64"]).is_err());
+        assert!(parse(&["compare", "--metrics", "--batch", "0"]).is_err());
+        assert!(parse(&["compare", "--metrics", "--batch", "x"]).is_err());
     }
 
     #[test]

@@ -202,9 +202,9 @@ pub fn check_cmd(args: &Args) -> Result<String, String> {
                         report.merge(ba.report.clone());
                         bounds_analyses.push(ba);
                     }
-                    Err(e) => summaries.push(format!(
-                        "bounds: {g_label} on {m_label}: unavailable ({e})"
-                    )),
+                    Err(e) => {
+                        summaries.push(format!("bounds: {g_label} on {m_label}: unavailable ({e})"))
+                    }
                 }
             }
         }

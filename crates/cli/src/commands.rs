@@ -465,6 +465,9 @@ fn run_one(args: &Args) -> Result<String, String> {
 
 fn compare(args: &Args) -> Result<String, String> {
     let setup = build_setup(args)?;
+    if let Some(batch) = args.batch {
+        return compare_batch(args, &setup, batch);
+    }
     let etm = ExecTimeModel::paper_defaults();
     let mut rng = StdRng::seed_from_u64(args.seed);
     let n = Scheme::ALL.len() + 1;
@@ -483,15 +486,19 @@ fn compare(args: &Args) -> Result<String, String> {
     let mut ev_runs: Vec<Summary> = vec![Summary::new(); Scheme::ALL.len()];
     let mut slack_runs: Vec<Summary> = vec![Summary::new(); Scheme::ALL.len()];
     let mut counter_mismatches = 0u64;
+    // Plan, engine and policies are all offline artifacts — build each
+    // once, outside the realization loop (the engine resets policy state
+    // at every run start, so reuse is bit-identical to rebuilding).
+    let sim = setup.simulator(false);
+    let mut policies: Vec<_> = Scheme::ALL.iter().map(|s| setup.policy(*s)).collect();
     for _ in 0..args.reps {
         let real = setup.sample(&etm, &mut rng);
-        for (i, scheme) in Scheme::ALL.iter().enumerate() {
+        for (i, policy) in policies.iter_mut().enumerate() {
+            let policy = policy.as_mut();
             let res = if args.metrics {
                 let mut reg = mp_sim::MetricsRegistry::new();
-                let mut policy = setup.policy(*scheme);
-                let res = setup
-                    .simulator(false)
-                    .run_observed(policy.as_mut(), &real, None, None, Some(&mut reg))
+                let res = sim
+                    .run_observed(policy, &real, None, None, Some(&mut reg))
                     .map_err(|e| format!("simulation: {e}"))?;
                 let total: u64 = pas_obs::EventKind::ALL
                     .iter()
@@ -504,8 +511,7 @@ fn compare(args: &Args) -> Result<String, String> {
                 }
                 res
             } else {
-                setup
-                    .run(*scheme, &real)
+                sim.run(policy, &real)
                     .map_err(|e| format!("simulation: {e}"))?
             };
             energies[i].add(res.total_energy());
@@ -584,6 +590,133 @@ fn compare(args: &Args) -> Result<String, String> {
             counter_mismatches
         );
     }
+    Ok(out)
+}
+
+/// `compare --metrics --batch N`: the batched Monte-Carlo engine over
+/// every scheme, reporting full distributions (quantiles and tails)
+/// instead of the sequential loop's means. Realization `i` is seeded with
+/// `realization_seed(--seed, i)` for *every* scheme, so the paired design
+/// of the paper's figures carries over to the distributions; the oracle
+/// is excluded (it needs a clairvoyant probe per realization and is a
+/// bound, not a scheme).
+fn compare_batch(args: &Args, setup: &Setup, batch: usize) -> Result<String, String> {
+    use mp_sim::{run_batch, BatchConfig, BatchDistribution};
+    let etm = ExecTimeModel::paper_defaults();
+    let sim = setup.simulator(false);
+    // Histogram geometry mirrors the sequential path's: NPM busy+idle
+    // over the whole horizon bounds the energy axis; overruns land in the
+    // makespan histogram's top bin (the exact max is tracked separately).
+    let e_max = setup.plan.num_procs as f64 * setup.plan.deadline * 1.05;
+    let t_max = setup.plan.deadline * 1.5;
+    let mut cfg = BatchConfig::new(batch, args.seed);
+    // Sampled observability: wire an event counter to every 64th
+    // realization. Emission is additive, so the numbers are identical to
+    // unobserved runs — this only prices the event stream.
+    cfg.observe_stride = 64;
+    let focus = match args.scheme {
+        SchemeArg::Scheme(s) => s,
+        SchemeArg::Oracle => Scheme::Gss,
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "batched Monte-Carlo: {} realizations/scheme on {} ({} processors, load {:.2}), base seed {}",
+        batch,
+        setup.model.name(),
+        setup.plan.num_procs,
+        setup.plan.load(),
+        args.seed
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "scheme", "mean", "p50", "p95", "p99", "max", "miss rate", "±95%"
+    );
+    let mut npm_mean = f64::NAN;
+    let mut makespans: Vec<(String, BatchDistribution)> = Vec::new();
+    let mut events_per_run = Summary::new();
+    for scheme in Scheme::ALL {
+        let bout = run_batch(&sim, &etm, None, || setup.policy(scheme), &cfg)
+            .map_err(|e| format!("simulation: {e}"))?;
+        if let Some(e) = bout.events_per_realization() {
+            events_per_run.add(e);
+        }
+        let dist = BatchDistribution::from_output(&bout, e_max, t_max, 200)
+            .ok_or_else(|| "degenerate histogram bounds".to_string())?;
+        let q = |p: f64| dist.energy().quantile(p).unwrap_or(f64::NAN);
+        if npm_mean.is_nan() {
+            // Scheme::ALL[0] is NPM: the figures' normalization base.
+            npm_mean = dist.energy().summary().mean();
+        }
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10.4} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>10.4} {:>8.4}",
+            scheme.name(),
+            dist.energy().summary().mean() / npm_mean,
+            q(0.5) / npm_mean,
+            q(0.95) / npm_mean,
+            q(0.99) / npm_mean,
+            dist.energy().max() / npm_mean,
+            dist.miss_rate(),
+            dist.miss_ci95()
+        );
+        makespans.push((scheme.name().to_string(), dist));
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "makespan distribution (ms, deadline {:.1}):",
+        setup.plan.deadline
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>8} {:>8} {:>8} {:>8}",
+        "scheme", "p50", "p95", "p99", "max"
+    );
+    for (name, dist) in &makespans {
+        let q = |p: f64| dist.makespan().quantile(p).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            name,
+            q(0.5),
+            q(0.95),
+            q(0.99),
+            dist.makespan().max()
+        );
+    }
+    if let Some((_, dist)) = makespans.iter().find(|(name, _)| *name == focus.name()) {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "per-section energy quantiles ({}, {} sections):",
+            focus.name(),
+            dist.sections().len()
+        );
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8} {:>8} {:>8}",
+            "section", "p50", "p95", "p99"
+        );
+        for (k, sec) in dist.sections().iter().enumerate() {
+            let q = |p: f64| sec.quantile(p).unwrap_or(f64::NAN);
+            let _ = writeln!(
+                out,
+                "S{:<9} {:>8.3} {:>8.3} {:>8.3}",
+                k,
+                q(0.5),
+                q(0.95),
+                q(0.99)
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "events/run {:.1} (observer sampled every {}th realization)",
+        events_per_run.mean(),
+        cfg.observe_stride
+    );
     Ok(out)
 }
 
@@ -1003,6 +1136,7 @@ fn bench_cmd(args: &Args) -> Result<String, String> {
         seed: args.seed,
         rev: pas_bench::detect_rev(),
         workloads,
+        ..pas_bench::BenchOptions::default()
     };
     let out = pas_bench::run_bench(&opts).map_err(|e| format!("bench: {e}"))?;
     let dir = std::path::PathBuf::from(
@@ -1036,6 +1170,26 @@ fn bench_cmd(args: &Args) -> Result<String, String> {
             rec.energy_mj,
             rec.sections.len()
         );
+    }
+    if !out.report.batch.is_empty() {
+        let _ = writeln!(
+            text,
+            "batched Monte-Carlo engine vs sequential observed loop (informational):"
+        );
+        for b in &out.report.batch {
+            let _ = writeln!(
+                text,
+                "  {:<6} {:<18} {:<6} {:>6} runs {:>10.0} runs/s (seq {:>8.0}) {:>6.1}x {:>9.1} kevents/s",
+                b.workload,
+                b.platform,
+                b.scheme,
+                b.realizations,
+                b.realizations_per_sec,
+                b.sequential_realizations_per_sec,
+                b.speedup,
+                b.events_per_sec / 1e3
+            );
+        }
     }
     if !out.report.offline.is_empty() {
         let _ = writeln!(text, "off-line phase wall time (span profiler):");

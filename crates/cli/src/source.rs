@@ -140,6 +140,7 @@ mod tests {
             frames: None,
             carry: false,
             metrics: false,
+            batch: None,
             check: false,
             update_baselines: false,
             listen: None,

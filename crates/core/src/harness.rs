@@ -354,7 +354,17 @@ impl Setup {
     }
 
     /// Instantiates a scheme's policy against this setup.
+    ///
+    /// Policy construction is offline work (per-scheme parameter tables
+    /// over the finished plan), so it is profiled under
+    /// `offline.policies` — callers running Monte-Carlo loops should
+    /// hoist this out of the per-realization path and reuse the instance:
+    /// the engine calls [`Policy::begin_run`] at every run start, so one
+    /// instance across runs is bit-identical to rebuilding per run.
     pub fn policy(&self, scheme: Scheme) -> Box<dyn Policy + '_> {
+        let _span = pas_obs::profile::span_with(pas_obs::profile::names::OFFLINE_POLICIES, || {
+            scheme.name().to_string()
+        });
         scheme.build(&self.plan, &self.model, self.overheads)
     }
 

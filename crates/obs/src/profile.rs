@@ -69,6 +69,10 @@ pub mod names {
     pub const OFFLINE_LST: &str = "offline.lst_shift";
     /// Theorem-1 OR-path enumeration over execution scenarios.
     pub const OFFLINE_ENUMERATE: &str = "offline.enumerate_paths";
+    /// Policy instantiation against a finished plan (one per scheme);
+    /// hoisted out of Monte-Carlo realization loops so it is counted
+    /// once in the offline breakdown, not per run.
+    pub const OFFLINE_POLICIES: &str = "offline.policies";
     /// Per-scheme speed-assignment parameter derivation.
     pub const ARTIFACT_SPEEDS: &str = "artifact.speed_assignment";
     /// `PlanArtifact` JSON serialization.
@@ -111,6 +115,7 @@ pub mod names {
         OFFLINE_REMAINING,
         OFFLINE_LST,
         OFFLINE_ENUMERATE,
+        OFFLINE_POLICIES,
         ARTIFACT_SPEEDS,
         ARTIFACT_SERIALIZE,
         ARTIFACT_DIGEST,

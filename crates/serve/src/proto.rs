@@ -20,6 +20,14 @@ use serde::Value;
 /// changes, echoed in every response.
 pub const PROTO_VERSION: u32 = 1;
 
+/// Default `montecarlo` batch size when the request omits `batch`.
+pub const DEFAULT_BATCH: usize = 1024;
+
+/// Upper bound on `batch` per request: one `montecarlo` job must stay a
+/// bounded unit of work on the shared worker pool (larger sweeps slice
+/// with `start_index`, which is draw-stable by construction).
+pub const MAX_BATCH: usize = 65_536;
+
 /// What a request asks the service to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReqKind {
@@ -33,6 +41,11 @@ pub enum ReqKind {
     /// Simulate one seeded realization under observation and return the
     /// event-stream digest (per-kind counts, energy, horizon).
     Trace,
+    /// Run a batched Monte-Carlo sweep (`batch` realizations through the
+    /// batched engine) and return distribution summaries: energy and
+    /// makespan quantiles, miss rate with CI, per-section energy
+    /// quantiles.
+    Montecarlo,
     /// Health snapshot: queue depth, counters, cache stats, latencies.
     Status,
     /// The full `serve.*` metric surface rendered in Prometheus text
@@ -56,6 +69,7 @@ impl ReqKind {
             ReqKind::Check => "check",
             ReqKind::Run => "run",
             ReqKind::Trace => "trace",
+            ReqKind::Montecarlo => "montecarlo",
             ReqKind::Status => "status",
             ReqKind::Metrics => "metrics",
             ReqKind::Shutdown => "shutdown",
@@ -71,6 +85,7 @@ impl ReqKind {
             "check" => ReqKind::Check,
             "run" => ReqKind::Run,
             "trace" => ReqKind::Trace,
+            "montecarlo" => ReqKind::Montecarlo,
             "status" => ReqKind::Status,
             "metrics" => ReqKind::Metrics,
             "shutdown" => ReqKind::Shutdown,
@@ -113,8 +128,15 @@ pub struct Request {
     pub deadline_ms: Option<f64>,
     /// Scheme for `plan`/`run`/`trace`.
     pub scheme: Scheme,
-    /// RNG seed for `run`/`trace` (and `atr` jitter).
+    /// RNG seed for `run`/`trace` (and `atr` jitter); the base seed of a
+    /// `montecarlo` batch.
     pub seed: u64,
+    /// `montecarlo`: realizations to run (capped at [`MAX_BATCH`]).
+    pub batch: usize,
+    /// `montecarlo`: global index of the first realization — slices of
+    /// one logical batch submitted as separate requests draw exactly the
+    /// realizations the full batch would (see `docs/simulator.md`).
+    pub start_index: u64,
     /// Per-request deadline; `None` uses the service default.
     pub timeout_ms: Option<u64>,
     /// `plan`: rebuild even on a cache hit (re-derivation; on failure
@@ -255,6 +277,17 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
         }
     };
     let seed = u64_field(&v, "seed")?.unwrap_or(42);
+    let batch = match u64_field(&v, "batch")? {
+        None => DEFAULT_BATCH,
+        Some(0) => return Err(Rejection::bad_param("`batch` must be positive")),
+        Some(b) if b > MAX_BATCH as u64 => {
+            return Err(Rejection::bad_param(format!(
+                "`batch` must be at most {MAX_BATCH} per request (slice with `start_index`)"
+            )))
+        }
+        Some(b) => b as usize,
+    };
+    let start_index = u64_field(&v, "start_index")?.unwrap_or(0);
     let timeout_ms = u64_field(&v, "timeout_ms")?;
     if timeout_ms == Some(0) {
         return Err(Rejection::bad_param("`timeout_ms` must be positive"));
@@ -269,6 +302,8 @@ pub fn parse_request(line: &str) -> Result<Request, Rejection> {
         deadline_ms,
         scheme,
         seed,
+        batch,
+        start_index,
         timeout_ms,
         revalidate: bool_field(&v, "revalidate")?,
         sleep_ms: u64_field(&v, "sleep_ms")?.unwrap_or(0),
@@ -416,9 +451,28 @@ mod tests {
         assert_eq!(r.procs, 2);
         assert_eq!(r.scheme, Scheme::Gss);
         assert_eq!(r.seed, 42);
+        assert_eq!(r.batch, DEFAULT_BATCH);
+        assert_eq!(r.start_index, 0);
         assert!(r.timeout_ms.is_none());
         assert!(!r.revalidate);
         assert!(!r.trace);
+    }
+
+    #[test]
+    fn montecarlo_batch_parses_and_is_capped() {
+        let r = parse_request(r#"{"kind":"montecarlo","batch":512,"start_index":2048}"#)
+            .expect("parses");
+        assert_eq!(r.kind, ReqKind::Montecarlo);
+        assert_eq!(r.batch, 512);
+        assert_eq!(r.start_index, 2048);
+        for line in [
+            r#"{"kind":"montecarlo","batch":0}"#,
+            r#"{"kind":"montecarlo","batch":100000}"#,
+            r#"{"kind":"montecarlo","batch":-3}"#,
+        ] {
+            let rej = parse_request(line).expect_err(line);
+            assert_eq!(rej.code, Code::Pas0503, "{line}");
+        }
     }
 
     #[test]

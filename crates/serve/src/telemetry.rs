@@ -54,7 +54,7 @@ pub const PRE_SEEDED_COUNTERS: &[&str] = &[
 
 /// Request kinds whose latency series are pre-seeded at zero. Debug
 /// kinds get series on demand but are not part of the stable surface.
-pub const LATENCY_KINDS: &[&str] = &["plan", "check", "run", "trace"];
+pub const LATENCY_KINDS: &[&str] = &["plan", "check", "run", "trace", "montecarlo"];
 
 /// The pipeline stages recorded per kind: `queue` is time spent waiting
 /// in the bounded queue, `exec` is handler wall time on a worker, and

@@ -176,6 +176,112 @@ impl RunResult {
     }
 }
 
+/// Reusable per-run mutable state: everything [`Simulator::run_into`]
+/// writes during one realization, allocated once and reset on every run.
+///
+/// `run_observed` allocates a fresh scratch per call (the historical
+/// behaviour); the batch engine ([`crate::batch`]) keeps one scratch per
+/// worker and reuses it across thousands of realizations, which removes
+/// every per-run allocation from the hot loop. The contents after a run
+/// are exactly the state `run_observed` moves into [`RunResult`]
+/// (per-processor meters and final operating points), plus the
+/// per-program-section energy accumulators the batch distribution
+/// summaries are built from.
+#[derive(Debug, Default)]
+pub struct RunScratch {
+    /// Completion time per node (`None` until the node finishes).
+    finish: Vec<Option<f64>>,
+    /// Per-processor energy accounting.
+    meters: Vec<EnergyMeter>,
+    /// Per-processor clocks: the time each processor becomes available.
+    avail: Vec<f64>,
+    /// Per-processor operating points.
+    point: Vec<OperatingPoint>,
+    /// Energy charged while executing inside each program section,
+    /// indexed by [`SectionId::index`]. The final idle fill out to the
+    /// horizon is attributed to the section that was current when the
+    /// application ended (mirroring the sectioned ledger's
+    /// "energy belongs to the slice entered first" convention).
+    section_energy: Vec<f64>,
+}
+
+impl RunScratch {
+    /// An empty scratch; sized lazily by the first run.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-processor energy meters of the last run.
+    pub fn meters(&self) -> &[EnergyMeter] {
+        &self.meters
+    }
+
+    /// Operating point each processor ended the last run at.
+    pub fn final_points(&self) -> &[OperatingPoint] {
+        &self.point
+    }
+
+    /// Energy charged per program section during the last run (busy,
+    /// overheads, stalls and the trailing idle fill; see the determinism
+    /// contract in `docs/simulator.md`).
+    pub fn section_energy(&self) -> &[f64] {
+        &self.section_energy
+    }
+
+    /// Sizes and clears every vector for a new run.
+    fn prepare(
+        &mut self,
+        g_len: usize,
+        m: usize,
+        n_sections: usize,
+        initial: Option<&[OperatingPoint]>,
+        max_point: OperatingPoint,
+    ) -> Result<(), SimError> {
+        if let Some(points) = initial {
+            if points.len() != m {
+                return Err(SimError::InitialPointCount {
+                    expected: m,
+                    got: points.len(),
+                });
+            }
+        }
+        self.finish.clear();
+        self.finish.resize(g_len, None);
+        self.meters.clear();
+        self.meters.resize(m, EnergyMeter::new());
+        self.avail.clear();
+        self.avail.resize(m, 0.0);
+        self.point.clear();
+        match initial {
+            Some(points) => self.point.extend_from_slice(points),
+            None => self.point.resize(m, max_point),
+        }
+        self.section_energy.clear();
+        self.section_energy.resize(n_sections, 0.0);
+        Ok(())
+    }
+}
+
+/// The scalar outcome of one run executed through
+/// [`Simulator::run_into`]. Per-processor state (meters, final operating
+/// points) stays in the [`RunScratch`]; this struct carries everything
+/// else [`RunResult`] is assembled from.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Time the application finished (ms).
+    pub finish_time: f64,
+    /// True if the application finished after its deadline.
+    pub missed_deadline: bool,
+    /// Whether the deadline was met, and by how much.
+    pub status: DeadlineStatus,
+    /// Faults injected, detected and recovered during the run.
+    pub faults: FaultReport,
+    /// Energy aggregated over all processors.
+    pub energy: EnergyMeter,
+    /// Schedule trace, if [`SimConfig::record_trace`] was set.
+    pub trace: Option<Vec<TraceEntry>>,
+}
+
 /// The multi-processor execution engine.
 ///
 /// Holds everything invariant across Monte-Carlo iterations; call
@@ -223,6 +329,16 @@ impl<'a> Simulator<'a> {
     /// The engine's configuration.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// The application graph the engine executes.
+    pub fn graph(&self) -> &'a AndOrGraph {
+        self.g
+    }
+
+    /// The program-section decomposition of the graph.
+    pub fn sections(&self) -> &'a SectionGraph {
+        self.sections
     }
 
     /// Executes one realization under `policy`, with every processor
@@ -288,22 +404,55 @@ impl<'a> Simulator<'a> {
         faults: Option<&FaultSet>,
         observer: Option<&mut dyn Observer>,
     ) -> Result<RunResult, SimError> {
+        let mut scratch = RunScratch::new();
+        let out = self.run_into(&mut scratch, policy, real, initial, faults, observer)?;
+        Ok(RunResult {
+            finish_time: out.finish_time,
+            deadline: self.cfg.deadline,
+            missed_deadline: out.missed_deadline,
+            status: out.status,
+            faults: out.faults,
+            energy: out.energy,
+            per_proc: std::mem::take(&mut scratch.meters),
+            trace: out.trace,
+            final_points: std::mem::take(&mut scratch.point),
+        })
+    }
+
+    /// Like [`Simulator::run_observed`], but executing into a
+    /// caller-provided [`RunScratch`] instead of allocating per-run state.
+    ///
+    /// This is the batched-engine entry point: the arithmetic, dispatch
+    /// order and event emission are *identical* to `run_observed` (which
+    /// delegates here with a fresh scratch), so per-seed results are
+    /// bit-identical whichever entry point ran them — the determinism
+    /// contract written down in `docs/simulator.md`. After the call the
+    /// scratch holds the per-processor meters, final operating points and
+    /// per-section energy accumulators of the run.
+    pub fn run_into(
+        &self,
+        scratch: &mut RunScratch,
+        policy: &mut dyn Policy,
+        real: &Realization,
+        initial: Option<&[OperatingPoint]>,
+        faults: Option<&FaultSet>,
+        observer: Option<&mut dyn Observer>,
+    ) -> Result<RunOutcome, SimError> {
         let m = self.cfg.num_procs;
-        let mut finish: Vec<Option<f64>> = vec![None; self.g.len()];
-        let mut meters = vec![EnergyMeter::new(); m];
-        let mut avail = vec![0.0_f64; m];
-        let mut point: Vec<OperatingPoint> = match initial {
-            Some(points) => {
-                if points.len() != m {
-                    return Err(SimError::InitialPointCount {
-                        expected: m,
-                        got: points.len(),
-                    });
-                }
-                points.to_vec()
-            }
-            None => vec![self.model.max_point(); m],
-        };
+        scratch.prepare(
+            self.g.len(),
+            m,
+            self.sections.len(),
+            initial,
+            self.model.max_point(),
+        )?;
+        let RunScratch {
+            finish,
+            meters,
+            avail,
+            point,
+            section_energy,
+        } = scratch;
         let mut em = Emitter::new(observer, self.cfg.record_trace);
         let mut last_dispatch = 0.0_f64;
         let mut report = FaultReport::default();
@@ -326,7 +475,7 @@ impl<'a> Simulator<'a> {
         let mut cur: SectionId = self.sections.root();
         loop {
             for &node in &self.order.per_section[cur.index()] {
-                let ready = self.ready_time(node, &finish)?;
+                let ready = self.ready_time(node, finish)?;
                 if !self.g.node(node).kind.is_computation() {
                     // AND synchronization node: dummy, zero time, handled by
                     // whichever processor is cycling through the scheduler.
@@ -358,6 +507,7 @@ impl<'a> Simulator<'a> {
                 let stall = faults.and_then(|f| f.stall(node.index()));
                 if let Some(stall) = stall {
                     meters[p].add_idle(self.cfg.idle_fraction, stall);
+                    section_energy[cur.index()] += self.cfg.idle_fraction * stall;
                     t += stall;
                     report.stalls_injected += 1;
                 }
@@ -368,6 +518,7 @@ impl<'a> Simulator<'a> {
                         .overheads
                         .compute_time_ms(point[p].speed, self.model.max_freq_mhz());
                     meters[p].add_busy(point[p].power + rho, dt);
+                    section_energy[cur.index()] += (point[p].power + rho) * dt;
                     t += dt;
                     pmp_ms = dt;
                 }
@@ -381,6 +532,7 @@ impl<'a> Simulator<'a> {
                 if (target.speed - point[p].speed).abs() > 1e-12 {
                     let dt = self.cfg.overheads.transition_time_ms;
                     meters[p].add_transition(point[p].power.max(target.power) + rho, dt);
+                    section_energy[cur.index()] += (point[p].power.max(target.power) + rho) * dt;
                     let failed = faults.is_some_and(|f| f.speed_fail(node.index()));
                     transition = Some((t, dt, point[p].power.max(target.power) * dt, failed));
                     t += dt;
@@ -402,6 +554,7 @@ impl<'a> Simulator<'a> {
                 let exec_point = point[p];
                 let exec = actual / exec_point.speed;
                 meters[p].add_busy(exec_point.power + rho, exec);
+                section_energy[cur.index()] += (exec_point.power + rho) * exec;
                 // Premium of running above the point the policy asked for,
                 // attributed to recovery. The report keeps its historical
                 // target-based formula; the event carries the premium
@@ -436,6 +589,7 @@ impl<'a> Simulator<'a> {
                         let dt = self.cfg.overheads.transition_time_ms;
                         let power = point[p].power.max(max_point.power) + rho;
                         meters[p].add_transition(power, dt);
+                        section_energy[cur.index()] += power * dt;
                         report.recovery_energy += power * dt;
                         avail[p] = end + dt;
                         escalation = Some((point[p].power.max(max_point.power), dt));
@@ -596,6 +750,7 @@ impl<'a> Simulator<'a> {
         for (p, meter) in meters.iter_mut().enumerate() {
             let idle = horizon - meter.busy_time() - meter.transition_time() - meter.idle_time();
             meter.add_idle(self.cfg.idle_fraction, idle.max(0.0));
+            section_energy[cur.index()] += self.cfg.idle_fraction * idle.max(0.0);
             // One aggregate idle window per processor, mirroring the
             // meter's lump (dispatch gaps + the tail out to the horizon).
             // Stall windows were evented when metered.
@@ -626,16 +781,13 @@ impl<'a> Simulator<'a> {
             }
         }
         let trace = em.log.map(|events| trace_from_events(&events));
-        Ok(RunResult {
+        Ok(RunOutcome {
             finish_time,
-            deadline: self.cfg.deadline,
             missed_deadline: finish_time > self.cfg.deadline * (1.0 + 1e-9) + 1e-9,
             status: DeadlineStatus::classify(finish_time, self.cfg.deadline),
             faults: report,
             energy,
-            per_proc: meters,
             trace,
-            final_points: point,
         })
     }
 

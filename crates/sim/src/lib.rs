@@ -28,6 +28,7 @@
 //! [`Realization::sample`]) and the policy. Comparing schemes on the same
 //! realization gives the paired design the paper's figures rely on.
 
+pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -37,7 +38,12 @@ pub mod realization;
 pub mod stream;
 pub mod trace;
 
-pub use engine::{DispatchOrder, RunResult, SimConfig, Simulator, TraceEntry};
+pub use batch::{
+    realization_seed, run_batch, BatchConfig, BatchDistribution, BatchOutput, MetricDistribution,
+};
+pub use engine::{
+    DispatchOrder, RunOutcome, RunResult, RunScratch, SimConfig, Simulator, TraceEntry,
+};
 pub use error::SimError;
 pub use fault::{DeadlineStatus, FaultPlan, FaultReport, FaultSet};
 pub use literal::{run_literal, LiteralResult};

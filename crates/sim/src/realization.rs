@@ -129,6 +129,31 @@ impl Realization {
         Self { scenario, actual }
     }
 
+    /// Re-draws this realization in place, reusing the `actual` buffer.
+    ///
+    /// Makes exactly the same RNG calls in exactly the same order as
+    /// [`Realization::sample`], so for a given rng state the two produce
+    /// bit-identical draws — the batch engine (see [`crate::batch`]) leans
+    /// on this to keep per-worker sampling allocation-free without
+    /// breaking the determinism contract.
+    pub fn sample_into<R: Rng + ?Sized>(
+        &mut self,
+        g: &AndOrGraph,
+        sections: &SectionGraph,
+        model: &ExecTimeModel,
+        rng: &mut R,
+    ) {
+        self.scenario = sections.sample_scenario(g, rng);
+        self.actual.clear();
+        self.actual.extend(g.nodes().iter().map(|n| {
+            if n.kind.is_computation() {
+                model.sample(n.kind.wcet(), n.kind.acet(), rng)
+            } else {
+                0.0
+            }
+        }));
+    }
+
     /// A worst-case realization: a caller-chosen scenario with every task
     /// at its WCET (used by the deadline-guarantee tests).
     pub fn worst_case(g: &AndOrGraph, scenario: Scenario) -> Self {

@@ -136,14 +136,11 @@ fn simulated_runs_stay_inside_the_static_intervals() {
 /// interval endpoints — the intervals are tight, not merely sound.
 #[test]
 fn npm_interval_endpoints_are_achieved_on_a_serial_chain() {
-    let app = Segment::seq([
-        Segment::task("A", 10.0, 6.0),
-        Segment::task("B", 6.0, 3.0),
-    ]);
+    let app = Segment::seq([Segment::task("A", 10.0, 6.0), Segment::task("B", 6.0, 3.0)]);
     let g = app.lower().expect("chain lowers");
     let model = ProcessorModel::continuous(0.05).expect("valid");
-    let setup = Setup::with_deadline_and_overheads(g, model, 1, 40.0, Overheads::none())
-        .expect("feasible");
+    let setup =
+        Setup::with_deadline_and_overheads(g, model, 1, 40.0, Overheads::none()).expect("feasible");
     let cfg = BoundsConfig::default();
     let ba = analyze_bounds(&setup, &cfg, "chain");
     assert!(ba.exact && ba.paths == 1, "a chain has one OR-path");

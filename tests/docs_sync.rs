@@ -283,3 +283,149 @@ fn service_doc_covers_the_wire_contract() {
         }
     }
 }
+
+#[test]
+fn simulator_doc_keeps_its_contract_sections() {
+    let text = doc("simulator.md");
+    // Every section of the engine/batch/determinism writeup must exist
+    // exactly once — duplicating a heading (or renaming one away) fails.
+    for heading in [
+        "# The simulation engine",
+        "## Engine architecture",
+        "### The dispatch loop",
+        "### Policy hooks",
+        "### Fault containment",
+        "## Batched Monte-Carlo engine",
+        "### Structure-of-arrays layout",
+        "## Determinism contract",
+        "### Seeding contract",
+        "### Section-energy attribution",
+        "## Observability sampling",
+        "## Distribution summaries",
+    ] {
+        let count = text.lines().filter(|l| l.trim_end() == heading).count();
+        assert_eq!(
+            count, 1,
+            "heading `{heading}` must appear exactly once in docs/simulator.md \
+             (found {count} occurrences)"
+        );
+    }
+    // The contract's load-bearing vocabulary: the seeding function, the
+    // reuse-safety hook, the slicing parameter and the sampling knob.
+    for term in [
+        "bit-identical",
+        "realization_seed",
+        "begin_run",
+        "start_index",
+        "observe_stride",
+        "keep_results",
+        "tests/batch_parity.rs",
+    ] {
+        assert!(text.contains(term), "docs/simulator.md must mention {term}");
+    }
+    // Cross-link graph: the simulator doc points at the observability
+    // catalog, the paper mapping and the wire protocol; each of those
+    // (plus DESIGN.md) points back.
+    for target in ["observability.md", "paper-mapping.md", "service.md"] {
+        assert!(
+            text.contains(target),
+            "docs/simulator.md must link to docs/{target}"
+        );
+    }
+    assert!(
+        doc("observability.md").contains("simulator.md"),
+        "docs/observability.md must link to docs/simulator.md"
+    );
+    assert!(
+        doc("service.md").contains("simulator.md"),
+        "docs/service.md must link to docs/simulator.md"
+    );
+    let design =
+        std::fs::read_to_string(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("DESIGN.md"))
+            .expect("DESIGN.md");
+    assert!(
+        design.contains("docs/simulator.md"),
+        "DESIGN.md must link to docs/simulator.md"
+    );
+}
+
+#[test]
+fn paper_mapping_covers_the_distribution_metrics() {
+    let text = doc("paper-mapping.md");
+    let heading = "## Distribution metrics beyond the paper's means";
+    let count = text.lines().filter(|l| l.trim_end() == heading).count();
+    assert_eq!(
+        count, 1,
+        "`{heading}` must appear exactly once in docs/paper-mapping.md"
+    );
+    // The section must place each distribution metric relative to the
+    // paper's mean-only figures and point at the protocol and engine.
+    for term in [
+        "p50/p95/p99/max",
+        "miss rate ± 95% CI",
+        "per-section energy quantiles",
+        "simulator.md",
+        "E7",
+    ] {
+        assert!(
+            text.contains(term),
+            "docs/paper-mapping.md distribution section must mention {term}"
+        );
+    }
+    let experiments =
+        std::fs::read_to_string(PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("EXPERIMENTS.md"))
+            .expect("EXPERIMENTS.md");
+    assert!(
+        experiments.contains("### E7"),
+        "EXPERIMENTS.md must carry the E7 batch-sweep protocol"
+    );
+}
+
+#[test]
+fn relative_links_between_docs_resolve() {
+    // Every relative markdown link in the docs (and the root documents
+    // that index them) must point at a file that exists, so a rename or
+    // deletion cannot silently strand readers.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![
+        root.join("README.md"),
+        root.join("DESIGN.md"),
+        root.join("EXPERIMENTS.md"),
+    ];
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs/") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    assert!(
+        files.len() > 5,
+        "link checker found too few docs: {files:?}"
+    );
+    let mut broken = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("read {} ({e})", file.display()));
+        let base = file.parent().expect("doc has a parent dir");
+        let mut rest = text.as_str();
+        while let Some(open) = rest.find("](") {
+            rest = &rest[open + 2..];
+            let Some(close) = rest.find(')') else { break };
+            let target = &rest[..close];
+            rest = &rest[close..];
+            if target.is_empty()
+                || target.starts_with('#')
+                || target.contains("://")
+                || target.contains(' ')
+                || target.contains('\n')
+            {
+                continue; // anchor-only, external, or not a real link
+            }
+            let path_part = target.split('#').next().unwrap_or(target);
+            if !base.join(path_part).exists() {
+                broken.push(format!("{} -> {target}", file.display()));
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken relative doc links:\n{broken:?}");
+}
